@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Ablation — why *orthogonal* trees?  (Section II-A: "the OTN is a
+ * generalization of the tree network which has been studied
+ * extensively [2], [3], [7]".)
+ *
+ * A single tree has bisection width 1: semigroup operations are as
+ * fast as on the OTN's trees, but any computation that must exchange
+ * Theta(N) distinct words serializes at the root.  This bench sorts
+ * the same inputs on the single-tree machine (extract-min), the OTN
+ * (SORT-OTN) and the mesh, and prints the time/area trade: the OTN
+ * pays Theta(log^2 N) more area per element than the tree machine and
+ * buys a Theta(N / polylog) speedup.
+ *
+ * A second table shows where the single tree is NOT worse: pure
+ * reductions (COUNT/SUM/MIN), where both machines take one traversal.
+ */
+
+#include "bench_common.hh"
+
+namespace {
+
+using namespace ot;
+using namespace ot::bench;
+
+void
+printTables()
+{
+    section("Ablation: one tree vs orthogonal trees (sorting)");
+    analysis::TextTable t({"N", "tree time", "OTN time", "speedup",
+                           "tree area", "OTN area", "area cost"});
+    std::vector<double> ns, speedups;
+    for (std::size_t n : {64, 128, 256, 512, 1024}) {
+        auto v = randomValues(n, 90 + n);
+        auto cost = defaultCostModel(n);
+
+        baselines::TreeMachine tree(n, cost);
+        auto sorted = tree.extractMinSort(v);
+        auto expect = v;
+        std::sort(expect.begin(), expect.end());
+        if (sorted != expect)
+            std::abort();
+        double t_tree = static_cast<double>(tree.now());
+
+        otn::OrthogonalTreesNetwork net(n, cost);
+        auto r = otn::sortOtn(net, v);
+        if (r.sorted != expect)
+            std::abort();
+        double t_otn = static_cast<double>(r.time);
+
+        double a_tree = static_cast<double>(tree.chipArea());
+        double a_otn =
+            static_cast<double>(net.chipLayout().metrics().area());
+
+        ns.push_back(static_cast<double>(n));
+        speedups.push_back(t_tree / t_otn);
+        t.addRow({std::to_string(n), analysis::formatQuantity(t_tree),
+                  analysis::formatQuantity(t_otn),
+                  analysis::formatRatio(t_tree / t_otn),
+                  analysis::formatQuantity(a_tree),
+                  analysis::formatQuantity(a_otn),
+                  analysis::formatRatio(a_otn / a_tree)});
+    }
+    std::printf("%s", t.str().c_str());
+
+    auto fit = analysis::fitPowerLaw(ns, speedups);
+    std::printf("\nspeedup grows ~ %s (one tree serializes Theta(N) "
+                "words at its root; the OTN's 2N trees do not)\n",
+                analysis::formatExponent("N", fit.exponent).c_str());
+
+    section("Ablation: where one tree is enough (semigroup reductions)");
+    analysis::TextTable t2({"N", "tree MIN-reduce", "OTN MIN-LEAFTOROOT",
+                            "ratio"});
+    for (std::size_t n : {64, 256, 1024}) {
+        auto cost = defaultCostModel(n);
+        baselines::TreeMachine tree(n, cost);
+        vlsi::ModelTime dt_tree = 0;
+        tree.minReduce(&dt_tree);
+        otn::OrthogonalTreesNetwork net(n, cost);
+        double dt_otn = static_cast<double>(net.treeReduceCost());
+        t2.addRow({std::to_string(n),
+                   analysis::formatQuantity(static_cast<double>(dt_tree)),
+                   analysis::formatQuantity(dt_otn),
+                   analysis::formatRatio(static_cast<double>(dt_tree) /
+                                         dt_otn)});
+    }
+    std::printf("%s", t2.str().c_str());
+    std::printf("\n(both are one combining traversal — the OTN's "
+                "advantage is parallel *capacity*, not tree speed)\n");
+}
+
+void
+BM_TreeMachineExtractMinSort(benchmark::State &state)
+{
+    std::size_t n = static_cast<std::size_t>(state.range(0));
+    auto v = randomValues(n, 3);
+    auto cost = ot::defaultCostModel(n);
+    baselines::TreeMachine tree(n, cost);
+    for (auto _ : state) {
+        auto sorted = tree.extractMinSort(v);
+        benchmark::DoNotOptimize(sorted.data());
+    }
+}
+BENCHMARK(BM_TreeMachineExtractMinSort)->Arg(256)->Arg(1024);
+
+} // namespace
+
+OT_BENCH_MAIN(printTables)

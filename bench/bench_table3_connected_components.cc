@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Experiment E3 — Table III: connected components of an N-vertex
+ * undirected graph (adjacency-matrix representation).
+ *
+ * Simulated rows: mesh (Boolean closure via Cannon squaring), OTN
+ * (HCS CONNECT, O(log^4 N)), OTC (same algorithm on the emulated
+ * machine, O(N^2) area).  PSN/CCC rows are analytic (the paper's own
+ * figures cite a straightforward implementation of CONNECT [12]).
+ *
+ * Shape to reproduce: OTN/OTC times grow polylogarithmically while the
+ * mesh grows ~N; OTC AT^2 = N^2 log^8 N vs the others' ~N^4.
+ */
+
+#include "bench_common.hh"
+
+namespace {
+
+using namespace ot;
+using namespace ot::bench;
+
+const std::vector<std::size_t> kSweep{16, 32, 64, 128};
+
+graph::Graph
+workloadGraph(std::size_t n, std::uint64_t seed)
+{
+    sim::Rng rng(seed);
+    // Sparse G(n, p) with expected degree ~2: a mix of components.
+    return graph::randomGnp(n, 2.0 / static_cast<double>(n), rng);
+}
+
+void
+printTables()
+{
+    section("E3 / Table III: connected components");
+    printPaperTable(analysis::Problem::ConnectedComponents,
+                    vlsi::DelayModel::Logarithmic,
+                    {analysis::Network::Mesh, analysis::Network::Psn,
+                     analysis::Network::Ccc, analysis::Network::Otn,
+                     analysis::Network::Otc},
+                    static_cast<double>(kSweep.back()));
+
+    MeasuredRow mesh{"mesh (closure)", {}, {}, 0};
+    MeasuredRow otn_row{"OTN (CONNECT)", {}, {}, 0};
+    MeasuredRow otc_row{"OTC (emulated)", {}, {}, 0};
+    MeasuredRow otc_nat{"OTC (native)", {}, {}, 0};
+
+    for (std::size_t n : kSweep) {
+        auto g = workloadGraph(n, 30 + n);
+        auto cost = defaultCostModel(n);
+        auto expect = graph::connectedComponents(g);
+        double dn = static_cast<double>(n);
+
+        {
+            baselines::MeshMachine m(n * n, cost);
+            auto r = baselines::meshConnectedComponents(m, g);
+            if (r.labels != expect)
+                std::abort();
+            mesh.ns.push_back(dn);
+            mesh.times.push_back(static_cast<double>(r.time));
+            mesh.area =
+                static_cast<double>(m.chipLayout().metrics().area());
+        }
+        {
+            otn::OrthogonalTreesNetwork m(n, cost);
+            auto r = otn::connectedComponentsOtn(m, g);
+            if (r.labels != expect)
+                std::abort();
+            otn_row.ns.push_back(dn);
+            otn_row.times.push_back(static_cast<double>(r.time));
+            otn_row.area =
+                static_cast<double>(m.chipLayout().metrics().area());
+        }
+        {
+            auto r = otc::connectedComponentsOtc(g, cost);
+            if (r.result.labels != expect)
+                std::abort();
+            otc_row.ns.push_back(dn);
+            otc_row.times.push_back(
+                static_cast<double>(r.result.time));
+            otc_row.area = static_cast<double>(r.chip.area());
+        }
+        {
+            // The Section VI-B machine driven with the cycle
+            // primitives directly (no emulation layer).
+            unsigned l = vlsi::logCeilAtLeast1(n);
+            otc::OtcNetwork machine(vlsi::ceilDiv(n, l), l, cost);
+            auto r = otc::connectedComponentsOtcNative(machine, g);
+            if (r.labels != expect)
+                std::abort();
+            otc_nat.ns.push_back(dn);
+            otc_nat.times.push_back(static_cast<double>(r.time));
+            otc_nat.area = static_cast<double>(
+                machine.chipLayout().metrics().area());
+        }
+    }
+
+    printMeasured({mesh, otn_row, otc_row, otc_nat});
+
+    std::printf("\nShape checks at N = %zu:\n", kSweep.back());
+    std::printf("  mesh time / OTC time = %.2f (paper: N/log^4 N, "
+                "grows with N)\n",
+                mesh.times.back() / otc_row.times.back());
+    std::printf("  OTN time / OTC time  = %.2f (paper: Theta(1))\n",
+                otn_row.times.back() / otc_row.times.back());
+    std::printf("  OTN area / OTC area  = %.1f (paper: "
+                "Theta(log^2 N))\n",
+                otn_row.area / otc_row.area);
+
+    // Mesh vs OTC time crossover trend across the sweep.
+    std::printf("\n  mesh/OTC time ratio across the sweep:");
+    for (std::size_t i = 0; i < kSweep.size(); ++i)
+        std::printf(" N=%zu: %.2f", kSweep[i],
+                    mesh.times[i] / otc_row.times[i]);
+    std::printf("  (must grow — the polylog vs N separation)\n");
+}
+
+void
+BM_ConnectedComponentsOtn(benchmark::State &state)
+{
+    std::size_t n = static_cast<std::size_t>(state.range(0));
+    auto g = workloadGraph(n, 5);
+    auto cost = defaultCostModel(n);
+    otn::OrthogonalTreesNetwork net(n, cost);
+    for (auto _ : state) {
+        auto r = otn::connectedComponentsOtn(net, g);
+        benchmark::DoNotOptimize(r.labels.data());
+        state.counters["model_time"] = static_cast<double>(r.time);
+    }
+}
+BENCHMARK(BM_ConnectedComponentsOtn)->Arg(32)->Arg(64)->Arg(128);
+
+void
+BM_ConnectedComponentsMesh(benchmark::State &state)
+{
+    std::size_t n = static_cast<std::size_t>(state.range(0));
+    auto g = workloadGraph(n, 5);
+    auto cost = defaultCostModel(n);
+    baselines::MeshMachine mesh(n * n, cost);
+    for (auto _ : state) {
+        auto r = baselines::meshConnectedComponents(mesh, g);
+        benchmark::DoNotOptimize(r.labels.data());
+        state.counters["model_time"] = static_cast<double>(r.time);
+    }
+}
+BENCHMARK(BM_ConnectedComponentsMesh)->Arg(32)->Arg(64);
+
+} // namespace
+
+OT_BENCH_MAIN(printTables)

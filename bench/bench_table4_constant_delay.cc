@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Experiment E4 — Table IV: sorting under the constant-delay VLSI
+ * model (Section VII-D).
+ *
+ * What must reproduce: the mesh is unchanged, PSN/CCC improve to
+ * ~log^2 N, the OTN improves to ~log N, and the OTC loses its raison
+ * d'etre ("under this new model there is no longer any need for the
+ * OTC") — its time no longer beats the OTN while the OTN's area
+ * advantage is gone.
+ */
+
+#include "bench_common.hh"
+
+namespace {
+
+using namespace ot;
+using namespace ot::bench;
+
+const std::vector<std::size_t> kSweep{64, 128, 256, 512, 1024};
+
+void
+printTables()
+{
+    section("E4 / Table IV: sorting, constant-delay model");
+    printPaperTable(analysis::Problem::Sorting, vlsi::DelayModel::Constant,
+                    {analysis::Network::Mesh, analysis::Network::Psn,
+                     analysis::Network::Ccc, analysis::Network::Otn},
+                    static_cast<double>(kSweep.back()));
+
+    MeasuredRow mesh{"mesh", {}, {}, 0};
+    MeasuredRow psn{"PSN", {}, {}, 0};
+    MeasuredRow ccc{"CCC", {}, {}, 0};
+    MeasuredRow otn{"OTN", {}, {}, 0};
+
+    for (std::size_t n : kSweep) {
+        auto v = randomValues(n, 4242 + n);
+        auto cost = defaultCostModel(n, vlsi::DelayModel::Constant);
+        double dn = static_cast<double>(n);
+
+        {
+            baselines::MeshMachine m(n, cost);
+            auto r = baselines::meshSort(m, v);
+            mesh.ns.push_back(dn);
+            mesh.times.push_back(static_cast<double>(r.time));
+            mesh.area =
+                static_cast<double>(m.chipLayout().metrics().area());
+        }
+        {
+            baselines::PsnMachine m(n, cost);
+            auto r = baselines::psnSort(m, v);
+            psn.ns.push_back(dn);
+            psn.times.push_back(static_cast<double>(r.time));
+            psn.area =
+                static_cast<double>(m.chipLayout().metrics().area());
+        }
+        {
+            baselines::CccMachine m(n, cost);
+            auto r = baselines::cccSort(m, v);
+            ccc.ns.push_back(dn);
+            ccc.times.push_back(static_cast<double>(r.time));
+            ccc.area =
+                static_cast<double>(m.chipLayout().metrics().area());
+        }
+        {
+            otn::OrthogonalTreesNetwork m(n, cost);
+            auto r = otn::sortOtn(m, v);
+            otn.ns.push_back(dn);
+            otn.times.push_back(static_cast<double>(r.time));
+            otn.area =
+                static_cast<double>(m.chipLayout().metrics().area());
+        }
+    }
+
+    printMeasured({mesh, psn, ccc, otn});
+
+    // Model sensitivity (Section VII-D): the mesh's wires are
+    // Theta(log N) short, so its log/constant ratio is Theta(log log N)
+    // — essentially flat in N — while PSN/CCC/OTN wires are
+    // Theta(N / log N) long and their ratio grows Theta(log N).  Show
+    // the *growth* across two sizes.
+    std::printf("\nDelay-model sensitivity "
+                "(T_log-delay / T_constant-delay):\n");
+    std::printf("  %-5s %10s %10s   expectation\n", "net", "N=256",
+                "N=16384");
+    auto ratio_at = [&](std::size_t n, auto run) {
+        auto v = randomValues(n, 4242 + n);
+        double t_log = static_cast<double>(
+            run(v, defaultCostModel(n)));
+        double t_const = static_cast<double>(
+            run(v, defaultCostModel(n, vlsi::DelayModel::Constant)));
+        return t_log / t_const;
+    };
+    auto mesh_run = [](const std::vector<std::uint64_t> &v,
+                       const vlsi::CostModel &c) {
+        return baselines::meshSort(v, c).time;
+    };
+    auto psn_run = [](const std::vector<std::uint64_t> &v,
+                      const vlsi::CostModel &c) {
+        return baselines::psnSort(v, c).time;
+    };
+    auto ccc_run = [](const std::vector<std::uint64_t> &v,
+                      const vlsi::CostModel &c) {
+        return baselines::cccSort(v, c).time;
+    };
+    std::printf("  %-5s %10.2f %10.2f   ~flat (Theta(log log N))\n",
+                "mesh", ratio_at(256, mesh_run),
+                ratio_at(16384, mesh_run));
+    std::printf("  %-5s %10.2f %10.2f   grows (Theta(log N))\n", "PSN",
+                ratio_at(256, psn_run), ratio_at(16384, psn_run));
+    std::printf("  %-5s %10.2f %10.2f   grows (Theta(log N))\n", "CCC",
+                ratio_at(256, ccc_run), ratio_at(16384, ccc_run));
+    auto otn_run = [](const std::vector<std::uint64_t> &v,
+                      const vlsi::CostModel &c) {
+        return otn::sortOtn(v, c).time;
+    };
+    std::printf("  %-5s %10.2f %10.2f   grows (Theta(log N))\n", "OTN",
+                ratio_at(256, otn_run), ratio_at(1024, otn_run));
+}
+
+void
+BM_SortOtnConstantDelay(benchmark::State &state)
+{
+    std::size_t n = static_cast<std::size_t>(state.range(0));
+    auto v = randomValues(n, 7);
+    auto cost = defaultCostModel(n, vlsi::DelayModel::Constant);
+    otn::OrthogonalTreesNetwork net(n, cost);
+    for (auto _ : state) {
+        auto r = otn::sortOtn(net, v);
+        benchmark::DoNotOptimize(r.sorted.data());
+        state.counters["model_time"] = static_cast<double>(r.time);
+    }
+}
+BENCHMARK(BM_SortOtnConstantDelay)->Arg(256)->Arg(1024);
+
+void
+BM_SortPsnConstantDelay(benchmark::State &state)
+{
+    std::size_t n = static_cast<std::size_t>(state.range(0));
+    auto v = randomValues(n, 7);
+    auto cost = defaultCostModel(n, vlsi::DelayModel::Constant);
+    baselines::PsnMachine psn(n, cost);
+    for (auto _ : state) {
+        auto r = baselines::psnSort(psn, v);
+        benchmark::DoNotOptimize(r.sorted.data());
+        state.counters["model_time"] = static_cast<double>(r.time);
+    }
+}
+BENCHMARK(BM_SortPsnConstantDelay)->Arg(256)->Arg(1024);
+
+} // namespace
+
+OT_BENCH_MAIN(printTables)

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Umbrella header for orthotree — orthogonal trees networks for VLSI
+ * parallel processing, after Nath, Maheshwari & Bhatt (IEEE Trans.
+ * Computers, C-32(6), 1983).
+ *
+ * Quickstart:
+ *
+ *   #include "orthotree/orthotree.hh"
+ *
+ *   auto cost = ot::defaultCostModel(n);          // Thompson's model
+ *   ot::otn::OrthogonalTreesNetwork net(n, cost); // an (n x n)-OTN
+ *   auto sorted = ot::otn::sortOtn(net, values);  // SORT-OTN
+ *   // sorted.sorted — the values; sorted.time — model time;
+ *   // net.chipLayout().metrics().area() — chip area.
+ *
+ * The library is organised as:
+ *   ot::vlsi      — Thompson's VLSI cost model (delay rules, words)
+ *   ot::sim       — model-time accounting, stats, deterministic RNG
+ *   ot::layout    — chip layouts (OTN, OTC, mesh, PSN, CCC)
+ *   ot::linalg    — matrices and sequential references
+ *   ot::graph     — graphs, generators, sequential references
+ *   ot::otn       — the orthogonal trees network and its algorithms
+ *   ot::otc       — the orthogonal tree cycles and its algorithms
+ *   ot::baselines — mesh / PSN / CCC comparison machines
+ *   ot::analysis  — the paper's table formulas, fitting, rendering
+ */
+
+#pragma once
+
+#include "analysis/asymptotics.hh"
+#include "analysis/fitting.hh"
+#include "analysis/table.hh"
+#include "baselines/ccc.hh"
+#include "baselines/hex_array.hh"
+#include "baselines/mesh.hh"
+#include "baselines/psn.hh"
+#include "baselines/tree_machine.hh"
+#include "graph/generators.hh"
+#include "graph/graph.hh"
+#include "graph/reference_algorithms.hh"
+#include "layout/baseline_layouts.hh"
+#include "layout/otc_layout.hh"
+#include "layout/otn_layout.hh"
+#include "layout/svg.hh"
+#include "linalg/matrix.hh"
+#include "linalg/reference.hh"
+#include "otc/algorithms.hh"
+#include "otc/connected_components_native.hh"
+#include "otc/emulated_otn.hh"
+#include "otc/cycle_ops.hh"
+#include "otc/matmul_native.hh"
+#include "otc/mst_native.hh"
+#include "otc/network.hh"
+#include "otc/sort.hh"
+#include "otn/bitonic.hh"
+#include "otn/closure.hh"
+#include "otn/connected_components.hh"
+#include "otn/dft.hh"
+#include "otn/integer_multiply.hh"
+#include "otn/matmul.hh"
+#include "otn/mesh_of_trees_3d.hh"
+#include "otn/mst.hh"
+#include "otn/network.hh"
+#include "otn/patterns.hh"
+#include "otn/pipeline.hh"
+#include "otn/selection.hh"
+#include "otn/shortest_paths.hh"
+#include "otn/sort.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+#include "sim/time_accountant.hh"
+#include "vlsi/bitmath.hh"
+#include "vlsi/cost_model.hh"
+#include "vlsi/delay.hh"
+#include "vlsi/word.hh"
+
+namespace ot {
+
+/** Library version. */
+inline constexpr unsigned kVersionMajor = 1;
+inline constexpr unsigned kVersionMinor = 0;
+inline constexpr unsigned kVersionPatch = 0;
+
+/**
+ * The paper's standard cost model for an N-element problem: Thompson's
+ * logarithmic wire delay with O(log N)-bit bit-serial words.
+ */
+inline vlsi::CostModel
+defaultCostModel(std::size_t n,
+                 vlsi::DelayModel model = vlsi::DelayModel::Logarithmic,
+                 bool scaled_trees = false)
+{
+    return {model, vlsi::WordFormat::forProblemSize(n), scaled_trees};
+}
+
+} // namespace ot

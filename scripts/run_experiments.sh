@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Regenerate the experiment artifacts: build, run the full test suite
+# into test_output.txt and every bench into bench_output.txt.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/bench_*; do "$b"; done 2>&1 | tee bench_output.txt
+echo "artifacts: test_output.txt bench_output.txt"

@@ -1,0 +1,162 @@
+#include "analysis/asymptotics.hh"
+
+#include <cmath>
+
+namespace ot::analysis {
+
+std::string
+toString(Network n)
+{
+    switch (n) {
+      case Network::Mesh:
+        return "mesh";
+      case Network::Psn:
+        return "PSN";
+      case Network::Ccc:
+        return "CCC";
+      case Network::Otn:
+        return "OTN";
+      case Network::Otc:
+        return "OTC";
+    }
+    return "?";
+}
+
+std::string
+toString(Problem p)
+{
+    switch (p) {
+      case Problem::Sorting:
+        return "sorting";
+      case Problem::BoolMatMul:
+        return "Boolean matrix multiplication";
+      case Problem::ConnectedComponents:
+        return "connected components";
+      case Problem::Mst:
+        return "minimum spanning tree";
+    }
+    return "?";
+}
+
+namespace {
+
+/** log2 with the same >= 1 guard the machines use. */
+double
+lg(double n)
+{
+    return std::max(1.0, std::log2(n));
+}
+
+Asymptotics
+sorting(Network network, DelayModel model, double n)
+{
+    const double l = lg(n);
+    const bool constant = model == DelayModel::Constant;
+    switch (network) {
+      case Network::Mesh:
+        // Short wires: unaffected by the delay model (Section VII-D).
+        return {n * l * l, std::sqrt(n)};
+      case Network::Psn:
+        return {n * n / (l * l), constant ? l * l : l * l * l};
+      case Network::Ccc:
+        // Section VII-A: the O(log^2 N) CCC sort needs O(log^3 N)
+        // under Thompson's model.
+        return {n * n / (l * l), constant ? l * l : l * l * l};
+      case Network::Otn:
+        // Section VII-D: O(log N) under constant delay.
+        return {n * n * l * l, constant ? l : l * l};
+      case Network::Otc:
+        // Under constant delay "there is no longer any need for the
+        // OTC" — its time degrades to the same L^2 (Section VII-D).
+        return {n * n, l * l};
+    }
+    return {};
+}
+
+Asymptotics
+boolMatMul(Network network, DelayModel, double n)
+{
+    const double l = lg(n);
+    switch (network) {
+      case Network::Mesh:
+        return {n * n, n}; // optimal AT^2 = N^4 [15], [27]
+      case Network::Psn:
+        // Classical product, N^3 processors [10].
+        return {std::pow(n, 6.0) / l, l * l};
+      case Network::Ccc:
+        return {std::pow(n, 6.0) / (l * l), l * l};
+      case Network::Otn:
+        // (N^2 x N^2)-OTN: area K^2 log^2 K with K = N^2.
+        return {std::pow(n, 4.0) * l * l, l * l};
+      case Network::Otc:
+        // Section VI-B: cycles of log^2 N one-bit BPs.
+        return {std::pow(n, 4.0) / (l * l), l * l};
+    }
+    return {};
+}
+
+Asymptotics
+connectedComponents(Network network, DelayModel, double n)
+{
+    const double l = lg(n);
+    switch (network) {
+      case Network::Mesh:
+        return {n * n, n};
+      case Network::Psn:
+      case Network::Ccc:
+        // CONNECT [12] with N^2 / log N processors.
+        return {std::pow(n, 4.0) / std::pow(l, 4.0), std::pow(l, 4.0)};
+      case Network::Otn:
+        return {n * n * l * l, std::pow(l, 4.0)};
+      case Network::Otc:
+        return {n * n, std::pow(l, 4.0)};
+    }
+    return {};
+}
+
+Asymptotics
+mst(Network network, DelayModel model, double n)
+{
+    const double l = lg(n);
+    // "The area and time figures for finding a minimal spanning tree
+    // are similar" (Section VII-C) — except the OTC must keep the
+    // whole N x N weight matrix of O(log N)-bit words resident
+    // (Section VI-B), costing one extra log factor of area:
+    // AT^2 = O(N^2 log^9 N) (abstract).
+    Asymptotics a = connectedComponents(network, model, n);
+    if (network == Network::Otc)
+        a.area *= l;
+    return a;
+}
+
+} // namespace
+
+Asymptotics
+paperFormula(Network network, Problem problem, DelayModel model, double n)
+{
+    switch (problem) {
+      case Problem::Sorting:
+        return sorting(network, model, n);
+      case Problem::BoolMatMul:
+        return boolMatMul(network, model, n);
+      case Problem::ConnectedComponents:
+        return connectedComponents(network, model, n);
+      case Problem::Mst:
+        return mst(network, model, n);
+    }
+    return {};
+}
+
+double
+at2Crossover(Network a, Network b, Problem problem, DelayModel model,
+             double limit)
+{
+    for (double n = 4; n <= limit; n *= 2) {
+        if (paperFormula(a, problem, model, n).at2() <
+            paperFormula(b, problem, model, n).at2())
+            return n;
+    }
+    return 0;
+}
+
+} // namespace ot::analysis

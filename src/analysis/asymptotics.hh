@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Numeric evaluation of the paper's area/time tables.
+ *
+ * Each entry of Tables I-IV (and the MST remark) is a closed-form
+ * asymptotic expression in N; this module evaluates them (without the
+ * hidden constants) so the benches can print the paper's row next to
+ * the measured one and compare *shapes*: growth exponents, winner
+ * orderings and crossover points.  Garbled OCR cells were
+ * reconstructed from the paper's prose; the derivations are recorded
+ * in DESIGN.md ("Reconstructed table cells").
+ */
+
+#pragma once
+
+#include <string>
+
+#include "vlsi/delay.hh"
+
+namespace ot::analysis {
+
+using vlsi::DelayModel;
+
+/** The five networks the paper compares. */
+enum class Network { Mesh, Psn, Ccc, Otn, Otc };
+
+/** The problems with table rows. */
+enum class Problem { Sorting, BoolMatMul, ConnectedComponents, Mst };
+
+std::string toString(Network n);
+std::string toString(Problem p);
+
+/** One table cell pair (area, time) and the figure of merit A*T^2. */
+struct Asymptotics
+{
+    double area = 0;
+    double time = 0;
+
+    double at2() const { return area * time * time; }
+};
+
+/**
+ * The paper's asymptotic formula for `network` solving `problem` on an
+ * N-element instance under `model` (Logarithmic = Tables I-III,
+ * Constant = Table IV; the Linear model has no table and returns the
+ * logarithmic row).  Hidden constants are 1.
+ */
+Asymptotics paperFormula(Network network, Problem problem, DelayModel model,
+                         double n);
+
+/**
+ * Smallest power of two N at which network `a` has a strictly smaller
+ * AT^2 than `b` for the given problem — the crossover the tables
+ * imply.  Returns 0 if none is found up to `limit`.
+ */
+double at2Crossover(Network a, Network b, Problem problem, DelayModel model,
+                    double limit = 1e9);
+
+} // namespace ot::analysis

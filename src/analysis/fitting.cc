@@ -1,0 +1,68 @@
+#include "analysis/fitting.hh"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace ot::analysis {
+
+namespace {
+
+PowerFit
+linearFit(const std::vector<double> &lx, const std::vector<double> &ly)
+{
+    const std::size_t n = lx.size();
+    assert(n >= 2);
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        sx += lx[i];
+        sy += ly[i];
+        sxx += lx[i] * lx[i];
+        sxy += lx[i] * ly[i];
+    }
+    double denom = n * sxx - sx * sx;
+    PowerFit fit;
+    fit.exponent = (n * sxy - sx * sy) / denom;
+    double intercept = (sy - fit.exponent * sx) / static_cast<double>(n);
+    fit.coefficient = std::exp(intercept);
+
+    double mean_y = sy / static_cast<double>(n);
+    double ss_tot = 0, ss_res = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        double pred = intercept + fit.exponent * lx[i];
+        ss_res += (ly[i] - pred) * (ly[i] - pred);
+        ss_tot += (ly[i] - mean_y) * (ly[i] - mean_y);
+    }
+    fit.r2 = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+    return fit;
+}
+
+} // namespace
+
+PowerFit
+fitPowerLaw(std::span<const double> xs, std::span<const double> ys)
+{
+    assert(xs.size() == ys.size());
+    std::vector<double> lx, ly;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        assert(xs[i] > 0 && ys[i] > 0);
+        lx.push_back(std::log(xs[i]));
+        ly.push_back(std::log(ys[i]));
+    }
+    return linearFit(lx, ly);
+}
+
+PowerFit
+fitPowerLawInLogN(std::span<const double> xs, std::span<const double> ys)
+{
+    assert(xs.size() == ys.size());
+    std::vector<double> lx, ly;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        assert(xs[i] > 1 && ys[i] > 0);
+        lx.push_back(std::log(std::log2(xs[i])));
+        ly.push_back(std::log(ys[i]));
+    }
+    return linearFit(lx, ly);
+}
+
+} // namespace ot::analysis

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Growth-law fitting for the empirical asymptotics checks.
+ *
+ * The benches sweep N, measure model time/area, and fit y = c * x^e by
+ * least squares in log-log space; the exponent (and the residual R^2)
+ * is what gets compared against the paper's tables.  For
+ * polylogarithmic quantities (times like log^2 N) fit against
+ * x' = log2(x) instead — fitPowerLawInLogN.
+ */
+
+#pragma once
+
+#include <span>
+
+namespace ot::analysis {
+
+/** Result of a power-law fit y = coefficient * x^exponent. */
+struct PowerFit
+{
+    double exponent = 0;
+    double coefficient = 0;
+    /** Coefficient of determination of the log-log regression. */
+    double r2 = 0;
+};
+
+/** Fit y = c * x^e over matched samples (all values must be > 0). */
+PowerFit fitPowerLaw(std::span<const double> xs, std::span<const double> ys);
+
+/**
+ * Fit y = c * (log2 x)^e — for quantities that are polylogarithmic in
+ * the problem size.
+ */
+PowerFit fitPowerLawInLogN(std::span<const double> xs,
+                           std::span<const double> ys);
+
+} // namespace ot::analysis

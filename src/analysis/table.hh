@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Plain-text table rendering shared by the benchmark binaries, which
+ * print the paper's tables next to the measured rows.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ot::analysis {
+
+/** Column-aligned text table with a header row and a rule under it. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with two spaces between columns. */
+    std::string str() const;
+
+    /** Render as CSV (RFC-4180-ish: cells with commas/quotes quoted). */
+    std::string csv() const;
+
+  private:
+    std::vector<std::string> _headers;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+/** 3-significant-digit engineering format: 1.23e+06 -> "1.23M"-style. */
+std::string formatQuantity(double v);
+
+/** Format a ratio like "12.5x". */
+std::string formatRatio(double v);
+
+/** Format a fitted exponent like "N^1.98" or "log^2.1 N". */
+std::string formatExponent(const std::string &base, double e);
+
+} // namespace ot::analysis

@@ -1,0 +1,83 @@
+#include "baselines/hex_array.hh"
+
+#include <cassert>
+
+#include "vlsi/bitmath.hh"
+
+namespace ot::baselines {
+
+HexArray::HexArray(std::size_t n, const CostModel &cost)
+    : _n(vlsi::nextPow2(n ? n : 1)),
+      _cost(cost),
+      _layout(_n * _n, cost.word().bits())
+{
+}
+
+std::uint64_t
+HexArray::chipArea() const
+{
+    return _layout.metrics().area();
+}
+
+ModelTime
+HexArray::beatCost() const
+{
+    // Nearest-neighbour word-parallel hop plus the multiply-accumulate
+    // (pipelined with the hop; the MAC's serial latency hides behind
+    // the systolic beat once the pipe is full, so charge the max).
+    ModelTime hop = _cost.edgeDelay(_layout.linkLength()) + 1;
+    return hop + 1;
+}
+
+linalg::IntMatrix
+HexArray::matMul(const linalg::IntMatrix &a, const linalg::IntMatrix &b)
+{
+    const std::size_t m = a.rows();
+    assert(a.cols() == m && b.rows() == m && b.cols() == m && m <= _n);
+
+    sim::ScopedPhase phase(_acct, "hex-matmul");
+    linalg::IntMatrix c(m, m, 0);
+
+    // Wavefront schedule: at systolic beat t, every cell on the plane
+    // i + j + k = t fires its multiply-accumulate — this is exactly
+    // when the skewed a(i, k), b(k, j) and c(i, j) streams meet in the
+    // hex array.  3m - 2 beats drain the whole product.
+    _lastBeats = 0;
+    for (std::size_t t = 0; t <= 3 * (m - 1); ++t) {
+        for (std::size_t i = 0; i < m; ++i) {
+            if (t < i)
+                continue;
+            for (std::size_t j = 0; j + i <= t && j < m; ++j) {
+                std::size_t k = t - i - j;
+                if (k < m)
+                    c(i, j) += a(i, k) * b(k, j);
+            }
+        }
+        _acct.advance(beatCost());
+        ++_lastBeats;
+    }
+    // Final word drain out of the array boundary.
+    _acct.advance(_cost.wordSeparation());
+    ++_stats.counter("hex.matMul");
+    return c;
+}
+
+linalg::BoolMatrix
+HexArray::boolMatMul(const linalg::BoolMatrix &a, const linalg::BoolMatrix &b)
+{
+    const std::size_t m = a.rows();
+    linalg::IntMatrix ai(m, m, 0), bi(m, m, 0);
+    for (std::size_t i = 0; i < m; ++i)
+        for (std::size_t j = 0; j < m; ++j) {
+            ai(i, j) = a(i, j) ? 1 : 0;
+            bi(i, j) = b(i, j) ? 1 : 0;
+        }
+    auto ci = matMul(ai, bi);
+    linalg::BoolMatrix c(m, m, 0);
+    for (std::size_t i = 0; i < m; ++i)
+        for (std::size_t j = 0; j < m; ++j)
+            c(i, j) = ci(i, j) ? 1 : 0;
+    return c;
+}
+
+} // namespace ot::baselines

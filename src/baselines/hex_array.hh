@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The hexagonal systolic array of Kung & Leiserson [15] — the paper's
+ * Section I cites it alongside the mesh as the "low chip area but
+ * large time" class, and Table II's mesh row rests on its
+ * O(N^2)-area, O(N)-time matrix multiplication.
+ *
+ * The classic hex array pipes the three matrices A, B and C through a
+ * rhombus of N^2 multiply-accumulate cells along three wavefronts 60
+ * degrees apart; every cell performs c += a * b as the operands meet.
+ * One result diagonal emerges per systolic beat, so a full N x N
+ * product takes Theta(N) beats after a Theta(N) fill.  All wires are
+ * nearest-neighbour, so like the mesh it is insensitive to the wire
+ * delay model.
+ *
+ * The simulation keeps the cells' dataflow (skewed operand injection,
+ * beat-by-beat propagation) and charges one multiply-accumulate plus
+ * one hop per beat.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "layout/baseline_layouts.hh"
+#include "linalg/matrix.hh"
+#include "sim/stats.hh"
+#include "sim/time_accountant.hh"
+#include "vlsi/cost_model.hh"
+
+namespace ot::baselines {
+
+using vlsi::CostModel;
+using vlsi::ModelTime;
+
+/** An N x N hexagonal systolic array for N x N matrix products. */
+class HexArray
+{
+  public:
+    HexArray(std::size_t n, const CostModel &cost);
+
+    std::size_t n() const { return _n; }
+    const CostModel &cost() const { return _cost; }
+    sim::TimeAccountant &acct() { return _acct; }
+    ModelTime now() const { return _acct.now(); }
+
+    /** Chip area: N^2 cells of Theta(word) footprint. */
+    std::uint64_t chipArea() const;
+
+    /** One systolic beat: a hop on nearest-neighbour wires plus the
+     *  multiply-accumulate. */
+    ModelTime beatCost() const;
+
+    /** C = A * B through the systolic pipe. */
+    linalg::IntMatrix matMul(const linalg::IntMatrix &a,
+                             const linalg::IntMatrix &b);
+
+    /** Boolean (AND/OR) product. */
+    linalg::BoolMatrix boolMatMul(const linalg::BoolMatrix &a,
+                                  const linalg::BoolMatrix &b);
+
+    /** Beats executed by the last product (for the benches). */
+    std::uint64_t lastBeats() const { return _lastBeats; }
+
+  private:
+    std::size_t _n;
+    CostModel _cost;
+    layout::MeshLayout _layout; // hex cells on a grid: same metrics class
+    sim::TimeAccountant _acct;
+    sim::StatSet _stats;
+    std::uint64_t _lastBeats = 0;
+};
+
+} // namespace ot::baselines

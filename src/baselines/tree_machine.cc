@@ -1,0 +1,112 @@
+#include "baselines/tree_machine.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "otn/registers.hh" // kNull
+#include "vlsi/bitmath.hh"
+
+namespace ot::baselines {
+
+using otn::kNull;
+
+TreeMachine::TreeMachine(std::size_t leaves, const CostModel &cost)
+    : _leaves(vlsi::nextPow2(leaves ? leaves : 1)),
+      _cost(cost),
+      _tree(_leaves, cost.word().bits() + 2),
+      _data(_leaves, kNull)
+{
+}
+
+std::uint64_t
+TreeMachine::chipArea() const
+{
+    // Leaves in a row, pitch Theta(log N), tree in the channel above:
+    // Theta(N log N) area (height Theta(log N)).
+    std::uint64_t width = _leaves * _tree.pitch();
+    std::uint64_t height =
+        _tree.pitch() + vlsi::logCeilAtLeast1(_leaves);
+    return width * height;
+}
+
+ModelTime
+TreeMachine::traversal() const
+{
+    return _cost.wordAlongPath(_tree.pathEdges());
+}
+
+ModelTime
+TreeMachine::reduceCost() const
+{
+    return _cost.reducePath(_tree.pathEdges());
+}
+
+ModelTime
+TreeMachine::broadcast(std::uint64_t value)
+{
+    for (auto &d : _data)
+        d = value;
+    ++_stats.counter("tree.broadcast");
+    ModelTime dt = traversal();
+    _acct.advance(dt);
+    return dt;
+}
+
+std::uint64_t
+TreeMachine::minReduce(ModelTime *dt)
+{
+    std::uint64_t best = kNull;
+    for (auto d : _data)
+        best = std::min(best, d);
+    ++_stats.counter("tree.minReduce");
+    ModelTime cost = reduceCost();
+    _acct.advance(cost);
+    if (dt)
+        *dt = cost;
+    return best;
+}
+
+std::uint64_t
+TreeMachine::sumReduce(ModelTime *dt)
+{
+    std::uint64_t total = 0;
+    for (auto d : _data)
+        if (d != kNull)
+            total += d;
+    ++_stats.counter("tree.sumReduce");
+    ModelTime cost = reduceCost();
+    _acct.advance(cost);
+    if (dt)
+        *dt = cost;
+    return total;
+}
+
+std::vector<std::uint64_t>
+TreeMachine::extractMinSort(const std::vector<std::uint64_t> &values)
+{
+    assert(values.size() <= _leaves);
+    std::fill(_data.begin(), _data.end(), kNull);
+    std::copy(values.begin(), values.end(), _data.begin());
+    // Input load: N words through the root, pipelined.
+    _acct.advance(CostModel::pipelineTotal(traversal(), _leaves,
+                                           _cost.wordSeparation()));
+
+    std::vector<std::uint64_t> out;
+    out.reserve(values.size());
+    for (std::size_t round = 0; round < values.size(); ++round) {
+        std::uint64_t m = minReduce();
+        out.push_back(m);
+        // Disable exactly one instance of the minimum (a root-to-leaf
+        // acknowledge selects the leftmost match).
+        _acct.advance(traversal());
+        for (auto &d : _data) {
+            if (d == m) {
+                d = kNull;
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace ot::baselines

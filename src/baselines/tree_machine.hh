@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The single-tree machine [2], [3], [7] — the structure the OTN
+ * generalizes ("the OTN is a generalization of the tree network which
+ * has been studied extensively", Section II-A).
+ *
+ * One complete binary tree over N leaf processors.  Broadcasts and
+ * semigroup reductions are as fast as on the OTN's trees, but anything
+ * that must move Theta(N) distinct words between leaves serializes at
+ * the root: the bisection width is 1.  Sorting by repeated
+ * extract-min therefore takes Theta(N) traversals — the bottleneck
+ * that motivates giving every row AND column its own tree.
+ *
+ * Used by the ablation bench (bench_ablation_tree) to show the gap.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "layout/tree_embedding.hh"
+#include "sim/stats.hh"
+#include "sim/time_accountant.hh"
+#include "vlsi/cost_model.hh"
+
+namespace ot::baselines {
+
+using vlsi::CostModel;
+using vlsi::ModelTime;
+
+/** A machine of one complete binary tree over N leaves. */
+class TreeMachine
+{
+  public:
+    TreeMachine(std::size_t leaves, const CostModel &cost);
+
+    std::size_t leaves() const { return _leaves; }
+    const CostModel &cost() const { return _cost; }
+    sim::TimeAccountant &acct() { return _acct; }
+    ModelTime now() const { return _acct.now(); }
+
+    /** Leaf data register. */
+    std::uint64_t &leaf(std::size_t k) { return _data[k]; }
+    std::uint64_t leaf(std::size_t k) const { return _data[k]; }
+
+    /** Chip area: Theta(N log N) (leaves of Theta(log N) area in a
+     *  row, tree above). */
+    std::uint64_t chipArea() const;
+
+    /** Broadcast one word from the root to every leaf. */
+    ModelTime broadcast(std::uint64_t value);
+
+    /** Minimum over all leaves, delivered at the root. */
+    std::uint64_t minReduce(ModelTime *dt = nullptr);
+
+    /** Sum over all leaves, delivered at the root. */
+    std::uint64_t sumReduce(ModelTime *dt = nullptr);
+
+    /**
+     * Sort by repeated extract-min: N rounds of MIN-reduce, emit,
+     * disable.  Theta(N log^2 N) under Thompson's model — the root
+     * bottleneck on display.
+     */
+    std::vector<std::uint64_t> extractMinSort(
+        const std::vector<std::uint64_t> &values);
+
+  private:
+    ModelTime traversal() const;
+    ModelTime reduceCost() const;
+
+    std::size_t _leaves;
+    CostModel _cost;
+    layout::TreeEmbedding _tree;
+    sim::TimeAccountant _acct;
+    sim::StatSet _stats;
+    std::vector<std::uint64_t> _data;
+};
+
+} // namespace ot::baselines

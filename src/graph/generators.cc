@@ -1,0 +1,109 @@
+#include "graph/generators.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace ot::graph {
+
+Graph
+randomGnp(std::size_t n, double p, sim::Rng &rng)
+{
+    Graph g(n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = i + 1; j < n; ++j)
+            if (rng.bernoulli(p))
+                g.addEdge(i, j);
+    return g;
+}
+
+namespace {
+
+/** Add a uniform random spanning tree over `group` to g. */
+void
+addRandomTree(Graph &g, const std::vector<std::size_t> &group,
+              sim::Rng &rng)
+{
+    // Random attachment: vertex k links to a uniformly random earlier
+    // vertex — produces a random (non-uniform) tree, fine for
+    // workloads.
+    for (std::size_t k = 1; k < group.size(); ++k) {
+        std::size_t j = static_cast<std::size_t>(rng.uniform(0, k - 1));
+        g.addEdge(group[k], group[j]);
+    }
+}
+
+} // namespace
+
+Graph
+plantedComponents(std::size_t n, std::size_t components,
+                  std::size_t extra_per_component, sim::Rng &rng)
+{
+    assert(components >= 1 && components <= n);
+    Graph g(n);
+
+    // Random assignment of vertices to groups, each group non-empty.
+    auto perm = rng.permutation(n);
+    std::vector<std::vector<std::size_t>> groups(components);
+    for (std::size_t c = 0; c < components; ++c)
+        groups[c].push_back(static_cast<std::size_t>(perm[c]));
+    for (std::size_t i = components; i < n; ++i) {
+        std::size_t c =
+            static_cast<std::size_t>(rng.uniform(0, components - 1));
+        groups[c].push_back(static_cast<std::size_t>(perm[i]));
+    }
+
+    for (auto &group : groups) {
+        addRandomTree(g, group, rng);
+        for (std::size_t e = 0; e < extra_per_component; ++e) {
+            if (group.size() < 2)
+                break;
+            auto a = group[rng.uniform(0, group.size() - 1)];
+            auto b = group[rng.uniform(0, group.size() - 1)];
+            if (a != b)
+                g.addEdge(a, b);
+        }
+    }
+    return g;
+}
+
+Graph
+randomConnected(std::size_t n, std::size_t extra, sim::Rng &rng)
+{
+    return plantedComponents(n, 1, extra, rng);
+}
+
+WeightedGraph
+randomWeightedConnected(std::size_t n, std::size_t extra, sim::Rng &rng)
+{
+    Graph skeleton = randomConnected(n, extra, rng);
+    WeightedGraph g(n);
+
+    // Collect edges, then assign a random permutation of 1..m as
+    // weights so all weights are distinct.
+    std::vector<std::pair<std::size_t, std::size_t>> edges;
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = i + 1; j < n; ++j)
+            if (skeleton.hasEdge(i, j))
+                edges.emplace_back(i, j);
+
+    auto weights = rng.permutation(edges.size());
+    for (std::size_t e = 0; e < edges.size(); ++e)
+        g.addEdge(edges[e].first, edges[e].second, weights[e] + 1);
+    return g;
+}
+
+WeightedGraph
+randomWeightedComplete(std::size_t n, sim::Rng &rng)
+{
+    WeightedGraph g(n);
+    std::size_t m = n * (n - 1) / 2;
+    auto weights = rng.permutation(m);
+    std::size_t e = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = i + 1; j < n; ++j)
+            g.addEdge(i, j, weights[e++] + 1);
+    return g;
+}
+
+} // namespace ot::graph

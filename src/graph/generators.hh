@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Random graph workload generators for the experiments.
+ *
+ * The paper evaluates graph algorithms asymptotically; to *measure*
+ * them we need concrete inputs.  These generators produce the standard
+ * families used for connected-components / MST benchmarks: G(n,p),
+ * graphs with a planted number of components, random connected graphs
+ * (random spanning tree plus extra edges) and random weighted complete
+ * graphs with distinct weights (making the MST unique, which
+ * simplifies verification).
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hh"
+#include "sim/rng.hh"
+
+namespace ot::graph {
+
+/** Erdos-Renyi G(n, p). */
+Graph randomGnp(std::size_t n, double p, sim::Rng &rng);
+
+/**
+ * A graph with exactly `components` connected components: vertices are
+ * split into groups, each group gets a random spanning tree plus
+ * `extra_per_component` random intra-group edges.
+ */
+Graph plantedComponents(std::size_t n, std::size_t components,
+                        std::size_t extra_per_component, sim::Rng &rng);
+
+/** Random connected graph: random spanning tree + `extra` edges. */
+Graph randomConnected(std::size_t n, std::size_t extra, sim::Rng &rng);
+
+/**
+ * Random connected weighted graph with *distinct* edge weights (so the
+ * MST is unique): spanning tree + extra edges, weights a random
+ * permutation of 1..m.
+ */
+WeightedGraph randomWeightedConnected(std::size_t n, std::size_t extra,
+                                      sim::Rng &rng);
+
+/** Complete weighted graph with distinct random weights. */
+WeightedGraph randomWeightedComplete(std::size_t n, sim::Rng &rng);
+
+} // namespace ot::graph

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Adjacency-matrix graphs, as assumed throughout the paper's graph
+ * algorithms (Section III notes the algorithms use the adjacency
+ * matrix representation, which is also what the Omega(N^2) operations
+ * lower bound [33] in Section VII-C is stated for).
+ */
+
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "linalg/matrix.hh"
+
+namespace ot::graph {
+
+/** Undirected graph over vertices 0..n-1 with adjacency matrix. */
+class Graph
+{
+  public:
+    explicit Graph(std::size_t n) : _adj(n, n, 0) {}
+
+    std::size_t vertices() const { return _adj.rows(); }
+
+    void
+    addEdge(std::size_t u, std::size_t v)
+    {
+        assert(u < vertices() && v < vertices());
+        if (u == v)
+            return;
+        _adj(u, v) = 1;
+        _adj(v, u) = 1;
+    }
+
+    bool
+    hasEdge(std::size_t u, std::size_t v) const
+    {
+        return _adj(u, v) != 0;
+    }
+
+    std::size_t
+    edgeCount() const
+    {
+        std::size_t count = 0;
+        for (std::size_t i = 0; i < vertices(); ++i)
+            for (std::size_t j = i + 1; j < vertices(); ++j)
+                count += hasEdge(i, j);
+        return count;
+    }
+
+    const linalg::BoolMatrix &adjacency() const { return _adj; }
+
+  private:
+    linalg::BoolMatrix _adj;
+};
+
+/** Sentinel weight meaning "no edge" in weighted graphs. */
+inline constexpr std::uint64_t kNoEdge =
+    std::numeric_limits<std::uint32_t>::max();
+
+/**
+ * Weighted undirected graph with a symmetric weight matrix; absent
+ * edges carry kNoEdge.  Weights are kept below kNoEdge so that MIN
+ * reductions over (weight, endpoints) tuples behave like the paper's
+ * O(log N)-bit words.
+ */
+class WeightedGraph
+{
+  public:
+    explicit WeightedGraph(std::size_t n) : _weight(n, n, kNoEdge)
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            _weight(i, i) = kNoEdge;
+    }
+
+    std::size_t vertices() const { return _weight.rows(); }
+
+    void
+    addEdge(std::size_t u, std::size_t v, std::uint64_t w)
+    {
+        assert(u < vertices() && v < vertices() && u != v);
+        assert(w < kNoEdge);
+        _weight(u, v) = w;
+        _weight(v, u) = w;
+    }
+
+    bool
+    hasEdge(std::size_t u, std::size_t v) const
+    {
+        return u != v && _weight(u, v) != kNoEdge;
+    }
+
+    std::uint64_t weight(std::size_t u, std::size_t v) const
+    {
+        return _weight(u, v);
+    }
+
+    /** The unweighted skeleton (for components of a weighted graph). */
+    Graph
+    skeleton() const
+    {
+        Graph g(vertices());
+        for (std::size_t i = 0; i < vertices(); ++i)
+            for (std::size_t j = i + 1; j < vertices(); ++j)
+                if (hasEdge(i, j))
+                    g.addEdge(i, j);
+        return g;
+    }
+
+    const linalg::IntMatrix &weights() const { return _weight; }
+
+  private:
+    linalg::IntMatrix _weight;
+};
+
+} // namespace ot::graph

@@ -1,0 +1,179 @@
+#include "graph/reference_algorithms.hh"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+namespace ot::graph {
+
+UnionFind::UnionFind(std::size_t n) : _parent(n), _size(n, 1), _sets(n)
+{
+    std::iota(_parent.begin(), _parent.end(), std::size_t{0});
+}
+
+std::size_t
+UnionFind::find(std::size_t x)
+{
+    while (_parent[x] != x) {
+        _parent[x] = _parent[_parent[x]];
+        x = _parent[x];
+    }
+    return x;
+}
+
+bool
+UnionFind::unite(std::size_t x, std::size_t y)
+{
+    std::size_t rx = find(x);
+    std::size_t ry = find(y);
+    if (rx == ry)
+        return false;
+    if (_size[rx] < _size[ry])
+        std::swap(rx, ry);
+    _parent[ry] = rx;
+    _size[rx] += _size[ry];
+    --_sets;
+    return true;
+}
+
+std::vector<std::size_t>
+connectedComponents(const Graph &g)
+{
+    const std::size_t n = g.vertices();
+    UnionFind uf(n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = i + 1; j < n; ++j)
+            if (g.hasEdge(i, j))
+                uf.unite(i, j);
+
+    std::vector<std::size_t> labels(n);
+    for (std::size_t v = 0; v < n; ++v)
+        labels[v] = uf.find(v);
+    return canonicalizeLabels(labels);
+}
+
+std::size_t
+componentCount(const Graph &g)
+{
+    auto labels = connectedComponents(g);
+    std::vector<std::size_t> sorted = labels;
+    std::sort(sorted.begin(), sorted.end());
+    return static_cast<std::size_t>(
+        std::unique(sorted.begin(), sorted.end()) - sorted.begin());
+}
+
+std::vector<std::size_t>
+canonicalizeLabels(const std::vector<std::size_t> &labels)
+{
+    std::map<std::size_t, std::size_t> smallest;
+    for (std::size_t v = 0; v < labels.size(); ++v) {
+        auto [it, fresh] = smallest.try_emplace(labels[v], v);
+        if (!fresh)
+            it->second = std::min(it->second, v);
+    }
+    std::vector<std::size_t> out(labels.size());
+    for (std::size_t v = 0; v < labels.size(); ++v)
+        out[v] = smallest[labels[v]];
+    return out;
+}
+
+std::vector<Edge>
+kruskalMsf(const WeightedGraph &g)
+{
+    const std::size_t n = g.vertices();
+    std::vector<Edge> edges;
+    for (std::size_t u = 0; u < n; ++u)
+        for (std::size_t v = u + 1; v < n; ++v)
+            if (g.hasEdge(u, v))
+                edges.push_back({u, v, g.weight(u, v)});
+
+    std::sort(edges.begin(), edges.end(),
+              [](const Edge &a, const Edge &b) {
+                  return std::tie(a.w, a.u, a.v) < std::tie(b.w, b.u, b.v);
+              });
+
+    UnionFind uf(n);
+    std::vector<Edge> msf;
+    for (const Edge &e : edges)
+        if (uf.unite(e.u, e.v))
+            msf.push_back(e);
+    return msf;
+}
+
+std::uint64_t
+totalWeight(const std::vector<Edge> &edges)
+{
+    std::uint64_t total = 0;
+    for (const Edge &e : edges)
+        total += e.w;
+    return total;
+}
+
+std::vector<std::uint64_t>
+dijkstra(const WeightedGraph &g, std::size_t src)
+{
+    const std::size_t n = g.vertices();
+    std::vector<std::uint64_t> dist(n, kUnreachable);
+    std::vector<bool> done(n, false);
+    dist[src] = 0;
+    for (std::size_t round = 0; round < n; ++round) {
+        std::size_t best = n;
+        for (std::size_t v = 0; v < n; ++v)
+            if (!done[v] && dist[v] != kUnreachable &&
+                (best == n || dist[v] < dist[best]))
+                best = v;
+        if (best == n)
+            break;
+        done[best] = true;
+        for (std::size_t v = 0; v < n; ++v)
+            if (g.hasEdge(best, v) &&
+                dist[best] + g.weight(best, v) < dist[v])
+                dist[v] = dist[best] + g.weight(best, v);
+    }
+    return dist;
+}
+
+linalg::IntMatrix
+floydWarshall(const WeightedGraph &g)
+{
+    const std::size_t n = g.vertices();
+    linalg::IntMatrix d(n, n, kUnreachable);
+    for (std::size_t i = 0; i < n; ++i) {
+        d(i, i) = 0;
+        for (std::size_t j = 0; j < n; ++j)
+            if (g.hasEdge(i, j))
+                d(i, j) = g.weight(i, j);
+    }
+    for (std::size_t k = 0; k < n; ++k)
+        for (std::size_t i = 0; i < n; ++i) {
+            if (d(i, k) == kUnreachable)
+                continue;
+            for (std::size_t j = 0; j < n; ++j) {
+                if (d(k, j) == kUnreachable)
+                    continue;
+                std::uint64_t through = d(i, k) + d(k, j);
+                if (through < d(i, j))
+                    d(i, j) = through;
+            }
+        }
+    return d;
+}
+
+bool
+isSpanningForest(const WeightedGraph &g, const std::vector<Edge> &edges)
+{
+    const std::size_t n = g.vertices();
+    UnionFind uf(n);
+    for (const Edge &e : edges) {
+        if (e.u >= n || e.v >= n || !g.hasEdge(e.u, e.v))
+            return false;
+        if (g.weight(e.u, e.v) != e.w)
+            return false;
+        if (!uf.unite(e.u, e.v))
+            return false; // cycle
+    }
+    // Must connect exactly the components of g.
+    return uf.setCount() == componentCount(g.skeleton());
+}
+
+} // namespace ot::graph

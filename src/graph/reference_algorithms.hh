@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Sequential reference graph algorithms used to verify the network
+ * implementations: union-find connected components and Kruskal MST.
+ *
+ * Component labelings are compared via the canonical "minimum vertex
+ * in my component" form, which is also what the parallel algorithms
+ * (Hirschberg-Chandra-Sarwate style) converge to.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hh"
+
+namespace ot::graph {
+
+/** Classic union-find with path compression and union by size. */
+class UnionFind
+{
+  public:
+    explicit UnionFind(std::size_t n);
+
+    std::size_t find(std::size_t x);
+
+    /** Returns true if x and y were in different sets. */
+    bool unite(std::size_t x, std::size_t y);
+
+    std::size_t setCount() const { return _sets; }
+
+  private:
+    std::vector<std::size_t> _parent;
+    std::vector<std::size_t> _size;
+    std::size_t _sets;
+};
+
+/**
+ * Component label per vertex in canonical form: label[v] = smallest
+ * vertex id in v's connected component.
+ */
+std::vector<std::size_t> connectedComponents(const Graph &g);
+
+/** Number of connected components. */
+std::size_t componentCount(const Graph &g);
+
+/**
+ * Canonicalize an arbitrary component labeling so two labelings of the
+ * same partition compare equal: each label becomes the smallest vertex
+ * id sharing it.
+ */
+std::vector<std::size_t>
+canonicalizeLabels(const std::vector<std::size_t> &labels);
+
+/** One edge of a spanning forest. */
+struct Edge
+{
+    std::size_t u;
+    std::size_t v;
+    std::uint64_t w;
+
+    bool operator==(const Edge &other) const = default;
+};
+
+/**
+ * Kruskal's minimum spanning forest.  Returns edges sorted by
+ * (w, u, v); for a connected graph this is the MST.
+ */
+std::vector<Edge> kruskalMsf(const WeightedGraph &g);
+
+/** Total weight of an edge set. */
+std::uint64_t totalWeight(const std::vector<Edge> &edges);
+
+/**
+ * Check that `edges` forms a spanning forest of g (acyclic, all edges
+ * present in g, connects exactly g's components).
+ */
+bool isSpanningForest(const WeightedGraph &g, const std::vector<Edge> &edges);
+
+/** Distance value meaning "unreachable". */
+inline constexpr std::uint64_t kUnreachable = ~std::uint64_t{0};
+
+/**
+ * Dijkstra single-source shortest paths (non-negative weights).
+ * dist[v] = kUnreachable for vertices not reachable from src.
+ */
+std::vector<std::uint64_t> dijkstra(const WeightedGraph &g,
+                                    std::size_t src);
+
+/**
+ * Floyd-Warshall all-pairs shortest paths; D(i, i) = 0,
+ * D(i, j) = kUnreachable when j is unreachable from i.
+ */
+linalg::IntMatrix floydWarshall(const WeightedGraph &g);
+
+} // namespace ot::graph

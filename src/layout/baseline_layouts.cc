@@ -1,0 +1,101 @@
+#include "layout/baseline_layouts.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "vlsi/bitmath.hh"
+
+namespace ot::layout {
+
+MeshLayout::MeshLayout(std::size_t processors, unsigned word_bits,
+                       LayoutParams params)
+{
+    std::size_t want_side = static_cast<std::size_t>(
+        std::ceil(std::sqrt(static_cast<double>(processors ? processors
+                                                           : 1))));
+    _side = vlsi::nextPow2(want_side);
+    _pitch = params.baseCell + std::max(1u, word_bits);
+}
+
+LayoutMetrics
+MeshLayout::metrics() const
+{
+    LayoutMetrics m;
+    std::uint64_t side_lambda = _side * _pitch;
+    m.width = side_lambda;
+    m.height = side_lambda;
+    m.processors = std::uint64_t{_side} * _side;
+    m.wires = 2 * std::uint64_t{_side} * (_side - 1);
+    m.totalWireLength = m.wires * _pitch;
+    m.longestWire = _pitch;
+    return m;
+}
+
+ShuffleExchangeLayout::ShuffleExchangeLayout(std::size_t nodes,
+                                             unsigned word_bits)
+    : _nodes(vlsi::nextPow2(nodes ? nodes : 2)),
+      _wordBits(std::max(1u, word_bits))
+{
+}
+
+WireLength
+ShuffleExchangeLayout::longestWire() const
+{
+    unsigned logn = vlsi::logCeilAtLeast1(_nodes);
+    return std::max<WireLength>(1, _nodes / logn);
+}
+
+LayoutMetrics
+ShuffleExchangeLayout::metrics() const
+{
+    // Kleitman et al. [14]: area Theta(N^2 / log^2 N).
+    LayoutMetrics m;
+    unsigned logn = vlsi::logCeilAtLeast1(_nodes);
+    std::uint64_t side = std::max<std::uint64_t>(_wordBits, _nodes / logn);
+    m.width = side;
+    m.height = side;
+    m.processors = _nodes;
+    // Each node has shuffle-out, shuffle-in and exchange wires: ~2N.
+    m.wires = 2 * std::uint64_t{_nodes};
+    m.totalWireLength = m.wires * (longestWire() / 2 + 1);
+    m.longestWire = longestWire();
+    return m;
+}
+
+CccLayout::CccLayout(std::size_t nodes, unsigned word_bits)
+    : _wordBits(std::max(1u, word_bits))
+{
+    // Smallest k with k * 2^k >= nodes.
+    unsigned k = 1;
+    while (std::uint64_t{k} * (std::uint64_t{1} << k) < nodes)
+        ++k;
+    _k = k;
+    _nodes = std::size_t{k} * (std::size_t{1} << k);
+}
+
+WireLength
+CccLayout::cubeLinkLength() const
+{
+    unsigned logn = vlsi::logCeilAtLeast1(_nodes);
+    return std::max<WireLength>(1, _nodes / logn);
+}
+
+LayoutMetrics
+CccLayout::metrics() const
+{
+    // Preparata & Vuillemin [23]: area Theta(N^2 / log^2 N).
+    LayoutMetrics m;
+    unsigned logn = vlsi::logCeilAtLeast1(_nodes);
+    std::uint64_t side = std::max<std::uint64_t>(_wordBits, _nodes / logn);
+    m.width = side;
+    m.height = side;
+    m.processors = _nodes;
+    // Each node: one cycle link plus (for one node per cycle position)
+    // a cube link: ~1.5N wires.
+    m.wires = 3 * std::uint64_t{_nodes} / 2;
+    m.totalWireLength = std::uint64_t{_nodes} * (cubeLinkLength() / 2 + 1);
+    m.longestWire = cubeLinkLength();
+    return m;
+}
+
+} // namespace ot::layout

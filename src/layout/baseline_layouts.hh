@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Layouts of the comparison networks: mesh, perfect-shuffle network
+ * (PSN) and cube-connected cycles (CCC).
+ *
+ * The mesh layout is generated concretely (it is a trivial grid).  The
+ * PSN and CCC layouts are *analytic*: the paper itself takes their
+ * areas from the literature (Kleitman et al. [14] for the shuffle-
+ * exchange graph, Preparata & Vuillemin [23] for the CCC) rather than
+ * constructing them, and both constructions are far outside this
+ * paper's scope.  What the simulators need from a layout is (a) the
+ * chip area and (b) the wire lengths on communication paths, and both
+ * are stated explicitly in the paper:
+ *
+ *  - PSN and CCC on N nodes: area Theta(N^2 / log^2 N); "the longest
+ *    wires in the VLSI layout of the CCC are O(N/log N) units long and
+ *    hence have an O(log N) delay associated with them" (Section I-A).
+ *  - Mesh: N processors with only short (pitch-length) wires; the mesh
+ *    "has only short wires and is therefore unaffected by changes in
+ *    communication time" (Section VII-D).
+ */
+
+#pragma once
+
+#include <cstddef>
+
+#include "layout/geometry.hh"
+#include "layout/otn_layout.hh" // LayoutParams
+
+namespace ot::layout {
+
+/**
+ * Concrete layout of a sqrt(P) x sqrt(P) mesh of P processors.
+ *
+ * Each processing element stores O(1) words and a word-parallel
+ * comparator, so its footprint is Theta(word_bits) on a side (area
+ * Theta(log^2 N)); the total is Theta(P log^2 N) — e.g. the
+ * N log^2 N mesh sorter of Table I.  Links connect 4-neighbours and
+ * have pitch length.
+ */
+class MeshLayout
+{
+  public:
+    MeshLayout(std::size_t processors, unsigned word_bits,
+               LayoutParams params = {});
+
+    /** Number of processors per side (power of two). */
+    std::size_t side() const { return _side; }
+
+    /** Total processor count side()^2 (>= requested count). */
+    std::size_t processors() const { return _side * _side; }
+
+    /** Centre-to-centre distance between neighbours. */
+    std::uint64_t pitch() const { return _pitch; }
+
+    /** Length of a neighbour-to-neighbour link. */
+    WireLength linkLength() const { return _pitch; }
+
+    LayoutMetrics metrics() const;
+
+  private:
+    std::size_t _side;
+    std::uint64_t _pitch;
+};
+
+/**
+ * Analytic layout of an N-node shuffle-exchange (perfect shuffle)
+ * network, after Kleitman, Leighton, Lepley & Miller [14].
+ */
+class ShuffleExchangeLayout
+{
+  public:
+    ShuffleExchangeLayout(std::size_t nodes, unsigned word_bits);
+
+    std::size_t nodes() const { return _nodes; }
+
+    /** Longest wire: Theta(N / log N). */
+    WireLength longestWire() const;
+
+    /** Length of the wire used by a shuffle hop (worst case). */
+    WireLength shuffleLinkLength() const { return longestWire(); }
+
+    /** Length of an exchange link (adjacent codes): short. */
+    WireLength exchangeLinkLength() const { return _wordBits; }
+
+    LayoutMetrics metrics() const;
+
+  private:
+    std::size_t _nodes;
+    unsigned _wordBits;
+};
+
+/**
+ * Analytic layout of a cube-connected cycles network on N processors
+ * (N = k * 2^k), after Preparata & Vuillemin [23].
+ */
+class CccLayout
+{
+  public:
+    CccLayout(std::size_t nodes, unsigned word_bits);
+
+    std::size_t nodes() const { return _nodes; }
+
+    /** Cube dimension k with k * 2^k >= requested nodes. */
+    unsigned cubeDim() const { return _k; }
+
+    /** Longest (cube) wire: Theta(N / log N). */
+    WireLength cubeLinkLength() const;
+
+    /** Cycle links are short. */
+    WireLength cycleLinkLength() const { return _wordBits; }
+
+    LayoutMetrics metrics() const;
+
+  private:
+    std::size_t _nodes;
+    unsigned _wordBits;
+    unsigned _k;
+};
+
+} // namespace ot::layout

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Character canvas and tree-drawing helper shared by the ASCII layout
+ * renderers (Figs. 1-3 reproductions).
+ */
+
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ot::layout {
+
+/** A fixed-size character grid with wire-drawing helpers. */
+class Canvas
+{
+  public:
+    Canvas(std::size_t rows, std::size_t cols)
+        : _cols(cols), _grid(rows, std::string(cols, ' '))
+    {}
+
+    void
+    put(std::size_t r, std::size_t c, char ch)
+    {
+        if (r < _grid.size() && c < _cols)
+            _grid[r][c] = ch;
+    }
+
+    /** Horizontal wire; only fills blank cells so nodes stay visible. */
+    void
+    hline(std::size_t r, std::size_t c0, std::size_t c1)
+    {
+        if (r >= _grid.size())
+            return;
+        for (std::size_t c = std::min(c0, c1);
+             c <= std::max(c0, c1) && c < _cols; ++c)
+            if (_grid[r][c] == ' ')
+                _grid[r][c] = '-';
+    }
+
+    /** Vertical wire; only fills blank cells so nodes stay visible. */
+    void
+    vline(std::size_t c, std::size_t r0, std::size_t r1)
+    {
+        if (c >= _cols)
+            return;
+        for (std::size_t r = std::min(r0, r1);
+             r <= std::max(r0, r1) && r < _grid.size(); ++r)
+            if (_grid[r][c] == ' ')
+                _grid[r][c] = '|';
+    }
+
+    /** Render, trimming trailing blanks on each line. */
+    std::string
+    str() const
+    {
+        std::string out;
+        for (const auto &row : _grid) {
+            auto end = row.find_last_not_of(' ');
+            out += row.substr(0, end == std::string::npos ? 0 : end + 1);
+            out += '\n';
+        }
+        return out;
+    }
+
+  private:
+    std::size_t _cols;
+    std::vector<std::string> _grid;
+};
+
+/**
+ * Recursively place the internal nodes of a complete binary tree over
+ * leaf slots [lo, hi).  `leaf_pos(k)` maps a leaf index to its canvas
+ * coordinate along the tree's axis; `put_node(level, centre, l, r)` is
+ * called for every internal node with the coordinates of its children.
+ * Returns the axis coordinate of the subtree root.
+ */
+template <typename PutNode, typename LeafPos>
+std::size_t
+drawTreeSpan(std::size_t lo, std::size_t hi, unsigned level,
+             const PutNode &put_node, const LeafPos &leaf_pos)
+{
+    if (hi - lo == 1)
+        return leaf_pos(lo);
+    std::size_t mid = lo + (hi - lo) / 2;
+    std::size_t lpos = drawTreeSpan(lo, mid, level + 1, put_node, leaf_pos);
+    std::size_t rpos = drawTreeSpan(mid, hi, level + 1, put_node, leaf_pos);
+    std::size_t centre = (lpos + rpos) / 2;
+    put_node(level, centre, lpos, rpos);
+    return centre;
+}
+
+} // namespace ot::layout

@@ -1,0 +1,145 @@
+#include "layout/otc_layout.hh"
+
+#include <cmath>
+
+#include "layout/canvas.hh"
+#include "vlsi/bitmath.hh"
+
+namespace ot::layout {
+
+namespace {
+
+/** Side of the square block occupied by one cycle of `len` BPs. */
+std::uint64_t
+cycleBlockSide(unsigned len, unsigned word_bits, bool compact,
+               const LayoutParams &params)
+{
+    if (compact) {
+        // O(1) x O(1) BPs snaked into a near-square block: side
+        // ceil(sqrt(len)) cells of baseCell lambda each.
+        auto cells = static_cast<std::uint64_t>(
+            std::ceil(std::sqrt(static_cast<double>(len))));
+        return (cells ? cells : 1) * params.baseCell;
+    }
+    // Fig. 2: each BP is an O(word_bits) x O(1) rectangle; len of them
+    // stacked vertically form an O(word_bits) x O(len) block.  With
+    // len = Theta(word_bits) = Theta(log N) the block is square of side
+    // Theta(log N).
+    std::uint64_t w = params.baseCell + word_bits;
+    std::uint64_t h = std::uint64_t{params.baseCell} * (len ? len : 1);
+    return std::max(w, h);
+}
+
+} // namespace
+
+OtcLayout::OtcLayout(std::size_t cycles_per_side, unsigned cycle_len,
+                     unsigned word_bits, bool compact_bps,
+                     LayoutParams params)
+    : _k(vlsi::nextPow2(cycles_per_side ? cycles_per_side : 1)),
+      _cycleLen(cycle_len ? cycle_len : 1),
+      _wordBits(word_bits ? word_bits : 1),
+      _compactBps(compact_bps),
+      _params(params),
+      _cycleSide(cycleBlockSide(_cycleLen, _wordBits, _compactBps, params)),
+      // Cycle block plus one channel track per tree level.
+      _pitch(_cycleSide +
+             std::uint64_t{params.track} * vlsi::logCeilAtLeast1(_k)),
+      _tree(_k, _pitch)
+{
+}
+
+LayoutMetrics
+OtcLayout::metrics() const
+{
+    LayoutMetrics m;
+    std::uint64_t side = _k * _pitch;
+    m.width = side;
+    m.height = side;
+    std::uint64_t cycles = std::uint64_t{_k} * _k;
+    m.processors = cycles * _cycleLen + 2 * std::uint64_t{_k} * (_k - 1);
+    // Per cycle: L links (including wrap); plus 2K trees of 2(K-1)
+    // edges.
+    m.wires = cycles * _cycleLen + 2 * std::uint64_t{_k} * 2 * (_k - 1);
+    m.totalWireLength =
+        cycles * ((_cycleLen - 1) * std::uint64_t{cycleLinkLength()} +
+                  cycleWrapLength()) +
+        2 * std::uint64_t{_k} * _tree.totalWireLength();
+    m.longestWire = std::max<WireLength>(_tree.longestEdge(),
+                                         cycleWrapLength());
+    return m;
+}
+
+std::string
+OtcLayout::cycleAsciiArt() const
+{
+    // Fig. 2: the BPs of one cycle, stacked with the wrap wire on the
+    // right; BP(0) carries the tree taps ('T').
+    const unsigned len = _cycleLen;
+    Canvas canvas(len + 2, 16);
+    for (unsigned q = 0; q < len; ++q) {
+        canvas.put(q + 1, 2, '[');
+        canvas.put(q + 1, 3, 'B');
+        canvas.put(q + 1, 4, 'P');
+        canvas.put(q + 1, 5, ']');
+        if (q + 1 < len)
+            canvas.vline(2, q + 1, q + 2);
+    }
+    // Wrap-around wire from the last BP back to BP(0).
+    canvas.vline(7, 1, len);
+    canvas.hline(1, 6, 7);
+    canvas.hline(len, 6, 7);
+    // Tree taps at BP(0).
+    canvas.put(0, 2, 'T');
+    canvas.vline(2, 0, 1);
+    canvas.put(1, 0, 'T');
+    canvas.hline(1, 0, 1);
+    return canvas.str();
+}
+
+std::string
+OtcLayout::asciiArt() const
+{
+    // Fig. 3: grid of cycle blocks 'C' with row/column trees over them.
+    const std::size_t k = _k;
+    const unsigned levels = vlsi::logCeilAtLeast1(k);
+    const std::size_t cell_w = 2 * levels + 6;
+    const std::size_t cell_h = levels + 3;
+    Canvas canvas(k * cell_h + 2, k * cell_w + 2);
+
+    auto cy_row = [&](std::size_t i) { return i * cell_h; };
+    auto cy_col = [&](std::size_t j) { return j * cell_w; };
+
+    for (std::size_t i = 0; i < k; ++i) {
+        for (std::size_t j = 0; j < k; ++j) {
+            canvas.put(cy_row(i), cy_col(j), '(');
+            canvas.put(cy_row(i), cy_col(j) + 1, 'C');
+            canvas.put(cy_row(i), cy_col(j) + 2, ')');
+        }
+    }
+
+    for (std::size_t i = 0; i < k; ++i) {
+        auto put_node = [&](unsigned level, std::size_t centre,
+                            std::size_t lpos, std::size_t rpos) {
+            std::size_t r = cy_row(i) + (levels - level) + 1;
+            canvas.put(r, centre, '*');
+            canvas.hline(r, lpos, rpos);
+            canvas.vline(lpos, cy_row(i) + 1, r);
+            canvas.vline(rpos, cy_row(i) + 1, r);
+        };
+        drawTreeSpan(0, k, 0, put_node, cy_col);
+    }
+
+    for (std::size_t j = 0; j < k; ++j) {
+        auto put_node = [&](unsigned level, std::size_t centre,
+                            std::size_t lpos, std::size_t rpos) {
+            std::size_t c = cy_col(j) + 2 * (levels - level) + 4;
+            canvas.put(centre, c, '*');
+            canvas.vline(c, lpos, rpos);
+        };
+        drawTreeSpan(0, k, 0, put_node, cy_row);
+    }
+
+    return canvas.str();
+}
+
+} // namespace ot::layout

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Layout of the orthogonal tree cycles — Figs. 2 and 3 of the paper.
+ *
+ * A (K x K)-OTC with cycle length L is a (K x K)-OTN in which every
+ * base processor is replaced by a cycle of L BPs.  Each BP of a cycle
+ * is an O(L) x O(1) rectangle laid out horizontally, so one cycle fits
+ * in an O(L) x O(L) block (Fig. 2) and the separation between adjacent
+ * cycle rows/columns stays O(L) — with L = log N and K = N / log N the
+ * whole chip has side O(N) and area O(N^2) (Section V-A).
+ *
+ * For the Boolean matrix multiplication variant (Section VI-B) the
+ * cycle length grows to log^2 N while each BP shrinks to O(1) x O(1),
+ * so a cycle still fits in an O(log N) x O(log N) block.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "layout/geometry.hh"
+#include "layout/otn_layout.hh"
+#include "layout/tree_embedding.hh"
+
+namespace ot::layout {
+
+/** Concrete layout geometry of a (K x K)-OTC with length-L cycles. */
+class OtcLayout
+{
+  public:
+    /**
+     * @param cycles_per_side  K, the number of cycles along one side
+     *                         (rounded up to a power of two).
+     * @param cycle_len        L, the number of BPs per cycle (>= 1).
+     * @param word_bits        Register width of each BP.
+     * @param compact_bps      Boolean-matmul variant: BPs are O(1)x O(1)
+     *                         so a length-L cycle packs into a
+     *                         sqrt(L) x sqrt(L)-ish block (Section VI-B).
+     * @param params           Layout constants.
+     */
+    OtcLayout(std::size_t cycles_per_side, unsigned cycle_len,
+              unsigned word_bits, bool compact_bps = false,
+              LayoutParams params = {});
+
+    std::size_t cyclesPerSide() const { return _k; }
+    unsigned cycleLength() const { return _cycleLen; }
+
+    /** Distance between corresponding points of adjacent cycles. */
+    std::uint64_t pitch() const { return _pitch; }
+
+    /** Geometry of each row/column tree (over K cycle leaves). */
+    const TreeEmbedding &tree() const { return _tree; }
+
+    /** Wire between neighbouring BPs within a cycle: O(1). */
+    WireLength cycleLinkLength() const { return _params.baseCell; }
+
+    /** The wrap-around wire closing a cycle: O(cycle side). */
+    WireLength
+    cycleWrapLength() const
+    {
+        return _cycleSide;
+    }
+
+    /** Side of the block occupied by one cycle. */
+    std::uint64_t cycleSide() const { return _cycleSide; }
+
+    /** Area, wire and processor totals for the whole chip. */
+    LayoutMetrics metrics() const;
+
+    /** Fig. 2-style rendering of a single cycle. */
+    std::string cycleAsciiArt() const;
+
+    /** Fig. 3-style rendering of the full (small) OTC. */
+    std::string asciiArt() const;
+
+  private:
+    std::size_t _k;
+    unsigned _cycleLen;
+    unsigned _wordBits;
+    bool _compactBps;
+    LayoutParams _params;
+    std::uint64_t _cycleSide;
+    std::uint64_t _pitch;
+    TreeEmbedding _tree;
+};
+
+} // namespace ot::layout

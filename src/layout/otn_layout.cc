@@ -1,0 +1,85 @@
+#include "layout/otn_layout.hh"
+
+#include "layout/canvas.hh"
+#include "vlsi/bitmath.hh"
+
+namespace ot::layout {
+
+OtnLayout::OtnLayout(std::size_t n, unsigned word_bits, LayoutParams params)
+    : _n(vlsi::nextPow2(n ? n : 1)),
+      _wordBits(word_bits ? word_bits : 1),
+      _params(params),
+      // The inter-BP pitch must fit the BP footprint (Theta(word_bits))
+      // plus one channel track per tree level: Theta(log N) total.
+      _pitch(params.baseCell + _wordBits +
+             std::uint64_t{params.track} * vlsi::logCeilAtLeast1(_n)),
+      _tree(_n, _pitch)
+{
+}
+
+LayoutMetrics
+OtnLayout::metrics() const
+{
+    LayoutMetrics m;
+    std::uint64_t side = _n * _pitch;
+    m.width = side;
+    m.height = side;
+    // N^2 BPs plus 2N(N-1) IPs (Section II-A).
+    m.processors = std::uint64_t{_n} * _n + 2 * std::uint64_t{_n} * (_n - 1);
+    // 2N trees, each with 2(N-1) edges.
+    m.wires = 2 * std::uint64_t{_n} * 2 * (_n - 1);
+    m.totalWireLength = 2 * std::uint64_t{_n} * _tree.totalWireLength();
+    m.longestWire = _tree.longestEdge();
+    return m;
+}
+
+std::string
+OtnLayout::asciiArt() const
+{
+    // Schematic in the style of Fig. 1: base processors 'O' on a grid,
+    // row-tree IPs '*' in the channel below each base row, column-tree
+    // IPs '*' in the channel right of each base column.
+    const std::size_t n = _n;
+    const unsigned levels = vlsi::logCeilAtLeast1(n);
+    const std::size_t cell_w = 2 * levels + 4; // room for column channels
+    const std::size_t cell_h = levels + 2;     // room for row channels
+    Canvas canvas(n * cell_h + 2, n * cell_w + 2);
+
+    auto bp_row = [&](std::size_t i) { return i * cell_h; };
+    auto bp_col = [&](std::size_t j) { return j * cell_w; };
+
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            canvas.put(bp_row(i), bp_col(j), 'O');
+
+    // Row trees: IP at level l sits l+1 lines below the leaf line.
+    for (std::size_t i = 0; i < n; ++i) {
+        auto put_node = [&](unsigned level, std::size_t centre,
+                            std::size_t lpos, std::size_t rpos) {
+            std::size_t r = bp_row(i) + (levels - level) + 1;
+            canvas.put(r, centre, '*');
+            canvas.hline(r, lpos, rpos);
+            canvas.vline(lpos, bp_row(i) + 1, r);
+            canvas.vline(rpos, bp_row(i) + 1, r);
+        };
+        drawTreeSpan(0, n, 0, put_node, bp_col);
+    }
+
+    // Column trees: IP at level l sits an odd number of columns right
+    // of the leaf column line (odd offsets cannot collide with the
+    // row-tree IPs, which sit at even column centres); the "position"
+    // axis is the row coordinate.
+    for (std::size_t j = 0; j < n; ++j) {
+        auto put_node = [&](unsigned level, std::size_t centre,
+                            std::size_t lpos, std::size_t rpos) {
+            std::size_t c = bp_col(j) + 2 * (levels - level) + 3;
+            canvas.put(centre, c, '*');
+            canvas.vline(c, lpos, rpos);
+        };
+        drawTreeSpan(0, n, 0, put_node, bp_row);
+    }
+
+    return canvas.str();
+}
+
+} // namespace ot::layout

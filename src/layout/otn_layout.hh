@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Layout of the (N x N) orthogonal trees network — Fig. 1 of the paper.
+ *
+ * The base is an N x N grid of base processors (BPs); every row and
+ * every column of BPs forms the leaves of a complete binary tree whose
+ * internal processors (IPs) live in the channels between adjacent base
+ * rows/columns.  Adjacent rows (columns) are Theta(log N) apart: the
+ * channel holds one track per tree level plus the BP footprint (each
+ * processor occupies O(log N) area, Section II-A).
+ *
+ * The resulting chip is Theta(N log N) on a side, i.e. area
+ * Theta(N^2 log^2 N) — optimal by Leighton's lower bound [16].
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "layout/geometry.hh"
+#include "layout/tree_embedding.hh"
+
+namespace ot::layout {
+
+/** Tunable constants of the layout (all Theta(1)). */
+struct LayoutParams
+{
+    /** Constant part of a processor footprint side, lambda units. */
+    unsigned baseCell = 2;
+    /** Channel track width per tree level, lambda units. */
+    unsigned track = 1;
+};
+
+/** Concrete layout geometry of an (N x N)-OTN. */
+class OtnLayout
+{
+  public:
+    /**
+     * @param n         Side of the base (rounded up to a power of two).
+     * @param word_bits Register width of each BP; a BP stores a few
+     *                  words, so its footprint is Theta(word_bits).
+     * @param params    Layout constants.
+     */
+    OtnLayout(std::size_t n, unsigned word_bits, LayoutParams params = {});
+
+    /** Side of the base grid (power of two). */
+    std::size_t n() const { return _n; }
+
+    /** Distance between adjacent BPs in a row/column: Theta(log N). */
+    std::uint64_t pitch() const { return _pitch; }
+
+    /** Geometry of each row tree (column trees are identical). */
+    const TreeEmbedding &tree() const { return _tree; }
+
+    /** Area, wire and processor totals for the whole chip. */
+    LayoutMetrics metrics() const;
+
+    /**
+     * Fig. 1-style ASCII rendering: BPs as 'O', IPs as '*'.  Intended
+     * for small n (the paper draws the 4 x 4 instance).
+     */
+    std::string asciiArt() const;
+
+  private:
+    std::size_t _n;
+    unsigned _wordBits;
+    LayoutParams _params;
+    std::uint64_t _pitch;
+    TreeEmbedding _tree;
+};
+
+} // namespace ot::layout

@@ -1,0 +1,252 @@
+#include "layout/svg.hh"
+
+#include <cstdio>
+#include <functional>
+
+namespace ot::layout {
+
+namespace {
+
+/** Minimal SVG document builder. */
+class SvgDoc
+{
+  public:
+    SvgDoc(double width, double height)
+    {
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      "<svg xmlns=\"http://www.w3.org/2000/svg\" "
+                      "width=\"%.0f\" height=\"%.0f\" "
+                      "viewBox=\"0 0 %.0f %.0f\">\n",
+                      width, height, width, height);
+        _body = buf;
+        _body += "<rect width=\"100%\" height=\"100%\" "
+                 "fill=\"white\"/>\n";
+    }
+
+    void
+    line(double x1, double y1, double x2, double y2, const char *stroke,
+         double width = 1.0)
+    {
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" "
+                      "y2=\"%.1f\" stroke=\"%s\" "
+                      "stroke-width=\"%.1f\"/>\n",
+                      x1, y1, x2, y2, stroke, width);
+        _body += buf;
+    }
+
+    void
+    rect(double x, double y, double w, double h, const char *fill,
+         const char *stroke = "black", double rx = 0.0)
+    {
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" "
+                      "height=\"%.1f\" rx=\"%.1f\" fill=\"%s\" "
+                      "stroke=\"%s\"/>\n",
+                      x, y, w, h, rx, fill, stroke);
+        _body += buf;
+    }
+
+    void
+    circle(double cx, double cy, double r, const char *fill)
+    {
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"%.1f\" "
+                      "fill=\"%s\" stroke=\"black\"/>\n",
+                      cx, cy, r, fill);
+        _body += buf;
+    }
+
+    void
+    text(double x, double y, const std::string &s, double size = 10)
+    {
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      "<text x=\"%.1f\" y=\"%.1f\" "
+                      "font-family=\"monospace\" "
+                      "font-size=\"%.0f\">%s</text>\n",
+                      x, y, size, s.c_str());
+        _body += buf;
+    }
+
+    std::string
+    str() const
+    {
+        return _body + "</svg>\n";
+    }
+
+  private:
+    std::string _body;
+};
+
+/**
+ * Draw one channel-embedded tree over `count` leaves.
+ *
+ * The tree's *axis* is one dimension (x for row trees, y for column
+ * trees): `leaf_axis(k)` gives leaf k's coordinate along it,
+ * `leaf_xy(k)` its full anchor point, and `node_xy(level, centre)`
+ * places the internal node of a span whose axis-centre is `centre`.
+ */
+void
+drawTree(SvgDoc &svg, std::size_t count,
+         const std::function<double(std::size_t)> &leaf_axis,
+         const std::function<std::pair<double, double>(std::size_t)>
+             &leaf_xy,
+         const std::function<std::pair<double, double>(unsigned, double)>
+             &node_xy,
+         const char *color)
+{
+    struct Placed
+    {
+        double axis;
+        double x, y;
+    };
+    std::function<Placed(std::size_t, std::size_t, unsigned)> draw =
+        [&](std::size_t lo, std::size_t hi, unsigned level) -> Placed {
+        if (hi - lo == 1) {
+            auto [x, y] = leaf_xy(lo);
+            return {leaf_axis(lo), x, y};
+        }
+        std::size_t mid = lo + (hi - lo) / 2;
+        Placed left = draw(lo, mid, level + 1);
+        Placed right = draw(mid, hi, level + 1);
+        double centre = (left.axis + right.axis) / 2;
+        auto [nx, ny] = node_xy(level, centre);
+        svg.line(left.x, left.y, nx, ny, color);
+        svg.line(right.x, right.y, nx, ny, color);
+        svg.circle(nx, ny, 2.2, color);
+        return {centre, nx, ny};
+    };
+    if (count >= 2)
+        draw(0, count, 0);
+}
+
+} // namespace
+
+std::string
+renderOtnSvg(const OtnLayout &layout)
+{
+    const std::size_t n = layout.n();
+    const double cell = 56.0;  // screen pitch per BP
+    const double margin = 30.0;
+    const double side = margin * 2 + n * cell;
+    SvgDoc svg(side, side);
+
+    auto bp_x = [&](std::size_t j) { return margin + j * cell + 8; };
+    auto bp_y = [&](std::size_t i) { return margin + i * cell + 8; };
+
+    // Base processors.
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            svg.rect(bp_x(j) - 8, bp_y(i) - 8, 16, 16, "#e8f0fe");
+
+    const unsigned levels = vlsi::logCeilAtLeast1(n);
+
+    // Row trees in the channel below each base row (blue).
+    for (std::size_t i = 0; i < n; ++i) {
+        drawTree(
+            svg, n, [&](std::size_t j) { return bp_x(j); },
+            [&](std::size_t j) {
+                return std::make_pair(bp_x(j), bp_y(i) + 8);
+            },
+            [&](unsigned level, double centre) {
+                double y = bp_y(i) + 12 +
+                           (levels - level) * (cell / 2.0 - 14) /
+                               std::max(1u, levels);
+                return std::make_pair(centre, y);
+            },
+            "#1a73e8");
+    }
+
+    // Column trees in the channel right of each base column (red).
+    for (std::size_t j = 0; j < n; ++j) {
+        drawTree(
+            svg, n, [&](std::size_t i) { return bp_y(i); },
+            [&](std::size_t i) {
+                return std::make_pair(bp_x(j) + 8, bp_y(i));
+            },
+            [&](unsigned level, double centre) {
+                double x = bp_x(j) + 12 +
+                           (levels - level) * (cell / 2.0 - 14) /
+                               std::max(1u, levels);
+                return std::make_pair(x, centre);
+            },
+            "#d93025");
+    }
+
+    svg.text(margin, side - 8,
+             "(N x N)-OTN layout (Fig. 1): squares = BPs, dots = IPs; "
+             "blue = row trees, red = column trees");
+    return svg.str();
+}
+
+std::string
+renderOtcSvg(const OtcLayout &layout)
+{
+    const std::size_t k = layout.cyclesPerSide();
+    const unsigned l = layout.cycleLength();
+    const double cell = 64.0;
+    const double margin = 30.0;
+    const double side = margin * 2 + k * cell;
+    SvgDoc svg(side, side + 40);
+
+    auto cx = [&](std::size_t j) { return margin + j * cell + 12; };
+    auto cy = [&](std::size_t i) { return margin + i * cell + 12; };
+
+    // Cycles as rounded rectangles with their BP stack.
+    for (std::size_t i = 0; i < k; ++i) {
+        for (std::size_t j = 0; j < k; ++j) {
+            svg.rect(cx(j) - 10, cy(i) - 10, 24,
+                     6.0 * std::min<unsigned>(l, 4) + 4, "#e6f4ea",
+                     "black", 4.0);
+            for (unsigned q = 0; q < std::min<unsigned>(l, 4); ++q)
+                svg.rect(cx(j) - 7, cy(i) - 7 + 6.0 * q, 18, 4,
+                         "#34a853", "none");
+        }
+    }
+
+    const unsigned levels = vlsi::logCeilAtLeast1(k);
+
+    // Row and column trees over the cycle grid.
+    for (std::size_t i = 0; i < k; ++i) {
+        drawTree(
+            svg, k, [&](std::size_t c) { return cx(c) + 2.0; },
+            [&](std::size_t c) {
+                return std::make_pair(cx(c) + 2.0,
+                                      cy(i) + 6.0 * std::min<unsigned>(
+                                                        l, 4) -
+                                          4);
+            },
+            [&](unsigned level, double centre) {
+                double y = cy(i) + 6.0 * std::min<unsigned>(l, 4) + 4 +
+                           (levels - level) * 6.0;
+                return std::make_pair(centre, y);
+            },
+            "#1a73e8");
+    }
+    for (std::size_t j = 0; j < k; ++j) {
+        drawTree(
+            svg, k, [&](std::size_t c) { return cy(c) + 2.0; },
+            [&](std::size_t c) {
+                return std::make_pair(cx(j) + 14.0, cy(c) + 2.0);
+            },
+            [&](unsigned level, double centre) {
+                double x = cx(j) + 18.0 + (levels - level) * 5.0;
+                return std::make_pair(x, centre);
+            },
+            "#d93025");
+    }
+
+    char caption[160];
+    std::snprintf(caption, sizeof(caption),
+                  "(%zu x %zu)-OTC, cycles of %u BPs (Figs. 2-3)", k, k,
+                  l);
+    svg.text(margin, side + 20, caption);
+    return svg.str();
+}
+
+} // namespace ot::layout

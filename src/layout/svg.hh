@@ -1,0 +1,29 @@
+/**
+ * @file
+ * SVG rendering of the chip layouts — publication-grade versions of
+ * the paper's Figs. 1-3 generated from the same geometry the cost
+ * model uses.
+ *
+ * Base processors are squares, internal (tree) processors are filled
+ * circles, row-tree wiring is drawn in the channel below each base
+ * row and column-tree wiring in the channel right of each base
+ * column; OTC cycles are rounded rectangles with their BP stack and
+ * wrap wire.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "layout/otc_layout.hh"
+#include "layout/otn_layout.hh"
+
+namespace ot::layout {
+
+/** Fig. 1: the (N x N)-OTN.  Sensible for N <= 16. */
+std::string renderOtnSvg(const OtnLayout &layout);
+
+/** Figs. 2-3: one cycle (inset) and the (K x K)-OTC. */
+std::string renderOtcSvg(const OtcLayout &layout);
+
+} // namespace ot::layout

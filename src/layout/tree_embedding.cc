@@ -1,0 +1,51 @@
+#include "layout/tree_embedding.hh"
+
+#include <cassert>
+
+namespace ot::layout {
+
+TreeEmbedding::TreeEmbedding(std::uint64_t leaves, std::uint64_t pitch)
+    : _leaves(vlsi::nextPow2(leaves ? leaves : 1)),
+      _pitch(pitch ? pitch : 1),
+      _height(vlsi::ilog2Ceil(_leaves))
+{
+    _pathEdges.reserve(_height);
+    for (unsigned h = _height; h >= 1; --h)
+        _pathEdges.push_back(edgeLength(h));
+}
+
+WireLength
+TreeEmbedding::edgeLength(unsigned h) const
+{
+    assert(h >= 1 && h <= _height);
+    // Horizontal run between the centre of a 2^h-leaf span and the
+    // centre of either 2^(h-1)-leaf half-span is 2^(h-2) * pitch
+    // (pitch/2 for h == 1), plus one vertical channel track.
+    std::uint64_t horizontal;
+    if (h == 1)
+        horizontal = _pitch / 2;
+    else
+        horizontal = (std::uint64_t{1} << (h - 2)) * _pitch;
+    return horizontal + 1;
+}
+
+std::uint64_t
+TreeEmbedding::totalWireLength() const
+{
+    // 2^(H-h+1) edges at height h... there are 2^(H-h) nodes at height
+    // h, each with two child edges of length edgeLength(h).
+    std::uint64_t total = 0;
+    for (unsigned h = 1; h <= _height; ++h) {
+        std::uint64_t nodes = _leaves >> h;
+        total += 2 * nodes * edgeLength(h);
+    }
+    return total;
+}
+
+WireLength
+TreeEmbedding::longestEdge() const
+{
+    return _pathEdges.empty() ? 0 : _pathEdges.front();
+}
+
+} // namespace ot::layout

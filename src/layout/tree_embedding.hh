@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Embedding of a complete binary tree over a line of equally spaced
+ * leaves, as used by every row/column tree of the OTN and OTC.
+ *
+ * The paper's layout (Fig. 1) places the leaves of each row (column)
+ * tree on the base grid, pitch P apart, and embeds the internal
+ * processors in the O(log N)-wide channel between adjacent base rows
+ * (columns).  The internal node covering a span of 2^h leaves sits
+ * centred over that span, one channel track per tree level, so the
+ * wire from a height-h node to its height-(h-1) child runs about
+ * 2^(h-2) * P horizontally plus one track vertically.
+ *
+ * These lengths are exactly what drives the O(log^2 N) communication
+ * cost under Thompson's model: the root-to-leaf first-bit latency is
+ *   sum_h O(log(2^h * P)) = O(log^2 K + log K log P).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "layout/geometry.hh"
+#include "vlsi/bitmath.hh"
+
+namespace ot::layout {
+
+/** Geometry of one channel-embedded complete binary tree. */
+class TreeEmbedding
+{
+  public:
+    /**
+     * @param leaves Number of leaves K (rounded up to a power of two
+     *               internally; the paper assumes K a power of two).
+     * @param pitch  Distance between adjacent leaves in lambda units.
+     */
+    TreeEmbedding(std::uint64_t leaves, std::uint64_t pitch);
+
+    /** Number of leaves (power of two). */
+    std::uint64_t leaves() const { return _leaves; }
+
+    /** Tree height H = log2(leaves); the root is at height H. */
+    unsigned height() const { return _height; }
+
+    /** Leaf pitch in lambda units. */
+    std::uint64_t pitch() const { return _pitch; }
+
+    /**
+     * Wire length of an edge between a node at height h and its child
+     * at height h-1 (1 <= h <= height()).
+     */
+    WireLength edgeLength(unsigned h) const;
+
+    /**
+     * Edge lengths along a root-to-leaf path, root end first.  This is
+     * the geometry handed to CostModel::wordAlongPath for ROOTTOLEAF /
+     * LEAFTOROOT and friends.
+     */
+    const std::vector<WireLength> &pathEdges() const { return _pathEdges; }
+
+    /** Total wire length of the whole tree (all 2K-2 edges). */
+    std::uint64_t totalWireLength() const;
+
+    /** The longest edge in the tree (the root's edges). */
+    WireLength longestEdge() const;
+
+    /** Number of internal (non-leaf) nodes: K - 1. */
+    std::uint64_t internalNodes() const { return _leaves - 1; }
+
+  private:
+    std::uint64_t _leaves;
+    std::uint64_t _pitch;
+    unsigned _height;
+    std::vector<WireLength> _pathEdges;
+};
+
+} // namespace ot::layout

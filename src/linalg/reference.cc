@@ -1,0 +1,122 @@
+#include "linalg/reference.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+#include "vlsi/bitmath.hh"
+
+namespace ot::linalg {
+
+IntMatrix
+matMul(const IntMatrix &a, const IntMatrix &b)
+{
+    assert(a.cols() == b.rows());
+    IntMatrix c(a.rows(), b.cols(), 0);
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t k = 0; k < a.cols(); ++k)
+            for (std::size_t j = 0; j < b.cols(); ++j)
+                c(i, j) += a(i, k) * b(k, j);
+    return c;
+}
+
+std::vector<std::uint64_t>
+vecMatMul(const std::vector<std::uint64_t> &a, const IntMatrix &b)
+{
+    assert(a.size() == b.rows());
+    std::vector<std::uint64_t> c(b.cols(), 0);
+    for (std::size_t k = 0; k < a.size(); ++k)
+        for (std::size_t j = 0; j < b.cols(); ++j)
+            c[j] += a[k] * b(k, j);
+    return c;
+}
+
+BoolMatrix
+boolMatMul(const BoolMatrix &a, const BoolMatrix &b)
+{
+    assert(a.cols() == b.rows());
+    BoolMatrix c(a.rows(), b.cols(), 0);
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t k = 0; k < a.cols(); ++k) {
+            if (!a(i, k))
+                continue;
+            for (std::size_t j = 0; j < b.cols(); ++j)
+                if (b(k, j))
+                    c(i, j) = 1;
+        }
+    return c;
+}
+
+BoolMatrix
+boolMatPow(const BoolMatrix &a, unsigned k)
+{
+    assert(a.rows() == a.cols());
+    BoolMatrix result = BoolMatrix::identity(a.rows());
+    BoolMatrix base = a;
+    while (k) {
+        if (k & 1)
+            result = boolMatMul(result, base);
+        base = boolMatMul(base, base);
+        k >>= 1;
+    }
+    return result;
+}
+
+std::vector<Complex>
+dftNaive(const std::vector<Complex> &x)
+{
+    const std::size_t n = x.size();
+    std::vector<Complex> out(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        Complex sum = 0;
+        for (std::size_t t = 0; t < n; ++t) {
+            double angle = -2.0 * std::numbers::pi *
+                           static_cast<double>(k * t) /
+                           static_cast<double>(n);
+            sum += x[t] * Complex(std::cos(angle), std::sin(angle));
+        }
+        out[k] = sum;
+    }
+    return out;
+}
+
+std::vector<Complex>
+fft(const std::vector<Complex> &x)
+{
+    const std::size_t n = x.size();
+    assert(vlsi::isPow2(n));
+    const unsigned logn = vlsi::ilog2Ceil(n);
+
+    std::vector<Complex> a(n);
+    for (std::size_t i = 0; i < n; ++i)
+        a[vlsi::reverseBits(i, logn)] = x[i];
+
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+        double angle = -2.0 * std::numbers::pi / static_cast<double>(len);
+        Complex wlen(std::cos(angle), std::sin(angle));
+        for (std::size_t i = 0; i < n; i += len) {
+            Complex w = 1;
+            for (std::size_t j = 0; j < len / 2; ++j) {
+                Complex u = a[i + j];
+                Complex v = a[i + j + len / 2] * w;
+                a[i + j] = u + v;
+                a[i + j + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+    }
+    return a;
+}
+
+double
+maxAbsDiff(const std::vector<Complex> &a, const std::vector<Complex> &b)
+{
+    assert(a.size() == b.size());
+    double worst = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        worst = std::max(worst, std::abs(a[i] - b[i]));
+    return worst;
+}
+
+} // namespace ot::linalg

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Sequential reference algorithms the network simulations are verified
+ * against: classical matrix products, Boolean (AND/OR) products,
+ * vector-matrix products, the naive DFT and a radix-2 FFT.
+ */
+
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.hh"
+
+namespace ot::linalg {
+
+/** Classical O(N^3) integer matrix product C = A * B. */
+IntMatrix matMul(const IntMatrix &a, const IntMatrix &b);
+
+/** Vector-matrix product c = a * B (a is a row vector). */
+std::vector<std::uint64_t> vecMatMul(const std::vector<std::uint64_t> &a,
+                                     const IntMatrix &b);
+
+/** Boolean matrix product over (AND, OR) — Section VII-B. */
+BoolMatrix boolMatMul(const BoolMatrix &a, const BoolMatrix &b);
+
+/** Matrix "closure" A^k under Boolean product (k >= 0; A^0 = I). */
+BoolMatrix boolMatPow(const BoolMatrix &a, unsigned k);
+
+using Complex = std::complex<double>;
+
+/** Naive O(N^2) discrete Fourier transform (the specification). */
+std::vector<Complex> dftNaive(const std::vector<Complex> &x);
+
+/** Iterative radix-2 Cooley-Tukey FFT (N a power of two). */
+std::vector<Complex> fft(const std::vector<Complex> &x);
+
+/** Max |a[i] - b[i]| between two complex vectors. */
+double maxAbsDiff(const std::vector<Complex> &a,
+                  const std::vector<Complex> &b);
+
+} // namespace ot::linalg

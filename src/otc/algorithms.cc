@@ -1,0 +1,64 @@
+#include "otc/algorithms.hh"
+
+#include "vlsi/bitmath.hh"
+
+namespace ot::otc {
+
+CcOtcResult
+connectedComponentsOtc(const graph::Graph &g, const vlsi::CostModel &cost)
+{
+    OtcEmulatedOtn net(g.vertices(), cost);
+    CcOtcResult out;
+    out.result = otn::connectedComponentsOtn(net, g);
+    out.chip = net.otcLayout().metrics();
+    return out;
+}
+
+MstOtcResult
+mstOtc(const graph::WeightedGraph &g, const vlsi::CostModel &cost)
+{
+    OtcEmulatedOtn net(g.vertices(), cost);
+    MstOtcResult out;
+    out.result = otn::mstOtn(net, g);
+    // Section VI-B: the MST chip must hold the whole N x N weight
+    // matrix of O(log N)-bit words, so its area is O(N^2 log N); the
+    // layout captures this through the word width in the BP footprint.
+    out.chip = net.otcLayout().metrics();
+    return out;
+}
+
+MatMulOtcResult
+matMulOtc(const linalg::IntMatrix &a, const linalg::IntMatrix &b,
+          const vlsi::CostModel &cost)
+{
+    OtcEmulatedOtn net(a.rows(), cost);
+    MatMulOtcResult out;
+    out.result = otn::matMulPipelined(net, a, b);
+    out.chip = net.otcLayout().metrics();
+    return out;
+}
+
+MatMulOtcResult
+boolMatMulOtc(const linalg::BoolMatrix &a, const linalg::BoolMatrix &b,
+              const vlsi::CostModel &cost)
+{
+    const std::size_t n = vlsi::nextPow2(a.rows() ? a.rows() : 1);
+    const unsigned logn = vlsi::logCeilAtLeast1(n);
+
+    // Time: the replicated-block machine of Table II (one vector
+    // product per row of A, all concurrent), driven at the OTC's
+    // streamed rates.
+    OtcEmulatedOtn block(n, cost, /*cycle_len=*/logn * logn);
+    MatMulOtcResult out;
+    out.result = otn::boolMatMulReplicated(block, a, b);
+
+    // Area: N^2/log^2 N cycles per side, cycles of log^2 N one-bit
+    // BPs packed O(log N) x O(log N) (Section VI-B) — total
+    // O(N^4 / log^2 N).
+    layout::OtcLayout chip(vlsi::ceilDiv(n * n, logn * logn), logn * logn,
+                           /*word_bits=*/1, /*compact_bps=*/true);
+    out.chip = chip.metrics();
+    return out;
+}
+
+} // namespace ot::otc

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Section VI-B: the matrix and graph algorithms on the OTC.
+ *
+ * "In the same manner as procedure SORT-OTN was converted to SORT-OTC,
+ * we can convert the matrix and graph algorithms of Section III to run
+ * on the OTC."  These wrappers run the Section III algorithms on an
+ * OtcEmulatedOtn — the machine that charges OTC communication and
+ * processing costs while occupying the OTC's O(N^2) area — and return
+ * the algorithm result together with the chip metrics, which is what
+ * Tables II and III compare.
+ */
+
+#pragma once
+
+#include "graph/graph.hh"
+#include "layout/geometry.hh"
+#include "linalg/matrix.hh"
+#include "otc/emulated_otn.hh"
+#include "otn/connected_components.hh"
+#include "otn/matmul.hh"
+#include "otn/mst.hh"
+
+namespace ot::otc {
+
+/** Connected components on the standard (N/logN x N/logN)-OTC. */
+struct CcOtcResult
+{
+    otn::ComponentsResult result;
+    layout::LayoutMetrics chip;
+};
+
+CcOtcResult connectedComponentsOtc(const graph::Graph &g,
+                                   const vlsi::CostModel &cost);
+
+/** MST on the OTC (area O(N^2 log N): the weight matrix is resident). */
+struct MstOtcResult
+{
+    otn::MstResult result;
+    layout::LayoutMetrics chip;
+};
+
+MstOtcResult mstOtc(const graph::WeightedGraph &g,
+                    const vlsi::CostModel &cost);
+
+/** Integer matrix product on the OTC (pipelined, Section VI-B). */
+struct MatMulOtcResult
+{
+    otn::MatMulResult result;
+    layout::LayoutMetrics chip;
+};
+
+MatMulOtcResult matMulOtc(const linalg::IntMatrix &a,
+                          const linalg::IntMatrix &b,
+                          const vlsi::CostModel &cost);
+
+/**
+ * Boolean matrix product on the big OTC of Section VI-B (cycles of
+ * length log^2 N of O(1)-area BPs; time O(log^2 N), area
+ * O(N^4 / log^2 N) — the Table II row).  The time is measured on the
+ * replicated-block machine; the area comes from the compact OTC
+ * layout sized for N^2/log^2 N cycles per side.
+ */
+MatMulOtcResult boolMatMulOtc(const linalg::BoolMatrix &a,
+                              const linalg::BoolMatrix &b,
+                              const vlsi::CostModel &cost);
+
+} // namespace ot::otc

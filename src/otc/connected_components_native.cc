@@ -1,0 +1,203 @@
+#include "otc/connected_components_native.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "graph/reference_algorithms.hh"
+#include "otc/cycle_ops.hh"
+#include "vlsi/bitmath.hh"
+
+namespace ot::otc {
+
+using otn::kNull;
+
+namespace {
+
+/*
+ * Register allocation (per BP of every cycle):
+ *   A  adjacency block row (L-bit mask)
+ *   D  vertex label (diagonal cycles only are authoritative)
+ *   B  labels of the row group   (B(q) = D(I*L+q), everywhere)
+ *   C  labels of the column group (C(p) = D(J*L+p), everywhere)
+ *   T  per-BP candidate minimum
+ *   E  per-vertex global candidate (row-reduced, broadcast back)
+ *   X  scatter/gather positions or keys
+ *   Y  gather outputs / scatter targets
+ *   R  rotating copies
+ *   G  new component label (diagonal cycles)
+ *   H  per-component candidate (diagonal cycles)
+ *   F  scratch
+ */
+
+} // namespace
+
+otn::ComponentsResult
+connectedComponentsOtcNative(OtcNetwork &net, const graph::Graph &g,
+                             bool charge_load)
+{
+    const std::size_t k = net.k();
+    const unsigned l = net.cycleLen();
+    const std::size_t n = k * l;
+    assert(g.vertices() <= n);
+    assert(l <= 63 && "block row must fit one register");
+    const unsigned log_n = vlsi::logCeilAtLeast1(n);
+
+    ModelTime start = net.now();
+    sim::ScopedPhase phase(net.acct(), "cc-otc-native");
+
+    // Adjacency blocks: BP(q) of cycle (I, J) gets the L-bit mask of
+    // row I*L+q against columns J*L .. J*L+L-1.
+    for (std::size_t i = 0; i < k; ++i)
+        for (std::size_t j = 0; j < k; ++j)
+            for (std::size_t q = 0; q < l; ++q) {
+                std::uint64_t mask = 0;
+                std::size_t u = i * l + q;
+                for (unsigned p = 0; p < l; ++p) {
+                    std::size_t v = j * l + p;
+                    if (u < g.vertices() && v < g.vertices() &&
+                        g.hasEdge(u, v))
+                        mask |= std::uint64_t{1} << p;
+                }
+                net.reg(otn::Reg::A, i, j, q) = mask;
+            }
+    if (charge_load) {
+        // K*L masks stream through each row tree.
+        net.charge(vlsi::CostModel::pipelineTotal(
+            net.treeTraversalCost(), n, net.cost().wordSeparation()));
+    }
+
+    // Labels on the diagonal: D(q) of cycle (I, I) = I*L + q.
+    net.baseOp(net.cost().bitSerialOp(),
+               [&](std::size_t i, std::size_t j, std::size_t q) {
+                   if (i == j)
+                       net.reg(otn::Reg::D, i, j, q) = i * l + q;
+               });
+
+    const unsigned iterations = log_n + 1;
+    for (unsigned iter = 0; iter < iterations; ++iter) {
+        // (1) Fan the labels out.
+        broadcastDiag(net, otn::Reg::D, otn::Reg::B, otn::Reg::C);
+
+        // (2) Candidate scan: L rounds circulating a copy of the
+        // column labels; at round r BP(q) holds C((q+r) mod L) and
+        // tests adjacency bit (q+r) mod L.
+        net.baseOp(net.cost().bitSerialOp(),
+                   [&](std::size_t i, std::size_t j, std::size_t q) {
+                       net.reg(otn::Reg::T, i, j, q) = kNull;
+                       net.reg(otn::Reg::R, i, j, q) =
+                           net.reg(otn::Reg::C, i, j, q);
+                   });
+        for (unsigned r = 0; r < l; ++r) {
+            net.baseOp(net.cost().bitSerialOp(),
+                       [&](std::size_t i, std::size_t j, std::size_t q) {
+                           unsigned p = (q + r) % l;
+                           bool edge = (net.reg(otn::Reg::A, i, j, q) >>
+                                        p) &
+                                       1;
+                           std::uint64_t theirs =
+                               net.reg(otn::Reg::R, i, j, q);
+                           std::uint64_t mine =
+                               net.reg(otn::Reg::B, i, j, q);
+                           if (edge && theirs != mine) {
+                               auto &t = net.reg(otn::Reg::T, i, j, q);
+                               t = std::min(t, theirs);
+                           }
+                       });
+            net.parallelFor(k, [&](std::size_t i) {
+                net.vectorCirculate(Axis::Row, i, {otn::Reg::R});
+            });
+        }
+
+        // (3) Per-vertex global minimum across the row, broadcast back.
+        net.parallelFor(k, [&](std::size_t i) {
+            net.minCycleToRoot(Axis::Row, i, CSel::all(), otn::Reg::T);
+            net.rootToCycle(Axis::Row, i, CSel::all(), otn::Reg::E);
+        });
+
+        // (4) Member deposits: vertex v sends its candidate to the
+        // component root D(v) — the cycle in v's row at column
+        // D(v)/L, position D(v)%L.
+        net.baseOp(net.cost().bitSerialOp(),
+                   [&](std::size_t i, std::size_t j, std::size_t q) {
+                       std::uint64_t label =
+                           net.reg(otn::Reg::B, i, j, q);
+                       bool mine = label / l == j;
+                       net.reg(otn::Reg::X, i, j, q) =
+                           mine ? label % l : kNull;
+                   });
+        scatterMin(net, otn::Reg::E, otn::Reg::X, otn::Reg::Y);
+        net.parallelFor(k, [&](std::size_t j) {
+            net.minCycleToRoot(Axis::Col, j, CSel::all(), otn::Reg::Y);
+            net.rootToCycle(Axis::Col, j, CSel::rowIs(j), otn::Reg::H);
+        });
+        net.baseOp(net.cost().bitSerialOp(),
+                   [&](std::size_t i, std::size_t j, std::size_t q) {
+                       if (i != j)
+                           return;
+                       std::uint64_t h = net.reg(otn::Reg::H, i, j, q);
+                       net.reg(otn::Reg::G, i, j, q) =
+                           h == kNull ? i * l + q : h;
+                   });
+
+        // (5) 2-cycle removal: fetch newC(newC(r)).
+        broadcastDiag(net, otn::Reg::G, otn::Reg::X, otn::Reg::R);
+        // gatherAtLabel clobbers X, so move the keys to E first.
+        net.baseOp(net.cost().bitSerialOp(),
+                   [&](std::size_t i, std::size_t j, std::size_t q) {
+                       net.reg(otn::Reg::E, i, j, q) =
+                           net.reg(otn::Reg::X, i, j, q);
+                   });
+        gatherAtLabel(net, otn::Reg::E, otn::Reg::R, otn::Reg::Y);
+        net.baseOp(net.cost().bitSerialOp(),
+                   [&](std::size_t i, std::size_t j, std::size_t q) {
+                       if (i != j)
+                           return;
+                       std::uint64_t own = i * l + q;
+                       std::uint64_t new_c =
+                           net.reg(otn::Reg::G, i, j, q);
+                       std::uint64_t back = net.reg(otn::Reg::Y, i, j, q);
+                       if (back == own && new_c != own && own < new_c)
+                           net.reg(otn::Reg::G, i, j, q) = own;
+                   });
+
+        // (6) Relabel all vertices: D(v) := newC(D(v)).
+        broadcastDiag(net, otn::Reg::D, otn::Reg::B, otn::Reg::C);
+        broadcastDiag(net, otn::Reg::G, otn::Reg::E, otn::Reg::R);
+        gatherAtLabel(net, otn::Reg::B, otn::Reg::R, otn::Reg::Y);
+        net.baseOp(net.cost().bitSerialOp(),
+                   [&](std::size_t i, std::size_t j, std::size_t q) {
+                       if (i == j)
+                           net.reg(otn::Reg::D, i, j, q) =
+                               net.reg(otn::Reg::Y, i, j, q);
+                   });
+
+        // (7) Pointer jumping to a star.
+        for (unsigned jump = 0; jump < log_n; ++jump) {
+            broadcastDiag(net, otn::Reg::D, otn::Reg::B, otn::Reg::C);
+            gatherAtLabel(net, otn::Reg::B, otn::Reg::C, otn::Reg::Y);
+            net.baseOp(net.cost().bitSerialOp(),
+                       [&](std::size_t i, std::size_t j, std::size_t q) {
+                           if (i == j)
+                               net.reg(otn::Reg::D, i, j, q) =
+                                   net.reg(otn::Reg::Y, i, j, q);
+                       });
+        }
+    }
+
+    otn::ComponentsResult result;
+    result.iterations = iterations;
+    std::vector<std::size_t> raw(g.vertices());
+    for (std::size_t v = 0; v < g.vertices(); ++v)
+        raw[v] = static_cast<std::size_t>(
+            net.reg(otn::Reg::D, v / l, v / l, v % l));
+    result.labels = graph::canonicalizeLabels(raw);
+
+    std::vector<std::size_t> distinct = result.labels;
+    std::sort(distinct.begin(), distinct.end());
+    result.componentCount = static_cast<std::size_t>(
+        std::unique(distinct.begin(), distinct.end()) - distinct.begin());
+    result.time = net.now() - start;
+    return result;
+}
+
+} // namespace ot::otc

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Connected components natively on the OTC (Section VI-B: "The
+ * algorithm for finding connected components now requires O(N^2) area
+ * for the same O(log^4 N) time as before.  Note that each cycle must
+ * store a log N x log N submatrix of the adjacency matrix.").
+ *
+ * This implementation works directly with the cycle primitives — no
+ * Section V-A emulation layer:
+ *
+ *  - cycle (I, J) stores its L x L adjacency block as one L-bit mask
+ *    per BP (BP(q)'s bit p = A(I*L+q, J*L+p)): L^2 bits per cycle,
+ *    exactly the paper's budget;
+ *  - vertex labels live in the diagonal cycles, L per cycle;
+ *  - label broadcasts are CYCLETOCYCLE streams; candidate scans, the
+ *    member deposits and the pointer-jump indirections use L
+ *    circulate rounds inside every cycle (the Section V "keep one
+ *    operand fixed, circulate the other" scheme) between the tree
+ *    reductions.
+ *
+ * Each outer iteration costs O(log N) streamed tree operations and
+ * in-cycle rounds of O(log N) each — O(log^3 N) — and there are
+ * O(log N) iterations: the paper's O(log^4 N) on the O(N^2) chip.
+ */
+
+#pragma once
+
+#include "graph/graph.hh"
+#include "otc/network.hh"
+#include "otn/connected_components.hh" // ComponentsResult
+
+namespace ot::otc {
+
+/**
+ * HCS CONNECT on the native (K x K)-OTC with cycles of length L
+ * (vertex v = I*L + q lives at position q of diagonal cycle (I, I)).
+ * Requires g.vertices() <= k() * cycleLen() and L <= 63 (the block
+ * row fits one register).  Labels are canonicalized for comparison
+ * with graph::connectedComponents.
+ */
+otn::ComponentsResult connectedComponentsOtcNative(
+    OtcNetwork &net, const graph::Graph &g, bool charge_load = true);
+
+} // namespace ot::otc

@@ -1,0 +1,92 @@
+#include "otc/cycle_ops.hh"
+
+#include <algorithm>
+
+namespace ot::otc {
+
+using otn::kNull;
+
+vlsi::ModelTime
+rotateCapture(OtcNetwork &net, otn::Reg val, otn::Reg pos, otn::Reg out)
+{
+    const std::size_t k = net.k();
+    const unsigned l = net.cycleLen();
+    for (std::size_t i = 0; i < k; ++i)
+        for (std::size_t j = 0; j < k; ++j)
+            for (std::size_t q = 0; q < l; ++q) {
+                std::uint64_t p = net.reg(pos, i, j, q);
+                net.reg(out, i, j, q) =
+                    p < l ? net.reg(val, i, j,
+                                    static_cast<std::size_t>(p))
+                          : kNull;
+            }
+    vlsi::ModelTime dt =
+        l * (net.circulateCost() + net.cost().bitSerialOp());
+    net.charge(dt);
+    ++net.stats().counter("otc.rotateCapture");
+    return dt;
+}
+
+vlsi::ModelTime
+scatterMin(OtcNetwork &net, otn::Reg src, otn::Reg pos, otn::Reg out)
+{
+    const std::size_t k = net.k();
+    const unsigned l = net.cycleLen();
+    for (std::size_t i = 0; i < k; ++i)
+        for (std::size_t j = 0; j < k; ++j) {
+            for (std::size_t q = 0; q < l; ++q)
+                net.reg(out, i, j, q) = kNull;
+            for (std::size_t q = 0; q < l; ++q) {
+                std::uint64_t p = net.reg(pos, i, j, q);
+                if (p < l) {
+                    auto &slot =
+                        net.reg(out, i, j, static_cast<std::size_t>(p));
+                    slot = std::min(slot, net.reg(src, i, j, q));
+                }
+            }
+        }
+    vlsi::ModelTime dt =
+        l * (net.circulateCost() + net.cost().bitSerialOp());
+    net.charge(dt);
+    ++net.stats().counter("otc.scatterMin");
+    return dt;
+}
+
+void
+broadcastDiag(OtcNetwork &net, otn::Reg src, otn::Reg row_dst,
+              otn::Reg col_dst)
+{
+    const std::size_t k = net.k();
+    net.parallelFor(k, [&](std::size_t i) {
+        net.cycleToCycle(Axis::Row, i, CSel::colIs(i), src, CSel::all(),
+                         row_dst);
+    });
+    net.parallelFor(k, [&](std::size_t j) {
+        net.cycleToCycle(Axis::Col, j, CSel::rowIs(j), src, CSel::all(),
+                         col_dst);
+    });
+}
+
+void
+gatherAtLabel(OtcNetwork &net, otn::Reg key_row, otn::Reg val_col,
+              otn::Reg out)
+{
+    const std::size_t k = net.k();
+    const unsigned l = net.cycleLen();
+
+    net.baseOp(net.cost().bitSerialOp(),
+               [&](std::size_t i, std::size_t j, std::size_t q) {
+                   std::uint64_t key = net.reg(key_row, i, j, q);
+                   bool mine = key != kNull && key / l == j;
+                   net.reg(otn::Reg::X, i, j, q) =
+                       mine ? key % l : kNull;
+               });
+    rotateCapture(net, val_col, otn::Reg::X, otn::Reg::Y);
+
+    net.parallelFor(k, [&](std::size_t i) {
+        net.minCycleToRoot(Axis::Row, i, CSel::all(), otn::Reg::Y);
+        net.rootToCycle(Axis::Row, i, CSel::colIs(i), out);
+    });
+}
+
+} // namespace ot::otc

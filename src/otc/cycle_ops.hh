@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Composite in-cycle operations shared by the native OTC algorithms
+ * (Section VI-B): rotation-based gather/scatter inside every cycle,
+ * diagonal broadcasts, and the vertex-label indirection built from
+ * them.  All cost L rounds of one circulate plus one bit-serial step,
+ * or a pair of streamed tree operations — the O(log^2 N) class.
+ */
+
+#pragma once
+
+#include "otc/network.hh"
+
+namespace ot::otc {
+
+/**
+ * In-cycle gather: out(q) := val(pos(q)) within each cycle (kNull when
+ * pos(q) is kNull / out of range).  Implemented by rotating a copy of
+ * `val` L times; BP(q) captures the word for its requested position as
+ * it passes.
+ */
+vlsi::ModelTime rotateCapture(OtcNetwork &net, otn::Reg val, otn::Reg pos,
+                              otn::Reg out);
+
+/**
+ * In-cycle scatter with MIN merge: out(pos(q)) := min(out, src(q))
+ * within each cycle; `out` is reset to kNull first.
+ */
+vlsi::ModelTime scatterMin(OtcNetwork &net, otn::Reg src, otn::Reg pos,
+                           otn::Reg out);
+
+/**
+ * Broadcast the diagonal cycles' register `src` along rows into
+ * `row_dst` and down columns into `col_dst` (one CYCLETOCYCLE stream
+ * per tree, all in parallel).
+ */
+void broadcastDiag(OtcNetwork &net, otn::Reg src, otn::Reg row_dst,
+                   otn::Reg col_dst);
+
+/**
+ * Vertex-level indirection out(v) := val(key(v)) on the diagonal:
+ * `key_row` holds key(v) fanned along rows and `val_col` holds the
+ * value vector fanned down columns; the cycle in v's row at column
+ * key/L captures position key%L and a row MIN returns it to the
+ * diagonal register `out`.  Clobbers registers X and Y.
+ */
+void gatherAtLabel(OtcNetwork &net, otn::Reg key_row, otn::Reg val_col,
+                   otn::Reg out);
+
+} // namespace ot::otc

@@ -1,0 +1,77 @@
+#include "otc/matmul_native.hh"
+
+#include <cassert>
+
+namespace ot::otc {
+
+VecMatOtcResult
+vecMatMulOtc(OtcNetwork &net, const std::vector<std::uint64_t> &a,
+             const linalg::IntMatrix &b)
+{
+    const std::size_t k = net.k();
+    const unsigned l = net.cycleLen();
+    const std::size_t n = k * l;
+    assert(a.size() == n && b.rows() == n && b.cols() == n);
+
+    ModelTime start = net.now();
+    sim::ScopedPhase phase(net.acct(), "vecmat-otc");
+
+    // Block storage: BP(q) of cycle (i, j) keeps column j*L+q of B's
+    // (i, j) block — slot p holds B(i*L+p, j*L+q).
+    net.configureMemory(l);
+    for (std::size_t i = 0; i < k; ++i)
+        for (std::size_t j = 0; j < k; ++j)
+            for (std::size_t q = 0; q < l; ++q)
+                for (unsigned p = 0; p < l; ++p) {
+                    assert(net.fitsWord(b(i * l + p, j * l + q)));
+                    net.mem(i, j, q, p) = b(i * l + p, j * l + q);
+                }
+    // Fill: every row tree streams its row-block (K cycles x L BPs x
+    // L slots = N * L words) to the base.
+    net.charge(vlsi::CostModel::pipelineTotal(
+        net.treeTraversalCost(), n * l, net.cost().wordSeparation()));
+
+    // Vector chunks down the row trees: A(q) = a(i*L + q) everywhere
+    // in row i.
+    for (std::size_t i = 0; i < k; ++i)
+        for (std::size_t q = 0; q < l; ++q)
+            net.rowStream(i)[q] = a[i * l + q];
+    net.parallelFor(k, [&](std::size_t i) {
+        net.rootToCycle(Axis::Row, i, CSel::all(), Reg::A);
+    });
+
+    // Accumulators to zero, then L circulate-multiply-accumulate
+    // rounds: after p circulations BP(q) holds a-word (q + p) mod L
+    // and multiplies it with its stored B row (q + p) mod L.
+    net.baseOp(net.cost().bitSerialOp(),
+               [&](std::size_t i, std::size_t j, std::size_t q) {
+                   net.reg(Reg::C, i, j, q) = 0;
+               });
+    for (unsigned p = 0; p < l; ++p) {
+        net.baseOp(net.cost().bitSerialMultiply(),
+                   [&](std::size_t i, std::size_t j, std::size_t q) {
+                       unsigned row = (q + p) % l;
+                       std::uint64_t av = net.reg(Reg::A, i, j, q);
+                       net.reg(Reg::C, i, j, q) +=
+                           av * net.mem(i, j, q, row);
+                   });
+        net.parallelFor(k, [&](std::size_t i) {
+            net.vectorCirculate(Axis::Row, i, {Reg::A});
+        });
+    }
+
+    // Column sums: c(j*L + q) = sum over i of the partials.
+    net.parallelFor(k, [&](std::size_t j) {
+        net.sumCycleToRoot(Axis::Col, j, CSel::all(), Reg::C);
+    });
+
+    VecMatOtcResult result;
+    result.product.resize(n);
+    for (std::size_t j = 0; j < k; ++j)
+        for (std::size_t q = 0; q < l; ++q)
+            result.product[j * l + q] = net.colStream(j)[q];
+    result.time = net.now() - start;
+    return result;
+}
+
+} // namespace ot::otc

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * VECTORMATRIXMULT on the native OTC (Section VI-B, done with the
+ * cycle primitives themselves rather than through the Section V-A
+ * emulation argument).
+ *
+ * The N x N matrix lives in a (K x K)-OTC with cycles of length
+ * L = N / K: cycle (i, j) stores the L x L block of B with rows
+ * i*L..i*L+L-1 and columns j*L..j*L+L-1, one block *column* per BP —
+ * BP(q) of cycle (i, j) keeps the L partial words of B's column
+ * j*L + q within the block (Theta(L) words per BP is exactly the
+ * Theta(log^2 N) bits per cycle the paper budgets for the OTC's graph
+ * algorithms).
+ *
+ * One product streams the vector down the row trees (ROOTTOCYCLE), the
+ * cycles perform L circulate-multiply-accumulate rounds (the Section V
+ * "keep a fixed, circulate b" scheme), and SUM-CYCLETOROOT reductions
+ * deliver the result at the column roots: O(log^2 N) total for the
+ * standard K = N/log N machine.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.hh"
+#include "otc/network.hh"
+
+namespace ot::otc {
+
+/** Result of a native OTC vector-matrix product. */
+struct VecMatOtcResult
+{
+    std::vector<std::uint64_t> product;
+    ModelTime time = 0;
+};
+
+/**
+ * Load B (size N x N with N = k * cycleLen) into the machine's block
+ * storage and compute a * B.  Register planes D..H hold the block
+ * columns (cycleLen <= 5 supported by the register file; the standard
+ * log N cycle lengths of the tested sizes fit).
+ */
+VecMatOtcResult vecMatMulOtc(OtcNetwork &net,
+                             const std::vector<std::uint64_t> &a,
+                             const linalg::IntMatrix &b);
+
+} // namespace ot::otc

@@ -1,0 +1,224 @@
+#include "otc/mst_native.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+#include "otc/cycle_ops.hh"
+#include "vlsi/bitmath.hh"
+
+namespace ot::otc {
+
+using otn::kNull;
+
+namespace {
+
+/*
+ * Register allocation (mem slot p of BP(q) in cycle (I, J) holds the
+ * weight w(I*L+q, J*L+p); registers as in the native CC, with T/E/H
+ * carrying packed (w, u, v) edge words instead of labels).
+ */
+
+std::uint64_t
+packEdge(std::uint64_t w, std::uint64_t u, std::uint64_t v,
+         unsigned idx_bits)
+{
+    return (w << (2 * idx_bits)) | (u << idx_bits) | v;
+}
+
+std::uint64_t
+packedV(std::uint64_t packed, unsigned idx_bits)
+{
+    return packed & ((std::uint64_t{1} << idx_bits) - 1);
+}
+
+std::uint64_t
+packedU(std::uint64_t packed, unsigned idx_bits)
+{
+    return (packed >> idx_bits) & ((std::uint64_t{1} << idx_bits) - 1);
+}
+
+} // namespace
+
+otn::MstResult
+mstOtcNative(OtcNetwork &net, const graph::WeightedGraph &g,
+             bool charge_load)
+{
+    const std::size_t k = net.k();
+    const unsigned l = net.cycleLen();
+    const std::size_t n = k * l;
+    assert(g.vertices() <= n);
+    const unsigned log_n = vlsi::logCeilAtLeast1(n);
+    const unsigned idx_bits = log_n;
+
+    ModelTime start = net.now();
+    sim::ScopedPhase phase(net.acct(), "mst-otc-native");
+
+    // Weight blocks into local memory: the Section VI-B resident
+    // matrix (Theta(L) words per BP, area premium Theta(log N)).
+    net.configureMemory(l);
+    for (std::size_t i = 0; i < k; ++i)
+        for (std::size_t j = 0; j < k; ++j)
+            for (std::size_t q = 0; q < l; ++q)
+                for (unsigned p = 0; p < l; ++p) {
+                    std::size_t u = i * l + q, v = j * l + p;
+                    bool edge = u < g.vertices() && v < g.vertices() &&
+                                g.hasEdge(u, v);
+                    net.mem(i, j, q, p) = edge ? g.weight(u, v) : kNull;
+                    if (edge)
+                        assert(net.fitsWord(packEdge(g.weight(u, v), u, v,
+                                                     idx_bits)));
+                }
+    if (charge_load) {
+        net.charge(vlsi::CostModel::pipelineTotal(
+            net.treeTraversalCost(), n * l, net.cost().wordSeparation()));
+    }
+
+    net.baseOp(net.cost().bitSerialOp(),
+               [&](std::size_t i, std::size_t j, std::size_t q) {
+                   if (i == j)
+                       net.reg(otn::Reg::D, i, j, q) = i * l + q;
+               });
+
+    std::set<std::pair<std::size_t, std::size_t>> chosen;
+    const unsigned iterations = log_n + 1;
+
+    for (unsigned iter = 0; iter < iterations; ++iter) {
+        // (1) Labels to rows and columns.
+        broadcastDiag(net, otn::Reg::D, otn::Reg::B, otn::Reg::C);
+
+        // (2) Candidate scan over the weight slots, circulating the
+        // column labels: at round r, BP(q) sees label C((q+r) mod L)
+        // and its stored weight slot (q+r) mod L.
+        net.baseOp(net.cost().bitSerialOp(),
+                   [&](std::size_t i, std::size_t j, std::size_t q) {
+                       net.reg(otn::Reg::T, i, j, q) = kNull;
+                       net.reg(otn::Reg::R, i, j, q) =
+                           net.reg(otn::Reg::C, i, j, q);
+                   });
+        for (unsigned r = 0; r < l; ++r) {
+            net.baseOp(net.cost().bitSerialOp(),
+                       [&](std::size_t i, std::size_t j, std::size_t q) {
+                           unsigned p = (q + r) % l;
+                           std::uint64_t w = net.mem(i, j, q, p);
+                           std::uint64_t theirs =
+                               net.reg(otn::Reg::R, i, j, q);
+                           std::uint64_t mine =
+                               net.reg(otn::Reg::B, i, j, q);
+                           if (w != kNull && theirs != mine) {
+                               std::uint64_t key = packEdge(
+                                   w, i * l + q, j * l + p, idx_bits);
+                               auto &t = net.reg(otn::Reg::T, i, j, q);
+                               t = std::min(t, key);
+                           }
+                       });
+            net.parallelFor(k, [&](std::size_t i) {
+                net.vectorCirculate(Axis::Row, i, {otn::Reg::R});
+            });
+        }
+
+        // (3) Per-vertex best edge across the row, broadcast back.
+        net.parallelFor(k, [&](std::size_t i) {
+            net.minCycleToRoot(Axis::Row, i, CSel::all(), otn::Reg::T);
+            net.rootToCycle(Axis::Row, i, CSel::all(), otn::Reg::E);
+        });
+
+        // (4) Per-component best edge via the member deposit.
+        net.baseOp(net.cost().bitSerialOp(),
+                   [&](std::size_t i, std::size_t j, std::size_t q) {
+                       std::uint64_t label =
+                           net.reg(otn::Reg::B, i, j, q);
+                       bool mine = label / l == j;
+                       net.reg(otn::Reg::X, i, j, q) =
+                           mine ? label % l : kNull;
+                   });
+        scatterMin(net, otn::Reg::E, otn::Reg::X, otn::Reg::Y);
+        net.parallelFor(k, [&](std::size_t j) {
+            net.minCycleToRoot(Axis::Col, j, CSel::all(), otn::Reg::Y);
+            net.rootToCycle(Axis::Col, j, CSel::rowIs(j), otn::Reg::H);
+        });
+
+        // Record the chosen edges (root output) and derive hook keys.
+        net.baseOp(net.cost().bitSerialOp(),
+                   [&](std::size_t i, std::size_t j, std::size_t q) {
+                       if (i != j)
+                           return;
+                       std::uint64_t best = net.reg(otn::Reg::H, i, j, q);
+                       if (best == kNull) {
+                           net.reg(otn::Reg::G, i, j, q) = kNull;
+                           return;
+                       }
+                       auto u = packedU(best, idx_bits);
+                       auto v = packedV(best, idx_bits);
+                       chosen.insert({std::min(u, v), std::max(u, v)});
+                       net.reg(otn::Reg::G, i, j, q) = v;
+                   });
+
+        // newC(r) = D(v): gather the far endpoint's label (C still
+        // carries the column-fanned D from step 1).
+        broadcastDiag(net, otn::Reg::G, otn::Reg::E, otn::Reg::R);
+        gatherAtLabel(net, otn::Reg::E, otn::Reg::C, otn::Reg::Y);
+        net.baseOp(net.cost().bitSerialOp(),
+                   [&](std::size_t i, std::size_t j, std::size_t q) {
+                       if (i != j)
+                           return;
+                       std::uint64_t target =
+                           net.reg(otn::Reg::Y, i, j, q);
+                       net.reg(otn::Reg::G, i, j, q) =
+                           target == kNull ? i * l + q : target;
+                   });
+
+        // (5) 2-cycle removal (distinct weights: mutual pairs only).
+        broadcastDiag(net, otn::Reg::G, otn::Reg::E, otn::Reg::R);
+        gatherAtLabel(net, otn::Reg::E, otn::Reg::R, otn::Reg::Y);
+        net.baseOp(net.cost().bitSerialOp(),
+                   [&](std::size_t i, std::size_t j, std::size_t q) {
+                       if (i != j)
+                           return;
+                       std::uint64_t own = i * l + q;
+                       std::uint64_t new_c =
+                           net.reg(otn::Reg::G, i, j, q);
+                       std::uint64_t back = net.reg(otn::Reg::Y, i, j, q);
+                       if (back == own && new_c != own && own < new_c)
+                           net.reg(otn::Reg::G, i, j, q) = own;
+                   });
+
+        // (6) Relabel all vertices.
+        broadcastDiag(net, otn::Reg::D, otn::Reg::B, otn::Reg::C);
+        broadcastDiag(net, otn::Reg::G, otn::Reg::E, otn::Reg::R);
+        gatherAtLabel(net, otn::Reg::B, otn::Reg::R, otn::Reg::Y);
+        net.baseOp(net.cost().bitSerialOp(),
+                   [&](std::size_t i, std::size_t j, std::size_t q) {
+                       if (i == j)
+                           net.reg(otn::Reg::D, i, j, q) =
+                               net.reg(otn::Reg::Y, i, j, q);
+                   });
+
+        // (7) Pointer jumping to a star.
+        for (unsigned jump = 0; jump < log_n; ++jump) {
+            broadcastDiag(net, otn::Reg::D, otn::Reg::B, otn::Reg::C);
+            gatherAtLabel(net, otn::Reg::B, otn::Reg::C, otn::Reg::Y);
+            net.baseOp(net.cost().bitSerialOp(),
+                       [&](std::size_t i, std::size_t j, std::size_t q) {
+                           if (i == j)
+                               net.reg(otn::Reg::D, i, j, q) =
+                                   net.reg(otn::Reg::Y, i, j, q);
+                       });
+        }
+    }
+
+    otn::MstResult result;
+    result.iterations = iterations;
+    for (auto [u, v] : chosen)
+        result.edges.push_back({u, v, g.weight(u, v)});
+    std::sort(result.edges.begin(), result.edges.end(),
+              [](const graph::Edge &a, const graph::Edge &b) {
+                  return std::tie(a.w, a.u, a.v) <
+                         std::tie(b.w, b.u, b.v);
+              });
+    result.totalWeight = graph::totalWeight(result.edges);
+    result.time = net.now() - start;
+    return result;
+}
+
+} // namespace ot::otc

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Minimum spanning tree natively on the OTC (Section VI-B: "In the
+ * MST algorithm, the area goes down to O(N^2 log N) and not O(N^2).
+ * This is because the entire N x N weight matrix must be stored on
+ * the chip, and each element requires O(log N) bits.").
+ *
+ * The weight block of cycle (I, J) lives in the BPs' local memory
+ * (configureMemory(L): slot p of BP(q) = w(I*L+q, J*L+p) — Theta(L)
+ * words per BP, the paper's extra log N of area).  The Boruvka
+ * skeleton is the native-CC one with packed (w, u, v) edge words: the
+ * candidate scan walks the L weight slots with the circulating column
+ * labels, the per-component minimum uses the in-cycle scatter, and
+ * hooking/jumping use the same label-indirection rounds.
+ */
+
+#pragma once
+
+#include "graph/graph.hh"
+#include "otc/network.hh"
+#include "otn/mst.hh" // MstResult, mstWordFormat
+
+namespace ot::otc {
+
+/**
+ * Boruvka MST on the native (K x K)-OTC, cycles of length L (vertex
+ * v = I*L + q).  Weights must be distinct; the machine word must fit
+ * packed (w, u, v) edge keys (build with otn::mstWordFormat).
+ */
+otn::MstResult mstOtcNative(OtcNetwork &net, const graph::WeightedGraph &g,
+                            bool charge_load = true);
+
+} // namespace ot::otc

@@ -1,0 +1,285 @@
+#include "otc/network.hh"
+
+#include <algorithm>
+#include <array>
+
+#include "vlsi/bitmath.hh"
+
+namespace ot::otc {
+
+OtcNetwork::OtcNetwork(std::size_t cycles_per_side, unsigned cycle_len,
+                       const CostModel &cost)
+    : _k(vlsi::nextPow2(cycles_per_side ? cycles_per_side : 1)),
+      _l(cycle_len ? cycle_len : 1),
+      _cost(cost),
+      _layout(_k, _l, cost.word().bits()),
+      _regs(otn::kNumRegs, std::vector<std::uint64_t>(_k * _k * _l, 0)),
+      _rowStream(_k, std::vector<std::uint64_t>(_l, kNull)),
+      _colStream(_k, std::vector<std::uint64_t>(_l, kNull))
+{
+}
+
+void
+OtcNetwork::fillReg(Reg r, std::uint64_t value)
+{
+    auto &plane = _regs[static_cast<unsigned>(r)];
+    std::fill(plane.begin(), plane.end(), value);
+}
+
+void
+OtcNetwork::configureMemory(unsigned slots)
+{
+    _memSlots = slots;
+    _mem.assign(std::size_t{_k} * _k * _l * slots, 0);
+}
+
+ModelTime
+OtcNetwork::parallelFor(std::size_t count,
+                        const std::function<void(std::size_t)> &body)
+{
+    ++_parallelDepth;
+    ModelTime saved_chain = _chainAccum;
+    ModelTime longest = 0;
+    for (std::size_t c = 0; c < count; ++c) {
+        _chainAccum = 0;
+        body(c);
+        longest = std::max(longest, _chainAccum);
+    }
+    --_parallelDepth;
+    _chainAccum = saved_chain;
+    charge(longest);
+    return longest;
+}
+
+ModelTime
+OtcNetwork::runUncharged(const std::function<void()> &body)
+{
+    ++_parallelDepth;
+    ModelTime saved = _chainAccum;
+    _chainAccum = 0;
+    body();
+    ModelTime would_charge = _chainAccum;
+    _chainAccum = saved;
+    --_parallelDepth;
+    return would_charge;
+}
+
+void
+OtcNetwork::charge(ModelTime dt)
+{
+    if (_parallelDepth > 0)
+        _chainAccum += dt;
+    else
+        _acct.advance(dt);
+}
+
+ModelTime
+OtcNetwork::treeTraversalCost() const
+{
+    return _cost.wordAlongPath(_layout.tree().pathEdges());
+}
+
+ModelTime
+OtcNetwork::streamCost() const
+{
+    // L words pipelined O(log N) apart through one tree traversal,
+    // interleaved with the circulations that position them.
+    return CostModel::pipelineTotal(treeTraversalCost(), _l,
+                                    _cost.wordSeparation()) +
+           circulateCost();
+}
+
+ModelTime
+OtcNetwork::circulateCost() const
+{
+    // Bounded by the wrap-around wire of the cycle plus the bit-serial
+    // word shift.
+    std::array<vlsi::WireLength, 1> wrap{_layout.cycleWrapLength()};
+    return _cost.wordAlongPath(wrap);
+}
+
+std::uint64_t &
+OtcNetwork::rootStream(Axis axis, std::size_t idx, std::size_t q)
+{
+    assert(idx < _k && q < _l);
+    return axis == Axis::Row ? _rowStream[idx][q] : _colStream[idx][q];
+}
+
+ModelTime
+OtcNetwork::circulate(std::size_t i, std::size_t j,
+                      const std::vector<Reg> &regs)
+{
+    for (Reg r : regs) {
+        // R(q) := R((q+1) mod L): contents move one position down.
+        std::uint64_t first = reg(r, i, j, 0);
+        for (std::size_t q = 0; q + 1 < _l; ++q)
+            reg(r, i, j, q) = reg(r, i, j, q + 1);
+        reg(r, i, j, _l - 1) = first;
+    }
+    ++_stats.counter("otc.circulate");
+    ModelTime dt = circulateCost();
+    charge(dt);
+    return dt;
+}
+
+ModelTime
+OtcNetwork::vectorCirculate(Axis axis, std::size_t idx,
+                            const std::vector<Reg> &regs)
+{
+    ModelTime dt = 0;
+    ++_parallelDepth; // suppress per-cycle charging; all concurrent
+    for (std::size_t c = 0; c < _k; ++c) {
+        auto [i, j] = cycleAddr(axis, idx, c);
+        ModelTime saved = _chainAccum;
+        dt = circulate(i, j, regs);
+        _chainAccum = saved;
+    }
+    --_parallelDepth;
+    ++_stats.counter("otc.vectorCirculate");
+    charge(dt);
+    return dt;
+}
+
+ModelTime
+OtcNetwork::rootToCycle(Axis axis, std::size_t idx, const CycleSelector &sel,
+                        Reg dest)
+{
+    // Functionally: word q of the root stream lands in BP(q) of every
+    // selected cycle (the paper's pipedo of ROOTTOLEAF +
+    // VECTORCIRCULATE converges to exactly this placement).
+    for (std::size_t c = 0; c < _k; ++c) {
+        auto [i, j] = cycleAddr(axis, idx, c);
+        if (!sel(i, j))
+            continue;
+        for (std::size_t q = 0; q < _l; ++q)
+            reg(dest, i, j, q) = rootStream(axis, idx, q);
+    }
+    ++_stats.counter("otc.rootToCycle");
+    ModelTime dt = streamCost();
+    charge(dt);
+    return dt;
+}
+
+ModelTime
+OtcNetwork::cycleToRoot(Axis axis, std::size_t idx, const CycleSelector &sel,
+                        Reg src)
+{
+    [[maybe_unused]] unsigned selected = 0;
+    for (std::size_t c = 0; c < _k; ++c) {
+        auto [i, j] = cycleAddr(axis, idx, c);
+        if (!sel(i, j))
+            continue;
+        ++selected;
+        for (std::size_t q = 0; q < _l; ++q)
+            rootStream(axis, idx, q) = reg(src, i, j, q);
+    }
+    assert(selected <= 1 && "CYCLETOROOT requires a unique source cycle");
+    if (selected == 0)
+        for (std::size_t q = 0; q < _l; ++q)
+            rootStream(axis, idx, q) = kNull;
+    ++_stats.counter("otc.cycleToRoot");
+    ModelTime dt = streamCost();
+    charge(dt);
+    return dt;
+}
+
+ModelTime
+OtcNetwork::reduceToRoot(
+    Axis axis, std::size_t idx, const CycleSelector &sel, Reg src,
+    const std::function<std::uint64_t(std::uint64_t, std::uint64_t)>
+        &combine,
+    std::uint64_t identity)
+{
+    for (std::size_t q = 0; q < _l; ++q) {
+        // Level-by-level reduction over the K cycles of the vector.
+        std::vector<std::uint64_t> level(_k);
+        for (std::size_t c = 0; c < _k; ++c) {
+            auto [i, j] = cycleAddr(axis, idx, c);
+            level[c] = sel(i, j) ? reg(src, i, j, q) : identity;
+        }
+        while (level.size() > 1) {
+            std::vector<std::uint64_t> next(level.size() / 2);
+            for (std::size_t c = 0; c < next.size(); ++c)
+                next[c] = combine(level[2 * c], level[2 * c + 1]);
+            level.swap(next);
+        }
+        rootStream(axis, idx, q) = level[0];
+    }
+    // Same pipeline as a plain stream, with per-node combining.
+    ModelTime dt = CostModel::pipelineTotal(
+                       _cost.reducePath(_layout.tree().pathEdges()), _l,
+                       _cost.wordSeparation()) +
+                   circulateCost();
+    charge(dt);
+    return dt;
+}
+
+ModelTime
+OtcNetwork::sumCycleToRoot(Axis axis, std::size_t idx,
+                           const CycleSelector &sel, Reg src)
+{
+    ++_stats.counter("otc.sumCycleToRoot");
+    return reduceToRoot(
+        axis, idx, sel, src,
+        [](std::uint64_t a, std::uint64_t b) { return a + b; }, 0);
+}
+
+ModelTime
+OtcNetwork::minCycleToRoot(Axis axis, std::size_t idx,
+                           const CycleSelector &sel, Reg src)
+{
+    ++_stats.counter("otc.minCycleToRoot");
+    return reduceToRoot(
+        axis, idx, sel, src,
+        [](std::uint64_t a, std::uint64_t b) { return std::min(a, b); },
+        kNull);
+}
+
+ModelTime
+OtcNetwork::cycleToCycle(Axis axis, std::size_t idx,
+                         const CycleSelector &src_sel, Reg src,
+                         const CycleSelector &dst_sel, Reg dst)
+{
+    ModelTime dt = cycleToRoot(axis, idx, src_sel, src);
+    dt += rootToCycle(axis, idx, dst_sel, dst);
+    ++_stats.counter("otc.cycleToCycle");
+    return dt;
+}
+
+ModelTime
+OtcNetwork::sumCycleToCycle(Axis axis, std::size_t idx,
+                            const CycleSelector &src_sel, Reg src,
+                            const CycleSelector &dst_sel, Reg dst)
+{
+    ModelTime dt = sumCycleToRoot(axis, idx, src_sel, src);
+    dt += rootToCycle(axis, idx, dst_sel, dst);
+    ++_stats.counter("otc.sumCycleToCycle");
+    return dt;
+}
+
+ModelTime
+OtcNetwork::minCycleToCycle(Axis axis, std::size_t idx,
+                            const CycleSelector &src_sel, Reg src,
+                            const CycleSelector &dst_sel, Reg dst)
+{
+    ModelTime dt = minCycleToRoot(axis, idx, src_sel, src);
+    dt += rootToCycle(axis, idx, dst_sel, dst);
+    ++_stats.counter("otc.minCycleToCycle");
+    return dt;
+}
+
+ModelTime
+OtcNetwork::baseOp(ModelTime op_cost,
+                   const std::function<void(std::size_t i, std::size_t j,
+                                            std::size_t q)> &op)
+{
+    for (std::size_t i = 0; i < _k; ++i)
+        for (std::size_t j = 0; j < _k; ++j)
+            for (std::size_t q = 0; q < _l; ++q)
+                op(i, j, q);
+    ++_stats.counter("otc.baseOp");
+    charge(op_cost);
+    return op_cost;
+}
+
+} // namespace ot::otc

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * The orthogonal tree cycles (Section V of the paper).
+ *
+ * A (K x K)-OTC with cycle length L is an OTN whose base processors
+ * are replaced by cycles of L BPs each; BP(0) of every cycle connects
+ * to the row and column trees.  With K = N / log N and L = log N the
+ * machine handles the same N-element problems as an (N x N)-OTN in the
+ * same asymptotic time while occupying only O(N^2) area.
+ *
+ * Data enters and leaves as *streams*: each root port carries L words
+ * per operation, pipelined O(log N) apart, so every communication
+ * primitive (ROOTTOCYCLE, CYCLETOROOT, CYCLETOCYCLE and the SUM/MIN
+ * variants) still costs O(log^2 N) — a pipeline of L words riding one
+ * tree traversal (Section V-B).
+ */
+
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "layout/otc_layout.hh"
+#include "otn/registers.hh"
+#include "sim/stats.hh"
+#include "sim/time_accountant.hh"
+#include "vlsi/cost_model.hh"
+
+namespace ot::otc {
+
+using otn::kNull;
+using otn::Reg;
+using sim::TimeAccountant;
+using vlsi::CostModel;
+using vlsi::ModelTime;
+
+/** Row or column trees of cycles. */
+enum class Axis { Row, Col };
+
+/** Cycle predicate over cycle addresses (i = row, j = column). */
+using CycleSelector = std::function<bool(std::size_t i, std::size_t j)>;
+
+/** Common cycle selector factories. */
+struct CSel
+{
+    static CycleSelector
+    all()
+    {
+        return [](std::size_t, std::size_t) { return true; };
+    }
+
+    static CycleSelector
+    rowIs(std::size_t k)
+    {
+        return [k](std::size_t i, std::size_t) { return i == k; };
+    }
+
+    static CycleSelector
+    colIs(std::size_t k)
+    {
+        return [k](std::size_t, std::size_t j) { return j == k; };
+    }
+};
+
+/** Simulator of a (K x K)-OTC with length-L cycles. */
+class OtcNetwork
+{
+  public:
+    /**
+     * @param cycles_per_side  K (rounded up to a power of two).
+     * @param cycle_len        L (>= 1); log N for the standard machine.
+     * @param cost             Cost rules.
+     */
+    OtcNetwork(std::size_t cycles_per_side, unsigned cycle_len,
+               const CostModel &cost);
+
+    std::size_t k() const { return _k; }
+    unsigned cycleLen() const { return _l; }
+
+    /** Total base processors: K^2 * L. */
+    std::size_t totalBps() const { return _k * _k * _l; }
+
+    const CostModel &cost() const { return _cost; }
+    const layout::OtcLayout &chipLayout() const { return _layout; }
+    TimeAccountant &acct() { return _acct; }
+    sim::StatSet &stats() { return _stats; }
+    ModelTime now() const { return _acct.now(); }
+
+    void
+    resetTime()
+    {
+        _acct.reset();
+        _stats.reset();
+    }
+
+    // ------------------------------------------------------------------
+    // Registers and I/O streams
+    // ------------------------------------------------------------------
+
+    /** Register r of BP(i, j, q) — the paper's triple addressing. */
+    std::uint64_t &
+    reg(Reg r, std::size_t i, std::size_t j, std::size_t q)
+    {
+        assert(i < _k && j < _k && q < _l);
+        return _regs[static_cast<unsigned>(r)][(i * _k + j) * _l + q];
+    }
+
+    std::uint64_t
+    reg(Reg r, std::size_t i, std::size_t j, std::size_t q) const
+    {
+        assert(i < _k && j < _k && q < _l);
+        return _regs[static_cast<unsigned>(r)][(i * _k + j) * _l + q];
+    }
+
+    /** Input stream of row-root port i (L words per operation). */
+    std::vector<std::uint64_t> &rowStream(std::size_t i)
+    {
+        return _rowStream[i];
+    }
+
+    /** Output stream of column-root port j. */
+    std::vector<std::uint64_t> &colStream(std::size_t j)
+    {
+        return _colStream[j];
+    }
+
+    /** Fill register r of every BP. */
+    void fillReg(Reg r, std::uint64_t value);
+
+    /**
+     * Configure `slots` words of local memory per BP (beyond the named
+     * registers).  This is the Section VI-B storage configuration: the
+     * MST machine keeps the whole N x N weight matrix resident, i.e.
+     * Theta(L) words per BP, at the documented Theta(log N) area
+     * premium.  Existing contents are discarded.
+     */
+    void configureMemory(unsigned slots);
+
+    /** Local memory slots per BP (0 until configured). */
+    unsigned memSlots() const { return _memSlots; }
+
+    /** Local memory word `slot` of BP(i, j, q). */
+    std::uint64_t &
+    mem(std::size_t i, std::size_t j, std::size_t q, unsigned slot)
+    {
+        assert(slot < _memSlots);
+        return _mem[((i * _k + j) * _l + q) * _memSlots + slot];
+    }
+
+    std::uint64_t
+    mem(std::size_t i, std::size_t j, std::size_t q, unsigned slot) const
+    {
+        assert(slot < _memSlots);
+        return _mem[((i * _k + j) * _l + q) * _memSlots + slot];
+    }
+
+    bool
+    fitsWord(std::uint64_t v) const
+    {
+        return v == kNull || v <= _cost.word().maxValue();
+    }
+
+    // ------------------------------------------------------------------
+    // Parallel sections (same semantics as the OTN's)
+    // ------------------------------------------------------------------
+
+    ModelTime parallelFor(std::size_t count,
+                          const std::function<void(std::size_t)> &body);
+
+    ModelTime runUncharged(const std::function<void()> &body);
+
+    void charge(ModelTime dt);
+
+    // ------------------------------------------------------------------
+    // Primitives (Section V-B)
+    // ------------------------------------------------------------------
+
+    /** CIRCULATE(i, j, regs): shift the registers one step around the
+     *  cycle — R(q) := R((q+1) mod L). */
+    ModelTime circulate(std::size_t i, std::size_t j,
+                        const std::vector<Reg> &regs);
+
+    /** VECTORCIRCULATE: circulate every cycle of a row/column. */
+    ModelTime vectorCirculate(Axis axis, std::size_t idx,
+                              const std::vector<Reg> &regs);
+
+    /**
+     * ROOTTOCYCLE(Vector, Dest): stream the L words of the root port
+     * into register `dest` of the selected cycles; word q lands in
+     * BP(q).
+     */
+    ModelTime rootToCycle(Axis axis, std::size_t idx,
+                          const CycleSelector &sel, Reg dest);
+
+    /**
+     * CYCLETOROOT(Vector, Source): stream register `src` of the single
+     * selected cycle to the root port, word q at beat q.  Source
+     * registers are left invariant (the paper: L circulations restore
+     * them).
+     */
+    ModelTime cycleToRoot(Axis axis, std::size_t idx,
+                          const CycleSelector &sel, Reg src);
+
+    /** SUM-CYCLETOROOT: root stream[q] = sum over selected cycles of
+     *  R(q). */
+    ModelTime sumCycleToRoot(Axis axis, std::size_t idx,
+                             const CycleSelector &sel, Reg src);
+
+    /** MIN-CYCLETOROOT: root stream[q] = min over selected cycles of
+     *  R(q); kNull = absent. */
+    ModelTime minCycleToRoot(Axis axis, std::size_t idx,
+                             const CycleSelector &sel, Reg src);
+
+    /** CYCLETOCYCLE: source cycle's words to BP(q) of each dest. */
+    ModelTime cycleToCycle(Axis axis, std::size_t idx,
+                           const CycleSelector &src_sel, Reg src,
+                           const CycleSelector &dst_sel, Reg dst);
+
+    /** SUM-CYCLETOCYCLE. */
+    ModelTime sumCycleToCycle(Axis axis, std::size_t idx,
+                              const CycleSelector &src_sel, Reg src,
+                              const CycleSelector &dst_sel, Reg dst);
+
+    /** MIN-CYCLETOCYCLE. */
+    ModelTime minCycleToCycle(Axis axis, std::size_t idx,
+                              const CycleSelector &src_sel, Reg src,
+                              const CycleSelector &dst_sel, Reg dst);
+
+    /** One parallel step over all K^2 * L BPs. */
+    ModelTime baseOp(ModelTime op_cost,
+                     const std::function<void(std::size_t i, std::size_t j,
+                                              std::size_t q)> &op);
+
+    // Cost building blocks (public for the benches).
+
+    /** One word root<->BP(0) through a tree of K leaves. */
+    ModelTime treeTraversalCost() const;
+
+    /** L words pipelined through a tree: the standard primitive cost. */
+    ModelTime streamCost() const;
+
+    /** One CIRCULATE step (bounded by the wrap-around wire). */
+    ModelTime circulateCost() const;
+
+  private:
+    std::uint64_t &rootStream(Axis axis, std::size_t idx, std::size_t q);
+
+    /** Shared pipeline: per-position reduce over cycles into the root
+     *  stream. */
+    ModelTime reduceToRoot(
+        Axis axis, std::size_t idx, const CycleSelector &sel, Reg src,
+        const std::function<std::uint64_t(std::uint64_t, std::uint64_t)>
+            &combine,
+        std::uint64_t identity);
+
+    std::pair<std::size_t, std::size_t>
+    cycleAddr(Axis axis, std::size_t idx, std::size_t c) const
+    {
+        return axis == Axis::Row ? std::make_pair(idx, c)
+                                 : std::make_pair(c, idx);
+    }
+
+    std::size_t _k;
+    unsigned _l;
+    CostModel _cost;
+    layout::OtcLayout _layout;
+    TimeAccountant _acct;
+    sim::StatSet _stats;
+
+    std::vector<std::vector<std::uint64_t>> _regs;
+    std::vector<std::vector<std::uint64_t>> _rowStream;
+    std::vector<std::vector<std::uint64_t>> _colStream;
+    std::vector<std::uint64_t> _mem;
+    unsigned _memSlots = 0;
+
+    unsigned _parallelDepth = 0;
+    ModelTime _chainAccum = 0;
+};
+
+} // namespace ot::otc

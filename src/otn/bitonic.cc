@@ -1,0 +1,145 @@
+#include "otn/bitonic.hh"
+
+#include <cassert>
+#include <span>
+
+#include "vlsi/bitmath.hh"
+
+namespace ot::otn {
+
+namespace {
+
+/**
+ * One Batcher compare-exchange sweep at linear distance d over the
+ * base (element at linear index l in BP(l / K, l % K)); `size` is the
+ * current bitonic block size fixing the sort direction.
+ */
+void
+compexSweep(OrthogonalTreesNetwork &net, std::size_t size, std::size_t d,
+            CompexSchedule schedule)
+{
+    const std::size_t k = net.n();
+    const std::size_t total = k * k;
+    for (std::size_t l = 0; l < total; ++l) {
+        std::size_t p = l ^ d;
+        if (p <= l)
+            continue;
+        bool ascending = (l & size) == 0;
+        auto &a = net.reg(Reg::A, l / k, l % k);
+        auto &b = net.reg(Reg::A, p / k, p % k);
+        bool out_of_order = ascending ? (a > b) : (a < b);
+        if (out_of_order)
+            std::swap(a, b);
+    }
+    net.charge(compexStageCost(net, d, schedule));
+    ++net.stats().counter("otn.compexSweep");
+}
+
+void
+loadLinear(OrthogonalTreesNetwork &net,
+           const std::vector<std::uint64_t> &values, bool charged)
+{
+    const std::size_t k = net.n();
+    const std::size_t total = k * k;
+    assert(values.size() <= total);
+    for (std::size_t l = 0; l < total; ++l) {
+        std::uint64_t v = l < values.size() ? values[l] : kNull;
+        assert(net.fitsWord(v));
+        net.reg(Reg::A, l / k, l % k) = v;
+    }
+    if (charged) {
+        // K words stream through each of the K row trees in parallel.
+        net.charge(vlsi::CostModel::pipelineTotal(
+            net.treeTraversalCost(), k, net.cost().wordSeparation()));
+    }
+}
+
+std::vector<std::uint64_t>
+readLinear(const OrthogonalTreesNetwork &net, std::size_t count)
+{
+    const std::size_t k = net.n();
+    std::vector<std::uint64_t> out(count);
+    for (std::size_t l = 0; l < count; ++l)
+        out[l] = net.reg(Reg::A, l / k, l % k);
+    return out;
+}
+
+} // namespace
+
+ModelTime
+compexStageCost(const OrthogonalTreesNetwork &net, std::size_t d,
+                CompexSchedule schedule)
+{
+    const std::size_t k = net.n();
+    const auto &cm = net.cost();
+    // Leaf distance within the vector the exchange uses: row trees for
+    // d < K (horizontal), column trees otherwise (vertical).
+    std::size_t e = d < k ? d : d / k;
+    // Pairs (q, q ^ e) route through the root of their aligned 2e-leaf
+    // subtree: the bottom (log2 e + 1) levels of the tree.
+    unsigned h = vlsi::ilog2Ceil(2 * e);
+    const auto &path = net.chipLayout().tree().pathEdges();
+    assert(h <= path.size());
+    std::span<const vlsi::WireLength> bottom(path.data() + (path.size() - h),
+                                             h);
+    // Up and down through the subtree, e words through the subtree
+    // root, plus the compare at the leaves.  Under the strict schedule
+    // the words queue at word separation; under the streamed schedule
+    // ([21]) successive words follow bit-on-bit with unit gaps.
+    ModelTime one_way = cm.wordAlongPath(bottom);
+    ModelTime per_word = schedule == CompexSchedule::Strict
+                             ? cm.wordSeparation()
+                             : 1;
+    ModelTime stream = (e - 1) * per_word;
+    return 2 * one_way + stream + cm.bitSerialOp();
+}
+
+BitonicResult
+bitonicSortOtn(OrthogonalTreesNetwork &net,
+               const std::vector<std::uint64_t> &values,
+               CompexSchedule schedule)
+{
+    const std::size_t total = net.n() * net.n();
+
+    BitonicResult result;
+    ModelTime start = net.now();
+    sim::ScopedPhase phase(net.acct(), "bitonic-sort-otn");
+    loadLinear(net, values, /*charged=*/true);
+
+    for (std::size_t size = 2; size <= total; size <<= 1) {
+        for (std::size_t d = size / 2; d >= 1; d >>= 1) {
+            compexSweep(net, size, d, schedule);
+            ++result.stages;
+        }
+    }
+
+    result.sorted = readLinear(net, values.size());
+    result.time = net.now() - start;
+    return result;
+}
+
+BitonicResult
+bitonicMergeOtn(OrthogonalTreesNetwork &net,
+                const std::vector<std::uint64_t> &values)
+{
+    const std::size_t total = net.n() * net.n();
+    // Padding an arbitrary bitonic sequence would break bitonicity, so
+    // merging requires a full load.
+    assert(values.size() == total);
+
+    BitonicResult result;
+    ModelTime start = net.now();
+    sim::ScopedPhase phase(net.acct(), "bitonic-merge-otn");
+    loadLinear(net, values, /*charged=*/true);
+
+    for (std::size_t d = total / 2; d >= 1; d >>= 1) {
+        compexSweep(net, total, d, CompexSchedule::Strict);
+        ++result.stages;
+    }
+
+    result.sorted = readLinear(net, values.size());
+    result.time = net.now() - start;
+    return result;
+}
+
+} // namespace ot::otn

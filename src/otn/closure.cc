@@ -1,0 +1,74 @@
+#include "otn/closure.hh"
+
+#include <algorithm>
+
+#include "otn/matmul.hh"
+#include "vlsi/bitmath.hh"
+
+namespace ot::otn {
+
+ClosureResult
+transitiveClosureOtn(OrthogonalTreesNetwork &net, const graph::Graph &g,
+                     bool replicated)
+{
+    const std::size_t v = g.vertices();
+    assert(v <= net.n());
+
+    ModelTime start = net.now();
+    sim::ScopedPhase phase(net.acct(), "transitive-closure-otn");
+
+    // reach := A + I.
+    linalg::BoolMatrix reach(v, v, 0);
+    for (std::size_t i = 0; i < v; ++i)
+        for (std::size_t j = 0; j < v; ++j)
+            reach(i, j) = (i == j || g.hasEdge(i, j)) ? 1 : 0;
+
+    ClosureResult result;
+    const unsigned rounds = vlsi::logCeilAtLeast1(v);
+    for (unsigned s = 0; s < rounds; ++s) {
+        MatMulResult mm = replicated
+                              ? boolMatMulReplicated(net, reach, reach)
+                              : boolMatMulPipelined(net, reach, reach);
+        for (std::size_t i = 0; i < v; ++i)
+            for (std::size_t j = 0; j < v; ++j)
+                reach(i, j) = mm.product(i, j) ? 1 : 0;
+        ++result.squarings;
+    }
+
+    result.reach = std::move(reach);
+    result.time = net.now() - start;
+    return result;
+}
+
+std::vector<std::size_t>
+componentsViaClosure(OrthogonalTreesNetwork &net, const graph::Graph &g)
+{
+    auto closure = transitiveClosureOtn(net, g);
+    const std::size_t v = g.vertices();
+
+    // label(i) = min j with reach(i, j): per row, one MIN reduction
+    // over the column indices of the set bits.  The reach bits are in
+    // the base after the last product; reload them (charged) and take
+    // the row minima of index words.
+    {
+        linalg::IntMatrix idx(net.n(), net.n(), 0);
+        for (std::size_t i = 0; i < v; ++i)
+            for (std::size_t j = 0; j < v; ++j)
+                idx(i, j) = closure.reach(i, j) ? j : kNull;
+        for (std::size_t i = 0; i < net.n(); ++i)
+            for (std::size_t j = 0; j < net.n(); ++j)
+                if (i >= v || j >= v)
+                    idx(i, j) = kNull;
+        net.loadBase(Reg::X, idx, /*charged=*/true, /*separation=*/1);
+    }
+    net.parallelFor(net.n(), [&](std::size_t i) {
+        net.minLeafToRoot(Axis::Row, i, Sel::all(), Reg::X);
+    });
+
+    std::vector<std::size_t> labels(v);
+    for (std::size_t i = 0; i < v; ++i)
+        labels[i] = static_cast<std::size_t>(net.rowRoot(i));
+    return labels;
+}
+
+} // namespace ot::otn

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Transitive closure / reachability on the OTN.
+ *
+ * The natural companion of the paper's Boolean matrix multiplication:
+ * reach = (A + I)^(2^ceil(log N)) by repeated Boolean squaring, each
+ * squaring a Table II product.  Savage's AT^2 lower bounds for
+ * transitive closure [27] are part of the background the paper's
+ * comparison rests on.  With the replicated-block (log^2 N per
+ * product) machine the closure costs O(log^3 N); with the pipelined
+ * N x N machine it costs O(N log N).
+ *
+ * Also derives connected components from the closure (the min
+ * reachable vertex per row), which cross-checks the Section III
+ * CONNECT implementation through a completely different algorithm.
+ */
+
+#pragma once
+
+#include "graph/graph.hh"
+#include "linalg/matrix.hh"
+#include "otn/network.hh"
+
+namespace ot::otn {
+
+/** Result of a transitive-closure run. */
+struct ClosureResult
+{
+    /** reach(i, j) = 1 iff j is reachable from i (reflexive). */
+    linalg::BoolMatrix reach;
+    /** Model time of the run. */
+    ModelTime time = 0;
+    /** Squarings performed: ceil(log2 N). */
+    unsigned squarings = 0;
+};
+
+/**
+ * Reflexive-transitive closure of the adjacency matrix on `net`
+ * (n() >= vertices).  `replicated` selects the log^2 N-per-product
+ * machine of Table II; otherwise the pipelined N x N machine is used.
+ */
+ClosureResult transitiveClosureOtn(OrthogonalTreesNetwork &net,
+                                   const graph::Graph &g,
+                                   bool replicated = true);
+
+/**
+ * Connected components via the closure: label(v) = min reachable
+ * vertex.  An independent cross-check of connectedComponentsOtn.
+ */
+std::vector<std::size_t> componentsViaClosure(OrthogonalTreesNetwork &net,
+                                              const graph::Graph &g);
+
+} // namespace ot::otn

@@ -1,0 +1,160 @@
+#include "otn/connected_components.hh"
+
+#include <algorithm>
+
+#include "graph/reference_algorithms.hh"
+#include "otn/patterns.hh"
+#include "vlsi/bitmath.hh"
+
+namespace ot::otn {
+
+namespace {
+
+/*
+ * Register allocation for CONNECT on the OTN:
+ *   A  adjacency bits
+ *   D  vertex label, authoritative copy on the diagonal
+ *   B  D fanned out along rows        (B(i,j) = D(i))
+ *   C  D fanned out down columns      (C(i,j) = D(j))
+ *   T  candidate foreign labels in the base
+ *   E  per-vertex best candidate, fanned out along rows
+ *   H  per-component hook target, fanned out down columns
+ *   G  new component label (newC) on the diagonal
+ *   X  gather keys / scratch broadcasts
+ *   R  gather values / scratch broadcasts
+ *   Y  gather outputs
+ *   F  gatherAtIndex scratch flag
+ */
+
+void
+loadAdjacency(OrthogonalTreesNetwork &net, const graph::Graph &g,
+              bool charged)
+{
+    const std::size_t n = net.n();
+    linalg::IntMatrix adj(n, n, 0);
+    for (std::size_t i = 0; i < g.vertices(); ++i)
+        for (std::size_t j = 0; j < g.vertices(); ++j)
+            adj(i, j) = g.hasEdge(i, j) ? 1 : 0;
+    // Adjacency entries are single bits: unit pipeline separation.
+    net.loadBase(Reg::A, adj, charged, /*separation=*/1);
+}
+
+} // namespace
+
+ComponentsResult
+connectedComponentsOtn(OrthogonalTreesNetwork &net, const graph::Graph &g,
+                       bool charge_load)
+{
+    const std::size_t n = net.n();
+    assert(g.vertices() <= n);
+    const unsigned log_n = vlsi::logCeilAtLeast1(n);
+
+    ModelTime start = net.now();
+    sim::ScopedPhase phase(net.acct(), "connected-components-otn");
+
+    loadAdjacency(net, g, charge_load);
+
+    // D(i) := i on the diagonal.
+    net.baseOp(net.cost().bitSerialOp(), [&](std::size_t i, std::size_t j) {
+        if (i == j)
+            net.reg(Reg::D, i, j) = i;
+    });
+
+    const unsigned iterations = log_n + 1;
+    for (unsigned iter = 0; iter < iterations; ++iter) {
+        // (1) Fan the labels out: B(i,j) = D(i), C(i,j) = D(j).
+        diagToRows(net, Reg::D, Reg::B);
+        diagToCols(net, Reg::D, Reg::C);
+
+        // (2) Candidate foreign labels.
+        net.baseOp(net.cost().bitSerialOp(),
+                   [&](std::size_t i, std::size_t j) {
+                       bool edge = net.reg(Reg::A, i, j) == 1;
+                       std::uint64_t mine = net.reg(Reg::B, i, j);
+                       std::uint64_t theirs = net.reg(Reg::C, i, j);
+                       net.reg(Reg::T, i, j) =
+                           (edge && theirs != mine) ? theirs : kNull;
+                   });
+
+        // (3) Per-vertex minimum candidate, fanned back along the row.
+        net.parallelFor(n, [&](std::size_t i) {
+            net.minLeafToRoot(Axis::Row, i, Sel::all(), Reg::T);
+            net.rootToLeaf(Axis::Row, i, Sel::all(), Reg::E);
+        });
+
+        // (4) Per-component minimum over the members' candidates; each
+        // vertex i deposits its candidate at BP(i, D(i)), and column
+        // D(i)'s tree reduces.  The result is fanned back down the
+        // column and latched on the diagonal as newC.
+        Selector member = [&net](std::size_t i, std::size_t j) {
+            return net.reg(Reg::B, i, j) == j;
+        };
+        net.parallelFor(n, [&](std::size_t j) {
+            net.minLeafToRoot(Axis::Col, j, member, Reg::E);
+            net.rootToLeaf(Axis::Col, j, Sel::all(), Reg::H);
+        });
+        net.baseOp(net.cost().bitSerialOp(),
+                   [&](std::size_t i, std::size_t j) {
+                       if (i != j)
+                           return;
+                       std::uint64_t h = net.reg(Reg::H, i, j);
+                       net.reg(Reg::G, i, j) = h == kNull ? j : h;
+                   });
+
+        // (5) Remove mutual hooks (the only cycles min-hooking can
+        // create are 2-cycles [12]): of a pair hooking to each other,
+        // the smaller label stays a root.
+        diagToRows(net, Reg::G, Reg::X);
+        diagToCols(net, Reg::G, Reg::R);
+        gatherAtIndex(net, Reg::X, Reg::R, Reg::Y, Reg::F);
+        net.baseOp(net.cost().bitSerialOp(),
+                   [&](std::size_t i, std::size_t j) {
+                       if (i != j)
+                           return;
+                       std::uint64_t new_c = net.reg(Reg::G, i, j);
+                       std::uint64_t back = net.reg(Reg::Y, i, j);
+                       if (back == j && new_c != j && j < new_c)
+                           net.reg(Reg::G, i, j) = j;
+                   });
+
+        // (6) Relabel every vertex with its root's new label:
+        // D(i) := newC(D(i)).
+        diagToCols(net, Reg::G, Reg::R);
+        gatherAtIndex(net, Reg::B, Reg::R, Reg::Y, Reg::F);
+        net.baseOp(net.cost().bitSerialOp(),
+                   [&](std::size_t i, std::size_t j) {
+                       if (i == j)
+                           net.reg(Reg::D, i, j) = net.reg(Reg::Y, i, j);
+                   });
+
+        // (7) Pointer jumping to a star: D := D(D), log N times.
+        for (unsigned jump = 0; jump < log_n; ++jump) {
+            diagToRows(net, Reg::D, Reg::B);
+            diagToCols(net, Reg::D, Reg::C);
+            gatherAtIndex(net, Reg::B, Reg::C, Reg::Y, Reg::F);
+            net.baseOp(net.cost().bitSerialOp(),
+                       [&](std::size_t i, std::size_t j) {
+                           if (i == j)
+                               net.reg(Reg::D, i, j) =
+                                   net.reg(Reg::Y, i, j);
+                       });
+        }
+    }
+
+    ComponentsResult result;
+    result.iterations = iterations;
+    std::vector<std::size_t> raw(g.vertices());
+    for (std::size_t v = 0; v < g.vertices(); ++v)
+        raw[v] = static_cast<std::size_t>(net.reg(Reg::D, v, v));
+    result.labels = graph::canonicalizeLabels(raw);
+
+    std::vector<std::size_t> distinct = result.labels;
+    std::sort(distinct.begin(), distinct.end());
+    result.componentCount = static_cast<std::size_t>(
+        std::unique(distinct.begin(), distinct.end()) - distinct.begin());
+
+    result.time = net.now() - start;
+    return result;
+}
+
+} // namespace ot::otn

@@ -1,0 +1,74 @@
+#include "otn/dft.hh"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+#include "otn/bitonic.hh"
+#include "vlsi/bitmath.hh"
+
+namespace ot::otn {
+
+DftResult
+dftOtn(OrthogonalTreesNetwork &net, const std::vector<linalg::Complex> &x)
+{
+    const std::size_t k = net.n();
+    const std::size_t n = k * k;
+    assert(x.size() == n);
+    const unsigned logn = vlsi::ilog2Ceil(n);
+
+    DftResult result;
+    ModelTime start = net.now();
+    sim::ScopedPhase phase(net.acct(), "dft-otn");
+
+    // Input load: K words through each row tree, complex = two words.
+    net.charge(vlsi::CostModel::pipelineTotal(
+        net.treeTraversalCost(), 2 * k, net.cost().wordSeparation()));
+
+    // Bit-reversal permutation.  Reversing the 2 log K index bits of
+    // l = (i, j) maps (i, j) -> (rev(j), rev(i)): a row-tree
+    // permutation (j -> rev j, all rows in parallel) followed by a
+    // column-tree permutation (i -> rev i).  Each phase is priced by
+    // the congestion of the bit-reversal pattern through one tree
+    // (permutationCost); complex elements are two machine words.
+    std::vector<linalg::Complex> a(n);
+    for (std::size_t l = 0; l < n; ++l)
+        a[vlsi::reverseBits(l, logn)] = x[l];
+    {
+        const unsigned logk = vlsi::ilog2Ceil(k);
+        std::vector<std::size_t> bitrev(k);
+        for (std::size_t j = 0; j < k; ++j)
+            bitrev[j] = vlsi::reverseBits(j, logk);
+        net.charge(2 * 2 * net.permutationCost(bitrev));
+    }
+
+    // Butterfly stages, distances 1, 2, ..., n/2; the communication is
+    // the same pattern as the bitonic COMPEX at distance d (a complex
+    // element is two machine words, hence the factor 2), and each BP
+    // then does a complex multiply-add.
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+        std::size_t d = len / 2;
+        double angle = -2.0 * std::numbers::pi / static_cast<double>(len);
+        linalg::Complex wlen(std::cos(angle), std::sin(angle));
+        for (std::size_t i = 0; i < n; i += len) {
+            linalg::Complex w = 1;
+            for (std::size_t j = 0; j < len / 2; ++j) {
+                linalg::Complex u = a[i + j];
+                linalg::Complex v = a[i + j + d] * w;
+                a[i + j] = u + v;
+                a[i + j + d] = u - v;
+                w *= wlen;
+            }
+        }
+        net.charge(2 * compexStageCost(net, d) +
+                   net.cost().bitSerialMultiply());
+        ++result.stages;
+        ++net.stats().counter("otn.dftStage");
+    }
+
+    result.spectrum = std::move(a);
+    result.time = net.now() - start;
+    return result;
+}
+
+} // namespace ot::otn

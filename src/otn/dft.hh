@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Discrete Fourier transform on a (K x K)-OTN (Section IV-B).
+ *
+ * "The FFT algorithm for computing an N-element DFT has a very similar
+ * structure to that of Bitonic Merging.  By using an implementation
+ * similar to BITONICMERGE-OTN, we can compute the DFT in
+ * O(N^1/2 log N) time on an (N^1/2 x N^1/2)-OTN."
+ *
+ * We run the iterative radix-2 Cooley-Tukey FFT with one element per
+ * BP (linear index = row-major), butterflies at distance d routed
+ * exactly like the COMPEX stages of the bitonic sort, plus the initial
+ * bit-reversal permutation (a pipelined tree permutation).  Numeric
+ * values are simulated in double precision on the host; on the
+ * machine each complex element is a pair of O(log N)-bit fixed-point
+ * words, which is what the cost accounting assumes.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "linalg/reference.hh"
+#include "otn/network.hh"
+
+namespace ot::otn {
+
+/** Result of a DFT run. */
+struct DftResult
+{
+    std::vector<linalg::Complex> spectrum;
+    ModelTime time = 0;
+    unsigned stages = 0;
+};
+
+/**
+ * Compute the N-point DFT of x (N = net.n()^2 required) on the
+ * (K x K)-OTN `net`.  Verified against linalg::dftNaive.
+ */
+DftResult dftOtn(OrthogonalTreesNetwork &net,
+                 const std::vector<linalg::Complex> &x);
+
+} // namespace ot::otn

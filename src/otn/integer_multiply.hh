@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Integer multiplication on the OTN — the Capello & Steiglitz
+ * application the paper's introduction cites ("Capello and Steiglitz
+ * use the OTN (which they call orthogonal forest) for integer
+ * multiplication" [8]).
+ *
+ * Two w-bit integers multiply as the convolution of their bit vectors
+ * followed by carry resolution.  On the OTN the convolution is a
+ * vector-matrix product with the Toeplitz matrix of shifted copies of
+ * one operand (M(k, j) = b_(j-k)):
+ *
+ *   digit(j) = sum_k a_k * b_(j-k)
+ *
+ * computed by one ROOTTOLEAF fan-out, a base AND, and column SUM
+ * reductions — O(log^2 w) — after which the base-2 carry chain is
+ * resolved.  Digits are < w, so each carry propagation step is a
+ * prefix-style pass; the simple machine repeats (digit + carry-in)
+ * normalization until no carries remain, which for w-bit operands
+ * terminates in O(log w) passes of the PREFIX primitive.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "otn/network.hh"
+
+namespace ot::otn {
+
+/** Result of an integer multiplication run. */
+struct MultiplyResult
+{
+    /** The product a * b. */
+    std::uint64_t product = 0;
+    /** Model time of the run. */
+    ModelTime time = 0;
+    /** Carry-normalization passes used. */
+    unsigned carryPasses = 0;
+};
+
+/**
+ * Multiply two unsigned integers of at most `bits` bits each on a
+ * (2*bits x 2*bits)-OTN.  Requires bits <= 31 (the result must fit a
+ * host word for verification).  The network must have n() >= 2*bits.
+ */
+MultiplyResult integerMultiplyOtn(OrthogonalTreesNetwork &net,
+                                  std::uint64_t a, std::uint64_t b,
+                                  unsigned bits);
+
+/** Convenience: build a suitable machine and multiply. */
+MultiplyResult integerMultiplyOtn(std::uint64_t a, std::uint64_t b,
+                                  unsigned bits,
+                                  vlsi::DelayModel model =
+                                      vlsi::DelayModel::Logarithmic);
+
+} // namespace ot::otn

@@ -1,0 +1,119 @@
+#include "otn/mesh_of_trees_3d.hh"
+
+#include <cassert>
+#include <vector>
+
+#include "vlsi/bitmath.hh"
+
+namespace ot::otn {
+
+MeshOfTrees3d::MeshOfTrees3d(std::size_t n, const vlsi::CostModel &cost)
+    : _n(vlsi::nextPow2(n ? n : 1)),
+      _cost(cost),
+      // The 2D embedding lays the N planes side by side, so leaves of
+      // one axis line sit Theta(N) * pitch apart; with the BP pitch of
+      // Theta(log N) the inter-leaf distance is Theta(N log N)...
+      // dominated by the plane stride Theta(N).  We embed each axis
+      // tree over N leaves with pitch N (the plane stride), giving the
+      // Theta(N^2) longest wires of the O(N^4)-area layout.
+      _axisTree(_n, _n)
+{
+}
+
+std::uint64_t
+MeshOfTrees3d::chipArea() const
+{
+    // Theta(N^4): N^3 cells of Theta(1) area plus 3 N^2 trees whose
+    // wiring dominates; side Theta(N^2).
+    std::uint64_t side = std::uint64_t{_n} * _n +
+                         std::uint64_t{_n} * vlsi::logCeilAtLeast1(_n);
+    return side * side;
+}
+
+vlsi::WireLength
+MeshOfTrees3d::longestWire() const
+{
+    return _axisTree.longestEdge();
+}
+
+ModelTime
+MeshOfTrees3d::treeTraversalCost() const
+{
+    return _cost.wordAlongPath(_axisTree.pathEdges());
+}
+
+ModelTime
+MeshOfTrees3d::treeReduceCost() const
+{
+    return _cost.reducePath(_axisTree.pathEdges());
+}
+
+MatMulResult
+MeshOfTrees3d::multiplyImpl(const linalg::IntMatrix &a,
+                            const linalg::IntMatrix &b, bool boolean)
+{
+    const std::size_t m = a.rows();
+    assert(a.cols() == m && b.rows() == m && b.cols() == m && m <= _n);
+
+    ModelTime start = _acct.now();
+    sim::ScopedPhase phase(_acct, boolean ? "mot3d-bool-matmul"
+                                          : "mot3d-matmul");
+
+    // Phase 1 + 2: both fan-outs happen on disjoint trees, so they
+    // overlap; charge one traversal for each phase boundary.
+    // cell(i, j, k) = a(i, k), b(k, j).
+    _acct.advance(treeTraversalCost());
+    _acct.advance(treeTraversalCost());
+    ++_stats.counter("mot3d.broadcasts");
+
+    // Multiply in every cell (all N^3 concurrently).
+    ModelTime mul_cost = boolean ? 1 : _cost.bitSerialMultiply();
+    _acct.advance(mul_cost);
+
+    // Phase 3: SUM up the k-axis trees; root of line (i, j, *) = c(i,j).
+    _acct.advance(treeReduceCost());
+    ++_stats.counter("mot3d.reductions");
+
+    MatMulResult result;
+    result.product = linalg::IntMatrix(m, m, 0);
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < m; ++j) {
+            std::uint64_t acc = 0;
+            for (std::size_t k = 0; k < m; ++k) {
+                std::uint64_t prod = a(i, k) * b(k, j);
+                if (boolean)
+                    acc = acc | (prod ? 1 : 0);
+                else
+                    acc += prod;
+            }
+            result.product(i, j) = acc;
+        }
+    }
+
+    result.time = _acct.now() - start;
+    result.firstRowLatency = result.time;
+    result.rowInterval = 0;
+    return result;
+}
+
+MatMulResult
+MeshOfTrees3d::matMul(const linalg::IntMatrix &a, const linalg::IntMatrix &b)
+{
+    return multiplyImpl(a, b, /*boolean=*/false);
+}
+
+MatMulResult
+MeshOfTrees3d::boolMatMul(const linalg::BoolMatrix &a,
+                          const linalg::BoolMatrix &b)
+{
+    linalg::IntMatrix ai(a.rows(), a.cols(), 0), bi(b.rows(), b.cols(), 0);
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < a.cols(); ++j)
+            ai(i, j) = a(i, j) ? 1 : 0;
+    for (std::size_t i = 0; i < b.rows(); ++i)
+        for (std::size_t j = 0; j < b.cols(); ++j)
+            bi(i, j) = b(i, j) ? 1 : 0;
+    return multiplyImpl(ai, bi, /*boolean=*/true);
+}
+
+} // namespace ot::otn

@@ -1,0 +1,210 @@
+#include "otn/mst.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "otn/patterns.hh"
+#include "vlsi/bitmath.hh"
+
+namespace ot::otn {
+
+namespace {
+
+/*
+ * Register allocation (mirrors connected_components.cc):
+ *   A  edge weights (kNull = no edge)
+ *   D  component label on the diagonal
+ *   B  D along rows, C  D down columns
+ *   T  packed candidate edges in the base
+ *   E  per-vertex best edge along rows
+ *   H  per-component best edge down columns
+ *   G  newC on the diagonal;  X/R/Y/F gather scratch
+ */
+
+/** Pack (w, u, v) so that numeric order is (w, u, v) lexicographic. */
+std::uint64_t
+packEdge(std::uint64_t w, std::uint64_t u, std::uint64_t v, unsigned idx_bits)
+{
+    return (w << (2 * idx_bits)) | (u << idx_bits) | v;
+}
+
+std::uint64_t
+packedV(std::uint64_t packed, unsigned idx_bits)
+{
+    return packed & ((std::uint64_t{1} << idx_bits) - 1);
+}
+
+std::uint64_t
+packedU(std::uint64_t packed, unsigned idx_bits)
+{
+    return (packed >> idx_bits) & ((std::uint64_t{1} << idx_bits) - 1);
+}
+
+std::uint64_t
+packedW(std::uint64_t packed, unsigned idx_bits)
+{
+    return packed >> (2 * idx_bits);
+}
+
+} // namespace
+
+vlsi::WordFormat
+mstWordFormat(std::size_t n, std::uint64_t max_weight)
+{
+    unsigned idx_bits = vlsi::logCeilAtLeast1(vlsi::nextPow2(n ? n : 1));
+    unsigned w_bits = vlsi::logCeilAtLeast1(max_weight + 1) + 1;
+    // One spare bit keeps every packed word strictly below kNull.
+    return vlsi::WordFormat(2 * idx_bits + w_bits + 1);
+}
+
+MstResult
+mstOtn(OrthogonalTreesNetwork &net, const graph::WeightedGraph &g,
+       bool charge_load)
+{
+    const std::size_t n = net.n();
+    assert(g.vertices() <= n);
+    const unsigned log_n = vlsi::logCeilAtLeast1(n);
+    const unsigned idx_bits = log_n;
+
+    ModelTime start = net.now();
+    sim::ScopedPhase phase(net.acct(), "mst-otn");
+
+    // Load the weight matrix (kNull marks absent edges).
+    {
+        linalg::IntMatrix w(n, n, 0);
+        for (std::size_t i = 0; i < n; ++i)
+            for (std::size_t j = 0; j < n; ++j)
+                w(i, j) = (i < g.vertices() && j < g.vertices() &&
+                           g.hasEdge(i, j))
+                              ? g.weight(i, j)
+                              : kNull;
+        // Check the packed form fits the machine word.
+        for (std::size_t i = 0; i < g.vertices(); ++i)
+            for (std::size_t j = 0; j < g.vertices(); ++j)
+                if (g.hasEdge(i, j))
+                    assert(net.fitsWord(
+                        packEdge(g.weight(i, j), i, j, idx_bits)));
+        net.loadBase(Reg::A, w, charge_load);
+    }
+
+    net.baseOp(net.cost().bitSerialOp(), [&](std::size_t i, std::size_t j) {
+        if (i == j)
+            net.reg(Reg::D, i, j) = i;
+    });
+
+    std::set<std::pair<std::size_t, std::size_t>> chosen;
+    const unsigned iterations = log_n + 1;
+
+    for (unsigned iter = 0; iter < iterations; ++iter) {
+        diagToRows(net, Reg::D, Reg::B);
+        diagToCols(net, Reg::D, Reg::C);
+
+        // Candidate outgoing edges, packed (w, u, v).
+        net.baseOp(net.cost().bitSerialOp(),
+                   [&](std::size_t i, std::size_t j) {
+                       std::uint64_t w = net.reg(Reg::A, i, j);
+                       bool foreign = net.reg(Reg::B, i, j) !=
+                                      net.reg(Reg::C, i, j);
+                       net.reg(Reg::T, i, j) =
+                           (w != kNull && foreign)
+                               ? packEdge(w, i, j, idx_bits)
+                               : kNull;
+                   });
+
+        // Per-vertex minimum edge, fanned along the row.
+        net.parallelFor(n, [&](std::size_t i) {
+            net.minLeafToRoot(Axis::Row, i, Sel::all(), Reg::T);
+            net.rootToLeaf(Axis::Row, i, Sel::all(), Reg::E);
+        });
+
+        // Per-component minimum edge, latched on the diagonal.
+        Selector member = [&net](std::size_t i, std::size_t j) {
+            return net.reg(Reg::B, i, j) == j;
+        };
+        net.parallelFor(n, [&](std::size_t j) {
+            net.minLeafToRoot(Axis::Col, j, member, Reg::E);
+            net.rootToLeaf(Axis::Col, j, Sel::diag(), Reg::H);
+        });
+
+        // Record chosen edges (the roots output them) and derive the
+        // hook key: the far endpoint v of the chosen edge.
+        net.baseOp(net.cost().bitSerialOp(),
+                   [&](std::size_t i, std::size_t j) {
+                       if (i != j)
+                           return;
+                       std::uint64_t best = net.reg(Reg::H, i, j);
+                       if (best == kNull) {
+                           net.reg(Reg::X, i, j) = kNull;
+                           return;
+                       }
+                       auto u = packedU(best, idx_bits);
+                       auto v = packedV(best, idx_bits);
+                       assert(packedW(best, idx_bits) == g.weight(u, v));
+                       chosen.insert({std::min(u, v), std::max(u, v)});
+                       net.reg(Reg::X, i, j) = v;
+                   });
+
+        // newC(r) = D(v): label of the component at the far end.
+        diagToRows(net, Reg::X, Reg::X); // fan the key along rows
+        gatherAtIndex(net, Reg::X, Reg::C, Reg::Y, Reg::F);
+        net.baseOp(net.cost().bitSerialOp(),
+                   [&](std::size_t i, std::size_t j) {
+                       if (i != j)
+                           return;
+                       std::uint64_t target = net.reg(Reg::Y, i, j);
+                       net.reg(Reg::G, i, j) =
+                           target == kNull ? j : target;
+                   });
+
+        // 2-cycle fix: mutual hooks keep the smaller label.
+        diagToRows(net, Reg::G, Reg::X);
+        diagToCols(net, Reg::G, Reg::R);
+        gatherAtIndex(net, Reg::X, Reg::R, Reg::Y, Reg::F);
+        net.baseOp(net.cost().bitSerialOp(),
+                   [&](std::size_t i, std::size_t j) {
+                       if (i != j)
+                           return;
+                       std::uint64_t new_c = net.reg(Reg::G, i, j);
+                       std::uint64_t back = net.reg(Reg::Y, i, j);
+                       if (back == j && new_c != j && j < new_c)
+                           net.reg(Reg::G, i, j) = j;
+                   });
+
+        // Relabel all vertices: D(i) := newC(D(i)).
+        diagToCols(net, Reg::G, Reg::R);
+        gatherAtIndex(net, Reg::B, Reg::R, Reg::Y, Reg::F);
+        net.baseOp(net.cost().bitSerialOp(),
+                   [&](std::size_t i, std::size_t j) {
+                       if (i == j)
+                           net.reg(Reg::D, i, j) = net.reg(Reg::Y, i, j);
+                   });
+
+        // Pointer jumping to a star.
+        for (unsigned jump = 0; jump < log_n; ++jump) {
+            diagToRows(net, Reg::D, Reg::B);
+            diagToCols(net, Reg::D, Reg::C);
+            gatherAtIndex(net, Reg::B, Reg::C, Reg::Y, Reg::F);
+            net.baseOp(net.cost().bitSerialOp(),
+                       [&](std::size_t i, std::size_t j) {
+                           if (i == j)
+                               net.reg(Reg::D, i, j) =
+                                   net.reg(Reg::Y, i, j);
+                       });
+        }
+    }
+
+    MstResult result;
+    result.iterations = iterations;
+    for (auto [u, v] : chosen)
+        result.edges.push_back({u, v, g.weight(u, v)});
+    std::sort(result.edges.begin(), result.edges.end(),
+              [](const graph::Edge &a, const graph::Edge &b) {
+                  return std::tie(a.w, a.u, a.v) <
+                         std::tie(b.w, b.u, b.v);
+              });
+    result.totalWeight = graph::totalWeight(result.edges);
+    result.time = net.now() - start;
+    return result;
+}
+
+} // namespace ot::otn

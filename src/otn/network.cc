@@ -1,0 +1,383 @@
+#include "otn/network.hh"
+
+#include <algorithm>
+
+#include "vlsi/bitmath.hh"
+
+namespace ot::otn {
+
+OrthogonalTreesNetwork::OrthogonalTreesNetwork(std::size_t n,
+                                               const CostModel &cost,
+                                               layout::LayoutParams params)
+    : _n(vlsi::nextPow2(n ? n : 1)),
+      _cost(cost),
+      _layout(_n, cost.word().bits(), params),
+      _regs(kNumRegs, std::vector<std::uint64_t>(_n * _n, 0)),
+      _rowRoot(_n, kNull),
+      _colRoot(_n, kNull)
+{
+}
+
+void
+OrthogonalTreesNetwork::setRowRootInputs(std::span<const std::uint64_t> values)
+{
+    assert(values.size() <= _n);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        assert(fitsWord(values[i]));
+        _rowRoot[i] = values[i];
+    }
+    for (std::size_t i = values.size(); i < _n; ++i)
+        _rowRoot[i] = kNull;
+}
+
+std::vector<std::uint64_t>
+OrthogonalTreesNetwork::colRootOutputs() const
+{
+    return _colRoot;
+}
+
+void
+OrthogonalTreesNetwork::fillReg(Reg r, std::uint64_t value)
+{
+    auto &plane = _regs[static_cast<unsigned>(r)];
+    std::fill(plane.begin(), plane.end(), value);
+}
+
+ModelTime
+OrthogonalTreesNetwork::parallelFor(
+    std::size_t count, const std::function<void(std::size_t)> &body)
+{
+    ++_parallelDepth;
+    ModelTime saved_chain = _chainAccum;
+    ModelTime longest = 0;
+    for (std::size_t k = 0; k < count; ++k) {
+        _chainAccum = 0;
+        body(k);
+        longest = std::max(longest, _chainAccum);
+    }
+    --_parallelDepth;
+    _chainAccum = saved_chain;
+    charge(longest);
+    return longest;
+}
+
+void
+OrthogonalTreesNetwork::charge(ModelTime dt)
+{
+    if (_parallelDepth > 0)
+        _chainAccum += dt;
+    else
+        _acct.advance(dt);
+}
+
+ModelTime
+OrthogonalTreesNetwork::treeTraversalCost() const
+{
+    return _cost.wordAlongPath(_layout.tree().pathEdges());
+}
+
+ModelTime
+OrthogonalTreesNetwork::treeReduceCost() const
+{
+    return _cost.reducePath(_layout.tree().pathEdges());
+}
+
+std::uint64_t &
+OrthogonalTreesNetwork::rootReg(Axis axis, std::size_t idx)
+{
+    assert(idx < _n);
+    return axis == Axis::Row ? _rowRoot[idx] : _colRoot[idx];
+}
+
+ModelTime
+OrthogonalTreesNetwork::rootToLeaf(Axis axis, std::size_t idx,
+                                   const Selector &sel, Reg dest)
+{
+    std::uint64_t value = rootReg(axis, idx);
+    for (std::size_t k = 0; k < _n; ++k) {
+        auto [i, j] = leafAddr(axis, idx, k);
+        if (sel(i, j))
+            reg(dest, i, j) = value;
+    }
+    ++_stats.counter("otn.rootToLeaf");
+    ModelTime dt = treeTraversalCost();
+    charge(dt);
+    return dt;
+}
+
+ModelTime
+OrthogonalTreesNetwork::leafToRoot(Axis axis, std::size_t idx,
+                                   const Selector &sel, Reg src)
+{
+    std::uint64_t value = kNull;
+    [[maybe_unused]] unsigned selected = 0;
+    for (std::size_t k = 0; k < _n; ++k) {
+        auto [i, j] = leafAddr(axis, idx, k);
+        if (sel(i, j)) {
+            value = reg(src, i, j);
+            ++selected;
+        }
+    }
+    assert(selected <= 1 && "LEAFTOROOT requires a unique source leaf");
+    rootReg(axis, idx) = value;
+    ++_stats.counter("otn.leafToRoot");
+    ModelTime dt = treeTraversalCost();
+    charge(dt);
+    return dt;
+}
+
+std::uint64_t
+OrthogonalTreesNetwork::reduceTree(
+    const std::function<std::uint64_t(std::size_t k)> &leaf_value,
+    const std::function<std::uint64_t(std::uint64_t, std::uint64_t)>
+        &combine)
+{
+    // Level-by-level: each IP combines the values accumulated by its
+    // two sons (Section II-B, COUNT-LEAFTOROOT description).
+    std::vector<std::uint64_t> level(_n);
+    for (std::size_t k = 0; k < _n; ++k)
+        level[k] = leaf_value(k);
+    while (level.size() > 1) {
+        std::vector<std::uint64_t> next(level.size() / 2);
+        for (std::size_t k = 0; k < next.size(); ++k)
+            next[k] = combine(level[2 * k], level[2 * k + 1]);
+        level.swap(next);
+    }
+    return level[0];
+}
+
+ModelTime
+OrthogonalTreesNetwork::countLeafToRoot(Axis axis, std::size_t idx, Reg flag)
+{
+    rootReg(axis, idx) = reduceTree(
+        [&](std::size_t k) {
+            auto [i, j] = leafAddr(axis, idx, k);
+            return reg(flag, i, j) != 0 ? std::uint64_t{1} : 0;
+        },
+        [](std::uint64_t a, std::uint64_t b) { return a + b; });
+    ++_stats.counter("otn.countLeafToRoot");
+    ModelTime dt = treeReduceCost();
+    charge(dt);
+    return dt;
+}
+
+ModelTime
+OrthogonalTreesNetwork::sumLeafToRoot(Axis axis, std::size_t idx,
+                                      const Selector &sel, Reg src)
+{
+    rootReg(axis, idx) = reduceTree(
+        [&](std::size_t k) -> std::uint64_t {
+            auto [i, j] = leafAddr(axis, idx, k);
+            return sel(i, j) ? reg(src, i, j) : 0;
+        },
+        [](std::uint64_t a, std::uint64_t b) { return a + b; });
+    ++_stats.counter("otn.sumLeafToRoot");
+    ModelTime dt = treeReduceCost();
+    charge(dt);
+    return dt;
+}
+
+ModelTime
+OrthogonalTreesNetwork::minLeafToRoot(Axis axis, std::size_t idx,
+                                      const Selector &sel, Reg src)
+{
+    rootReg(axis, idx) = reduceTree(
+        [&](std::size_t k) -> std::uint64_t {
+            auto [i, j] = leafAddr(axis, idx, k);
+            return sel(i, j) ? reg(src, i, j) : kNull;
+        },
+        [](std::uint64_t a, std::uint64_t b) { return std::min(a, b); });
+    ++_stats.counter("otn.minLeafToRoot");
+    ModelTime dt = treeReduceCost();
+    charge(dt);
+    return dt;
+}
+
+ModelTime
+OrthogonalTreesNetwork::leafToLeaf(Axis axis, std::size_t idx,
+                                   const Selector &src_sel, Reg src,
+                                   const Selector &dst_sel, Reg dst)
+{
+    ModelTime dt = leafToRoot(axis, idx, src_sel, src);
+    dt += rootToLeaf(axis, idx, dst_sel, dst);
+    ++_stats.counter("otn.leafToLeaf");
+    return dt;
+}
+
+ModelTime
+OrthogonalTreesNetwork::countLeafToLeaf(Axis axis, std::size_t idx, Reg flag,
+                                        const Selector &dst_sel, Reg dst)
+{
+    ModelTime dt = countLeafToRoot(axis, idx, flag);
+    dt += rootToLeaf(axis, idx, dst_sel, dst);
+    ++_stats.counter("otn.countLeafToLeaf");
+    return dt;
+}
+
+ModelTime
+OrthogonalTreesNetwork::sumLeafToLeaf(Axis axis, std::size_t idx,
+                                      const Selector &src_sel, Reg src,
+                                      const Selector &dst_sel, Reg dst)
+{
+    ModelTime dt = sumLeafToRoot(axis, idx, src_sel, src);
+    dt += rootToLeaf(axis, idx, dst_sel, dst);
+    ++_stats.counter("otn.sumLeafToLeaf");
+    return dt;
+}
+
+ModelTime
+OrthogonalTreesNetwork::minLeafToLeaf(Axis axis, std::size_t idx,
+                                      const Selector &src_sel, Reg src,
+                                      const Selector &dst_sel, Reg dst)
+{
+    ModelTime dt = minLeafToRoot(axis, idx, src_sel, src);
+    dt += rootToLeaf(axis, idx, dst_sel, dst);
+    ++_stats.counter("otn.minLeafToLeaf");
+    return dt;
+}
+
+ModelTime
+OrthogonalTreesNetwork::runUncharged(const std::function<void()> &body)
+{
+    ++_parallelDepth;
+    ModelTime saved = _chainAccum;
+    _chainAccum = 0;
+    body();
+    ModelTime would_charge = _chainAccum;
+    _chainAccum = saved;
+    --_parallelDepth;
+    return would_charge;
+}
+
+ModelTime
+OrthogonalTreesNetwork::loadBase(Reg r, const linalg::IntMatrix &m,
+                                 bool charged, ModelTime separation)
+{
+    assert(m.rows() <= _n && m.cols() <= _n);
+    fillReg(r, kNull);
+    for (std::size_t i = 0; i < m.rows(); ++i) {
+        for (std::size_t j = 0; j < m.cols(); ++j) {
+            assert(fitsWord(m(i, j)));
+            reg(r, i, j) = m(i, j);
+        }
+    }
+    if (!charged)
+        return 0;
+    // All row trees in parallel, each streaming up to N words from its
+    // root to distinct leaves in a pipeline.
+    if (separation == 0)
+        separation = _cost.wordSeparation();
+    ModelTime dt =
+        CostModel::pipelineTotal(treeTraversalCost(), _n, separation);
+    charge(dt);
+    return dt;
+}
+
+linalg::IntMatrix
+OrthogonalTreesNetwork::readBase(Reg r) const
+{
+    linalg::IntMatrix m(_n, _n, 0);
+    for (std::size_t i = 0; i < _n; ++i)
+        for (std::size_t j = 0; j < _n; ++j)
+            m(i, j) = reg(r, i, j);
+    return m;
+}
+
+ModelTime
+OrthogonalTreesNetwork::permutationCost(
+    std::span<const std::size_t> perm) const
+{
+    assert(perm.size() == _n);
+    // Congestion: for each internal node (identified by its level and
+    // span), count words whose source and destination fall in
+    // different child subtrees.  At level h (from the leaves, h >= 1)
+    // the node over span s covers leaves [s*2^h, (s+1)*2^h); a word
+    // k -> perm[k] crosses it iff both endpoints are in the span but
+    // in different halves.
+    std::uint64_t busiest = 0;
+    for (std::size_t span = 2; span <= _n; span <<= 1) {
+        std::vector<std::uint64_t> crossing(_n / span, 0);
+        for (std::size_t k = 0; k < _n; ++k) {
+            std::size_t from_block = k / span;
+            std::size_t to_block = perm[k] / span;
+            if (from_block != to_block)
+                continue; // crosses a higher node instead
+            bool from_left = (k % span) < span / 2;
+            bool to_left = (perm[k] % span) < span / 2;
+            if (from_left != to_left)
+                ++crossing[from_block];
+        }
+        for (auto c : crossing)
+            busiest = std::max(busiest, c);
+    }
+    ModelTime drain =
+        busiest > 1 ? (busiest - 1) * _cost.wordSeparation() : 0;
+    return treeTraversalCost() + drain;
+}
+
+ModelTime
+OrthogonalTreesNetwork::permuteLeafToLeaf(Axis axis, std::size_t idx,
+                                          std::span<const std::size_t> perm,
+                                          Reg src, Reg dst)
+{
+    assert(perm.size() == _n);
+#ifndef NDEBUG
+    {
+        std::vector<bool> seen(_n, false);
+        for (std::size_t k = 0; k < _n; ++k) {
+            assert(perm[k] < _n && !seen[perm[k]] &&
+                   "perm must be a permutation");
+            seen[perm[k]] = true;
+        }
+    }
+#endif
+    std::vector<std::uint64_t> moved(_n);
+    for (std::size_t k = 0; k < _n; ++k) {
+        auto [i, j] = leafAddr(axis, idx, k);
+        moved[perm[k]] = reg(src, i, j);
+    }
+    for (std::size_t k = 0; k < _n; ++k) {
+        auto [i, j] = leafAddr(axis, idx, k);
+        reg(dst, i, j) = moved[k];
+    }
+    ++_stats.counter("otn.permuteLeafToLeaf");
+    ModelTime dt = permutationCost(perm);
+    charge(dt);
+    return dt;
+}
+
+ModelTime
+OrthogonalTreesNetwork::prefixSumLeafToLeaf(Axis axis, std::size_t idx,
+                                            const Selector &src_sel,
+                                            Reg src, Reg dst)
+{
+    // Two-sweep scan over the implicit tree.  The simulation computes
+    // the running sum directly (it is equivalent to the up/down
+    // sweeps); the cost is two combining traversals.
+    std::uint64_t running = 0;
+    for (std::size_t k = 0; k < _n; ++k) {
+        auto [i, j] = leafAddr(axis, idx, k);
+        if (src_sel(i, j))
+            running += reg(src, i, j);
+        reg(dst, i, j) = running;
+    }
+    ++_stats.counter("otn.prefixSumLeafToLeaf");
+    ModelTime dt = 2 * treeReduceCost();
+    charge(dt);
+    return dt;
+}
+
+ModelTime
+OrthogonalTreesNetwork::baseOp(
+    ModelTime op_cost,
+    const std::function<void(std::size_t i, std::size_t j)> &op)
+{
+    for (std::size_t i = 0; i < _n; ++i)
+        for (std::size_t j = 0; j < _n; ++j)
+            op(i, j);
+    ++_stats.counter("otn.baseOp");
+    charge(op_cost);
+    return op_cost;
+}
+
+} // namespace ot::otn

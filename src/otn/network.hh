@@ -1,0 +1,375 @@
+/**
+ * @file
+ * The orthogonal trees network (Section II of the paper).
+ *
+ * An (N x N)-OTN is an N x N matrix of base processors (BPs) in which
+ * each row and each column of BPs forms the leaves of a complete
+ * binary tree of internal processors (IPs).  The roots of the row
+ * trees are the input ports and the roots of the column trees the
+ * output ports.  BPs do the processing; IPs route words between BPs
+ * and the roots and perform simple combining (count, sum, min) on the
+ * way up.
+ *
+ * This class simulates the machine *functionally* while charging
+ * *model time* per Thompson's VLSI rules: every primitive's cost is
+ * computed from the wire geometry of a concrete OtnLayout through a
+ * CostModel, and accumulated in a TimeAccountant.  Algorithms express
+ * the paper's "for each i pardo" with the parallel() helper, which
+ * charges the maximum cost of the enclosed operations instead of
+ * their sum.
+ */
+
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "layout/otn_layout.hh"
+#include "linalg/matrix.hh"
+#include "otn/registers.hh"
+#include "sim/stats.hh"
+#include "sim/time_accountant.hh"
+#include "vlsi/cost_model.hh"
+
+namespace ot::otn {
+
+using sim::TimeAccountant;
+using vlsi::CostModel;
+using vlsi::ModelTime;
+
+/** Row trees or column trees — the "Vector" argument of Section II-B. */
+enum class Axis { Row, Col };
+
+/**
+ * A leaf predicate over full BP addresses (i = row, j = column).  The
+ * paper's "Selector" argument; factories live in struct Sel.
+ */
+using Selector = std::function<bool(std::size_t i, std::size_t j)>;
+
+/** Common selector factories. */
+struct Sel
+{
+    /** Every BP of the vector. */
+    static Selector
+    all()
+    {
+        return [](std::size_t, std::size_t) { return true; };
+    }
+
+    /** BPs on the main diagonal (i == j). */
+    static Selector
+    diag()
+    {
+        return [](std::size_t i, std::size_t j) { return i == j; };
+    }
+
+    /** BPs in row k (selects one leaf of a column vector). */
+    static Selector
+    rowIs(std::size_t k)
+    {
+        return [k](std::size_t i, std::size_t) { return i == k; };
+    }
+
+    /** BPs in column k (selects one leaf of a row vector). */
+    static Selector
+    colIs(std::size_t k)
+    {
+        return [k](std::size_t, std::size_t j) { return j == k; };
+    }
+
+    /** BPs with even position along the vector axis. */
+    static Selector
+    evenAlong(Axis axis)
+    {
+        return [axis](std::size_t i, std::size_t j) {
+            return (axis == Axis::Row ? j : i) % 2 == 0;
+        };
+    }
+};
+
+/** Simulator of an (N x N) orthogonal trees network. */
+class OrthogonalTreesNetwork
+{
+  public:
+    /**
+     * @param n      Side of the base; rounded up to a power of two.
+     * @param cost   Cost rules (delay model, word width, scaling).
+     * @param params Layout constants for the chip geometry.
+     */
+    OrthogonalTreesNetwork(std::size_t n, const CostModel &cost,
+                           layout::LayoutParams params = {});
+
+    virtual ~OrthogonalTreesNetwork() = default;
+
+    /** Base side N. */
+    std::size_t n() const { return _n; }
+
+    const CostModel &cost() const { return _cost; }
+    const layout::OtnLayout &chipLayout() const { return _layout; }
+    TimeAccountant &acct() { return _acct; }
+    const TimeAccountant &acct() const { return _acct; }
+    sim::StatSet &stats() { return _stats; }
+
+    /** Model time elapsed since construction/reset. */
+    ModelTime now() const { return _acct.now(); }
+
+    /** Reset model time and statistics (registers keep their values). */
+    void
+    resetTime()
+    {
+        _acct.reset();
+        _stats.reset();
+    }
+
+    // ------------------------------------------------------------------
+    // Register file and I/O ports
+    // ------------------------------------------------------------------
+
+    /** Register r of BP(i, j). */
+    std::uint64_t &
+    reg(Reg r, std::size_t i, std::size_t j)
+    {
+        assert(i < _n && j < _n);
+        return _regs[static_cast<unsigned>(r)][i * _n + j];
+    }
+
+    std::uint64_t
+    reg(Reg r, std::size_t i, std::size_t j) const
+    {
+        assert(i < _n && j < _n);
+        return _regs[static_cast<unsigned>(r)][i * _n + j];
+    }
+
+    /** Data register at the root of row tree i (input port i). */
+    std::uint64_t &rowRoot(std::size_t i) { return _rowRoot[i]; }
+    std::uint64_t rowRoot(std::size_t i) const { return _rowRoot[i]; }
+
+    /** Data register at the root of column tree j (output port j). */
+    std::uint64_t &colRoot(std::size_t j) { return _colRoot[j]; }
+    std::uint64_t colRoot(std::size_t j) const { return _colRoot[j]; }
+
+    /** Load one word per input (row-root) port. */
+    void setRowRootInputs(std::span<const std::uint64_t> values);
+
+    /** Read all output (column-root) ports. */
+    std::vector<std::uint64_t> colRootOutputs() const;
+
+    /** Fill register r of every BP with `value`. */
+    void fillReg(Reg r, std::uint64_t value);
+
+    /** True iff v fits the machine word (kNull is always allowed). */
+    bool
+    fitsWord(std::uint64_t v) const
+    {
+        return v == kNull || v <= _cost.word().maxValue();
+    }
+
+    // ------------------------------------------------------------------
+    // Parallel sections ("for each i pardo ...")
+    // ------------------------------------------------------------------
+
+    /**
+     * The paper's "for each k (0 <= k < count) pardo body(k)".
+     *
+     * Each iteration runs on disjoint hardware (a different tree /
+     * different BPs), so iterations overlap in time: the primitives
+     * *within* one iteration still add up (they are sequential on
+     * that hardware), but across iterations only the maximum chain
+     * is charged.  Nested parallelFor composes: an inner pardo
+     * contributes its (max) cost to the enclosing iteration's chain.
+     * Returns the charged (max-of-chains) cost.
+     */
+    ModelTime parallelFor(std::size_t count,
+                          const std::function<void(std::size_t)> &body);
+
+    // ------------------------------------------------------------------
+    // Primitive operations (Section II-B)
+    // ------------------------------------------------------------------
+
+    /**
+     * ROOTTOLEAF(Vector, Dest): broadcast the root data register of
+     * tree `idx` on `axis` to register `dest` of the selected leaves.
+     */
+    ModelTime rootToLeaf(Axis axis, std::size_t idx, const Selector &sel,
+                         Reg dest);
+
+    /**
+     * LEAFTOROOT(Vector, Source): send register `src` of the single
+     * selected leaf to the root data register.  If no leaf is
+     * selected the root receives kNull; selecting more than one leaf
+     * is a programming error (asserted).
+     */
+    ModelTime leafToRoot(Axis axis, std::size_t idx, const Selector &sel,
+                         Reg src);
+
+    /**
+     * COUNT-LEAFTOROOT(Vector): count set flags (register `flag` != 0)
+     * along the vector into the root data register.
+     */
+    ModelTime countLeafToRoot(Axis axis, std::size_t idx, Reg flag);
+
+    /** SUM-LEAFTOROOT(Vector, Source): sum of selected registers. */
+    ModelTime sumLeafToRoot(Axis axis, std::size_t idx, const Selector &sel,
+                            Reg src);
+
+    /**
+     * MIN-LEAFTOROOT(Vector, Source): minimum of selected registers
+     * (kNull = "no datum" loses to everything; root gets kNull if
+     * nothing is selected).
+     */
+    ModelTime minLeafToRoot(Axis axis, std::size_t idx, const Selector &sel,
+                            Reg src);
+
+    // Composite operations: a LEAFTOROOT-flavoured primitive followed
+    // by ROOTTOLEAF (Section II-B).
+
+    /** LEAFTOLEAF: one leaf's word redistributed to selected leaves. */
+    ModelTime leafToLeaf(Axis axis, std::size_t idx, const Selector &src_sel,
+                         Reg src, const Selector &dst_sel, Reg dst);
+
+    /** COUNT-LEAFTOLEAF: flag count delivered to selected leaves. */
+    ModelTime countLeafToLeaf(Axis axis, std::size_t idx, Reg flag,
+                              const Selector &dst_sel, Reg dst);
+
+    /** SUM-LEAFTOLEAF. */
+    ModelTime sumLeafToLeaf(Axis axis, std::size_t idx,
+                            const Selector &src_sel, Reg src,
+                            const Selector &dst_sel, Reg dst);
+
+    /** MIN-LEAFTOLEAF. */
+    ModelTime minLeafToLeaf(Axis axis, std::size_t idx,
+                            const Selector &src_sel, Reg src,
+                            const Selector &dst_sel, Reg dst);
+
+    /**
+     * PERMUTE-LEAFTOLEAF: route dst(perm(k)) := src(k) along one
+     * vector through its tree.
+     *
+     * The cost is congestion-priced: every word whose source and
+     * destination lie in different child subtrees of an internal node
+     * must cross that node, bit-serially; with the IPs forwarding in
+     * a pipeline the completion time is one traversal plus the
+     * busiest node's queue drained at word separation.  An identity
+     * or shift-by-one permutation therefore costs one traversal,
+     * while a reversal serializes K words at the root — exactly the
+     * physics that makes LEAFTOLEAF-style algorithms prefer local
+     * exchanges.
+     *
+     * `perm` must be a permutation of 0..n-1 (asserted).
+     */
+    ModelTime permuteLeafToLeaf(Axis axis, std::size_t idx,
+                                std::span<const std::size_t> perm, Reg src,
+                                Reg dst);
+
+    /**
+     * Cost of routing `perm` through one tree without performing it
+     * (exposed for benches and for algorithms that route the same
+     * pattern on many vectors at once).
+     */
+    ModelTime permutationCost(std::span<const std::size_t> perm) const;
+
+    /**
+     * PREFIX-LEAFTOLEAF: inclusive prefix sums along a vector,
+     * dst(k) = sum of src(0..k).  The classic two-sweep tree scan
+     * (up-sweep accumulates subtree sums in the IPs, down-sweep feeds
+     * each subtree its left-context), so it costs two combining
+     * traversals — the same O(log^2 N) class as the other primitives.
+     * Unselected leaves contribute 0 but still receive their prefix.
+     */
+    ModelTime prefixSumLeafToLeaf(Axis axis, std::size_t idx,
+                                  const Selector &src_sel, Reg src,
+                                  Reg dst);
+
+    // ------------------------------------------------------------------
+    // Base processing
+    // ------------------------------------------------------------------
+
+    /**
+     * One parallel step of processing in the base: apply `op(i, j)` to
+     * every BP and charge `cost` once (all BPs run concurrently).
+     * Typical costs: cost().bitSerialOp() for compare/add,
+     * cost().bitSerialMultiply() for multiply.  Virtual so machines
+     * that *emulate* the OTN base with fewer processors (the OTC,
+     * Section V-A) can dilate processing time.
+     */
+    virtual ModelTime baseOp(ModelTime op_cost,
+                             const std::function<void(std::size_t i,
+                                                      std::size_t j)> &op);
+
+    /**
+     * Per-word transfer cost of one tree traversal (root<->leaf).
+     * Virtual: emulating machines substitute their own tree geometry
+     * and word-pipelining schedule.
+     */
+    virtual ModelTime treeTraversalCost() const;
+
+    /** Per-word cost of a combining traversal (COUNT/SUM/MIN). */
+    virtual ModelTime treeReduceCost() const;
+
+    /** Charge an explicitly computed pipeline cost (pipedo blocks). */
+    void charge(ModelTime dt);
+
+    /**
+     * Run `body` with the clock stopped, returning what it *would*
+     * have charged (the sum of its chains).  Used by "pipedo" blocks:
+     * the i-th instance of a pipelined computation repeats the work of
+     * the first functionally, but only the pipeline separation is
+     * charged for it (Section III-A).
+     */
+    ModelTime runUncharged(const std::function<void()> &body);
+
+    /**
+     * Load a matrix into base register r, m(i, j) -> BP(i, j).  If
+     * `charged`, models feeding N words through every row tree in a
+     * pipeline with the given separation (default: word separation).
+     */
+    ModelTime loadBase(Reg r, const linalg::IntMatrix &m,
+                       bool charged = true, ModelTime separation = 0);
+
+    /** Read base register r back into a matrix (host-side view). */
+    linalg::IntMatrix readBase(Reg r) const;
+
+  private:
+    /** Resolve (axis, idx, k) to a BP address. */
+    std::pair<std::size_t, std::size_t>
+    leafAddr(Axis axis, std::size_t idx, std::size_t k) const
+    {
+        return axis == Axis::Row ? std::make_pair(idx, k)
+                                 : std::make_pair(k, idx);
+    }
+
+    std::uint64_t &rootReg(Axis axis, std::size_t idx);
+
+    /**
+     * Level-by-level combining reduction up one tree; `combine` is
+     * applied by each IP to its two sons' values (kNull = absent).
+     * `leaf_value(k)` yields the word contributed by leaf k.
+     */
+    std::uint64_t
+    reduceTree(const std::function<std::uint64_t(std::size_t k)> &leaf_value,
+               const std::function<std::uint64_t(std::uint64_t,
+                                                 std::uint64_t)> &combine);
+
+    std::size_t _n;
+    CostModel _cost;
+    layout::OtnLayout _layout;
+    TimeAccountant _acct;
+    sim::StatSet _stats;
+
+    std::vector<std::vector<std::uint64_t>> _regs;
+    std::vector<std::uint64_t> _rowRoot;
+    std::vector<std::uint64_t> _colRoot;
+
+    /**
+     * Parallel-section state: when _parallelDepth > 0, charges
+     * accumulate into the current iteration's chain instead of
+     * advancing the clock; parallelFor maxes the chains.
+     */
+    unsigned _parallelDepth = 0;
+    ModelTime _chainAccum = 0;
+};
+
+} // namespace ot::otn

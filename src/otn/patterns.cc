@@ -1,0 +1,45 @@
+#include "otn/patterns.hh"
+
+namespace ot::otn {
+
+ModelTime
+diagToRows(OrthogonalTreesNetwork &net, Reg src, Reg dst)
+{
+    return net.parallelFor(net.n(), [&](std::size_t i) {
+        net.leafToLeaf(Axis::Row, i, Sel::diag(), src, Sel::all(), dst);
+    });
+}
+
+ModelTime
+diagToCols(OrthogonalTreesNetwork &net, Reg src, Reg dst)
+{
+    return net.parallelFor(net.n(), [&](std::size_t j) {
+        net.leafToLeaf(Axis::Col, j, Sel::diag(), src, Sel::all(), dst);
+    });
+}
+
+ModelTime
+gatherAtIndex(OrthogonalTreesNetwork &net, Reg key_by_row, Reg val_by_col,
+              Reg out, Reg scratch)
+{
+    ModelTime dt = 0;
+
+    // Each BP checks whether it sits at (i, key(i)); the selected BP
+    // copies the column-broadcast value into the scratch register.
+    dt += net.baseOp(net.cost().bitSerialOp(),
+                     [&](std::size_t i, std::size_t j) {
+                         bool selected = net.reg(key_by_row, i, j) == j;
+                         net.reg(scratch, i, j) =
+                             selected ? net.reg(val_by_col, i, j) : kNull;
+                     });
+
+    // Row reduction brings the (unique or absent) value to the root,
+    // and the root writes it back to the diagonal.
+    dt += net.parallelFor(net.n(), [&](std::size_t i) {
+        net.minLeafToRoot(Axis::Row, i, Sel::all(), scratch);
+        net.rootToLeaf(Axis::Row, i, Sel::diag(), out);
+    });
+    return dt;
+}
+
+} // namespace ot::otn

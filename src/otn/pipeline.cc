@@ -1,0 +1,37 @@
+#include "otn/pipeline.hh"
+
+namespace ot::otn {
+
+SortPipelineResult
+sortPipelineOtn(OrthogonalTreesNetwork &net,
+                const std::vector<std::vector<std::uint64_t>> &problems)
+{
+    SortPipelineResult result;
+    if (problems.empty())
+        return result;
+
+    ModelTime start = net.now();
+    sim::ScopedPhase phase(net.acct(), "sort-pipeline-otn");
+
+    // Three phases in flight per problem (Section VIII): each BP
+    // devotes three word-length time slices per pipeline beat.
+    const ModelTime beat = 3 * net.cost().wordSeparation();
+
+    // First problem sets the fill latency of the pipe.
+    result.sorted.push_back(sortOtn(net, problems.front()).sorted);
+    result.firstLatency = net.now() - start;
+
+    // Subsequent problems drain one beat apart.
+    for (std::size_t p = 1; p < problems.size(); ++p) {
+        net.runUncharged([&] {
+            result.sorted.push_back(sortOtn(net, problems[p]).sorted);
+        });
+        net.charge(beat);
+    }
+
+    result.problemInterval = beat;
+    result.totalTime = net.now() - start;
+    return result;
+}
+
+} // namespace ot::otn

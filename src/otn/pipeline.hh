@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Pipelined problem streams on the OTN (Section VIII, point 4).
+ *
+ * SORT-OTN's computation flows root -> base -> root -> base -> root:
+ * at any instant only the processors of one tree level are active, so
+ * O(log N) independent problem instances can be in flight at once,
+ * O(log N) time apart (each processor time-slices the three phases).
+ * A new sorted sequence then emerges every O(log N) time units, and
+ * the pipelined AT^2 becomes O(N^2 log^4 N) — matching the OTC without
+ * pipelining.
+ *
+ * The extra storage this needs (log N words buffered per BP during the
+ * LEAFTOLEAF of step 2, i.e. O(log^2 N) bits) fits the BP area budget
+ * (Section VIII).
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "otn/network.hh"
+#include "otn/sort.hh"
+
+namespace ot::otn {
+
+/** Result of a pipelined stream of sorting problems. */
+struct SortPipelineResult
+{
+    /** Per-problem sorted outputs, in submission order. */
+    std::vector<std::vector<std::uint64_t>> sorted;
+    /** Model time from first input to last output. */
+    ModelTime totalTime = 0;
+    /** Latency of the first problem through the pipe. */
+    ModelTime firstLatency = 0;
+    /** Beat between successive outputs: O(log N). */
+    ModelTime problemInterval = 0;
+};
+
+/**
+ * Sort a stream of problems on one OTN with pipelining.  Each problem
+ * must have at most net.n() values.  The first instance is charged in
+ * full; each further instance adds one pipeline beat (three time
+ * slices of one word, for the three phases in flight).
+ */
+SortPipelineResult sortPipelineOtn(
+    OrthogonalTreesNetwork &net,
+    const std::vector<std::vector<std::uint64_t>> &problems);
+
+} // namespace ot::otn

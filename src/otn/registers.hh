@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Register naming for base processors.
+ *
+ * Section II-B: "we require a few (three or four) O(log N) bit
+ * registers in each BP", addressed as A(i,j), B(i,j), ...  The
+ * algorithms in the paper use registers A, B, C, D, R and a one-bit
+ * flag; the graph algorithms need a few more scratch registers, so we
+ * provide a fixed set of twelve.  A register file of Theta(log N) bits
+ * per named register keeps each BP within its O(log N) area budget.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace ot::otn {
+
+/** Named BP registers (the paper's A(i,j), B(i,j), ... notation). */
+enum class Reg : unsigned {
+    A,
+    B,
+    C,
+    D,
+    E,
+    F, //!< conventionally the one-bit flag register
+    G,
+    H,
+    R, //!< conventionally the rank register of SORT-OTN
+    T,
+    X,
+    Y,
+};
+
+/** Number of named registers per BP. */
+inline constexpr unsigned kNumRegs = 12;
+
+/**
+ * The paper's NULL marker (Section VI-A step 5 loads "NULL" into a
+ * register): an all-ones word no valid datum uses.
+ */
+inline constexpr std::uint64_t kNull = ~std::uint64_t{0};
+
+} // namespace ot::otn

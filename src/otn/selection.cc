@@ -1,0 +1,66 @@
+#include "otn/selection.hh"
+
+#include <cassert>
+
+namespace ot::otn {
+
+SelectResult
+selectKthOtn(OrthogonalTreesNetwork &net,
+             const std::vector<std::uint64_t> &values, std::size_t k)
+{
+    const std::size_t n = net.n();
+    const std::size_t m = values.size();
+    assert(m <= n && k < m);
+
+    ModelTime start = net.now();
+    sim::ScopedPhase phase(net.acct(), "select-otn");
+    net.setRowRootInputs(values);
+
+    // Steps 1-4 of SORT-OTN: every BP of row i learns rank(x(i)).
+    net.parallelFor(n, [&](std::size_t i) {
+        net.rootToLeaf(Axis::Row, i, Sel::all(), Reg::A);
+    });
+    net.parallelFor(n, [&](std::size_t i) {
+        net.leafToLeaf(Axis::Col, i, Sel::rowIs(i), Reg::A, Sel::all(),
+                       Reg::B);
+    });
+    net.baseOp(net.cost().bitSerialOp(), [&](std::size_t i, std::size_t j) {
+        std::uint64_t a = net.reg(Reg::A, i, j);
+        std::uint64_t b = net.reg(Reg::B, i, j);
+        net.reg(Reg::F, i, j) = (a > b || (a == b && i > j)) ? 1 : 0;
+    });
+    net.parallelFor(n, [&](std::size_t i) {
+        net.countLeafToLeaf(Axis::Row, i, Reg::F, Sel::all(), Reg::R);
+    });
+
+    // Step 5, narrowed: only column 0's tree extracts — first the
+    // value of rank k, then (one more traversal) its row index, which
+    // each selected BP knows as its own address.
+    Selector rank_is_k = [&net, k](std::size_t r, std::size_t c) {
+        return net.reg(Reg::R, r, c) == k;
+    };
+    net.leafToRoot(Axis::Col, 0, rank_is_k, Reg::A);
+    std::uint64_t value = net.colRoot(0);
+
+    net.baseOp(net.cost().bitSerialOp(), [&](std::size_t i, std::size_t j) {
+        net.reg(Reg::X, i, j) = i;
+    });
+    net.leafToRoot(Axis::Col, 0, rank_is_k, Reg::X);
+    std::uint64_t index = net.colRoot(0);
+
+    SelectResult result;
+    result.value = value;
+    result.index = static_cast<std::size_t>(index);
+    result.time = net.now() - start;
+    return result;
+}
+
+SelectResult
+medianOtn(OrthogonalTreesNetwork &net,
+          const std::vector<std::uint64_t> &values)
+{
+    assert(!values.empty());
+    return selectKthOtn(net, values, (values.size() - 1) / 2);
+}
+
+} // namespace ot::otn

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Order statistics on the OTN.
+ *
+ * SORT-OTN's middle (Section II-B steps 1-4) computes every element's
+ * global rank without moving the data; selection just reads one rank
+ * back instead of all of them, so the k-th smallest of N values costs
+ * the same O(log^2 N) as a full sort — a corollary of the paper's
+ * rank-counting technique (Muller & Preparata [18]) worth exposing as
+ * API: medians and quantiles are the common downstream use.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "otn/network.hh"
+
+namespace ot::otn {
+
+/** Result of a selection query. */
+struct SelectResult
+{
+    /** The k-th smallest value (0-based k). */
+    std::uint64_t value = 0;
+    /** Its position in the input vector. */
+    std::size_t index = 0;
+    /** Model time of the run. */
+    ModelTime time = 0;
+};
+
+/**
+ * The k-th smallest of `values` (0-based; duplicates resolved by input
+ * position, matching SORT-OTN's tie-break).  Requires
+ * values.size() <= net.n() and k < values.size().
+ */
+SelectResult selectKthOtn(OrthogonalTreesNetwork &net,
+                          const std::vector<std::uint64_t> &values,
+                          std::size_t k);
+
+/** The lower median (k = (size-1)/2). */
+SelectResult medianOtn(OrthogonalTreesNetwork &net,
+                       const std::vector<std::uint64_t> &values);
+
+} // namespace ot::otn

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Shortest paths on the OTN via (min, +) products.
+ *
+ * The paper's Section III builds its graph algorithms from tree
+ * reductions over the adjacency/weight matrix; the same machinery
+ * supports the (min, +) semiring:
+ *
+ *  - single-source shortest paths as Bellman-Ford relaxation rounds:
+ *    d'(j) = min(d(j), min_k d(k) + w(k, j)) — one ROOTTOLEAF fan-out,
+ *    one base add, one column MIN per round, O(log^2 N) each, with at
+ *    most `diameter` rounds (a COUNT reduction detects convergence);
+ *  - all-pairs shortest paths by repeated (min, +) squaring of the
+ *    distance matrix (ceil(log N) squarings, each a pipelined
+ *    Section III-A product), verified against Floyd-Warshall.
+ *
+ * Both use graph::kUnreachable as the machine's NULL-like infinity
+ * (addition saturates).
+ */
+
+#pragma once
+
+#include "graph/graph.hh"
+#include "graph/reference_algorithms.hh"
+#include "otn/network.hh"
+
+namespace ot::otn {
+
+/** Result of a single-source shortest-paths run. */
+struct SsspResult
+{
+    /** dist[v] from the source (graph::kUnreachable if none). */
+    std::vector<std::uint64_t> dist;
+    /** Relaxation rounds executed (paths of that many edges covered). */
+    unsigned rounds = 0;
+    /** Model time of the run. */
+    ModelTime time = 0;
+};
+
+/** Word format wide enough for path sums on n vertices, weights <= w. */
+vlsi::WordFormat pathWordFormat(std::size_t n, std::uint64_t max_weight);
+
+/**
+ * Bellman-Ford SSSP on `net` (n() >= g.vertices()).  Early-exits when
+ * a round changes nothing (the convergence COUNT is charged).
+ */
+SsspResult ssspOtn(OrthogonalTreesNetwork &net, const graph::WeightedGraph &g,
+                   std::size_t src, bool charge_load = true);
+
+/** Result of an all-pairs shortest-paths run. */
+struct ApspResult
+{
+    /** dist(i, j); kUnreachable when disconnected. */
+    linalg::IntMatrix dist;
+    /** (min, +) squarings executed: ceil(log2 N). */
+    unsigned squarings = 0;
+    ModelTime time = 0;
+};
+
+/** APSP by repeated (min, +) squaring of the weight matrix. */
+ApspResult apspOtn(OrthogonalTreesNetwork &net,
+                   const graph::WeightedGraph &g);
+
+} // namespace ot::otn

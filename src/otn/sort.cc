@@ -1,0 +1,65 @@
+#include "otn/sort.hh"
+
+namespace ot::otn {
+
+SortResult
+sortOtn(OrthogonalTreesNetwork &net, const std::vector<std::uint64_t> &values)
+{
+    const std::size_t n = net.n();
+    const std::size_t m = values.size();
+    assert(m <= n);
+
+    ModelTime start = net.now();
+    net.setRowRootInputs(values);
+
+    sim::ScopedPhase phase(net.acct(), "sort-otn");
+
+    // Step 1: A(i, j) := x(i) for all j.
+    net.parallelFor(n, [&](std::size_t i) {
+        net.rootToLeaf(Axis::Row, i, Sel::all(), Reg::A);
+    });
+
+    // Step 2: B(i, j) := x(j) — the diagonal's A fanned out down each
+    // column.
+    net.parallelFor(n, [&](std::size_t i) {
+        net.leafToLeaf(Axis::Col, i, Sel::rowIs(i), Reg::A, Sel::all(),
+                       Reg::B);
+    });
+
+    // Step 3: flag := A > B, or A == B and i > j (the duplicate-safe
+    // variant at the end of Section II-B).  kNull compares as +infinity
+    // so absent ports rank last.
+    net.baseOp(net.cost().bitSerialOp(), [&](std::size_t i, std::size_t j) {
+        std::uint64_t a = net.reg(Reg::A, i, j);
+        std::uint64_t b = net.reg(Reg::B, i, j);
+        net.reg(Reg::F, i, j) = (a > b || (a == b && i > j)) ? 1 : 0;
+    });
+
+    // Step 4: R(i, j) := rank of x(i), for all j.
+    net.parallelFor(n, [&](std::size_t i) {
+        net.countLeafToLeaf(Axis::Row, i, Reg::F, Sel::all(), Reg::R);
+    });
+
+    // Step 5: column root i picks up the element of rank i.
+    net.parallelFor(n, [&](std::size_t i) {
+        Selector rank_is_i = [&net, i](std::size_t r, std::size_t c) {
+            return net.reg(Reg::R, r, c) == i;
+        };
+        net.leafToRoot(Axis::Col, i, rank_is_i, Reg::A);
+    });
+
+    SortResult result;
+    auto out = net.colRootOutputs();
+    result.sorted.assign(out.begin(), out.begin() + static_cast<long>(m));
+    result.time = net.now() - start;
+    return result;
+}
+
+SortResult
+sortOtn(const std::vector<std::uint64_t> &values, const vlsi::CostModel &cost)
+{
+    OrthogonalTreesNetwork net(values.size(), cost);
+    return sortOtn(net, values);
+}
+
+} // namespace ot::otn

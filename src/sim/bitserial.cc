@@ -1,0 +1,137 @@
+#include "sim/bitserial.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ot::sim {
+
+BitPipe::BitPipe(DelayModel model, WireLength length)
+    : _lanes(vlsi::wireDelay(model, length), -1)
+{
+}
+
+int
+BitPipe::tick(int in)
+{
+    int out = _lanes.back();
+    for (std::size_t s = _lanes.size(); s-- > 1;)
+        _lanes[s] = _lanes[s - 1];
+    _lanes[0] = in;
+    return out;
+}
+
+bool
+BitPipe::empty() const
+{
+    return std::all_of(_lanes.begin(), _lanes.end(),
+                       [](int b) { return b < 0; });
+}
+
+namespace {
+
+/** A chain of pipes with an optional 1-tick combine stage per joint. */
+class PipeChain
+{
+  public:
+    PipeChain(DelayModel model, const std::vector<WireLength> &edges,
+              bool combine_per_edge)
+    {
+        // Edges arrive root-first (TreeEmbedding convention); a word
+        // travels leaf -> root, so build the chain reversed.
+        for (std::size_t e = edges.size(); e-- > 0;) {
+            _pipes.emplace_back(model, edges[e]);
+            if (combine_per_edge)
+                _pipes.emplace_back(DelayModel::Constant, 1);
+        }
+    }
+
+    /** One global tick; returns the bit leaving the chain. */
+    int
+    tick(int in)
+    {
+        int carry = in;
+        for (auto &pipe : _pipes)
+            carry = pipe.tick(carry);
+        return carry;
+    }
+
+    bool
+    empty() const
+    {
+        return std::all_of(_pipes.begin(), _pipes.end(),
+                           [](const BitPipe &p) { return p.empty(); });
+    }
+
+  private:
+    std::vector<BitPipe> _pipes;
+};
+
+/**
+ * Drive `count` words of `word_bits` bits through the chain, word w
+ * injected starting at tick w * separation + 1.  Returns the elapsed
+ * time between the first injection tick and the final bit's exit —
+ * the quantity CostModel's formulas express.
+ */
+ModelTime
+drive(PipeChain &chain, unsigned word_bits, std::uint64_t count,
+      ModelTime separation)
+{
+    if (count == 0)
+        return 0;
+    assert(separation >= word_bits &&
+           "words must not overlap on a bit-serial wire");
+    ModelTime last_exit = 0;
+    std::uint64_t total_bits = count * word_bits;
+    std::uint64_t emerged = 0;
+    for (ModelTime t = 1; emerged < total_bits; ++t) {
+        assert(t < 1000000 && "bit-serial simulation runaway");
+        // Word w occupies ticks [w*separation + 1, w*separation + bits].
+        std::uint64_t t0 = t - 1;
+        std::uint64_t w = t0 / separation;
+        std::uint64_t off = t0 - w * separation;
+        int in = -1;
+        if (w < count && off < word_bits)
+            in = static_cast<int>((w * word_bits + off) % 2);
+        int out = chain.tick(in);
+        if (out >= 0) {
+            ++emerged;
+            last_exit = t;
+        }
+    }
+    return last_exit - 1;
+}
+
+} // namespace
+
+ModelTime
+simulateWordAlongPath(DelayModel model,
+                      const std::vector<WireLength> &edges,
+                      unsigned word_bits)
+{
+    PipeChain chain(model, edges, /*combine_per_edge=*/false);
+    return drive(chain, word_bits, 1, word_bits);
+}
+
+ModelTime
+simulateWordsAlongPath(DelayModel model,
+                       const std::vector<WireLength> &edges,
+                       unsigned word_bits, std::uint64_t count,
+                       ModelTime separation)
+{
+    PipeChain chain(model, edges, /*combine_per_edge=*/false);
+    return drive(chain, word_bits, count, separation);
+}
+
+ModelTime
+simulateTreeReduce(DelayModel model, const std::vector<WireLength> &edges,
+                   unsigned word_bits)
+{
+    // The reduction's critical path: one leaf-to-root chain with a
+    // 1-tick combining stage at every internal node (both children are
+    // symmetric, so the other subtree never delays the stream
+    // further).
+    PipeChain chain(model, edges, /*combine_per_edge=*/true);
+    return drive(chain, word_bits, 1, word_bits);
+}
+
+} // namespace ot::sim

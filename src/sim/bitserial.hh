@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Event-level bit-serial wire simulation — the ground truth the
+ * closed-form CostModel is validated against.
+ *
+ * CostModel prices a word moving along a path with a formula
+ * (sum of per-edge first-bit latencies + pipelined remaining bits).
+ * This module *simulates* the same transfer one bit and one clock at a
+ * time: each wire is a chain of driver stages (log2 length of them
+ * under Thompson's rule, one under constant delay, `length` under
+ * linear delay), each stage holds one bit per tick, and words enter a
+ * path bit-serially.  The test suite asserts that the event-level
+ * completion times equal CostModel's closed forms exactly — so every
+ * model-time figure in the benches is backed by a bit-level machine,
+ * not just by algebra.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vlsi/cost_model.hh"
+#include "vlsi/delay.hh"
+
+namespace ot::sim {
+
+using vlsi::DelayModel;
+using vlsi::ModelTime;
+using vlsi::WireLength;
+
+/**
+ * A bit-serial transmission line: the driver-stage pipeline of one
+ * wire.  Bits are pushed at the head (one per tick at most) and emerge
+ * at the tail after stages() ticks.
+ */
+class BitPipe
+{
+  public:
+    BitPipe(DelayModel model, WireLength length);
+
+    /** Driver stages = the wire's first-bit latency. */
+    unsigned stages() const { return static_cast<unsigned>(_lanes.size()); }
+
+    /**
+     * Advance one clock tick: shift every stage.  `in` is the bit
+     * presented at the head this tick (-1 = idle).  Returns the bit
+     * leaving the tail (-1 if none).
+     */
+    int tick(int in);
+
+    /** True when no bits are in flight. */
+    bool empty() const;
+
+  private:
+    std::vector<int> _lanes; // stage registers, -1 = empty
+};
+
+/**
+ * Event-level simulation of one w-bit word traversing a path of wires
+ * (e.g. root to leaf through the tree): returns the tick at which the
+ * last bit leaves the last wire.  Must equal
+ * CostModel::wordAlongPath(edges).
+ */
+ModelTime simulateWordAlongPath(DelayModel model,
+                                const std::vector<WireLength> &edges,
+                                unsigned word_bits);
+
+/**
+ * Event-level simulation of `count` words pipelined along the path,
+ * successive words injected `separation` ticks apart.  Must equal
+ * CostModel::wordsAlongPath.
+ */
+ModelTime simulateWordsAlongPath(DelayModel model,
+                                 const std::vector<WireLength> &edges,
+                                 unsigned word_bits, std::uint64_t count,
+                                 ModelTime separation);
+
+/**
+ * Event-level binary-tree reduction: 2^h leaves each start with one
+ * w-bit word; every internal node combines its children's bit streams
+ * with one combining-stage delay and forwards upward.  Returns the
+ * tick the root receives the last result bit.  Must equal
+ * CostModel::reducePath for the per-level edge lengths given
+ * (edges[0] adjacent to the root, matching TreeEmbedding::pathEdges).
+ */
+ModelTime simulateTreeReduce(DelayModel model,
+                             const std::vector<WireLength> &edges,
+                             unsigned word_bits);
+
+} // namespace ot::sim

@@ -1,0 +1,18 @@
+#include "sim/stats.hh"
+
+namespace ot::sim {
+
+void
+StatSet::dump(std::ostream &os, const std::string &prefix) const
+{
+    for (const auto &[name, c] : _counters)
+        os << prefix << name << " " << c.value() << "\n";
+    for (const auto &[name, d] : _distributions) {
+        os << prefix << name << ".count " << d.count() << "\n"
+           << prefix << name << ".mean " << d.mean() << "\n"
+           << prefix << name << ".min " << d.min() << "\n"
+           << prefix << name << ".max " << d.max() << "\n";
+    }
+}
+
+} // namespace ot::sim

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Model-time bookkeeping for the network simulators.
+ *
+ * The simulators in this repository execute *parallel* machines on a
+ * sequential host.  Each network primitive (a ROOTTOLEAF broadcast, a
+ * compare-exchange sweep, ...) is one parallel step whose duration is
+ * computed by the CostModel; the TimeAccountant accumulates those
+ * durations into the machine's total model time T, which is what the
+ * paper's tables report (not host wall-clock).
+ *
+ * Phases let an algorithm attribute time to named sections ("rank",
+ * "hook", "pointer-jump"), which the benches print to show where the
+ * asymptotic terms come from.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "vlsi/delay.hh"
+
+namespace ot::sim {
+
+using vlsi::ModelTime;
+
+/** Accumulates parallel-step durations into total model time. */
+class TimeAccountant
+{
+  public:
+    TimeAccountant() = default;
+
+    /** Charge one parallel step of duration `dt`. */
+    void
+    advance(ModelTime dt)
+    {
+        _now += dt;
+        ++_steps;
+        if (!_phaseStack.empty())
+            _phaseTimes[_phaseStack.back()] += dt;
+    }
+
+    /** Current model time. */
+    ModelTime now() const { return _now; }
+
+    /** Number of parallel steps charged so far. */
+    std::uint64_t steps() const { return _steps; }
+
+    /** Forget all accumulated time and phases. */
+    void
+    reset()
+    {
+        _now = 0;
+        _steps = 0;
+        _phaseTimes.clear();
+        _phaseStack.clear();
+    }
+
+    /** Enter a named phase; time advanced until endPhase is attributed
+     *  to it (innermost phase only, so nested phases don't double
+     *  count). */
+    void beginPhase(const std::string &name) { _phaseStack.push_back(name); }
+
+    /** Leave the innermost phase. */
+    void
+    endPhase()
+    {
+        if (!_phaseStack.empty())
+            _phaseStack.pop_back();
+    }
+
+    /** Per-phase accumulated model time. */
+    const std::map<std::string, ModelTime> &
+    phaseTimes() const
+    {
+        return _phaseTimes;
+    }
+
+  private:
+    ModelTime _now = 0;
+    std::uint64_t _steps = 0;
+    std::map<std::string, ModelTime> _phaseTimes;
+    std::vector<std::string> _phaseStack;
+};
+
+/** RAII helper for TimeAccountant phases. */
+class ScopedPhase
+{
+  public:
+    ScopedPhase(TimeAccountant &acct, const std::string &name) : _acct(acct)
+    {
+        _acct.beginPhase(name);
+    }
+
+    ~ScopedPhase() { _acct.endPhase(); }
+
+    ScopedPhase(const ScopedPhase &) = delete;
+    ScopedPhase &operator=(const ScopedPhase &) = delete;
+
+  private:
+    TimeAccountant &_acct;
+};
+
+} // namespace ot::sim

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Small integer/bit math helpers used throughout the VLSI model.
+ *
+ * All asymptotic quantities in the paper are expressed in terms of
+ * log2(N); these helpers provide the exact integer versions used by the
+ * simulators (floor/ceil logs, power-of-two tests, ceiling division).
+ */
+
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+namespace ot::vlsi {
+
+/** Floor of log2(x). Requires x >= 1. */
+constexpr unsigned
+ilog2Floor(std::uint64_t x)
+{
+    assert(x >= 1);
+    unsigned r = 0;
+    while (x >>= 1)
+        ++r;
+    return r;
+}
+
+/** Ceiling of log2(x). Requires x >= 1. ilog2Ceil(1) == 0. */
+constexpr unsigned
+ilog2Ceil(std::uint64_t x)
+{
+    assert(x >= 1);
+    unsigned f = ilog2Floor(x);
+    return (std::uint64_t{1} << f) == x ? f : f + 1;
+}
+
+/** True iff x is a power of two (x >= 1). */
+constexpr bool
+isPow2(std::uint64_t x)
+{
+    return x >= 1 && (x & (x - 1)) == 0;
+}
+
+/** Smallest power of two >= x. Requires x >= 1. */
+constexpr std::uint64_t
+nextPow2(std::uint64_t x)
+{
+    assert(x >= 1);
+    return std::uint64_t{1} << ilog2Ceil(x);
+}
+
+/** Ceiling division a / b with b > 0. */
+constexpr std::uint64_t
+ceilDiv(std::uint64_t a, std::uint64_t b)
+{
+    assert(b > 0);
+    return (a + b - 1) / b;
+}
+
+/**
+ * The paper's "log N" as a machine quantity: max(1, ceil(log2 n)).
+ *
+ * Guarding with 1 keeps degenerate sizes (n <= 2) well-defined: word
+ * widths, cycle lengths and channel pitches are all Theta(log N) and
+ * must never be zero.
+ */
+constexpr unsigned
+logCeilAtLeast1(std::uint64_t n)
+{
+    if (n <= 2)
+        return 1;
+    return ilog2Ceil(n);
+}
+
+/** Reverse the low `bits` bits of x (used by FFT / shuffle networks). */
+constexpr std::uint64_t
+reverseBits(std::uint64_t x, unsigned bits)
+{
+    std::uint64_t r = 0;
+    for (unsigned i = 0; i < bits; ++i) {
+        r = (r << 1) | (x & 1);
+        x >>= 1;
+    }
+    return r;
+}
+
+} // namespace ot::vlsi

@@ -1,0 +1,36 @@
+#include "vlsi/cost_model.hh"
+
+namespace ot::vlsi {
+
+ModelTime
+CostModel::pathLatency(std::span<const WireLength> edges) const
+{
+    ModelTime t = 0;
+    for (WireLength len : edges)
+        t += edgeDelay(len);
+    return t;
+}
+
+ModelTime
+CostModel::wordAlongPath(std::span<const WireLength> edges) const
+{
+    return pathLatency(edges) + (_word.bits() - 1) * wireBitInterval(_model);
+}
+
+ModelTime
+CostModel::wordsAlongPath(std::span<const WireLength> edges,
+                          std::uint64_t count, ModelTime separation) const
+{
+    if (count == 0)
+        return 0;
+    return pipelineTotal(wordAlongPath(edges), count, separation);
+}
+
+ModelTime
+CostModel::reducePath(std::span<const WireLength> edges) const
+{
+    // One combining unit per internal node along the path.
+    return wordAlongPath(edges) + edges.size();
+}
+
+} // namespace ot::vlsi

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The cost rules of Thompson's VLSI model, as used by every simulator
+ * in this repository.
+ *
+ * A CostModel turns *geometry* (wire lengths along a communication
+ * path, taken from a concrete layout) into *model time*.  It captures
+ * the assumptions of Section II-B of the paper:
+ *
+ *  - words are O(log N) bits and move bit-serially;
+ *  - a wire of length K has first-bit latency wireDelay(model, K) but
+ *    pipelines subsequent bits at unit intervals;
+ *  - bit-serial compare/add needs O(1) logic and O(bits) time;
+ *  - bit-serial multiply uses the serial pipeline technique [6], [13]
+ *    in O(bits) time and O(bits) area;
+ *  - with Thompson's "scaling" [31] every tree edge behaves like a
+ *    constant-delay wire (each internal processor is a constant factor
+ *    larger than its children), turning O(log^2 N) tree traversals
+ *    into O(log N) ones without changing the asymptotic area.
+ */
+
+#pragma once
+
+#include <span>
+
+#include "vlsi/delay.hh"
+#include "vlsi/word.hh"
+
+namespace ot::vlsi {
+
+/**
+ * Cost rules binding a delay model to a word format.
+ *
+ * Instances are small value types; networks keep one and consult it for
+ * every primitive.  Swapping the delay model (Table I vs Table IV) or
+ * enabling scaling (Thompson [31]) changes *only* this object.
+ */
+class CostModel
+{
+  public:
+    /**
+     * @param model        Wire-delay rule in force.
+     * @param word         Bit-serial word format.
+     * @param scaled_trees Apply Thompson's scaling to tree edges, making
+     *                     each edge constant-delay (Section VII remark).
+     */
+    CostModel(DelayModel model, WordFormat word, bool scaled_trees = false)
+        : _model(model), _word(word), _scaledTrees(scaled_trees)
+    {}
+
+    DelayModel delayModel() const { return _model; }
+    const WordFormat &word() const { return _word; }
+    bool scaledTrees() const { return _scaledTrees; }
+
+    /** First-bit latency across one wire, honouring the scaling option. */
+    ModelTime
+    edgeDelay(WireLength len) const
+    {
+        if (_scaledTrees)
+            return wireDelay(DelayModel::Constant, len);
+        return wireDelay(_model, len);
+    }
+
+    /** First-bit latency along a multi-edge path (e.g. root to leaf). */
+    ModelTime pathLatency(std::span<const WireLength> edges) const;
+
+    /**
+     * Time to move one whole word along a path: first-bit latency plus
+     * the remaining bits pipelined at unit intervals (Section II-B).
+     */
+    ModelTime wordAlongPath(std::span<const WireLength> edges) const;
+
+    /**
+     * Time to stream `count` words along a path in a pipeline,
+     * successive words separated by `separation` time units.
+     *
+     * The paper's convention (Section III-A): "pipelining implies a
+     * separation of O(log N) time between successive elements" — i.e.
+     * separation = word().bits() — unless stated otherwise (Boolean
+     * data can use separation 1).
+     */
+    ModelTime wordsAlongPath(std::span<const WireLength> edges,
+                             std::uint64_t count,
+                             ModelTime separation) const;
+
+    /** Default pipeline separation between successive words: O(log N). */
+    ModelTime wordSeparation() const { return _word.bits(); }
+
+    /**
+     * A word-reduction path: like wordAlongPath but each intermediate
+     * node spends one extra unit combining its children's bit streams
+     * (LSB-first for SUM, MSB-first for MIN — Section VII-D).
+     */
+    ModelTime reducePath(std::span<const WireLength> edges) const;
+
+    /** Bit-serial compare/add/subtract of two words: O(bits). */
+    ModelTime bitSerialOp() const { return _word.bits(); }
+
+    /** Serial pipeline multiplication of two words [6], [13]: O(bits). */
+    ModelTime bitSerialMultiply() const { return 2 * _word.bits(); }
+
+    /** Generic pipeline completion time. */
+    static ModelTime
+    pipelineTotal(ModelTime latency, std::uint64_t count,
+                  ModelTime separation)
+    {
+        if (count == 0)
+            return 0;
+        return latency + (count - 1) * separation;
+    }
+
+    bool operator==(const CostModel &other) const = default;
+
+  private:
+    DelayModel _model;
+    WordFormat _word;
+    bool _scaledTrees;
+};
+
+} // namespace ot::vlsi

@@ -1,0 +1,19 @@
+#include "vlsi/delay.hh"
+
+namespace ot::vlsi {
+
+std::string
+toString(DelayModel model)
+{
+    switch (model) {
+      case DelayModel::Constant:
+        return "constant-delay";
+      case DelayModel::Logarithmic:
+        return "log-delay (Thompson)";
+      case DelayModel::Linear:
+        return "linear-delay";
+    }
+    return "unknown";
+}
+
+} // namespace ot::vlsi

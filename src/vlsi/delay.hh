@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Wire delay rules of the VLSI models compared in the paper.
+ *
+ * The paper (Section I-A) surveys three families of VLSI timing models,
+ * differing only in the time for one bit to cross a wire of length K
+ * (lambda units):
+ *
+ *  - Constant delay:     O(1), regardless of K          [5], [23], [24]
+ *  - Logarithmic delay:  O(log K) (Thompson's model)    [29], [30]
+ *  - Linear delay:       O(K)                           [4], [8]
+ *
+ * Thompson's model additionally specifies that a length-K wire has a
+ * log(K)-stage driver whose stages are individually clocked, so bits
+ * can be *pipelined* through the wire at O(1) intervals even though the
+ * first bit takes O(log K).  All three rules are exposed here so the
+ * same simulation can be replayed under any model (Tables I vs IV).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "vlsi/bitmath.hh"
+
+namespace ot::vlsi {
+
+/** Model time, in abstract clock units (one unit = one driver stage). */
+using ModelTime = std::uint64_t;
+
+/** Wire length in lambda (feature-size) units. */
+using WireLength = std::uint64_t;
+
+/** The three wire-delay rules of Section I-A. */
+enum class DelayModel {
+    /** O(1) per wire; the model of Preparata & Vuillemin [23]. */
+    Constant,
+    /** O(log K) first-bit latency; Thompson's model [29]. */
+    Logarithmic,
+    /** O(K); the most pessimistic rule [4], [8]. */
+    Linear,
+};
+
+/** Human-readable name for table headers. */
+std::string toString(DelayModel model);
+
+/**
+ * First-bit latency across a single wire of length `len`.
+ *
+ * Under the logarithmic rule this is ceil(log2 len) + 1: the number of
+ * amplification stages in the wire's driver, plus the receiving latch.
+ * A zero-length (abutting) connection still costs one unit.
+ */
+constexpr ModelTime
+wireDelay(DelayModel model, WireLength len)
+{
+    switch (model) {
+      case DelayModel::Constant:
+        return 1;
+      case DelayModel::Logarithmic:
+        return len <= 1 ? 1 : ModelTime{ilog2Ceil(len)} + 1;
+      case DelayModel::Linear:
+        return len == 0 ? 1 : ModelTime{len};
+    }
+    return 1; // unreachable; keeps -Werror=return-type happy
+}
+
+/**
+ * Interval at which successive bits can follow the first along a wire.
+ *
+ * Thompson's drivers are individually clocked, so all three models
+ * pipeline bits at unit intervals; only the linear model, which has no
+ * driver chain, forwards at unit rate trivially (the wire is a bus).
+ */
+constexpr ModelTime
+wireBitInterval(DelayModel)
+{
+    return 1;
+}
+
+} // namespace ot::vlsi

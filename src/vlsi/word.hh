@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Word format of the machines in the paper.
+ *
+ * Section II-B, assumption (i): "All numbers being used are O(log N)
+ * bits long", and (ii) "Both communication and processing are bit
+ * serial."  Every network simulated here therefore carries words of
+ * Theta(log N) bits, moved one bit per time unit, and the per-word cost
+ * of any operation depends on this width.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "vlsi/bitmath.hh"
+
+namespace ot::vlsi {
+
+/**
+ * The bit-serial word format for a problem of size n.
+ *
+ * `bits` is the number of bits per word; the paper's algorithms assume
+ * words of c * log2(N) bits for a small constant c.  We use c = 2 by
+ * default so that ranks, indices and counts up to N^2 (e.g. the COUNT
+ * results over an N x N base) all fit in one word.
+ */
+class WordFormat
+{
+  public:
+    /** A word format of exactly `bits` bits (bits >= 1). */
+    explicit constexpr WordFormat(unsigned bits) : _bits(bits ? bits : 1) {}
+
+    /** The paper's default format for problem size n: 2*ceil(log2 n). */
+    static constexpr WordFormat
+    forProblemSize(std::uint64_t n)
+    {
+        return WordFormat(2 * logCeilAtLeast1(n));
+    }
+
+    /** Number of bits per word. */
+    constexpr unsigned bits() const { return _bits; }
+
+    /** Largest value representable (saturating at 2^63-1 for wide words). */
+    constexpr std::uint64_t
+    maxValue() const
+    {
+        if (_bits >= 63)
+            return (std::uint64_t{1} << 63) - 1;
+        return (std::uint64_t{1} << _bits) - 1;
+    }
+
+    constexpr bool operator==(const WordFormat &other) const = default;
+
+  private:
+    unsigned _bits;
+};
+
+} // namespace ot::vlsi

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Adversarial graph structures targeting the failure modes of
+ * hook-and-jump algorithms (see docs/ALGORITHMS.md): long chains
+ * (deep hook forests), mutual-hook pairs (2-cycles), label-inverted
+ * stars, components merging only in late iterations, and MST inputs
+ * where many components pick the same edge.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/reference_algorithms.hh"
+#include "otn/connected_components.hh"
+#include "otn/mst.hh"
+#include "otn/network.hh"
+#include "sim/rng.hh"
+
+namespace {
+
+using namespace ot;
+using namespace ot::otn;
+using ot::sim::Rng;
+using vlsi::CostModel;
+using vlsi::DelayModel;
+using vlsi::WordFormat;
+
+CostModel
+ccCost(std::size_t n)
+{
+    return {DelayModel::Logarithmic, WordFormat::forProblemSize(n)};
+}
+
+void
+expectCcMatches(const graph::Graph &g)
+{
+    OrthogonalTreesNetwork net(g.vertices(), ccCost(g.vertices()));
+    auto r = connectedComponentsOtn(net, g);
+    EXPECT_EQ(r.labels, graph::connectedComponents(g));
+}
+
+TEST(AdversarialCc, LongChainAscendingLabels)
+{
+    // 0-1-2-...-63: hooks compose into one long chain; pointer
+    // jumping must fully collapse it.
+    graph::Graph g(64);
+    for (std::size_t v = 0; v + 1 < 64; ++v)
+        g.addEdge(v, v + 1);
+    expectCcMatches(g);
+}
+
+TEST(AdversarialCc, LongChainDescendingLabels)
+{
+    // Same chain with the labels "reversed" by connecting v to v+1
+    // through high-numbered hubs: 63-62-...-0 as a path.
+    graph::Graph g(64);
+    for (std::size_t v = 63; v > 0; --v)
+        g.addEdge(v, v - 1);
+    expectCcMatches(g);
+}
+
+TEST(AdversarialCc, MutualPairLadder)
+{
+    // Disjoint edges (2i, 2i+1): every component is a mutual-hook pair
+    // in iteration one — the 2-cycle fix fires for every pair at once.
+    graph::Graph g(32);
+    for (std::size_t v = 0; v < 32; v += 2)
+        g.addEdge(v, v + 1);
+    expectCcMatches(g);
+    OrthogonalTreesNetwork net(32, ccCost(32));
+    EXPECT_EQ(connectedComponentsOtn(net, g).componentCount, 16u);
+}
+
+TEST(AdversarialCc, BinaryTreeShapedComponent)
+{
+    // Hierarchical merging: vertex v adjacent to v/2 — hook targets
+    // change level by level.
+    graph::Graph g(64);
+    for (std::size_t v = 1; v < 64; ++v)
+        g.addEdge(v, v / 2);
+    expectCcMatches(g);
+}
+
+TEST(AdversarialCc, TwoStarsBridgedByMaxVertex)
+{
+    // Two min-label stars joined through the largest vertex: the
+    // bridge only matters after both stars have collapsed.
+    std::size_t n = 32;
+    graph::Graph g(n);
+    for (std::size_t v = 1; v < n / 2 - 1; ++v)
+        g.addEdge(0, v);
+    for (std::size_t v = n / 2; v + 1 < n; ++v)
+        g.addEdge(n / 2 - 1, v);
+    g.addEdge(n / 2 - 2, n - 1);
+    g.addEdge(n - 1, n / 2);
+    expectCcMatches(g);
+    OrthogonalTreesNetwork net(n, ccCost(n));
+    EXPECT_EQ(connectedComponentsOtn(net, g).componentCount, 1u);
+}
+
+TEST(AdversarialCc, AlternatingLabelCycle)
+{
+    // An even cycle with alternating small/large labels: every small
+    // label is a local minimum; hook targets interleave.
+    std::size_t n = 32;
+    graph::Graph g(n);
+    std::vector<std::size_t> order;
+    for (std::size_t i = 0; i < n / 2; ++i) {
+        order.push_back(i);
+        order.push_back(n / 2 + i);
+    }
+    for (std::size_t i = 0; i < order.size(); ++i)
+        g.addEdge(order[i], order[(i + 1) % order.size()]);
+    expectCcMatches(g);
+}
+
+TEST(AdversarialCc, ManyIsolatedPlusOneGiant)
+{
+    std::size_t n = 64;
+    graph::Graph g(n);
+    for (std::size_t v = 1; v < n / 2; ++v)
+        g.addEdge(0, v);
+    expectCcMatches(g);
+    OrthogonalTreesNetwork net(n, ccCost(n));
+    EXPECT_EQ(connectedComponentsOtn(net, g).componentCount,
+              1 + n / 2);
+}
+
+/** Random stress over several shapes and seeds. */
+class AdversarialCcStress : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(AdversarialCcStress, RandomForestsAndCliqueBlobs)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 997);
+    std::size_t n = 48;
+    graph::Graph g(n);
+    // A few random cliques plus a random forest over the rest.
+    for (int c = 0; c < 3; ++c) {
+        std::size_t base = rng.uniform(0, n - 5);
+        for (std::size_t i = base; i < base + 4; ++i)
+            for (std::size_t j = i + 1; j < base + 4; ++j)
+                g.addEdge(i, j);
+    }
+    for (int e = 0; e < 20; ++e) {
+        auto u = rng.uniform(0, n - 1);
+        auto v = rng.uniform(0, n - 1);
+        if (u != v)
+            g.addEdge(u, v);
+    }
+    expectCcMatches(g);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdversarialCcStress,
+                         ::testing::Range(1, 9));
+
+// ----------------------------------------------------------- MST
+
+void
+expectMstMatches(const graph::WeightedGraph &g, std::uint64_t max_w)
+{
+    CostModel cm(DelayModel::Logarithmic,
+                 mstWordFormat(g.vertices(), max_w));
+    OrthogonalTreesNetwork net(g.vertices(), cm);
+    auto r = mstOtn(net, g);
+    EXPECT_EQ(r.edges, graph::kruskalMsf(g));
+}
+
+TEST(AdversarialMst, AllComponentsChooseTheSameEdge)
+{
+    // Star of expensive spokes plus one globally cheapest edge that
+    // both its endpoints' components select simultaneously (the
+    // mutual 2-cycle case in round one for that pair).
+    std::size_t n = 16;
+    graph::WeightedGraph g(n);
+    g.addEdge(0, 1, 1);
+    std::uint64_t w = 10;
+    for (std::size_t v = 2; v < n; ++v) {
+        g.addEdge(0, v, w++);
+        g.addEdge(1, v, w++);
+    }
+    expectMstMatches(g, w);
+}
+
+TEST(AdversarialMst, ChainOfForcedMerges)
+{
+    // Weights force one merge per Boruvka phase along a chain.
+    std::size_t n = 16;
+    graph::WeightedGraph g(n);
+    for (std::size_t v = 0; v + 1 < n; ++v)
+        g.addEdge(v, v + 1, 1 + v);
+    expectMstMatches(g, n);
+}
+
+TEST(AdversarialMst, HeavyCycleLightTree)
+{
+    // A cycle whose heaviest edge must be dropped.
+    std::size_t n = 12;
+    graph::WeightedGraph g(n);
+    for (std::size_t v = 0; v < n; ++v)
+        g.addEdge(v, (v + 1) % n, v + 1);
+    expectMstMatches(g, n);
+    CostModel cm(DelayModel::Logarithmic, mstWordFormat(n, n));
+    OrthogonalTreesNetwork net(n, cm);
+    auto r = mstOtn(net, g);
+    // The weight-n edge (n-1, 0) is the cycle's heaviest: excluded.
+    for (const auto &e : r.edges)
+        EXPECT_LT(e.w, n);
+}
+
+TEST(AdversarialMst, TwoClustersOneBridge)
+{
+    std::size_t n = 16;
+    graph::WeightedGraph g(n);
+    std::uint64_t w = 1;
+    for (std::size_t i = 0; i < n / 2; ++i)
+        for (std::size_t j = i + 1; j < n / 2; ++j)
+            g.addEdge(i, j, w++);
+    for (std::size_t i = n / 2; i < n; ++i)
+        for (std::size_t j = i + 1; j < n; ++j)
+            g.addEdge(i, j, w++);
+    g.addEdge(0, n - 1, w); // the only bridge, heaviest edge of all
+    expectMstMatches(g, w + 1);
+    CostModel cm(DelayModel::Logarithmic, mstWordFormat(n, w + 1));
+    OrthogonalTreesNetwork net(n, cm);
+    auto r = mstOtn(net, g);
+    // The bridge must be in the MST despite its weight.
+    bool has_bridge = false;
+    for (const auto &e : r.edges)
+        has_bridge |= (e.u == 0 && e.v == n - 1);
+    EXPECT_TRUE(has_bridge);
+}
+
+} // namespace

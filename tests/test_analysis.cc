@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Tests for the analysis module: the reconstructed table formulas
+ * reproduce the paper's orderings and headline AT^2 claims, the
+ * power-law fitter recovers known exponents, and the table renderer
+ * aligns columns.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "analysis/asymptotics.hh"
+#include "analysis/fitting.hh"
+#include "analysis/table.hh"
+
+namespace {
+
+using namespace ot::analysis;
+using ot::vlsi::DelayModel;
+
+TEST(PaperFormula, TableISortingRows)
+{
+    // Spot values at N = 1024 (log N = 10).
+    double n = 1024, l = 10;
+    auto mesh = paperFormula(Network::Mesh, Problem::Sorting,
+                             DelayModel::Logarithmic, n);
+    EXPECT_DOUBLE_EQ(mesh.area, n * l * l);
+    EXPECT_DOUBLE_EQ(mesh.time, 32.0);
+
+    auto otn = paperFormula(Network::Otn, Problem::Sorting,
+                            DelayModel::Logarithmic, n);
+    EXPECT_DOUBLE_EQ(otn.area, n * n * l * l);
+    EXPECT_DOUBLE_EQ(otn.time, l * l);
+
+    auto otc = paperFormula(Network::Otc, Problem::Sorting,
+                            DelayModel::Logarithmic, n);
+    EXPECT_DOUBLE_EQ(otc.area, n * n);
+    EXPECT_DOUBLE_EQ(otc.time, l * l);
+
+    auto psn = paperFormula(Network::Psn, Problem::Sorting,
+                            DelayModel::Logarithmic, n);
+    EXPECT_DOUBLE_EQ(psn.time, l * l * l);
+}
+
+TEST(PaperFormula, TableISortingAt2Ordering)
+{
+    // Mesh achieves the optimal N^2 log^2 N; OTC/PSN/CCC sit at
+    // N^2 log^4 N; the OTN pays N^2 log^6 N.
+    double n = 1 << 16;
+    auto at2 = [&](Network net) {
+        return paperFormula(net, Problem::Sorting, DelayModel::Logarithmic,
+                            n)
+            .at2();
+    };
+    EXPECT_LT(at2(Network::Mesh), at2(Network::Otc));
+    EXPECT_DOUBLE_EQ(at2(Network::Otc), at2(Network::Psn));
+    EXPECT_DOUBLE_EQ(at2(Network::Psn), at2(Network::Ccc));
+    EXPECT_LT(at2(Network::Otc), at2(Network::Otn));
+}
+
+TEST(PaperFormula, TableIIBoolMatMulOtcWinsBigOverPsnCcc)
+{
+    // The headline: N^4 log^2 N vs ~N^6 for the fast baselines.
+    for (double n : {64.0, 256.0, 1024.0}) {
+        auto otc = paperFormula(Network::Otc, Problem::BoolMatMul,
+                                DelayModel::Logarithmic, n);
+        auto psn = paperFormula(Network::Psn, Problem::BoolMatMul,
+                                DelayModel::Logarithmic, n);
+        auto ccc = paperFormula(Network::Ccc, Problem::BoolMatMul,
+                                DelayModel::Logarithmic, n);
+        EXPECT_LT(otc.at2(), psn.at2() / (n * n / 16));
+        EXPECT_LT(otc.at2(), ccc.at2());
+        // Same asymptotic time class.
+        EXPECT_DOUBLE_EQ(otc.time, psn.time);
+    }
+    // And the mesh is AT^2-optimal but slow.
+    auto mesh = paperFormula(Network::Mesh, Problem::BoolMatMul,
+                             DelayModel::Logarithmic, 1024.0);
+    auto otc = paperFormula(Network::Otc, Problem::BoolMatMul,
+                            DelayModel::Logarithmic, 1024.0);
+    EXPECT_LT(mesh.at2(), otc.at2());
+    EXPECT_GT(mesh.time, otc.time);
+}
+
+TEST(PaperFormula, TableIIIConnectedComponentsHeadline)
+{
+    // OTC: AT^2 = N^2 log^8 N beats everything; mesh/PSN/CCC are
+    // Omega(N^4 / polylog).  N^2 log^8 N < N^4 needs N > log^4 N, so
+    // evaluate at a properly asymptotic size.
+    double n = 1 << 24, l = 24;
+    auto otc = paperFormula(Network::Otc, Problem::ConnectedComponents,
+                            DelayModel::Logarithmic, n);
+    EXPECT_DOUBLE_EQ(otc.at2(), n * n * std::pow(l, 8.0));
+    auto otn = paperFormula(Network::Otn, Problem::ConnectedComponents,
+                            DelayModel::Logarithmic, n);
+    EXPECT_DOUBLE_EQ(otn.at2(), n * n * std::pow(l, 10.0));
+    for (Network slow : {Network::Mesh, Network::Psn, Network::Ccc}) {
+        auto s = paperFormula(slow, Problem::ConnectedComponents,
+                              DelayModel::Logarithmic, n);
+        EXPECT_LT(otc.at2(), s.at2()) << toString(slow);
+        EXPECT_LT(otn.at2(), s.at2()) << toString(slow);
+    }
+}
+
+TEST(PaperFormula, MstOtcPaysOneLogOfAreaOverCc)
+{
+    double n = 1024, l = 10;
+    auto cc = paperFormula(Network::Otc, Problem::ConnectedComponents,
+                           DelayModel::Logarithmic, n);
+    auto mst = paperFormula(Network::Otc, Problem::Mst,
+                            DelayModel::Logarithmic, n);
+    EXPECT_DOUBLE_EQ(mst.area, cc.area * l);
+    // Abstract: AT^2 = N^2 log^9 N.
+    EXPECT_DOUBLE_EQ(mst.at2(), n * n * std::pow(l, 9.0));
+}
+
+TEST(PaperFormula, TableIVConstantDelayChanges)
+{
+    double n = 4096, l = 12;
+    // OTN sorts in O(log N); PSN/CCC in O(log^2 N); mesh unchanged.
+    EXPECT_DOUBLE_EQ(paperFormula(Network::Otn, Problem::Sorting,
+                                  DelayModel::Constant, n)
+                         .time,
+                     l);
+    EXPECT_DOUBLE_EQ(paperFormula(Network::Psn, Problem::Sorting,
+                                  DelayModel::Constant, n)
+                         .time,
+                     l * l);
+    EXPECT_DOUBLE_EQ(paperFormula(Network::Mesh, Problem::Sorting,
+                                  DelayModel::Constant, n)
+                         .time,
+                     paperFormula(Network::Mesh, Problem::Sorting,
+                                  DelayModel::Logarithmic, n)
+                         .time);
+    // Section VII-D: mesh/PSN/CCC all land on N^2/log^2 N-area,
+    // AT^2 ~ N^2 log^2 N; the OTN pays log^4.
+    auto psn = paperFormula(Network::Psn, Problem::Sorting,
+                            DelayModel::Constant, n);
+    auto otn = paperFormula(Network::Otn, Problem::Sorting,
+                            DelayModel::Constant, n);
+    EXPECT_DOUBLE_EQ(psn.at2(), n * n * l * l);
+    EXPECT_DOUBLE_EQ(otn.at2(), n * n * std::pow(l, 4.0));
+}
+
+TEST(At2Crossover, OtcOvertakesPsnForGraphProblems)
+{
+    // For connected components the OTC wins from small N on.
+    double n = at2Crossover(Network::Otc, Network::Psn,
+                            Problem::ConnectedComponents,
+                            DelayModel::Logarithmic);
+    EXPECT_GT(n, 0);
+    EXPECT_LE(n, 1 << 12);
+}
+
+TEST(At2Crossover, MeshNeverBeatenAtSortingAt2)
+{
+    // Mesh is AT^2-optimal for sorting: OTC never crosses below it.
+    EXPECT_EQ(at2Crossover(Network::Otc, Network::Mesh, Problem::Sorting,
+                           DelayModel::Logarithmic, 1e6),
+              0);
+}
+
+TEST(FitPowerLaw, RecoversExactExponent)
+{
+    std::vector<double> xs, ys;
+    for (double x : {2.0, 4.0, 8.0, 16.0, 32.0}) {
+        xs.push_back(x);
+        ys.push_back(3.0 * x * x); // y = 3 x^2
+    }
+    auto fit = fitPowerLaw(xs, ys);
+    EXPECT_NEAR(fit.exponent, 2.0, 1e-9);
+    EXPECT_NEAR(fit.coefficient, 3.0, 1e-9);
+    EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(FitPowerLaw, NoisyDataStillClose)
+{
+    std::vector<double> xs, ys;
+    double wob = 0.9;
+    for (double x = 4; x <= 4096; x *= 2) {
+        xs.push_back(x);
+        ys.push_back(wob * std::pow(x, 1.5));
+        wob = wob < 1.0 ? 1.1 : 0.9;
+    }
+    auto fit = fitPowerLaw(xs, ys);
+    EXPECT_NEAR(fit.exponent, 1.5, 0.05);
+    EXPECT_GT(fit.r2, 0.99);
+}
+
+TEST(FitPowerLawInLogN, RecoversPolylogExponent)
+{
+    std::vector<double> xs, ys;
+    for (double x = 16; x <= 65536; x *= 4) {
+        xs.push_back(x);
+        double l = std::log2(x);
+        ys.push_back(5.0 * l * l); // log^2 N
+    }
+    auto fit = fitPowerLawInLogN(xs, ys);
+    EXPECT_NEAR(fit.exponent, 2.0, 1e-9);
+}
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t({"net", "area", "time"});
+    t.addRow({"mesh", "1", "32"});
+    t.addRow({"OTN", "1048576", "100"});
+    auto s = t.str();
+    // Header, rule, two rows.
+    EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+    EXPECT_NE(s.find("net"), std::string::npos);
+    EXPECT_NE(s.find("----"), std::string::npos);
+    EXPECT_NE(s.find("1048576"), std::string::npos);
+}
+
+TEST(Format, Quantities)
+{
+    EXPECT_EQ(formatQuantity(950), "950");
+    EXPECT_EQ(formatQuantity(1500), "1.50K");
+    EXPECT_EQ(formatQuantity(2.5e6), "2.50M");
+    EXPECT_EQ(formatQuantity(1e12), "1T");
+    EXPECT_EQ(formatRatio(2.0), "2.00x");
+    EXPECT_EQ(formatExponent("N", 1.98), "N^1.98");
+}
+
+TEST(Names, AllEnumerantsNamed)
+{
+    for (Network n : {Network::Mesh, Network::Psn, Network::Ccc,
+                      Network::Otn, Network::Otc})
+        EXPECT_NE(toString(n), "?");
+    for (Problem p :
+         {Problem::Sorting, Problem::BoolMatMul,
+          Problem::ConnectedComponents, Problem::Mst})
+        EXPECT_NE(toString(p), "?");
+}
+
+} // namespace

@@ -1,0 +1,333 @@
+/**
+ * @file
+ * Tests for the comparison networks: mesh (bitonic sort, Cannon
+ * matmul, components via closure), PSN (Stone's bitonic sort) and CCC
+ * (bitonic via DESCEND), including the delay-model sensitivity the
+ * paper builds Tables I and IV around.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/ccc.hh"
+#include "baselines/mesh.hh"
+#include "baselines/psn.hh"
+#include "graph/generators.hh"
+#include "graph/reference_algorithms.hh"
+#include "linalg/reference.hh"
+#include "sim/rng.hh"
+
+namespace {
+
+using namespace ot::baselines;
+using ot::sim::Rng;
+using ot::vlsi::CostModel;
+using ot::vlsi::DelayModel;
+using ot::vlsi::WordFormat;
+
+CostModel
+logCost(std::size_t n)
+{
+    return {DelayModel::Logarithmic, WordFormat::forProblemSize(n)};
+}
+
+CostModel
+constCost(std::size_t n)
+{
+    return {DelayModel::Constant, WordFormat::forProblemSize(n)};
+}
+
+std::vector<std::uint64_t>
+sortedCopy(std::vector<std::uint64_t> v)
+{
+    std::sort(v.begin(), v.end());
+    return v;
+}
+
+// ---------------------------------------------------------------- mesh
+
+TEST(MeshSort, SortsRandomInputs)
+{
+    Rng rng(1);
+    for (std::size_t n : {4, 16, 64, 256}) {
+        std::vector<std::uint64_t> v(n);
+        for (auto &x : v)
+            x = rng.uniform(0, n - 1);
+        EXPECT_EQ(meshSort(v, logCost(n)).sorted, sortedCopy(v))
+            << "n = " << n;
+    }
+}
+
+TEST(MeshSort, PartialLoadAndDuplicates)
+{
+    std::vector<std::uint64_t> v{7, 7, 1, 3, 3};
+    EXPECT_EQ(meshSort(v, logCost(8)).sorted, sortedCopy(v));
+}
+
+TEST(MeshSort, TimeIsThetaSqrtN)
+{
+    // Doubling N should scale time by ~sqrt(2) for large N.
+    Rng rng(2);
+    std::vector<double> ns, ts;
+    for (std::size_t n : {256, 1024, 4096, 16384}) {
+        std::vector<std::uint64_t> v(n);
+        for (auto &x : v)
+            x = rng.uniform(0, n - 1);
+        MeshMachine mesh(n, logCost(n));
+        ts.push_back(static_cast<double>(meshSort(mesh, v).time));
+        ns.push_back(static_cast<double>(n));
+    }
+    for (std::size_t i = 1; i < ts.size(); ++i) {
+        double ratio = ts[i] / ts[i - 1]; // N quadruples each step
+        EXPECT_GT(ratio, 1.6);
+        EXPECT_LT(ratio, 2.8);
+    }
+}
+
+TEST(MeshSort, UnaffectedByDelayModel)
+{
+    // Section VII-D: short wires make the mesh model-insensitive.
+    Rng rng(3);
+    std::size_t n = 1024;
+    std::vector<std::uint64_t> v(n);
+    for (auto &x : v)
+        x = rng.uniform(0, n - 1);
+    auto t_log = meshSort(v, logCost(n)).time;
+    auto t_const = meshSort(v, constCost(n)).time;
+    double ratio = static_cast<double>(t_log) /
+                   static_cast<double>(t_const);
+    EXPECT_LT(ratio, 4.0);
+    EXPECT_GE(ratio, 1.0);
+}
+
+TEST(MeshMatMul, MatchesReference)
+{
+    Rng rng(4);
+    for (std::size_t n : {2, 4, 8, 16}) {
+        ot::linalg::IntMatrix a(n, n), b(n, n);
+        for (std::size_t i = 0; i < n; ++i)
+            for (std::size_t j = 0; j < n; ++j) {
+                a(i, j) = rng.uniform(0, 9);
+                b(i, j) = rng.uniform(0, 9);
+            }
+        MeshMachine mesh(n * n, CostModel(DelayModel::Logarithmic,
+                                          WordFormat(32)));
+        EXPECT_EQ(meshMatMul(mesh, a, b).product, ot::linalg::matMul(a, b))
+            << "n = " << n;
+    }
+}
+
+TEST(MeshMatMul, TimeIsThetaN)
+{
+    std::vector<double> ts;
+    Rng rng(5);
+    for (std::size_t n : {8, 16, 32, 64}) {
+        ot::linalg::IntMatrix a(n, n, 1), b(n, n, 1);
+        MeshMachine mesh(n * n, CostModel(DelayModel::Logarithmic,
+                                          WordFormat(32)));
+        ts.push_back(static_cast<double>(meshMatMul(mesh, a, b).time));
+    }
+    for (std::size_t i = 1; i < ts.size(); ++i) {
+        EXPECT_GT(ts[i] / ts[i - 1], 1.7);
+        EXPECT_LT(ts[i] / ts[i - 1], 2.5);
+    }
+}
+
+TEST(MeshBoolMatMul, MatchesReference)
+{
+    Rng rng(6);
+    std::size_t n = 16;
+    ot::linalg::BoolMatrix a(n, n, 0), b(n, n, 0);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j) {
+            a(i, j) = rng.bernoulli(0.3);
+            b(i, j) = rng.bernoulli(0.3);
+        }
+    MeshMachine mesh(n * n, logCost(n));
+    auto r = meshBoolMatMul(mesh, a, b);
+    auto expect = ot::linalg::boolMatMul(a, b);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            EXPECT_EQ(r.product(i, j) != 0, expect(i, j) != 0);
+}
+
+TEST(MeshCc, MatchesUnionFind)
+{
+    Rng rng(7);
+    for (std::size_t n : {8, 16, 32}) {
+        auto g = ot::graph::randomGnp(n, 2.0 / static_cast<double>(n),
+                                      rng);
+        MeshMachine mesh(n * n, logCost(n));
+        auto r = meshConnectedComponents(mesh, g);
+        EXPECT_EQ(r.labels, ot::graph::connectedComponents(g))
+            << "n = " << n;
+    }
+}
+
+// ----------------------------------------------------------------- PSN
+
+TEST(PsnSort, SortsRandomInputs)
+{
+    Rng rng(8);
+    for (std::size_t n : {4, 16, 64, 512}) {
+        std::vector<std::uint64_t> v(n);
+        for (auto &x : v)
+            x = rng.uniform(0, n - 1);
+        EXPECT_EQ(psnSort(v, logCost(n)).sorted, sortedCopy(v))
+            << "n = " << n;
+    }
+}
+
+TEST(PsnSort, StepCountIsThetaLog2N)
+{
+    Rng rng(9);
+    for (std::size_t n : {64, 256, 1024}) {
+        auto v = rng.permutation(n);
+        auto r = psnSort(v, logCost(n));
+        double m = std::log2(static_cast<double>(n));
+        EXPECT_GT(static_cast<double>(r.steps), 0.4 * m * m);
+        EXPECT_LT(static_cast<double>(r.steps), 2.5 * m * m);
+    }
+}
+
+TEST(PsnSort, ConstantDelaySavesALogFactor)
+{
+    // Table I vs Table IV: log^3 N -> log^2 N.
+    Rng rng(10);
+    std::size_t n = 4096;
+    auto v = rng.permutation(n);
+    auto t_log = psnSort(v, logCost(n)).time;
+    auto t_const = psnSort(v, constCost(n)).time;
+    double ratio = static_cast<double>(t_log) /
+                   static_cast<double>(t_const);
+    // log2(4096) = 12; the wire delay factor is log(N/logN) ~ 8.4.
+    EXPECT_GT(ratio, 3.0);
+    EXPECT_LT(ratio, 12.0);
+}
+
+TEST(PsnSort, DuplicatesAndAdversarialOrders)
+{
+    std::vector<std::uint64_t> rev{7, 6, 5, 4, 3, 2, 1, 0};
+    EXPECT_EQ(psnSort(rev, logCost(8)).sorted, sortedCopy(rev));
+    std::vector<std::uint64_t> dup(32, 5);
+    dup[7] = 1;
+    dup[23] = 9;
+    EXPECT_EQ(psnSort(dup, logCost(32)).sorted, sortedCopy(dup));
+}
+
+// ----------------------------------------------------------------- CCC
+
+TEST(CccSort, SortsRandomInputs)
+{
+    Rng rng(11);
+    for (std::size_t n : {4, 16, 64, 512}) {
+        std::vector<std::uint64_t> v(n);
+        for (auto &x : v)
+            x = rng.uniform(0, n - 1);
+        EXPECT_EQ(cccSort(v, logCost(n)).sorted, sortedCopy(v))
+            << "n = " << n;
+    }
+}
+
+TEST(CccSort, StepCountIsThetaLog2N)
+{
+    Rng rng(12);
+    for (std::size_t n : {64, 256, 1024}) {
+        auto v = rng.permutation(n);
+        auto r = cccSort(v, logCost(n));
+        double m = std::log2(static_cast<double>(n));
+        EXPECT_GT(static_cast<double>(r.steps), 0.4 * m * m);
+        EXPECT_LT(static_cast<double>(r.steps), 3.0 * m * m);
+    }
+}
+
+TEST(CccSort, ConstantDelaySavesALogFactor)
+{
+    Rng rng(13);
+    std::size_t n = 4096;
+    auto v = rng.permutation(n);
+    auto t_log = cccSort(v, logCost(n)).time;
+    auto t_const = cccSort(v, constCost(n)).time;
+    double ratio = static_cast<double>(t_log) /
+                   static_cast<double>(t_const);
+    EXPECT_GT(ratio, 3.0);
+    EXPECT_LT(ratio, 12.0);
+}
+
+TEST(Baselines, FastNetworksBeatMeshInTime)
+{
+    // The Section I dichotomy: PSN/CCC are fast but big; the mesh is
+    // small but slow.
+    Rng rng(14);
+    std::size_t n = 4096;
+    auto v = rng.permutation(n);
+    auto t_mesh = meshSort(v, logCost(n)).time;
+    auto t_psn = psnSort(v, logCost(n)).time;
+    auto t_ccc = cccSort(v, logCost(n)).time;
+    EXPECT_LT(t_psn, t_mesh);
+    EXPECT_LT(t_ccc, t_mesh);
+
+    // The area side of the dichotomy (mesh area N log^2 N vs
+    // PSN/CCC N^2 / log^2 N) only separates once N > log^4 N —
+    // compare layouts at a properly asymptotic size.
+    std::size_t big = std::size_t{1} << 22;
+    MeshMachine mesh(big, logCost(big));
+    PsnMachine psn(big, logCost(big));
+    CccMachine ccc(big, logCost(big));
+    EXPECT_LT(mesh.chipLayout().metrics().area(),
+              psn.chipLayout().metrics().area());
+    EXPECT_LT(mesh.chipLayout().metrics().area(),
+              ccc.chipLayout().metrics().area());
+}
+
+
+TEST(MeshOddEvenSort, SortsAndIsSlowerThanBitonicRouting)
+{
+    // Theta(N) rounds vs Theta(sqrt N) routed distance — the gap needs
+    // N well beyond the bitonic schedule's constant (~10x) to show.
+    Rng rng(30);
+    double prev_ratio = 0;
+    for (std::size_t n : {1024, 4096, 16384}) {
+        std::vector<std::uint64_t> v(n);
+        for (auto &x : v)
+            x = rng.uniform(0, n - 1);
+        auto expect = sortedCopy(v);
+
+        MeshMachine a(n, logCost(n));
+        auto odd_even = meshOddEvenSort(a, v);
+        EXPECT_EQ(odd_even.sorted, expect);
+
+        MeshMachine b(n, logCost(n));
+        auto bitonic = meshSort(b, v);
+        EXPECT_EQ(bitonic.sorted, expect);
+
+        double ratio = static_cast<double>(odd_even.time) /
+                       static_cast<double>(bitonic.time);
+        EXPECT_GT(ratio, prev_ratio) << "n = " << n;
+        prev_ratio = ratio;
+    }
+    // By 16K elements the sqrt(N) router is clearly ahead.
+    EXPECT_GT(prev_ratio, 4.0);
+}
+
+TEST(MeshOddEvenSort, TimeIsThetaN)
+{
+    Rng rng(31);
+    std::vector<double> ts;
+    for (std::size_t n : {64, 256, 1024}) {
+        std::vector<std::uint64_t> v(n);
+        for (auto &x : v)
+            x = rng.uniform(0, n - 1);
+        MeshMachine mesh(n, logCost(n));
+        ts.push_back(
+            static_cast<double>(meshOddEvenSort(mesh, v).time));
+    }
+    for (std::size_t i = 1; i < ts.size(); ++i) {
+        EXPECT_GT(ts[i] / ts[i - 1], 3.0); // N quadruples
+        EXPECT_LT(ts[i] / ts[i - 1], 5.0);
+    }
+}
+
+} // namespace

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Validation of the closed-form CostModel against the event-level
+ * bit-serial simulation: for every delay model and a sweep of tree
+ * geometries, the formula and the bit-by-bit machine must agree
+ * exactly.  This is what entitles the benches to quote model time
+ * without running bits.
+ */
+
+#include <gtest/gtest.h>
+
+#include "layout/otn_layout.hh"
+#include "layout/tree_embedding.hh"
+#include "sim/bitserial.hh"
+#include "vlsi/cost_model.hh"
+
+namespace {
+
+using namespace ot;
+using sim::BitPipe;
+using vlsi::CostModel;
+using vlsi::DelayModel;
+using vlsi::ModelTime;
+using vlsi::WireLength;
+using vlsi::WordFormat;
+
+TEST(BitPipe, StagesMatchWireDelay)
+{
+    BitPipe constant(DelayModel::Constant, 1000);
+    EXPECT_EQ(constant.stages(), 1u);
+    BitPipe log(DelayModel::Logarithmic, 1024);
+    EXPECT_EQ(log.stages(), 11u);
+    BitPipe lin(DelayModel::Linear, 7);
+    EXPECT_EQ(lin.stages(), 7u);
+}
+
+TEST(BitPipe, BitEmergesAfterStagesTicks)
+{
+    BitPipe pipe(DelayModel::Logarithmic, 16); // 5 stages
+    ASSERT_EQ(pipe.stages(), 5u);
+    EXPECT_EQ(pipe.tick(1), -1);
+    for (int t = 0; t < 4; ++t)
+        EXPECT_EQ(pipe.tick(-1), -1) << "tick " << t;
+    EXPECT_EQ(pipe.tick(-1), 1);
+    EXPECT_TRUE(pipe.empty());
+}
+
+TEST(BitPipe, BitsPipelineBackToBack)
+{
+    BitPipe pipe(DelayModel::Logarithmic, 4); // 3 stages
+    // Three bits injected on consecutive ticks emerge on consecutive
+    // ticks — the "individually clocked driver stages" of the model.
+    std::vector<int> out;
+    int feed[] = {1, 0, 1, -1, -1, -1};
+    for (int in : feed)
+        out.push_back(pipe.tick(in));
+    EXPECT_EQ(out, (std::vector<int>{-1, -1, -1, 1, 0, 1}));
+}
+
+class PathAgreement : public ::testing::TestWithParam<DelayModel>
+{
+};
+
+TEST_P(PathAgreement, SingleWordMatchesFormulaOnTreePaths)
+{
+    DelayModel model = GetParam();
+    for (std::size_t leaves : {2, 8, 64, 256}) {
+        for (std::uint64_t pitch : {2, 7, 16}) {
+            layout::TreeEmbedding tree(leaves, pitch);
+            for (unsigned bits : {1, 4, 12}) {
+                CostModel cm(model, WordFormat(bits));
+                auto formula = cm.wordAlongPath(tree.pathEdges());
+                auto simulated = sim::simulateWordAlongPath(
+                    model, tree.pathEdges(), bits);
+                EXPECT_EQ(simulated, formula)
+                    << "leaves=" << leaves << " pitch=" << pitch
+                    << " bits=" << bits;
+            }
+        }
+    }
+}
+
+TEST_P(PathAgreement, PipelinedWordsMatchFormula)
+{
+    DelayModel model = GetParam();
+    layout::TreeEmbedding tree(32, 5);
+    for (unsigned bits : {3, 8}) {
+        CostModel cm(model, WordFormat(bits));
+        for (std::uint64_t count : {1, 2, 5, 16}) {
+            for (ModelTime sep :
+                 {ModelTime{bits}, ModelTime{bits + 3}}) {
+                auto formula =
+                    cm.wordsAlongPath(tree.pathEdges(), count, sep);
+                auto simulated = sim::simulateWordsAlongPath(
+                    model, tree.pathEdges(), bits, count, sep);
+                EXPECT_EQ(simulated, formula)
+                    << "count=" << count << " sep=" << sep
+                    << " bits=" << bits;
+            }
+        }
+    }
+}
+
+TEST_P(PathAgreement, ReduceMatchesFormula)
+{
+    DelayModel model = GetParam();
+    for (std::size_t leaves : {2, 16, 128}) {
+        layout::TreeEmbedding tree(leaves, 6);
+        for (unsigned bits : {2, 9}) {
+            CostModel cm(model, WordFormat(bits));
+            auto formula = cm.reducePath(tree.pathEdges());
+            auto simulated =
+                sim::simulateTreeReduce(model, tree.pathEdges(), bits);
+            EXPECT_EQ(simulated, formula)
+                << "leaves=" << leaves << " bits=" << bits;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, PathAgreement,
+                         ::testing::Values(DelayModel::Constant,
+                                           DelayModel::Logarithmic,
+                                           DelayModel::Linear));
+
+TEST(BitSerialValidation, OtnPrimitiveChargesAreBitAccurate)
+{
+    // The network's treeTraversalCost — the number every primitive
+    // charges — equals the bit-level simulation on its own layout.
+    for (std::size_t n : {4, 16, 64, 256}) {
+        CostModel cm(DelayModel::Logarithmic,
+                     WordFormat::forProblemSize(n));
+        layout::OtnLayout lay(n, cm.word().bits());
+        auto formula = cm.wordAlongPath(lay.tree().pathEdges());
+        auto simulated = sim::simulateWordAlongPath(
+            DelayModel::Logarithmic, lay.tree().pathEdges(),
+            cm.word().bits());
+        EXPECT_EQ(simulated, formula) << "n=" << n;
+    }
+}
+
+TEST(BitSerialValidation, EmptyPathDegenerates)
+{
+    // A zero-edge path has no latency: the word takes bits-1 ticks
+    // after the first bit — matching CostModel::wordAlongPath on an
+    // empty span.
+    std::vector<WireLength> none;
+    CostModel cm(DelayModel::Logarithmic, WordFormat(5));
+    EXPECT_EQ(sim::simulateWordAlongPath(DelayModel::Logarithmic, none, 5),
+              cm.wordAlongPath(none));
+    EXPECT_EQ(sim::simulateWordAlongPath(DelayModel::Constant, none, 5),
+              4u);
+}
+
+} // namespace

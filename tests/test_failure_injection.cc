@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Failure-injection tests: the machine invariants are guarded by
+ * assertions compiled into every build type (see the top-level
+ * CMakeLists); misuse must die loudly rather than corrupt a run.
+ */
+
+#include <gtest/gtest.h>
+
+#include "otc/network.hh"
+#include "otn/network.hh"
+#include "otn/sort.hh"
+
+namespace {
+
+using namespace ot::otn;
+using ot::vlsi::CostModel;
+using ot::vlsi::DelayModel;
+using ot::vlsi::WordFormat;
+
+CostModel
+logCost(std::size_t n)
+{
+    return {DelayModel::Logarithmic, WordFormat::forProblemSize(n)};
+}
+
+using OtnDeath = ::testing::Test;
+
+TEST(OtnDeath, LeafToRootWithTwoSourcesDies)
+{
+    OrthogonalTreesNetwork net(4, logCost(4));
+    EXPECT_DEATH(net.leafToRoot(Axis::Row, 0, Sel::all(), Reg::A),
+                 "unique source");
+}
+
+TEST(OtnDeath, OversizedInputWordDies)
+{
+    OrthogonalTreesNetwork net(4, logCost(4));
+    // Word is 2*log2(4) = 4 bits; 16 does not fit.
+    std::vector<std::uint64_t> too_big{16};
+    EXPECT_DEATH(net.setRowRootInputs(too_big), "fitsWord");
+}
+
+TEST(OtnDeath, OversizedMatrixEntryDies)
+{
+    OrthogonalTreesNetwork net(4, logCost(4));
+    ot::linalg::IntMatrix m(4, 4, 0);
+    m(2, 2) = 1 << 10;
+    EXPECT_DEATH(net.loadBase(Reg::A, m), "fitsWord");
+}
+
+TEST(OtnDeath, RegisterOutOfRangeDies)
+{
+    OrthogonalTreesNetwork net(4, logCost(4));
+    EXPECT_DEATH((void)net.reg(Reg::A, 4, 0), "i < _n");
+}
+
+TEST(OtcDeath, CycleToRootWithTwoSourcesDies)
+{
+    ot::otc::OtcNetwork net(4, 2, logCost(8));
+    EXPECT_DEATH(net.cycleToRoot(ot::otc::Axis::Col, 1,
+                                 ot::otc::CSel::all(), Reg::A),
+                 "unique source");
+}
+
+TEST(OtcDeath, RegisterOutOfRangeDies)
+{
+    ot::otc::OtcNetwork net(4, 2, logCost(8));
+    EXPECT_DEATH((void)net.reg(Reg::A, 0, 0, 5), "q < _l");
+}
+
+TEST(OtnDeath, SortRejectsOverfullInput)
+{
+    OrthogonalTreesNetwork net(4, logCost(4));
+    std::vector<std::uint64_t> five(5, 1);
+    EXPECT_DEATH(sortOtn(net, five), "m <= n");
+}
+
+// Sanity: the guards do NOT fire on legal inputs (the death tests
+// above would be vacuous if the asserts were compiled out).
+TEST(OtnDeath, AssertionsAreCompiledIn)
+{
+#ifdef NDEBUG
+    FAIL() << "NDEBUG is set: machine invariants are not checked";
+#else
+    SUCCEED();
+#endif
+}
+
+} // namespace

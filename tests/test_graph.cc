@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Tests for the graph substrate: containers, generators and the
+ * sequential reference algorithms.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.hh"
+#include "graph/graph.hh"
+#include "graph/reference_algorithms.hh"
+#include "sim/rng.hh"
+
+namespace {
+
+using namespace ot::graph;
+using ot::sim::Rng;
+
+TEST(Graph, AddEdgeIsSymmetric)
+{
+    Graph g(4);
+    g.addEdge(0, 2);
+    EXPECT_TRUE(g.hasEdge(0, 2));
+    EXPECT_TRUE(g.hasEdge(2, 0));
+    EXPECT_FALSE(g.hasEdge(0, 1));
+    EXPECT_EQ(g.edgeCount(), 1u);
+}
+
+TEST(Graph, SelfLoopsIgnored)
+{
+    Graph g(3);
+    g.addEdge(1, 1);
+    EXPECT_EQ(g.edgeCount(), 0u);
+}
+
+TEST(WeightedGraph, WeightsAndSkeleton)
+{
+    WeightedGraph g(3);
+    g.addEdge(0, 1, 5);
+    g.addEdge(1, 2, 7);
+    EXPECT_EQ(g.weight(0, 1), 5u);
+    EXPECT_EQ(g.weight(1, 0), 5u);
+    EXPECT_EQ(g.weight(0, 2), kNoEdge);
+    auto sk = g.skeleton();
+    EXPECT_TRUE(sk.hasEdge(0, 1));
+    EXPECT_FALSE(sk.hasEdge(0, 2));
+}
+
+TEST(UnionFind, BasicMerging)
+{
+    UnionFind uf(5);
+    EXPECT_EQ(uf.setCount(), 5u);
+    EXPECT_TRUE(uf.unite(0, 1));
+    EXPECT_FALSE(uf.unite(1, 0));
+    EXPECT_TRUE(uf.unite(2, 3));
+    EXPECT_EQ(uf.setCount(), 3u);
+    EXPECT_EQ(uf.find(0), uf.find(1));
+    EXPECT_NE(uf.find(0), uf.find(2));
+}
+
+TEST(ConnectedComponents, PathAndIsolated)
+{
+    Graph g(5);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    auto labels = connectedComponents(g);
+    EXPECT_EQ(labels, (std::vector<std::size_t>{0, 0, 0, 3, 4}));
+    EXPECT_EQ(componentCount(g), 3u);
+}
+
+TEST(ConnectedComponents, CanonicalizeLabels)
+{
+    // Arbitrary labels -> smallest member id.
+    std::vector<std::size_t> raw{7, 7, 9, 9, 7};
+    EXPECT_EQ(canonicalizeLabels(raw),
+              (std::vector<std::size_t>{0, 0, 2, 2, 0}));
+}
+
+TEST(Kruskal, UniqueMstOnSmallGraph)
+{
+    WeightedGraph g(4);
+    g.addEdge(0, 1, 1);
+    g.addEdge(1, 2, 2);
+    g.addEdge(2, 3, 3);
+    g.addEdge(0, 3, 10);
+    g.addEdge(0, 2, 9);
+    auto msf = kruskalMsf(g);
+    ASSERT_EQ(msf.size(), 3u);
+    EXPECT_EQ(totalWeight(msf), 6u);
+    EXPECT_TRUE(isSpanningForest(g, msf));
+}
+
+TEST(Kruskal, ForestOnDisconnectedGraph)
+{
+    WeightedGraph g(5);
+    g.addEdge(0, 1, 3);
+    g.addEdge(2, 3, 4);
+    auto msf = kruskalMsf(g);
+    EXPECT_EQ(msf.size(), 2u);
+    EXPECT_TRUE(isSpanningForest(g, msf));
+}
+
+TEST(IsSpanningForest, RejectsCycles)
+{
+    WeightedGraph g(3);
+    g.addEdge(0, 1, 1);
+    g.addEdge(1, 2, 2);
+    g.addEdge(0, 2, 3);
+    std::vector<Edge> cyclic{{0, 1, 1}, {1, 2, 2}, {0, 2, 3}};
+    EXPECT_FALSE(isSpanningForest(g, cyclic));
+}
+
+TEST(IsSpanningForest, RejectsWrongWeightOrMissingEdge)
+{
+    WeightedGraph g(3);
+    g.addEdge(0, 1, 1);
+    g.addEdge(1, 2, 2);
+    EXPECT_FALSE(isSpanningForest(g, {{0, 1, 9}, {1, 2, 2}}));
+    EXPECT_FALSE(isSpanningForest(g, {{0, 2, 1}, {1, 2, 2}}));
+}
+
+TEST(Generators, GnpRespectsDensityExtremes)
+{
+    Rng rng(7);
+    auto empty = randomGnp(20, 0.0, rng);
+    EXPECT_EQ(empty.edgeCount(), 0u);
+    auto full = randomGnp(20, 1.0, rng);
+    EXPECT_EQ(full.edgeCount(), 20u * 19 / 2);
+}
+
+TEST(Generators, PlantedComponentsHasExactCount)
+{
+    Rng rng(8);
+    for (std::size_t c : {1, 2, 3, 5, 8}) {
+        auto g = plantedComponents(24, c, 2, rng);
+        EXPECT_EQ(componentCount(g), c) << "planted " << c;
+    }
+}
+
+TEST(Generators, RandomConnectedIsConnected)
+{
+    Rng rng(9);
+    for (std::size_t n : {2, 5, 17, 64}) {
+        auto g = randomConnected(n, n / 2, rng);
+        EXPECT_EQ(componentCount(g), 1u) << "n = " << n;
+    }
+}
+
+TEST(Generators, WeightedConnectedHasDistinctWeights)
+{
+    Rng rng(10);
+    auto g = randomWeightedConnected(20, 15, rng);
+    EXPECT_EQ(componentCount(g.skeleton()), 1u);
+    std::set<std::uint64_t> seen;
+    for (std::size_t i = 0; i < 20; ++i) {
+        for (std::size_t j = i + 1; j < 20; ++j) {
+            if (g.hasEdge(i, j)) {
+                EXPECT_TRUE(seen.insert(g.weight(i, j)).second)
+                    << "duplicate weight " << g.weight(i, j);
+            }
+        }
+    }
+}
+
+TEST(Generators, WeightedCompleteIsComplete)
+{
+    Rng rng(11);
+    auto g = randomWeightedComplete(9, rng);
+    for (std::size_t i = 0; i < 9; ++i)
+        for (std::size_t j = 0; j < 9; ++j)
+            EXPECT_EQ(g.hasEdge(i, j), i != j);
+}
+
+TEST(Rng, DeterministicAndDistinct)
+{
+    Rng a(42), b(42), c(43);
+    EXPECT_EQ(a.next(), b.next());
+    EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, PermutationIsPermutation)
+{
+    Rng rng(5);
+    auto p = rng.permutation(50);
+    std::set<std::uint64_t> seen(p.begin(), p.end());
+    EXPECT_EQ(seen.size(), 50u);
+    EXPECT_EQ(*seen.begin(), 0u);
+    EXPECT_EQ(*seen.rbegin(), 49u);
+}
+
+TEST(Rng, DistinctValues)
+{
+    Rng rng(6);
+    auto v = rng.distinctValues(10, 1000);
+    std::set<std::uint64_t> seen(v.begin(), v.end());
+    EXPECT_EQ(seen.size(), 10u);
+    for (auto x : v)
+        EXPECT_LT(x, 1000u);
+}
+
+} // namespace

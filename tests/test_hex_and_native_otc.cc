@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Tests for the hexagonal systolic array (Kung & Leiserson [15], the
+ * paper's other low-area baseline) and the native OTC vector-matrix
+ * product (Section VI-B without the emulation layer).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/fitting.hh"
+#include "baselines/hex_array.hh"
+#include "baselines/mesh.hh"
+#include "linalg/reference.hh"
+#include "otc/emulated_otn.hh"
+#include "otc/matmul_native.hh"
+#include "otn/matmul.hh"
+#include "sim/rng.hh"
+
+namespace {
+
+using namespace ot;
+using sim::Rng;
+using vlsi::CostModel;
+using vlsi::DelayModel;
+using vlsi::WordFormat;
+
+linalg::IntMatrix
+randomMatrix(std::size_t n, std::uint64_t limit, Rng &rng)
+{
+    linalg::IntMatrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            m(i, j) = rng.uniform(0, limit - 1);
+    return m;
+}
+
+TEST(HexArray, MatMulMatchesReference)
+{
+    Rng rng(1);
+    for (std::size_t n : {2, 4, 8, 16, 32}) {
+        auto a = randomMatrix(n, 8, rng);
+        auto b = randomMatrix(n, 8, rng);
+        baselines::HexArray hex(n, CostModel(DelayModel::Logarithmic,
+                                             WordFormat(32)));
+        EXPECT_EQ(hex.matMul(a, b), linalg::matMul(a, b)) << "n=" << n;
+    }
+}
+
+TEST(HexArray, BoolMatMulMatchesReference)
+{
+    Rng rng(2);
+    std::size_t n = 8;
+    linalg::BoolMatrix a(n, n, 0), b(n, n, 0);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j) {
+            a(i, j) = rng.bernoulli(0.4);
+            b(i, j) = rng.bernoulli(0.4);
+        }
+    baselines::HexArray hex(n, CostModel(DelayModel::Logarithmic,
+                                         WordFormat(16)));
+    EXPECT_EQ(hex.boolMatMul(a, b), linalg::boolMatMul(a, b));
+}
+
+TEST(HexArray, BeatsAreThetaN)
+{
+    Rng rng(3);
+    for (std::size_t n : {8, 16, 32}) {
+        auto a = randomMatrix(n, 4, rng);
+        auto b = randomMatrix(n, 4, rng);
+        baselines::HexArray hex(n, CostModel(DelayModel::Logarithmic,
+                                             WordFormat(24)));
+        hex.matMul(a, b);
+        EXPECT_EQ(hex.lastBeats(), 3 * (n - 1) + 1);
+    }
+}
+
+TEST(HexArray, TimeIsLinearAreaQuadratic)
+{
+    std::vector<double> ns, times, areas;
+    Rng rng(4);
+    for (std::size_t n : {8, 16, 32, 64}) {
+        auto a = randomMatrix(n, 4, rng);
+        auto b = randomMatrix(n, 4, rng);
+        baselines::HexArray hex(n, CostModel(DelayModel::Logarithmic,
+                                             WordFormat(24)));
+        auto t0 = hex.now();
+        hex.matMul(a, b);
+        ns.push_back(static_cast<double>(n));
+        times.push_back(static_cast<double>(hex.now() - t0));
+        areas.push_back(static_cast<double>(hex.chipArea()));
+    }
+    EXPECT_NEAR(analysis::fitPowerLaw(ns, times).exponent, 1.0, 0.15);
+    EXPECT_NEAR(analysis::fitPowerLaw(ns, areas).exponent, 2.0, 0.15);
+}
+
+TEST(HexArray, InsensitiveToDelayModel)
+{
+    // Nearest-neighbour wires only (Section I's point about the
+    // mesh/hex class).
+    Rng rng(5);
+    std::size_t n = 16;
+    auto a = randomMatrix(n, 4, rng);
+    auto b = randomMatrix(n, 4, rng);
+    baselines::HexArray hl(n, CostModel(DelayModel::Logarithmic,
+                                        WordFormat(24)));
+    baselines::HexArray hc(n, CostModel(DelayModel::Constant,
+                                        WordFormat(24)));
+    auto t0 = hl.now();
+    hl.matMul(a, b);
+    auto tl = hl.now() - t0;
+    t0 = hc.now();
+    hc.matMul(a, b);
+    auto tc = hc.now() - t0;
+    EXPECT_LT(static_cast<double>(tl) / static_cast<double>(tc), 4.0);
+}
+
+TEST(HexArray, AgreesWithCannonMesh)
+{
+    Rng rng(6);
+    std::size_t n = 16;
+    auto a = randomMatrix(n, 6, rng);
+    auto b = randomMatrix(n, 6, rng);
+    CostModel cm(DelayModel::Logarithmic, WordFormat(32));
+    baselines::HexArray hex(n, cm);
+    baselines::MeshMachine mesh(n * n, cm);
+    EXPECT_EQ(hex.matMul(a, b),
+              baselines::meshMatMul(mesh, a, b).product);
+}
+
+// ------------------------------------------------- native OTC vecmat
+
+CostModel
+otcCost(std::size_t n, std::uint64_t entry_limit)
+{
+    unsigned bits =
+        vlsi::logCeilAtLeast1(n * entry_limit * entry_limit + 1) + 2;
+    return {DelayModel::Logarithmic, WordFormat(bits)};
+}
+
+TEST(VecMatMulOtcNative, IdentityMatrix)
+{
+    otc::OtcNetwork net(4, 3, otcCost(12, 10));
+    auto b = linalg::IntMatrix::identity(12);
+    std::vector<std::uint64_t> a(12);
+    for (std::size_t k = 0; k < 12; ++k)
+        a[k] = k + 1;
+    auto r = otc::vecMatMulOtc(net, a, b);
+    EXPECT_EQ(r.product, a);
+}
+
+class VecMatOtcRandom
+    : public ::testing::TestWithParam<std::tuple<std::size_t, unsigned, int>>
+{
+};
+
+TEST_P(VecMatOtcRandom, MatchesReference)
+{
+    auto [k, l, seed] = GetParam();
+    std::size_t n = k * l;
+    Rng rng(static_cast<std::uint64_t>(seed) * 37 + n);
+    otc::OtcNetwork net(k, l, otcCost(n, 6));
+    linalg::IntMatrix b(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            b(i, j) = rng.uniform(0, 5);
+    std::vector<std::uint64_t> a(n);
+    for (auto &x : a)
+        x = rng.uniform(0, 5);
+    auto r = otc::vecMatMulOtc(net, a, b);
+    EXPECT_EQ(r.product, linalg::vecMatMul(a, b))
+        << "k=" << k << " l=" << l;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, VecMatOtcRandom,
+    ::testing::Combine(::testing::Values(2, 4, 8),
+                       ::testing::Values(2, 3, 5),
+                       ::testing::Values(1, 2)));
+
+TEST(VecMatMulOtcNative, TimeIsLogSquaredOnStandardMachine)
+{
+    // K = N / log N, L = log N: the product (excluding the one-time
+    // matrix fill) is O(log^2 N).
+    Rng rng(7);
+    double lo = 1e18, hi = 0;
+    for (std::size_t n : {64, 256, 1024}) {
+        unsigned l = vlsi::logCeilAtLeast1(n);
+        std::size_t k = n / l;
+        otc::OtcNetwork net(k, l, otcCost(n, 3));
+        std::size_t real_n = net.k() * l;
+        linalg::IntMatrix b(real_n, real_n);
+        for (std::size_t i = 0; i < real_n; ++i)
+            for (std::size_t j = 0; j < real_n; ++j)
+                b(i, j) = rng.uniform(0, 2);
+        std::vector<std::uint64_t> a(real_n);
+        for (auto &x : a)
+            x = rng.uniform(0, 2);
+
+        // Exclude the fill: measure a second product on the warm
+        // machine by subtracting a first run's fill-dominated time.
+        auto r1 = otc::vecMatMulOtc(net, a, b);
+        EXPECT_EQ(r1.product, linalg::vecMatMul(a, b));
+        double logn = std::log2(static_cast<double>(real_n));
+        // The product phases: stream + L rounds + reduce.  Bound the
+        // per-log^2 ratio of the whole run minus the fill estimate.
+        double fill = static_cast<double>(vlsi::CostModel::pipelineTotal(
+            net.treeTraversalCost(), real_n * l,
+            net.cost().wordSeparation()));
+        double compute = static_cast<double>(r1.time) - fill;
+        ASSERT_GT(compute, 0);
+        double ratio = compute / (logn * logn);
+        lo = std::min(lo, ratio);
+        hi = std::max(hi, ratio);
+    }
+    EXPECT_LT(hi / lo, 10.0);
+}
+
+TEST(VecMatMulOtcNative, AgreesWithEmulatedOtn)
+{
+    Rng rng(8);
+    std::size_t k = 4, l = 4, n = 16;
+    otc::OtcNetwork net(k, l, otcCost(n, 6));
+    linalg::IntMatrix b(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            b(i, j) = rng.uniform(0, 5);
+    std::vector<std::uint64_t> a(n);
+    for (auto &x : a)
+        x = rng.uniform(0, 5);
+
+    auto native = otc::vecMatMulOtc(net, a, b);
+
+    otc::OtcEmulatedOtn emu(n, otcCost(n, 6));
+    emu.loadBase(otn::Reg::B, b);
+    auto emulated = otn::vecMatMulOtn(emu, a);
+    EXPECT_EQ(native.product, emulated);
+}
+
+} // namespace

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Integration tests across modules and machines:
+ *
+ *  - every sorter in the repository (OTN, OTC, mesh, PSN, CCC, tree
+ *    machine, OTN-bitonic, OTC-emulated OTN) agrees on the same
+ *    inputs;
+ *  - every matrix multiplier agrees (OTN pipelined/replicated, OTC,
+ *    mesh Cannon, 3D mesh of trees, sequential reference);
+ *  - connected components computed four independent ways agree
+ *    (union-find, CONNECT on OTN, CONNECT on OTC, closure min-label,
+ *    mesh closure);
+ *  - time/area orderings the paper's comparison depends on hold
+ *    between machines on identical workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "orthotree/orthotree.hh"
+
+namespace {
+
+using namespace ot;
+using sim::Rng;
+using vlsi::CostModel;
+using vlsi::DelayModel;
+using vlsi::WordFormat;
+
+CostModel
+logCost(std::size_t n)
+{
+    return {DelayModel::Logarithmic, WordFormat::forProblemSize(n)};
+}
+
+class SorterAgreement
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int>>
+{
+};
+
+TEST_P(SorterAgreement, AllMachinesAgree)
+{
+    auto [n, seed] = GetParam();
+    Rng rng(static_cast<std::uint64_t>(seed) * 7919 + n);
+    std::vector<std::uint64_t> v(n);
+    for (auto &x : v)
+        x = rng.uniform(0, n - 1);
+    auto expect = v;
+    std::sort(expect.begin(), expect.end());
+    auto cost = logCost(n);
+
+    EXPECT_EQ(otn::sortOtn(v, cost).sorted, expect) << "SORT-OTN";
+    EXPECT_EQ(otc::sortOtc(v, cost).sorted, expect) << "SORT-OTC";
+    EXPECT_EQ(baselines::meshSort(v, cost).sorted, expect) << "mesh";
+    EXPECT_EQ(baselines::psnSort(v, cost).sorted, expect) << "PSN";
+    EXPECT_EQ(baselines::cccSort(v, cost).sorted, expect) << "CCC";
+
+    baselines::TreeMachine tree(n, cost);
+    EXPECT_EQ(tree.extractMinSort(v), expect) << "tree machine";
+
+    otc::OtcEmulatedOtn emu(n, cost);
+    EXPECT_EQ(otn::sortOtn(emu, v).sorted, expect) << "OTC-emulated OTN";
+
+    // Bitonic needs a square base holding all N elements.
+    std::size_t k = 1;
+    while (k * k < n)
+        k <<= 1;
+    otn::OrthogonalTreesNetwork square(k, cost);
+    EXPECT_EQ(otn::bitonicSortOtn(square, v).sorted, expect)
+        << "BITONIC-OTN";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SorterAgreement,
+    ::testing::Combine(::testing::Values(16, 64, 100, 256),
+                       ::testing::Values(1, 2)));
+
+class MatMulAgreement : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(MatMulAgreement, AllMachinesAgree)
+{
+    std::size_t n = GetParam();
+    Rng rng(n * 31);
+    linalg::IntMatrix a(n, n), b(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j) {
+            a(i, j) = rng.uniform(0, 7);
+            b(i, j) = rng.uniform(0, 7);
+        }
+    auto expect = linalg::matMul(a, b);
+    CostModel cost(DelayModel::Logarithmic, WordFormat(32));
+
+    otn::OrthogonalTreesNetwork net(n, cost);
+    EXPECT_EQ(otn::matMulPipelined(net, a, b).product, expect);
+
+    EXPECT_EQ(otc::matMulOtc(a, b, cost).result.product, expect);
+
+    baselines::MeshMachine mesh(n * n, cost);
+    EXPECT_EQ(baselines::meshMatMul(mesh, a, b).product, expect);
+
+    otn::MeshOfTrees3d mot(n, cost);
+    EXPECT_EQ(mot.matMul(a, b).product, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MatMulAgreement,
+                         ::testing::Values(2, 4, 8, 16));
+
+class CcAgreement
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double>>
+{
+};
+
+TEST_P(CcAgreement, FiveWaysAgree)
+{
+    auto [n, p] = GetParam();
+    Rng rng(n * 17 + static_cast<std::uint64_t>(p * 100));
+    auto g = graph::randomGnp(n, p, rng);
+    auto cost = logCost(n);
+
+    auto expect = graph::connectedComponents(g);
+
+    otn::OrthogonalTreesNetwork net(n, cost);
+    EXPECT_EQ(otn::connectedComponentsOtn(net, g).labels, expect)
+        << "CONNECT on OTN";
+
+    EXPECT_EQ(otc::connectedComponentsOtc(g, cost).result.labels, expect)
+        << "CONNECT on OTC";
+
+    otn::OrthogonalTreesNetwork net2(n, cost);
+    EXPECT_EQ(graph::canonicalizeLabels(
+                  otn::componentsViaClosure(net2, g)),
+              expect)
+        << "closure min-label";
+
+    baselines::MeshMachine mesh(n * n, cost);
+    EXPECT_EQ(baselines::meshConnectedComponents(mesh, g).labels, expect)
+        << "mesh closure";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CcAgreement,
+    ::testing::Combine(::testing::Values(8, 16, 32),
+                       ::testing::Values(0.05, 0.2, 0.6)));
+
+TEST(CrossMachine, SortTimeOrderingUnderThompson)
+{
+    // Table I's time column on one workload: OTN/OTC < PSN/CCC < mesh
+    // (at a size where sqrt(N) has overtaken the polylogs).
+    std::size_t n = 1024;
+    Rng rng(5);
+    auto v = rng.permutation(n);
+    auto cost = logCost(n);
+
+    auto t_otn = otn::sortOtn(v, cost).time;
+    auto t_psn = baselines::psnSort(v, cost).time;
+    auto t_mesh = baselines::meshSort(v, cost).time;
+    EXPECT_LT(t_otn, t_psn);
+    EXPECT_LT(t_psn, t_mesh);
+}
+
+TEST(CrossMachine, AreaOrderingOtnVsOtc)
+{
+    // Same problem, both tree machines: the OTC chip is smaller and
+    // the ratio grows ~log^2 N.  Sizes are chosen so N / log N is
+    // itself a power of two (16/4, 256/8, 65536/16) — otherwise the
+    // simulator rounds the cycle count up and the constant wobbles.
+    double prev_ratio = 0;
+    for (std::size_t n : {16, 256, 65536}) {
+        unsigned l = vlsi::logCeilAtLeast1(n);
+        auto cost = logCost(n);
+        layout::OtnLayout otn_l(n, cost.word().bits());
+        layout::OtcLayout otc_l(n / l, l, cost.word().bits());
+        double ratio = static_cast<double>(otn_l.metrics().area()) /
+                       static_cast<double>(otc_l.metrics().area());
+        EXPECT_GT(ratio, 1.0) << "n = " << n;
+        EXPECT_GT(ratio, prev_ratio) << "ratio must grow with N";
+        prev_ratio = ratio;
+    }
+}
+
+TEST(CrossMachine, MstAgreesBetweenOtnOtcAndKruskal)
+{
+    Rng rng(6);
+    std::size_t n = 24;
+    auto g = graph::randomWeightedConnected(n, 3 * n, rng);
+    CostModel cost(DelayModel::Logarithmic, otn::mstWordFormat(n, n * n));
+
+    auto expect = graph::kruskalMsf(g);
+    otn::OrthogonalTreesNetwork net(n, cost);
+    EXPECT_EQ(otn::mstOtn(net, g).edges, expect);
+    EXPECT_EQ(otc::mstOtc(g, cost).result.edges, expect);
+}
+
+TEST(CrossMachine, PipeliningNeverChangesResults)
+{
+    // The pipelined stream must produce exactly the per-problem
+    // results of isolated runs.
+    std::size_t n = 64;
+    Rng rng(7);
+    std::vector<std::vector<std::uint64_t>> problems;
+    for (int p = 0; p < 5; ++p)
+        problems.push_back(rng.permutation(n));
+    auto cost = logCost(n);
+
+    otn::OrthogonalTreesNetwork piped(n, cost);
+    auto r = otn::sortPipelineOtn(piped, problems);
+    for (std::size_t p = 0; p < problems.size(); ++p) {
+        auto isolated = otn::sortOtn(problems[p], cost).sorted;
+        EXPECT_EQ(r.sorted[p], isolated) << "problem " << p;
+    }
+}
+
+TEST(CrossMachine, DelayModelNeverChangesResults)
+{
+    // Cost model changes timing only — results must be identical under
+    // all three delay rules.
+    std::size_t n = 64;
+    Rng rng(8);
+    std::vector<std::uint64_t> v(n);
+    for (auto &x : v)
+        x = rng.uniform(0, n - 1);
+
+    std::vector<std::uint64_t> expect;
+    for (auto model : {DelayModel::Logarithmic, DelayModel::Constant,
+                       DelayModel::Linear}) {
+        CostModel cost(model, WordFormat::forProblemSize(n));
+        auto sorted = otn::sortOtn(v, cost).sorted;
+        if (expect.empty())
+            expect = sorted;
+        EXPECT_EQ(sorted, expect) << vlsi::toString(model);
+    }
+}
+
+TEST(CrossMachine, LinearDelayIsSlowestLogMiddleConstantFastest)
+{
+    std::size_t n = 256;
+    Rng rng(9);
+    auto v = rng.permutation(n);
+    auto time_under = [&](DelayModel m) {
+        CostModel cost(m, WordFormat::forProblemSize(n));
+        return otn::sortOtn(v, cost).time;
+    };
+    auto t_const = time_under(DelayModel::Constant);
+    auto t_log = time_under(DelayModel::Logarithmic);
+    auto t_lin = time_under(DelayModel::Linear);
+    EXPECT_LT(t_const, t_log);
+    EXPECT_LT(t_log, t_lin);
+}
+
+} // namespace

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Tests for the layout module: tree embedding geometry, OTN/OTC/mesh
+ * layouts, analytic PSN/CCC layouts, and the asymptotic area claims of
+ * the paper (OTN area Theta(N^2 log^2 N), OTC area Theta(N^2)).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "layout/baseline_layouts.hh"
+#include "layout/otc_layout.hh"
+#include "layout/otn_layout.hh"
+#include "layout/svg.hh"
+#include "layout/tree_embedding.hh"
+#include "vlsi/bitmath.hh"
+
+namespace {
+
+using namespace ot::layout;
+using ot::vlsi::logCeilAtLeast1;
+
+TEST(TreeEmbedding, HeightAndLeafCount)
+{
+    TreeEmbedding t(16, 4);
+    EXPECT_EQ(t.leaves(), 16u);
+    EXPECT_EQ(t.height(), 4u);
+    EXPECT_EQ(t.internalNodes(), 15u);
+    EXPECT_EQ(t.pathEdges().size(), 4u);
+}
+
+TEST(TreeEmbedding, RoundsLeavesToPowerOfTwo)
+{
+    TreeEmbedding t(9, 2);
+    EXPECT_EQ(t.leaves(), 16u);
+}
+
+TEST(TreeEmbedding, EdgeLengthsHalvePerLevel)
+{
+    TreeEmbedding t(64, 8);
+    // Top edges run ~2^(h-2) * pitch.
+    for (unsigned h = 3; h <= t.height(); ++h)
+        EXPECT_EQ(t.edgeLength(h) - 1, 2 * (t.edgeLength(h - 1) - 1));
+}
+
+TEST(TreeEmbedding, PathEdgesAreRootFirstDescending)
+{
+    TreeEmbedding t(32, 4);
+    const auto &path = t.pathEdges();
+    for (std::size_t i = 1; i < path.size(); ++i)
+        EXPECT_GE(path[i - 1], path[i]);
+    EXPECT_EQ(path.front(), t.longestEdge());
+}
+
+TEST(TreeEmbedding, TotalWireLengthIsLinearInSpan)
+{
+    // Each level's total wire is Theta(leaves * pitch): whole tree
+    // Theta(K * pitch * logK)... actually Theta(K * pitch) per level
+    // and there are log K levels, but lengths halve upward, so total
+    // is Theta(K * pitch * log K)?  No: 2^(H-h) nodes x 2 edges of
+    // ~2^(h-2)*P each = K*P/2 per level -> total ~ K*P*logK/2.
+    TreeEmbedding t(64, 4);
+    std::uint64_t kp = 64 * 4;
+    EXPECT_GT(t.totalWireLength(), kp);
+    EXPECT_LT(t.totalWireLength(), 6 * kp * t.height());
+}
+
+TEST(OtnLayout, PitchIsThetaLogN)
+{
+    OtnLayout small(16, 8);
+    OtnLayout big(256, 16);
+    EXPECT_GT(small.pitch(), logCeilAtLeast1(16));
+    EXPECT_GT(big.pitch(), small.pitch());
+}
+
+TEST(OtnLayout, AreaIsThetaN2Log2N)
+{
+    // area / (N log N)^2 must be bounded above and below across a
+    // sweep — the Section II-A / Leighton [16] bound.
+    double lo = 1e9, hi = 0;
+    for (std::size_t n : {8, 16, 32, 64, 128, 256}) {
+        unsigned wb = 2 * logCeilAtLeast1(n);
+        OtnLayout l(n, wb);
+        double denom = static_cast<double>(n) * logCeilAtLeast1(n);
+        double ratio = static_cast<double>(l.metrics().area()) /
+                       (denom * denom);
+        lo = std::min(lo, ratio);
+        hi = std::max(hi, ratio);
+    }
+    EXPECT_GT(lo, 0.5);
+    EXPECT_LT(hi, 64.0);
+    EXPECT_LT(hi / lo, 8.0) << "area/(N log N)^2 should stay bounded";
+}
+
+TEST(OtnLayout, ProcessorCountMatchesPaper)
+{
+    OtnLayout l(8, 6);
+    // N^2 BPs + 2N(N-1) IPs.
+    EXPECT_EQ(l.metrics().processors, 64u + 2 * 8 * 7);
+}
+
+TEST(OtnLayout, LongestWireIsThetaNLogN)
+{
+    for (std::size_t n : {16, 64, 256}) {
+        OtnLayout l(n, 2 * logCeilAtLeast1(n));
+        auto longest = l.metrics().longestWire;
+        EXPECT_GE(longest, n * l.pitch() / 4 - 1);
+        EXPECT_LE(longest, n * l.pitch());
+    }
+}
+
+TEST(OtnLayout, AsciiArtShowsBaseAndTrees)
+{
+    OtnLayout l(4, 4);
+    std::string art = l.asciiArt();
+    // 16 base processors and internal nodes for 8 trees of 3 IPs.
+    EXPECT_EQ(std::count(art.begin(), art.end(), 'O'), 16);
+    EXPECT_EQ(std::count(art.begin(), art.end(), '*'), 24);
+}
+
+TEST(OtcLayout, AreaIsThetaN2)
+{
+    // (N/log N x N/log N)-OTC with cycles of log N: area Theta(N^2)
+    // (Section V-A).
+    double lo = 1e9, hi = 0;
+    for (std::size_t n : {64, 256, 1024, 4096}) {
+        unsigned logn = logCeilAtLeast1(n);
+        OtcLayout l(n / logn, logn, 2 * logn);
+        double ratio = static_cast<double>(l.metrics().area()) /
+                       (static_cast<double>(n) * static_cast<double>(n));
+        lo = std::min(lo, ratio);
+        hi = std::max(hi, ratio);
+    }
+    EXPECT_GT(lo, 0.05);
+    EXPECT_LT(hi / lo, 40.0) << "area/N^2 should stay bounded";
+}
+
+TEST(OtcLayout, CycleBlockIsThetaLogNSquare)
+{
+    unsigned logn = 6;
+    OtcLayout l(8, logn, 2 * logn);
+    EXPECT_GE(l.cycleSide(), logn);
+    EXPECT_LE(l.cycleSide(), 16 * logn);
+}
+
+TEST(OtcLayout, CompactBooleanVariantPacksMoreBps)
+{
+    // Section VI-B: cycles of log^2 N one-bit BPs still fit an
+    // O(log N) x O(log N) block.
+    unsigned logn = 8;
+    OtcLayout normal(16, logn, 2 * logn, false);
+    OtcLayout compact(16, logn * logn, 1, true);
+    EXPECT_LE(compact.cycleSide(), 4 * normal.cycleSide());
+}
+
+TEST(OtcLayout, ProcessorCount)
+{
+    OtcLayout l(4, 3, 6);
+    // 16 cycles x 3 BPs + 2*4*(4-1) IPs.
+    EXPECT_EQ(l.metrics().processors, 16u * 3 + 24);
+}
+
+TEST(OtcLayout, AsciiArtRendersCyclesAndTrees)
+{
+    OtcLayout l(4, 4, 8);
+    std::string art = l.asciiArt();
+    EXPECT_EQ(std::count(art.begin(), art.end(), 'C'), 16);
+    EXPECT_GT(std::count(art.begin(), art.end(), '*'), 0);
+    std::string cyc = l.cycleAsciiArt();
+    EXPECT_GT(std::count(cyc.begin(), cyc.end(), 'B'), 3);
+}
+
+TEST(MeshLayout, AreaIsProcessorsTimesLog2)
+{
+    MeshLayout l(1024, 10);
+    auto m = l.metrics();
+    EXPECT_EQ(m.processors, 1024u);
+    // side = 32 * pitch, area = 1024 * pitch^2.
+    EXPECT_EQ(m.area(), 1024u * l.pitch() * l.pitch());
+    EXPECT_EQ(m.longestWire, l.pitch());
+}
+
+TEST(MeshLayout, RoundsSideToPowerOfTwo)
+{
+    MeshLayout l(100, 4);
+    EXPECT_EQ(l.side(), 16u);
+}
+
+TEST(ShuffleExchangeLayout, AreaMatchesKleitman)
+{
+    ShuffleExchangeLayout l(1024, 10);
+    auto m = l.metrics();
+    // side ~ N / log N.
+    EXPECT_EQ(m.width, 1024u / 10);
+    EXPECT_EQ(m.longestWire, 1024u / 10);
+}
+
+TEST(CccLayout, NodeCountIsKTimes2ToK)
+{
+    CccLayout l(64, 6);
+    EXPECT_EQ(l.nodes(), std::size_t{l.cubeDim()} << l.cubeDim());
+    EXPECT_GE(l.nodes(), 64u);
+    EXPECT_GT(l.cubeLinkLength(), l.cycleLinkLength());
+}
+
+TEST(Layouts, OtcBeatsOtnAreaForSameProblemSize)
+{
+    // The whole point of the OTC: same N, Theta(log^2 N) less area.
+    for (std::size_t n : {256, 1024, 4096}) {
+        unsigned logn = logCeilAtLeast1(n);
+        OtnLayout otn(n, 2 * logn);
+        OtcLayout otc(n / logn, logn, 2 * logn);
+        EXPECT_LT(otc.metrics().area(), otn.metrics().area())
+            << "n = " << n;
+    }
+}
+
+
+TEST(SvgRender, OtnFigureHasAllElements)
+{
+    OtnLayout l(4, 4);
+    auto svg = ot::layout::renderOtnSvg(l);
+    EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+    EXPECT_NE(svg.find("</svg>"), std::string::npos);
+    // 16 BP squares (+1 background rect).
+    std::size_t rects = 0, pos = 0;
+    while ((pos = svg.find("<rect", pos)) != std::string::npos) {
+        ++rects;
+        ++pos;
+    }
+    EXPECT_EQ(rects, 16u + 1u);
+    // 24 internal processors drawn as circles.
+    std::size_t circles = 0;
+    pos = 0;
+    while ((pos = svg.find("<circle", pos)) != std::string::npos) {
+        ++circles;
+        ++pos;
+    }
+    EXPECT_EQ(circles, 24u);
+    // Both tree colours present.
+    EXPECT_NE(svg.find("#1a73e8"), std::string::npos);
+    EXPECT_NE(svg.find("#d93025"), std::string::npos);
+}
+
+TEST(SvgRender, OtcFigureHasCyclesAndTrees)
+{
+    OtcLayout l(4, 4, 8);
+    auto svg = ot::layout::renderOtcSvg(l);
+    EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+    EXPECT_NE(svg.find("</svg>"), std::string::npos);
+    // 16 cycle bodies + 16*4 BP bars + background.
+    std::size_t rects = 0, pos = 0;
+    while ((pos = svg.find("<rect", pos)) != std::string::npos) {
+        ++rects;
+        ++pos;
+    }
+    EXPECT_EQ(rects, 1u + 16u + 64u);
+    // 2 * 4 trees of 3 IPs each.
+    std::size_t circles = 0;
+    pos = 0;
+    while ((pos = svg.find("<circle", pos)) != std::string::npos) {
+        ++circles;
+        ++pos;
+    }
+    EXPECT_EQ(circles, 24u);
+}
+
+} // namespace

@@ -1,0 +1,514 @@
+/**
+ * @file
+ * Tests for the orthogonal tree cycles (Sections V and VI): the cycle
+ * primitives (CIRCULATE, ROOTTOCYCLE, CYCLETOROOT/-CYCLE and the
+ * SUM/MIN variants), SORT-OTC, the OTC-emulated OTN, and the
+ * area/time trade against the plain OTN.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/generators.hh"
+#include "graph/reference_algorithms.hh"
+#include "otc/algorithms.hh"
+#include "otc/connected_components_native.hh"
+#include "otc/mst_native.hh"
+#include "linalg/reference.hh"
+#include "otc/network.hh"
+#include "otc/sort.hh"
+#include "otn/sort.hh"
+#include "sim/rng.hh"
+
+namespace {
+
+using namespace ot::otc;
+using ot::sim::Rng;
+using ot::vlsi::CostModel;
+using ot::vlsi::DelayModel;
+using ot::vlsi::WordFormat;
+
+CostModel
+logCost(std::size_t n)
+{
+    return {DelayModel::Logarithmic, WordFormat::forProblemSize(n)};
+}
+
+std::vector<std::uint64_t>
+sortedCopy(std::vector<std::uint64_t> v)
+{
+    std::sort(v.begin(), v.end());
+    return v;
+}
+
+TEST(OtcNetwork, Shape)
+{
+    OtcNetwork net(4, 3, logCost(12));
+    EXPECT_EQ(net.k(), 4u);
+    EXPECT_EQ(net.cycleLen(), 3u);
+    EXPECT_EQ(net.totalBps(), 48u);
+}
+
+TEST(OtcNetwork, CirculateShiftsTowardLowerIndex)
+{
+    OtcNetwork net(2, 4, logCost(8));
+    for (std::size_t q = 0; q < 4; ++q)
+        net.reg(Reg::A, 0, 0, q) = 10 + q;
+    net.circulate(0, 0, {Reg::A});
+    // R(q) := R((q+1) mod L).
+    EXPECT_EQ(net.reg(Reg::A, 0, 0, 0), 11u);
+    EXPECT_EQ(net.reg(Reg::A, 0, 0, 1), 12u);
+    EXPECT_EQ(net.reg(Reg::A, 0, 0, 2), 13u);
+    EXPECT_EQ(net.reg(Reg::A, 0, 0, 3), 10u);
+}
+
+TEST(OtcNetwork, CirculateLTimesIsIdentity)
+{
+    OtcNetwork net(2, 5, logCost(10));
+    for (std::size_t q = 0; q < 5; ++q)
+        net.reg(Reg::B, 1, 1, q) = q * 7;
+    for (unsigned p = 0; p < 5; ++p)
+        net.circulate(1, 1, {Reg::B});
+    for (std::size_t q = 0; q < 5; ++q)
+        EXPECT_EQ(net.reg(Reg::B, 1, 1, q), q * 7);
+}
+
+TEST(OtcNetwork, VectorCirculateTouchesWholeRow)
+{
+    OtcNetwork net(4, 2, logCost(8));
+    for (std::size_t j = 0; j < 4; ++j) {
+        net.reg(Reg::A, 2, j, 0) = j;
+        net.reg(Reg::A, 2, j, 1) = 100 + j;
+    }
+    net.vectorCirculate(Axis::Row, 2, {Reg::A});
+    for (std::size_t j = 0; j < 4; ++j) {
+        EXPECT_EQ(net.reg(Reg::A, 2, j, 0), 100 + j);
+        EXPECT_EQ(net.reg(Reg::A, 2, j, 1), j);
+    }
+}
+
+TEST(OtcNetwork, RootToCyclePlacesWordQInBpQ)
+{
+    OtcNetwork net(4, 3, logCost(12));
+    net.rowStream(1) = {7, 8, 9};
+    net.rootToCycle(Axis::Row, 1, CSel::all(), Reg::A);
+    for (std::size_t j = 0; j < 4; ++j)
+        for (std::size_t q = 0; q < 3; ++q)
+            EXPECT_EQ(net.reg(Reg::A, 1, j, q), 7 + q);
+}
+
+TEST(OtcNetwork, CycleToRootRoundTrip)
+{
+    OtcNetwork net(4, 3, logCost(12));
+    for (std::size_t q = 0; q < 3; ++q)
+        net.reg(Reg::B, 2, 1, q) = 20 + q;
+    net.cycleToRoot(Axis::Col, 1, CSel::rowIs(2), Reg::B);
+    EXPECT_EQ(net.colStream(1), (std::vector<std::uint64_t>{20, 21, 22}));
+    // Source registers invariant (the paper's L-circulation argument).
+    for (std::size_t q = 0; q < 3; ++q)
+        EXPECT_EQ(net.reg(Reg::B, 2, 1, q), 20 + q);
+}
+
+TEST(OtcNetwork, SumCycleToRootSumsPositionwise)
+{
+    OtcNetwork net(4, 2, logCost(8));
+    for (std::size_t j = 0; j < 4; ++j) {
+        net.reg(Reg::C, 0, j, 0) = j;      // 0+1+2+3 = 6
+        net.reg(Reg::C, 0, j, 1) = 10 * j; // 0+10+20+30 = 60
+    }
+    net.sumCycleToRoot(Axis::Row, 0, CSel::all(), Reg::C);
+    EXPECT_EQ(net.rowStream(0), (std::vector<std::uint64_t>{6, 60}));
+}
+
+TEST(OtcNetwork, MinCycleToRootIgnoresNull)
+{
+    OtcNetwork net(4, 2, logCost(8));
+    net.fillReg(Reg::C, kNull);
+    net.reg(Reg::C, 1, 3, 0) = 5;
+    net.reg(Reg::C, 3, 3, 0) = 2;
+    net.minCycleToRoot(Axis::Col, 3, CSel::all(), Reg::C);
+    EXPECT_EQ(net.colStream(3)[0], 2u);
+    EXPECT_EQ(net.colStream(3)[1], kNull);
+}
+
+TEST(OtcNetwork, CycleToCycleBroadcastsWithinVector)
+{
+    OtcNetwork net(4, 2, logCost(8));
+    net.reg(Reg::A, 2, 2, 0) = 41;
+    net.reg(Reg::A, 2, 2, 1) = 42;
+    net.cycleToCycle(Axis::Col, 2, CSel::rowIs(2), Reg::A, CSel::all(),
+                     Reg::B);
+    for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(net.reg(Reg::B, i, 2, 0), 41u);
+        EXPECT_EQ(net.reg(Reg::B, i, 2, 1), 42u);
+    }
+}
+
+TEST(OtcNetwork, StreamCostIsLog2ForStandardMachine)
+{
+    // K = N/log N, L = log N: ops stay O(log^2 N).
+    double lo = 1e18, hi = 0;
+    for (std::size_t n : {64, 256, 1024, 4096}) {
+        unsigned l = ot::vlsi::logCeilAtLeast1(n);
+        OtcNetwork net(n / l, l, logCost(n));
+        double logn = std::log2(static_cast<double>(n));
+        double ratio =
+            static_cast<double>(net.streamCost()) / (logn * logn);
+        lo = std::min(lo, ratio);
+        hi = std::max(hi, ratio);
+    }
+    EXPECT_LT(hi / lo, 8.0);
+}
+
+TEST(SortOtc, TinyExample)
+{
+    // 8 values: K = 4 ports (power of two), L = 3 -> capacity 12.
+    std::vector<std::uint64_t> v{5, 1, 7, 3, 0, 6, 2, 4};
+    auto r = sortOtc(v, logCost(8));
+    EXPECT_EQ(r.sorted, sortedCopy(v));
+    EXPECT_GT(r.time, 0u);
+}
+
+TEST(SortOtc, DuplicatesAndAllEqual)
+{
+    std::vector<std::uint64_t> dup{3, 1, 3, 1, 3, 1, 3, 1};
+    EXPECT_EQ(sortOtc(dup, logCost(8)).sorted, sortedCopy(dup));
+    std::vector<std::uint64_t> eq(16, 9);
+    EXPECT_EQ(sortOtc(eq, logCost(16)).sorted, eq);
+}
+
+TEST(SortOtc, ExplicitMachineAndPartialLoad)
+{
+    OtcNetwork net(4, 4, logCost(16));
+    std::vector<std::uint64_t> v{9, 4, 11, 2, 7};
+    EXPECT_EQ(sortOtc(net, v).sorted, sortedCopy(v));
+}
+
+/** Property sweep: random inputs across sizes and seeds. */
+class SortOtcRandom
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int>>
+{
+};
+
+TEST_P(SortOtcRandom, MatchesStdSort)
+{
+    auto [n, seed] = GetParam();
+    Rng rng(static_cast<std::uint64_t>(seed) * 101 + n);
+    std::vector<std::uint64_t> v(n);
+    for (auto &x : v)
+        x = rng.uniform(0, n - 1);
+    EXPECT_EQ(sortOtc(v, logCost(n)).sorted, sortedCopy(v));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SortOtcRandom,
+    ::testing::Combine(::testing::Values(4, 8, 16, 32, 64, 128),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(SortOtc, TimeShapeIsLogSquared)
+{
+    double lo = 1e18, hi = 0;
+    Rng rng(12);
+    for (std::size_t n : {64, 256, 1024}) {
+        auto v = rng.permutation(n);
+        auto r = sortOtc(v, logCost(n));
+        double logn = std::log2(static_cast<double>(n));
+        double ratio = static_cast<double>(r.time) / (logn * logn);
+        lo = std::min(lo, ratio);
+        hi = std::max(hi, ratio);
+    }
+    EXPECT_LT(hi / lo, 12.0);
+}
+
+TEST(SortOtc, MatchesOtnTimeAsymptoticsWithLessArea)
+{
+    // Section V-A's punchline: same O(log^2 N) time as the OTN on a
+    // Theta(log^2 N)-times smaller chip.
+    Rng rng(13);
+    std::size_t n = 1024;
+    auto v = rng.permutation(n);
+
+    auto r_otc = sortOtc(v, logCost(n));
+    ot::otn::OrthogonalTreesNetwork otn_net(n, logCost(n));
+    auto r_otn = ot::otn::sortOtn(otn_net, v);
+    EXPECT_EQ(r_otc.sorted, r_otn.sorted);
+
+    // Time within a constant factor of each other...
+    double ratio = static_cast<double>(r_otc.time) /
+                   static_cast<double>(r_otn.time);
+    EXPECT_LT(ratio, 12.0);
+    // ...but the OTC chip is much smaller.
+    unsigned l = ot::vlsi::logCeilAtLeast1(n);
+    OtcNetwork otc_net(n / l, l, logCost(n));
+    EXPECT_LT(otc_net.chipLayout().metrics().area(),
+              otn_net.chipLayout().metrics().area() / 4);
+}
+
+TEST(OtcEmulatedOtn, BehavesLikeOtnFunctionally)
+{
+    // Sorting on the emulated machine gives identical results.
+    Rng rng(14);
+    std::size_t n = 32;
+    auto v = rng.permutation(n);
+    OtcEmulatedOtn emu(n, logCost(n));
+    auto r = ot::otn::sortOtn(emu, v);
+    EXPECT_EQ(r.sorted, sortedCopy(v));
+}
+
+TEST(OtcEmulatedOtn, AreaSmallerTimeComparable)
+{
+    std::size_t n = 256;
+    OtcEmulatedOtn emu(n, logCost(n));
+    ot::otn::OrthogonalTreesNetwork plain(n, logCost(n));
+    EXPECT_LT(emu.otcLayout().metrics().area(),
+              plain.chipLayout().metrics().area());
+    double ratio = static_cast<double>(emu.treeTraversalCost()) /
+                   static_cast<double>(plain.treeTraversalCost());
+    EXPECT_LT(ratio, 8.0);
+    EXPECT_GT(ratio, 0.25);
+}
+
+TEST(CcOtc, MatchesUnionFind)
+{
+    Rng rng(15);
+    for (std::size_t n : {8, 16, 32}) {
+        auto g = ot::graph::randomGnp(n, 1.8 / static_cast<double>(n), rng);
+        auto r = connectedComponentsOtc(g, logCost(n));
+        EXPECT_EQ(r.result.labels, ot::graph::connectedComponents(g))
+            << "n = " << n;
+        EXPECT_GT(r.chip.area(), 0u);
+    }
+}
+
+TEST(MstOtc, MatchesKruskal)
+{
+    Rng rng(16);
+    for (std::size_t n : {8, 16}) {
+        auto g = ot::graph::randomWeightedConnected(n, n, rng);
+        CostModel cm(DelayModel::Logarithmic,
+                     ot::otn::mstWordFormat(n, n * n));
+        auto r = mstOtc(g, cm);
+        EXPECT_EQ(r.result.edges, ot::graph::kruskalMsf(g)) << "n = " << n;
+    }
+}
+
+TEST(MatMulOtc, MatchesReference)
+{
+    Rng rng(17);
+    std::size_t n = 8;
+    ot::linalg::IntMatrix a(n, n), b(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j) {
+            a(i, j) = rng.uniform(0, 5);
+            b(i, j) = rng.uniform(0, 5);
+        }
+    CostModel cm(DelayModel::Logarithmic, WordFormat(16));
+    auto r = matMulOtc(a, b, cm);
+    EXPECT_EQ(r.result.product, ot::linalg::matMul(a, b));
+}
+
+TEST(BoolMatMulOtc, MatchesReferenceAndUsesCompactChip)
+{
+    Rng rng(18);
+    std::size_t n = 16;
+    ot::linalg::BoolMatrix a(n, n, 0), b(n, n, 0);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j) {
+            a(i, j) = rng.bernoulli(0.3);
+            b(i, j) = rng.bernoulli(0.3);
+        }
+    auto r = boolMatMulOtc(a, b, logCost(n));
+    auto expect = ot::linalg::boolMatMul(a, b);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            EXPECT_EQ(r.result.product(i, j), expect(i, j));
+    EXPECT_GT(r.chip.area(), 0u);
+}
+
+
+// --------------------------------------- native OTC connected components
+
+TEST(CcOtcNative, SmallShapes)
+{
+    // Path, two triangles, star with a max-label centre.
+    {
+        ot::graph::Graph g(8);
+        for (std::size_t v = 0; v + 1 < 8; ++v)
+            g.addEdge(v, v + 1);
+        OtcNetwork net(4, 2, logCost(8));
+        auto r = connectedComponentsOtcNative(net, g);
+        EXPECT_EQ(r.labels, ot::graph::connectedComponents(g));
+        EXPECT_EQ(r.componentCount, 1u);
+    }
+    {
+        ot::graph::Graph g(8);
+        for (std::size_t v = 0; v < 7; ++v)
+            g.addEdge(7, v);
+        OtcNetwork net(2, 4, logCost(8));
+        auto r = connectedComponentsOtcNative(net, g);
+        EXPECT_EQ(r.componentCount, 1u);
+    }
+}
+
+class CcOtcNativeRandom
+    : public ::testing::TestWithParam<std::tuple<std::size_t, unsigned, int>>
+{
+};
+
+TEST_P(CcOtcNativeRandom, MatchesUnionFind)
+{
+    auto [k, l, seed] = GetParam();
+    std::size_t n = k * l;
+    Rng rng(static_cast<std::uint64_t>(seed) * 53 + n);
+    auto g = ot::graph::randomGnp(n, 2.0 / static_cast<double>(n), rng);
+    OtcNetwork net(k, l, logCost(n));
+    auto r = connectedComponentsOtcNative(net, g);
+    EXPECT_EQ(r.labels, ot::graph::connectedComponents(g))
+        << "k=" << k << " l=" << l;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CcOtcNativeRandom,
+    ::testing::Combine(::testing::Values(2, 4, 8),
+                       ::testing::Values(2, 4, 6),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(CcOtcNative, AgreesWithEmulatedPathAndHasSameTimeClass)
+{
+    Rng rng(44);
+    std::size_t n = 64;
+    unsigned l = ot::vlsi::logCeilAtLeast1(n);
+    auto g = ot::graph::randomGnp(n, 2.5 / static_cast<double>(n), rng);
+
+    OtcNetwork net(n / l, l, logCost(n));
+    auto native = connectedComponentsOtcNative(net, g);
+    auto emulated = connectedComponentsOtc(g, logCost(n));
+
+    EXPECT_EQ(native.labels, emulated.result.labels);
+    // Same machine, same algorithm skeleton: times within a small
+    // constant factor of each other.
+    double ratio = static_cast<double>(native.time) /
+                   static_cast<double>(emulated.result.time);
+    EXPECT_GT(ratio, 0.1);
+    EXPECT_LT(ratio, 10.0);
+}
+
+TEST(CcOtcNative, TimeShapeIsPolylog)
+{
+    Rng rng(45);
+    double lo = 1e18, hi = 0;
+    for (std::size_t n : {32, 64, 128}) {
+        unsigned l = ot::vlsi::logCeilAtLeast1(n);
+        auto g = ot::graph::randomGnp(n, 2.0 / static_cast<double>(n),
+                                      rng);
+        OtcNetwork net(n / l, l, logCost(n));
+        auto r = connectedComponentsOtcNative(net, g,
+                                              /*charge_load=*/false);
+        double logn = std::log2(static_cast<double>(n));
+        double ratio = static_cast<double>(r.time) / std::pow(logn, 4);
+        lo = std::min(lo, ratio);
+        hi = std::max(hi, ratio);
+    }
+    EXPECT_LT(hi / lo, 10.0);
+}
+
+
+// --------------------------------------------------- native OTC MST
+
+TEST(MstOtcNative, MatchesKruskalOnSmallGraphs)
+{
+    Rng rng(61);
+    for (auto [k, l] : {std::pair<std::size_t, unsigned>{2, 4},
+                        {4, 4}, {8, 4}, {4, 8}}) {
+        std::size_t n = k * l;
+        auto g = ot::graph::randomWeightedConnected(n, 2 * n, rng);
+        CostModel cm(DelayModel::Logarithmic,
+                     ot::otn::mstWordFormat(n, n * n));
+        OtcNetwork net(k, l, cm);
+        auto r = mstOtcNative(net, g);
+        EXPECT_EQ(r.edges, ot::graph::kruskalMsf(g))
+            << "k=" << k << " l=" << l;
+    }
+}
+
+TEST(MstOtcNative, DisconnectedForest)
+{
+    ot::graph::WeightedGraph g(8);
+    g.addEdge(0, 1, 3);
+    g.addEdge(2, 3, 1);
+    g.addEdge(5, 6, 2);
+    CostModel cm(DelayModel::Logarithmic, ot::otn::mstWordFormat(8, 3));
+    OtcNetwork net(4, 2, cm);
+    auto r = mstOtcNative(net, g);
+    EXPECT_EQ(r.edges, ot::graph::kruskalMsf(g));
+    EXPECT_TRUE(ot::graph::isSpanningForest(g, r.edges));
+}
+
+TEST(MstOtcNative, AgreesWithOtnAndEmulatedPaths)
+{
+    Rng rng(62);
+    std::size_t n = 32;
+    unsigned l = ot::vlsi::logCeilAtLeast1(n);
+    auto g = ot::graph::randomWeightedConnected(n, 2 * n, rng);
+    CostModel cm(DelayModel::Logarithmic,
+                 ot::otn::mstWordFormat(n, n * n));
+
+    OtcNetwork net(n / l + ((n % l) ? 1 : 0), l, cm);
+    auto native = mstOtcNative(net, g);
+
+    ot::otn::OrthogonalTreesNetwork otn_net(n, cm);
+    auto on_otn = ot::otn::mstOtn(otn_net, g);
+    auto emulated = mstOtc(g, cm);
+
+    EXPECT_EQ(native.edges, on_otn.edges);
+    EXPECT_EQ(native.edges, emulated.result.edges);
+}
+
+
+// ------------------------------------------ OTC model-policy checks
+
+TEST(SortOtc, DelayModelNeverChangesResults)
+{
+    Rng rng(71);
+    std::size_t n = 64;
+    std::vector<std::uint64_t> v(n);
+    for (auto &x : v)
+        x = rng.uniform(0, n - 1);
+    std::vector<std::uint64_t> expect;
+    for (auto model : {DelayModel::Logarithmic, DelayModel::Constant,
+                       DelayModel::Linear}) {
+        CostModel cost(model, WordFormat::forProblemSize(n));
+        auto sorted = sortOtc(v, cost).sorted;
+        if (expect.empty())
+            expect = sorted;
+        EXPECT_EQ(sorted, expect);
+    }
+}
+
+TEST(SortOtc, ScaledTreesSpeedUpTheStreams)
+{
+    Rng rng(72);
+    std::size_t n = 256;
+    auto v = rng.permutation(n);
+    CostModel plain(DelayModel::Logarithmic,
+                    WordFormat::forProblemSize(n));
+    CostModel scaled(DelayModel::Logarithmic,
+                     WordFormat::forProblemSize(n),
+                     /*scaled_trees=*/true);
+    EXPECT_LT(sortOtc(v, scaled).time, sortOtc(v, plain).time);
+    EXPECT_EQ(sortOtc(v, scaled).sorted, sortOtc(v, plain).sorted);
+}
+
+TEST(OtcNetwork, StreamCostScalesWithCycleLength)
+{
+    // Longer cycles stream more words per op: cost grows ~L for a
+    // fixed tree.
+    CostModel cm(DelayModel::Logarithmic, WordFormat(16));
+    OtcNetwork short_cycles(16, 4, cm);
+    OtcNetwork long_cycles(16, 16, cm);
+    EXPECT_GT(long_cycles.streamCost(), 2 * short_cycles.streamCost());
+}
+
+} // namespace

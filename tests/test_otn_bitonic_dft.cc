@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Tests for Section IV: bitonic merge/sort and the DFT on a
+ * (K x K)-OTN holding one element per base processor.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/reference.hh"
+#include "otn/bitonic.hh"
+#include "otn/dft.hh"
+#include "sim/rng.hh"
+
+namespace {
+
+using namespace ot::otn;
+using ot::linalg::Complex;
+using ot::sim::Rng;
+using ot::vlsi::CostModel;
+using ot::vlsi::DelayModel;
+using ot::vlsi::WordFormat;
+
+CostModel
+kCost(std::size_t total)
+{
+    return {DelayModel::Logarithmic, WordFormat::forProblemSize(total)};
+}
+
+std::vector<std::uint64_t>
+sortedCopy(std::vector<std::uint64_t> v)
+{
+    std::sort(v.begin(), v.end());
+    return v;
+}
+
+TEST(BitonicSortOtn, SmallFullLoad)
+{
+    // 16 values on a 4x4 base.
+    std::vector<std::uint64_t> v{9, 3, 14, 0, 7, 7,  2,  11,
+                                 5, 1, 13, 6, 4, 12, 10, 8};
+    OrthogonalTreesNetwork net(4, kCost(16));
+    auto r = bitonicSortOtn(net, v);
+    EXPECT_EQ(r.sorted, sortedCopy(v));
+    // log N (log N + 1) / 2 stages with N = 16.
+    EXPECT_EQ(r.stages, 10u);
+}
+
+TEST(BitonicSortOtn, PartialLoadPadsWithNull)
+{
+    std::vector<std::uint64_t> v{5, 2, 8, 1, 9};
+    OrthogonalTreesNetwork net(4, kCost(16));
+    auto r = bitonicSortOtn(net, v);
+    EXPECT_EQ(r.sorted, sortedCopy(v));
+}
+
+TEST(BitonicSortOtn, DuplicatesAndExtremes)
+{
+    std::vector<std::uint64_t> v(16, 3);
+    v[5] = 0;
+    v[11] = 7;
+    OrthogonalTreesNetwork net(4, kCost(16));
+    EXPECT_EQ(bitonicSortOtn(net, v).sorted, sortedCopy(v));
+}
+
+/** Property sweep across sizes and seeds. */
+class BitonicRandom
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int>>
+{
+};
+
+TEST_P(BitonicRandom, MatchesStdSort)
+{
+    auto [k, seed] = GetParam();
+    std::size_t total = k * k;
+    Rng rng(static_cast<std::uint64_t>(seed) * 17 + k);
+    std::vector<std::uint64_t> v(total);
+    for (auto &x : v)
+        x = rng.uniform(0, total - 1);
+    OrthogonalTreesNetwork net(k, kCost(total));
+    EXPECT_EQ(bitonicSortOtn(net, v).sorted, sortedCopy(v));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BitonicRandom,
+    ::testing::Combine(::testing::Values(2, 4, 8, 16),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(BitonicMergeOtn, MergesBitonicSequence)
+{
+    // Ascending then descending = bitonic.
+    std::vector<std::uint64_t> v{0, 2, 5, 9, 12, 15, 11, 7,
+                                 6, 4, 3, 1, 0,  0,  0,  0};
+    OrthogonalTreesNetwork net(4, kCost(16));
+    auto r = bitonicMergeOtn(net, v);
+    EXPECT_EQ(r.sorted, sortedCopy(v));
+    EXPECT_EQ(r.stages, 4u); // log 16 stages
+}
+
+TEST(BitonicMergeOtn, TwoSortedHalvesReversed)
+{
+    Rng rng(4);
+    std::size_t total = 64;
+    std::vector<std::uint64_t> a(total / 2), b(total / 2);
+    for (auto &x : a)
+        x = rng.uniform(0, 99);
+    for (auto &x : b)
+        x = rng.uniform(0, 99);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end(), std::greater<>());
+    std::vector<std::uint64_t> v(a);
+    v.insert(v.end(), b.begin(), b.end());
+    OrthogonalTreesNetwork net(8, kCost(total));
+    EXPECT_EQ(bitonicMergeOtn(net, v).sorted, sortedCopy(v));
+}
+
+TEST(BitonicSortOtn, TimeIsDominatedBySqrtN)
+{
+    // Strict bit-serial accounting gives Theta(sqrt(N) log^2 N); the
+    // sqrt factor must show: T(4K^2)/T(K^2) -> ~2 for large K.
+    Rng rng(5);
+    std::vector<double> times;
+    for (std::size_t k : {8, 16, 32, 64}) {
+        std::size_t total = k * k;
+        std::vector<std::uint64_t> v(total);
+        for (auto &x : v)
+            x = rng.uniform(0, total - 1);
+        OrthogonalTreesNetwork net(k, kCost(total));
+        times.push_back(
+            static_cast<double>(bitonicSortOtn(net, v).time));
+    }
+    for (std::size_t i = 1; i < times.size(); ++i) {
+        double ratio = times[i] / times[i - 1];
+        EXPECT_GT(ratio, 1.7);
+        EXPECT_LT(ratio, 4.0);
+    }
+}
+
+TEST(CompexStageCost, GrowsWithLeafDistanceInEachRegime)
+{
+    // Within the row regime (d < K) and within the column regime
+    // (d >= K) cost grows with leaf distance; across the boundary it
+    // legitimately drops (distance K is ONE column hop).
+    OrthogonalTreesNetwork net(16, kCost(256));
+    ModelTime prev = 0;
+    for (std::size_t d : {1, 2, 4, 8}) { // row regime
+        ModelTime c = compexStageCost(net, d);
+        EXPECT_GE(c, prev) << "row d = " << d;
+        prev = c;
+    }
+    prev = 0;
+    for (std::size_t d : {16, 32, 64, 128}) { // column regime
+        ModelTime c = compexStageCost(net, d);
+        EXPECT_GE(c, prev) << "col d = " << d;
+        prev = c;
+    }
+    EXPECT_LT(compexStageCost(net, 16), compexStageCost(net, 8));
+}
+
+TEST(CompexStageCost, RowAndColumnSymmetric)
+{
+    // Distance d < K uses row trees; d * K uses column trees at the
+    // same leaf distance: identical geometry, identical cost.
+    OrthogonalTreesNetwork net(16, kCost(256));
+    for (std::size_t e : {1, 2, 4, 8}) {
+        EXPECT_EQ(compexStageCost(net, e), compexStageCost(net, e * 16));
+    }
+}
+
+TEST(DftOtn, ImpulseAndConstant)
+{
+    std::size_t k = 4, total = 16;
+    std::vector<Complex> impulse(total, 0.0);
+    impulse[0] = 1.0;
+    OrthogonalTreesNetwork net(k, kCost(total));
+    auto r = dftOtn(net, impulse);
+    for (const auto &v : r.spectrum)
+        EXPECT_NEAR(std::abs(v - Complex(1.0, 0.0)), 0.0, 1e-9);
+    EXPECT_EQ(r.stages, 4u);
+}
+
+/** DFT property sweep vs the naive reference. */
+class DftRandom : public ::testing::TestWithParam<std::tuple<std::size_t, int>>
+{
+};
+
+TEST_P(DftRandom, MatchesNaiveDft)
+{
+    auto [k, seed] = GetParam();
+    std::size_t total = k * k;
+    Rng rng(static_cast<std::uint64_t>(seed) * 13 + k);
+    std::vector<Complex> x(total);
+    for (auto &v : x)
+        v = Complex(rng.uniformReal() - 0.5, rng.uniformReal() - 0.5);
+    OrthogonalTreesNetwork net(k, kCost(total));
+    auto r = dftOtn(net, x);
+    EXPECT_LT(ot::linalg::maxAbsDiff(r.spectrum, ot::linalg::dftNaive(x)),
+              1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DftRandom,
+    ::testing::Combine(::testing::Values(2, 4, 8),
+                       ::testing::Values(1, 2)));
+
+TEST(DftOtn, TimeShapeTracksBitonicMerge)
+{
+    // Section IV-B: "very similar structure to that of Bitonic
+    // Merging" — same dominant sqrt(N) term.
+    Rng rng(6);
+    std::vector<double> times;
+    for (std::size_t k : {8, 16, 32}) {
+        std::size_t total = k * k;
+        std::vector<Complex> x(total);
+        for (auto &v : x)
+            v = Complex(rng.uniformReal(), 0.0);
+        OrthogonalTreesNetwork net(k, kCost(total));
+        times.push_back(static_cast<double>(dftOtn(net, x).time));
+    }
+    for (std::size_t i = 1; i < times.size(); ++i) {
+        EXPECT_GT(times[i] / times[i - 1], 1.6);
+        EXPECT_LT(times[i] / times[i - 1], 4.5);
+    }
+}
+
+
+TEST(BitonicSchedules, StreamedIsFasterSameResult)
+{
+    Rng rng(21);
+    std::size_t k = 16, total = 256;
+    std::vector<std::uint64_t> v(total);
+    for (auto &x : v)
+        x = rng.uniform(0, total - 1);
+
+    OrthogonalTreesNetwork strict_net(k, kCost(total));
+    auto strict = bitonicSortOtn(strict_net, v, CompexSchedule::Strict);
+    OrthogonalTreesNetwork streamed_net(k, kCost(total));
+    auto streamed =
+        bitonicSortOtn(streamed_net, v, CompexSchedule::Streamed);
+
+    EXPECT_EQ(strict.sorted, streamed.sorted);
+    EXPECT_LT(streamed.time, strict.time);
+}
+
+TEST(BitonicSchedules, StreamedRecoversOneLogFactor)
+{
+    // T_strict / T_streamed should grow ~log N (the word separation).
+    Rng rng(22);
+    double prev = 0;
+    for (std::size_t k : {8, 16, 32, 64}) {
+        std::size_t total = k * k;
+        std::vector<std::uint64_t> v(total);
+        for (auto &x : v)
+            x = rng.uniform(0, total - 1);
+        OrthogonalTreesNetwork a(k, kCost(total));
+        auto ts = bitonicSortOtn(a, v, CompexSchedule::Strict).time;
+        OrthogonalTreesNetwork b(k, kCost(total));
+        auto tr = bitonicSortOtn(b, v, CompexSchedule::Streamed).time;
+        double ratio = static_cast<double>(ts) / static_cast<double>(tr);
+        EXPECT_GT(ratio, prev) << "k = " << k;
+        prev = ratio;
+    }
+    EXPECT_GT(prev, 1.8);
+}
+
+} // namespace

@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Tests for the Section III graph algorithms on the OTN: connected
+ * components (vs union-find) and minimum spanning tree (vs Kruskal),
+ * including property sweeps over random graph families.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hh"
+#include "graph/reference_algorithms.hh"
+#include "otn/connected_components.hh"
+#include "otn/mst.hh"
+#include "sim/rng.hh"
+
+namespace {
+
+using namespace ot::otn;
+using namespace ot::graph;
+using ot::sim::Rng;
+using ot::vlsi::CostModel;
+using ot::vlsi::DelayModel;
+using ot::vlsi::WordFormat;
+
+CostModel
+ccCost(std::size_t n)
+{
+    return {DelayModel::Logarithmic, WordFormat::forProblemSize(n)};
+}
+
+CostModel
+mstCost(std::size_t n, std::uint64_t max_w)
+{
+    return {DelayModel::Logarithmic, mstWordFormat(n, max_w)};
+}
+
+TEST(CcOtn, PathGraph)
+{
+    Graph g(8);
+    for (std::size_t v = 0; v + 1 < 8; ++v)
+        g.addEdge(v, v + 1);
+    OrthogonalTreesNetwork net(8, ccCost(8));
+    auto r = connectedComponentsOtn(net, g);
+    EXPECT_EQ(r.componentCount, 1u);
+    EXPECT_EQ(r.labels, connectedComponents(g));
+}
+
+TEST(CcOtn, EdgelessGraph)
+{
+    Graph g(8);
+    OrthogonalTreesNetwork net(8, ccCost(8));
+    auto r = connectedComponentsOtn(net, g);
+    EXPECT_EQ(r.componentCount, 8u);
+    for (std::size_t v = 0; v < 8; ++v)
+        EXPECT_EQ(r.labels[v], v);
+}
+
+TEST(CcOtn, TwoTriangles)
+{
+    Graph g(6);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(2, 0);
+    g.addEdge(3, 4);
+    g.addEdge(4, 5);
+    g.addEdge(5, 3);
+    OrthogonalTreesNetwork net(8, ccCost(8));
+    auto r = connectedComponentsOtn(net, g);
+    EXPECT_EQ(r.componentCount, 2u);
+    EXPECT_EQ(r.labels, connectedComponents(g));
+}
+
+TEST(CcOtn, StarWithLargeCenterLabel)
+{
+    // The case that stalls naive min-hooking: the centre has the
+    // largest label and every leaf sees only the centre.
+    Graph g(8);
+    for (std::size_t v = 0; v < 7; ++v)
+        g.addEdge(7, v);
+    OrthogonalTreesNetwork net(8, ccCost(8));
+    auto r = connectedComponentsOtn(net, g);
+    EXPECT_EQ(r.componentCount, 1u);
+}
+
+TEST(CcOtn, AdversarialChainOfPairs)
+{
+    // Pairs (0,1), (2,3), ... then a bridge chain across pairs: forces
+    // repeated hooks and jumps.
+    Graph g(16);
+    for (std::size_t v = 0; v < 16; v += 2)
+        g.addEdge(v, v + 1);
+    for (std::size_t v = 1; v + 2 < 16; v += 4)
+        g.addEdge(v, v + 2);
+    OrthogonalTreesNetwork net(16, ccCost(16));
+    auto r = connectedComponentsOtn(net, g);
+    EXPECT_EQ(r.labels, connectedComponents(g));
+}
+
+/** Property sweep over G(n, p) and planted components. */
+class CcOtnRandom : public ::testing::TestWithParam<
+                        std::tuple<std::size_t, double, int>>
+{
+};
+
+TEST_P(CcOtnRandom, MatchesUnionFind)
+{
+    auto [n, p, seed] = GetParam();
+    Rng rng(static_cast<std::uint64_t>(seed) * 1000 + n);
+    auto g = randomGnp(n, p, rng);
+    OrthogonalTreesNetwork net(n, ccCost(n));
+    auto r = connectedComponentsOtn(net, g);
+    EXPECT_EQ(r.labels, connectedComponents(g));
+    EXPECT_EQ(r.componentCount, componentCount(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Gnp, CcOtnRandom,
+    ::testing::Combine(::testing::Values(4, 8, 16, 32),
+                       ::testing::Values(0.05, 0.15, 0.5),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(CcOtn, PlantedComponentSweep)
+{
+    Rng rng(77);
+    for (std::size_t c : {1, 2, 4, 7}) {
+        auto g = plantedComponents(32, c, 3, rng);
+        OrthogonalTreesNetwork net(32, ccCost(32));
+        auto r = connectedComponentsOtn(net, g);
+        EXPECT_EQ(r.componentCount, c);
+        EXPECT_EQ(r.labels, connectedComponents(g));
+    }
+}
+
+TEST(CcOtn, PaddedVerticesDoNotLeak)
+{
+    // 5 vertices on an 8x8 machine: padding must stay isolated.
+    Graph g(5);
+    g.addEdge(0, 4);
+    g.addEdge(1, 2);
+    OrthogonalTreesNetwork net(8, ccCost(8));
+    auto r = connectedComponentsOtn(net, g);
+    EXPECT_EQ(r.labels, connectedComponents(g));
+    EXPECT_EQ(r.labels.size(), 5u);
+}
+
+TEST(CcOtn, TimeShapeIsLog4UnderThompson)
+{
+    // T(N) / log^4 N bounded across the sweep (Table III row).
+    double lo = 1e18, hi = 0;
+    Rng rng(5);
+    for (std::size_t n : {16, 32, 64, 128}) {
+        auto g = randomGnp(n, 2.0 / static_cast<double>(n), rng);
+        OrthogonalTreesNetwork net(n, ccCost(n));
+        auto r = connectedComponentsOtn(net, g, /*charge_load=*/false);
+        double logn = std::log2(static_cast<double>(n));
+        double ratio = static_cast<double>(r.time) / std::pow(logn, 4);
+        lo = std::min(lo, ratio);
+        hi = std::max(hi, ratio);
+    }
+    EXPECT_LT(hi / lo, 10.0);
+}
+
+TEST(MstOtn, TriangleWithObviousMst)
+{
+    WeightedGraph g(3);
+    g.addEdge(0, 1, 1);
+    g.addEdge(1, 2, 2);
+    g.addEdge(0, 2, 3);
+    OrthogonalTreesNetwork net(4, mstCost(4, 3));
+    auto r = mstOtn(net, g);
+    ASSERT_EQ(r.edges.size(), 2u);
+    EXPECT_EQ(r.totalWeight, 3u);
+    EXPECT_TRUE(isSpanningForest(g, r.edges));
+}
+
+TEST(MstOtn, MatchesKruskalOnSmallGraphs)
+{
+    Rng rng(21);
+    for (std::size_t n : {2, 4, 8, 16}) {
+        auto g = randomWeightedConnected(n, n, rng);
+        OrthogonalTreesNetwork net(n, mstCost(n, n * n));
+        auto r = mstOtn(net, g);
+        auto expect = kruskalMsf(g);
+        EXPECT_EQ(r.edges, expect) << "n = " << n;
+        EXPECT_EQ(r.totalWeight, totalWeight(expect));
+    }
+}
+
+TEST(MstOtn, CompleteGraphSweep)
+{
+    Rng rng(22);
+    for (std::size_t n : {4, 8, 12}) {
+        auto g = randomWeightedComplete(n, rng);
+        OrthogonalTreesNetwork net(n, mstCost(n, n * n));
+        auto r = mstOtn(net, g);
+        EXPECT_EQ(r.edges, kruskalMsf(g)) << "n = " << n;
+    }
+}
+
+TEST(MstOtn, DisconnectedGraphGivesForest)
+{
+    WeightedGraph g(6);
+    g.addEdge(0, 1, 4);
+    g.addEdge(1, 2, 2);
+    g.addEdge(3, 4, 5);
+    OrthogonalTreesNetwork net(8, mstCost(8, 5));
+    auto r = mstOtn(net, g);
+    EXPECT_EQ(r.edges.size(), 3u);
+    EXPECT_TRUE(isSpanningForest(g, r.edges));
+    EXPECT_EQ(r.edges, kruskalMsf(g));
+}
+
+TEST(MstOtn, EdgelessGraph)
+{
+    WeightedGraph g(4);
+    OrthogonalTreesNetwork net(4, mstCost(4, 1));
+    auto r = mstOtn(net, g);
+    EXPECT_TRUE(r.edges.empty());
+    EXPECT_EQ(r.totalWeight, 0u);
+}
+
+/** Property sweep: MST on random connected weighted graphs. */
+class MstOtnRandom
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int>>
+{
+};
+
+TEST_P(MstOtnRandom, MatchesKruskal)
+{
+    auto [n, seed] = GetParam();
+    Rng rng(static_cast<std::uint64_t>(seed) * 31 + n);
+    auto g = randomWeightedConnected(n, 2 * n, rng);
+    OrthogonalTreesNetwork net(n, mstCost(n, n * n));
+    auto r = mstOtn(net, g);
+    EXPECT_EQ(r.edges, kruskalMsf(g));
+    EXPECT_TRUE(isSpanningForest(g, r.edges));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MstOtnRandom,
+    ::testing::Combine(::testing::Values(4, 8, 16, 24, 32),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(MstOtn, TimeShapeIsLog4UnderThompson)
+{
+    double lo = 1e18, hi = 0;
+    Rng rng(23);
+    for (std::size_t n : {16, 32, 64}) {
+        auto g = randomWeightedConnected(n, n, rng);
+        OrthogonalTreesNetwork net(n, mstCost(n, n * n));
+        auto r = mstOtn(net, g, /*charge_load=*/false);
+        double logn = std::log2(static_cast<double>(n));
+        double ratio = static_cast<double>(r.time) / std::pow(logn, 4);
+        lo = std::min(lo, ratio);
+        hi = std::max(hi, ratio);
+    }
+    EXPECT_LT(hi / lo, 10.0);
+}
+
+TEST(MstWordFormat, FitsPackedEdges)
+{
+    auto wf = mstWordFormat(64, 64 * 64);
+    // Packed (w, u, v): 6 + 6 index bits + 13 weight bits + spare.
+    EXPECT_GE(wf.bits(), 25u);
+    EXPECT_LT(wf.bits(), 40u);
+}
+
+} // namespace

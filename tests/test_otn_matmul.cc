@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Tests for the Section III-A matrix algorithms on the OTN:
+ * vector-matrix product, the pipelined full product, and the Boolean
+ * variants (pipelined and the Table II replicated-block machine).
+ */
+
+#include <gtest/gtest.h>
+
+#include "linalg/reference.hh"
+#include "otn/matmul.hh"
+#include "sim/rng.hh"
+
+namespace {
+
+using namespace ot::otn;
+using ot::linalg::BoolMatrix;
+using ot::linalg::IntMatrix;
+using ot::sim::Rng;
+using ot::vlsi::CostModel;
+using ot::vlsi::DelayModel;
+using ot::vlsi::WordFormat;
+
+/** Word wide enough for dot products of n values < `entry_limit`. */
+CostModel
+matCost(std::size_t n, std::uint64_t entry_limit)
+{
+    unsigned bits = ot::vlsi::logCeilAtLeast1(
+                        n * entry_limit * entry_limit + 1) +
+                    2;
+    return {DelayModel::Logarithmic, WordFormat(bits)};
+}
+
+IntMatrix
+randomMatrix(std::size_t n, std::uint64_t limit, Rng &rng)
+{
+    IntMatrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            m(i, j) = rng.uniform(0, limit - 1);
+    return m;
+}
+
+BoolMatrix
+randomBool(std::size_t n, double density, Rng &rng)
+{
+    BoolMatrix m(n, n, 0);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            m(i, j) = rng.bernoulli(density) ? 1 : 0;
+    return m;
+}
+
+TEST(VecMatMul, SmallExample)
+{
+    auto b = IntMatrix::fromRows({{1, 0}, {0, 1}});
+    OrthogonalTreesNetwork net(2, matCost(2, 10));
+    net.loadBase(Reg::B, b);
+    auto c = vecMatMulOtn(net, {3, 4});
+    EXPECT_EQ(c, (std::vector<std::uint64_t>{3, 4}));
+}
+
+TEST(VecMatMul, MatchesReference)
+{
+    Rng rng(1);
+    for (std::size_t n : {2, 4, 8, 16}) {
+        auto b = randomMatrix(n, 8, rng);
+        std::vector<std::uint64_t> a(n);
+        for (auto &x : a)
+            x = rng.uniform(0, 7);
+        OrthogonalTreesNetwork net(n, matCost(n, 8));
+        net.loadBase(Reg::B, b);
+        EXPECT_EQ(vecMatMulOtn(net, a), ot::linalg::vecMatMul(a, b))
+            << "n = " << n;
+    }
+}
+
+TEST(MatMulPipelined, MatchesReference)
+{
+    Rng rng(2);
+    for (std::size_t n : {2, 4, 8, 16}) {
+        auto a = randomMatrix(n, 6, rng);
+        auto b = randomMatrix(n, 6, rng);
+        OrthogonalTreesNetwork net(n, matCost(n, 6));
+        auto r = matMulPipelined(net, a, b);
+        EXPECT_EQ(r.product, ot::linalg::matMul(a, b)) << "n = " << n;
+    }
+}
+
+TEST(MatMulPipelined, IdentityAndZero)
+{
+    std::size_t n = 8;
+    Rng rng(3);
+    auto a = randomMatrix(n, 10, rng);
+    OrthogonalTreesNetwork net(n, matCost(n, 10));
+    EXPECT_EQ(matMulPipelined(net, a, IntMatrix::identity(n)).product, a);
+    OrthogonalTreesNetwork net2(n, matCost(n, 10));
+    EXPECT_EQ(matMulPipelined(net2, a, IntMatrix(n, n, 0)).product,
+              IntMatrix(n, n, 0));
+}
+
+TEST(MatMulPipelined, PipelineBeatIsWordSeparation)
+{
+    std::size_t n = 16;
+    Rng rng(4);
+    auto a = randomMatrix(n, 4, rng);
+    auto b = randomMatrix(n, 4, rng);
+    OrthogonalTreesNetwork net(n, matCost(n, 4));
+    auto r = matMulPipelined(net, a, b);
+    EXPECT_EQ(r.rowInterval, net.cost().wordSeparation());
+    // Total = first-row latency + (N-1) beats.
+    EXPECT_EQ(r.time, r.firstRowLatency + (n - 1) * r.rowInterval);
+    // The pipeline makes the total far cheaper than N full products.
+    EXPECT_LT(r.time, n * r.firstRowLatency / 2);
+}
+
+TEST(BoolMatMulPipelined, MatchesReference)
+{
+    Rng rng(5);
+    for (std::size_t n : {2, 4, 8, 16, 32}) {
+        auto a = randomBool(n, 0.3, rng);
+        auto b = randomBool(n, 0.3, rng);
+        OrthogonalTreesNetwork net(n, matCost(n, 2));
+        auto r = boolMatMulPipelined(net, a, b);
+        auto expect = ot::linalg::boolMatMul(a, b);
+        for (std::size_t i = 0; i < n; ++i)
+            for (std::size_t j = 0; j < n; ++j)
+                EXPECT_EQ(r.product(i, j), expect(i, j))
+                    << "n=" << n << " @(" << i << "," << j << ")";
+    }
+}
+
+TEST(BoolMatMulPipelined, UnitSeparationBeatsWordSeparation)
+{
+    std::size_t n = 32;
+    Rng rng(6);
+    auto ab = randomBool(n, 0.4, rng);
+    auto bb = randomBool(n, 0.4, rng);
+
+    OrthogonalTreesNetwork nb(n, matCost(n, 2));
+    auto t_bool = boolMatMulPipelined(nb, ab, bb).time;
+
+    // The same matrices pushed through the integer pipeline.
+    IntMatrix ai(n, n), bi(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j) {
+            ai(i, j) = ab(i, j);
+            bi(i, j) = bb(i, j);
+        }
+    OrthogonalTreesNetwork ni(n, matCost(n, 2));
+    auto t_int = matMulPipelined(ni, ai, bi).time;
+    EXPECT_LT(t_bool, t_int);
+}
+
+TEST(BoolMatMulReplicated, MatchesReference)
+{
+    Rng rng(7);
+    for (std::size_t n : {4, 8, 16, 32}) {
+        auto a = randomBool(n, 0.25, rng);
+        auto b = randomBool(n, 0.25, rng);
+        OrthogonalTreesNetwork block(n, matCost(n, 2));
+        auto r = boolMatMulReplicated(block, a, b);
+        auto expect = ot::linalg::boolMatMul(a, b);
+        for (std::size_t i = 0; i < n; ++i)
+            for (std::size_t j = 0; j < n; ++j)
+                EXPECT_EQ(r.product(i, j), expect(i, j)) << "n = " << n;
+    }
+}
+
+TEST(BoolMatMulReplicated, LogSquaredTimeBeatsPipelinedForLargeN)
+{
+    // Table II: the big machine wins in time once N >> log^2 N.
+    std::size_t n = 64;
+    Rng rng(8);
+    auto a = randomBool(n, 0.3, rng);
+    auto b = randomBool(n, 0.3, rng);
+    OrthogonalTreesNetwork block(n, matCost(n, 2));
+    auto t_rep = boolMatMulReplicated(block, a, b).time;
+    OrthogonalTreesNetwork pipe(n, matCost(n, 2));
+    auto t_pipe = boolMatMulPipelined(pipe, a, b).time;
+    EXPECT_LT(t_rep, t_pipe);
+}
+
+TEST(BoolMatMulReplicated, TimeShapeIsLogSquared)
+{
+    double lo = 1e18, hi = 0;
+    Rng rng(9);
+    for (std::size_t n : {8, 16, 32, 64, 128}) {
+        auto a = randomBool(n, 0.3, rng);
+        auto b = randomBool(n, 0.3, rng);
+        OrthogonalTreesNetwork block(n, matCost(n, 2));
+        auto t = boolMatMulReplicated(block, a, b).time;
+        double logn = std::log2(static_cast<double>(n));
+        double ratio = static_cast<double>(t) / (logn * logn);
+        lo = std::min(lo, ratio);
+        hi = std::max(hi, ratio);
+    }
+    EXPECT_LT(hi / lo, 12.0);
+}
+
+/** Parameterized associativity property: (A*B)*C == A*(B*C) on-machine. */
+class MatMulAssoc : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MatMulAssoc, HoldsOnMachine)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    std::size_t n = 4;
+    auto a = randomMatrix(n, 3, rng);
+    auto b = randomMatrix(n, 3, rng);
+    auto c = randomMatrix(n, 3, rng);
+    auto cost = matCost(n, 27 * n); // room for two chained products
+
+    OrthogonalTreesNetwork n1(n, cost);
+    auto ab = matMulPipelined(n1, a, b).product;
+    OrthogonalTreesNetwork n2(n, cost);
+    auto ab_c = matMulPipelined(n2, ab, c).product;
+
+    OrthogonalTreesNetwork n3(n, cost);
+    auto bc = matMulPipelined(n3, b, c).product;
+    OrthogonalTreesNetwork n4(n, cost);
+    auto a_bc = matMulPipelined(n4, a, bc).product;
+
+    EXPECT_EQ(ab_c, a_bc);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatMulAssoc, ::testing::Range(1, 6));
+
+
+TEST(MatMulStream, StreamedProductsAllCorrect)
+{
+    Rng rng(41);
+    std::size_t n = 8;
+    auto b = randomMatrix(n, 5, rng);
+    std::vector<IntMatrix> as;
+    for (int i = 0; i < 5; ++i)
+        as.push_back(randomMatrix(n, 5, rng));
+
+    OrthogonalTreesNetwork net(n, matCost(n, 5));
+    auto r = matMulStream(net, as, b);
+    ASSERT_EQ(r.products.size(), as.size());
+    for (std::size_t i = 0; i < as.size(); ++i)
+        EXPECT_EQ(r.products[i], ot::linalg::matMul(as[i], b))
+            << "matrix " << i;
+}
+
+TEST(MatMulStream, ThroughputBeatsIsolatedProducts)
+{
+    Rng rng(42);
+    std::size_t n = 16;
+    auto b = randomMatrix(n, 4, rng);
+    std::vector<IntMatrix> as;
+    for (int i = 0; i < 6; ++i)
+        as.push_back(randomMatrix(n, 4, rng));
+
+    OrthogonalTreesNetwork piped(n, matCost(n, 4));
+    auto streamed = matMulStream(piped, as, b).totalTime;
+
+    OrthogonalTreesNetwork serial(n, matCost(n, 4));
+    ot::vlsi::ModelTime isolated = 0;
+    for (const auto &a : as) {
+        OrthogonalTreesNetwork one(n, matCost(n, 4));
+        isolated += matMulPipelined(one, a, b).time;
+    }
+    (void)serial;
+    EXPECT_LT(streamed, isolated);
+}
+
+TEST(MatMulStream, EmptyStream)
+{
+    OrthogonalTreesNetwork net(4, matCost(4, 3));
+    auto r = matMulStream(net, {}, IntMatrix::identity(4));
+    EXPECT_TRUE(r.products.empty());
+    EXPECT_EQ(r.totalTime, 0u);
+}
+
+} // namespace

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests for shortest paths: the Dijkstra / Floyd-Warshall references
+ * and the OTN's Bellman-Ford SSSP and (min, +)-squaring APSP.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/fitting.hh"
+#include "graph/generators.hh"
+#include "graph/reference_algorithms.hh"
+#include "otn/shortest_paths.hh"
+#include "sim/rng.hh"
+
+namespace {
+
+using namespace ot;
+using namespace ot::otn;
+using graph::kUnreachable;
+using sim::Rng;
+using vlsi::CostModel;
+using vlsi::DelayModel;
+
+CostModel
+pathCost(std::size_t n, std::uint64_t max_w)
+{
+    return {DelayModel::Logarithmic, pathWordFormat(n, max_w)};
+}
+
+TEST(DijkstraReference, PathGraph)
+{
+    graph::WeightedGraph g(4);
+    g.addEdge(0, 1, 2);
+    g.addEdge(1, 2, 3);
+    g.addEdge(2, 3, 4);
+    auto d = graph::dijkstra(g, 0);
+    EXPECT_EQ(d, (std::vector<std::uint64_t>{0, 2, 5, 9}));
+}
+
+TEST(DijkstraReference, PicksShorterDetour)
+{
+    graph::WeightedGraph g(4);
+    g.addEdge(0, 1, 10);
+    g.addEdge(0, 2, 1);
+    g.addEdge(2, 1, 2);
+    auto d = graph::dijkstra(g, 0);
+    EXPECT_EQ(d[1], 3u);
+    EXPECT_EQ(d[3], kUnreachable);
+}
+
+TEST(FloydWarshallReference, MatchesDijkstraPerRow)
+{
+    Rng rng(1);
+    auto g = graph::randomWeightedConnected(12, 10, rng);
+    auto fw = graph::floydWarshall(g);
+    for (std::size_t s = 0; s < 12; ++s) {
+        auto d = graph::dijkstra(g, s);
+        for (std::size_t v = 0; v < 12; ++v)
+            EXPECT_EQ(fw(s, v), d[v]) << s << "->" << v;
+    }
+}
+
+TEST(SsspOtn, LineGraph)
+{
+    graph::WeightedGraph g(5);
+    for (std::size_t v = 0; v + 1 < 5; ++v)
+        g.addEdge(v, v + 1, v + 1);
+    OrthogonalTreesNetwork net(8, pathCost(8, 5));
+    auto r = ssspOtn(net, g, 0);
+    EXPECT_EQ(r.dist, (std::vector<std::uint64_t>{0, 1, 3, 6, 10}));
+    EXPECT_GT(r.time, 0u);
+}
+
+TEST(SsspOtn, UnreachableVertices)
+{
+    graph::WeightedGraph g(6);
+    g.addEdge(0, 1, 1);
+    g.addEdge(2, 3, 1);
+    OrthogonalTreesNetwork net(8, pathCost(8, 1));
+    auto r = ssspOtn(net, g, 0);
+    EXPECT_EQ(r.dist[1], 1u);
+    EXPECT_EQ(r.dist[2], kUnreachable);
+    EXPECT_EQ(r.dist[5], kUnreachable);
+}
+
+class SsspRandom
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int>>
+{
+};
+
+TEST_P(SsspRandom, MatchesDijkstra)
+{
+    auto [n, seed] = GetParam();
+    Rng rng(static_cast<std::uint64_t>(seed) * 271 + n);
+    auto g = graph::randomWeightedConnected(n, 2 * n, rng);
+    std::size_t src = rng.uniform(0, n - 1);
+    OrthogonalTreesNetwork net(n, pathCost(n, n * n));
+    auto r = ssspOtn(net, g, src);
+    EXPECT_EQ(r.dist, graph::dijkstra(g, src)) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SsspRandom,
+    ::testing::Combine(::testing::Values(4, 8, 16, 32),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(SsspOtn, EarlyExitOnLowDiameter)
+{
+    // A star: every vertex one hop from the hub, so two rounds settle
+    // everything and the third detects convergence.
+    std::size_t n = 32;
+    graph::WeightedGraph g(n);
+    for (std::size_t v = 1; v < n; ++v)
+        g.addEdge(0, v, v);
+    OrthogonalTreesNetwork net(n, pathCost(n, n));
+    auto r = ssspOtn(net, g, 0);
+    EXPECT_LE(r.rounds, 3u);
+    for (std::size_t v = 1; v < n; ++v)
+        EXPECT_EQ(r.dist[v], v);
+}
+
+TEST(ApspOtn, MatchesFloydWarshall)
+{
+    Rng rng(2);
+    for (std::size_t n : {4, 8, 16}) {
+        auto g = graph::randomWeightedConnected(n, n, rng);
+        OrthogonalTreesNetwork net(n, pathCost(n, n * n));
+        auto r = apspOtn(net, g);
+        EXPECT_EQ(r.dist, graph::floydWarshall(g)) << "n=" << n;
+        EXPECT_EQ(r.squarings, ot::vlsi::logCeilAtLeast1(n));
+    }
+}
+
+TEST(ApspOtn, DisconnectedStaysUnreachable)
+{
+    graph::WeightedGraph g(6);
+    g.addEdge(0, 1, 2);
+    g.addEdge(3, 4, 2);
+    OrthogonalTreesNetwork net(8, pathCost(8, 2));
+    auto r = apspOtn(net, g);
+    EXPECT_EQ(r.dist(0, 1), 2u);
+    EXPECT_EQ(r.dist(0, 3), kUnreachable);
+    EXPECT_EQ(r.dist(5, 5), 0u);
+}
+
+TEST(ApspOtn, TimeIsPipelinedNearLinearPerSquaring)
+{
+    // Each (min,+) squaring is a Section III-A pipeline: N rows one
+    // word-beat apart; log N squarings total.
+    Rng rng(3);
+    std::vector<double> ns, times;
+    for (std::size_t n : {8, 16, 32, 64}) {
+        auto g = graph::randomWeightedConnected(n, n, rng);
+        OrthogonalTreesNetwork net(n, pathCost(n, n * n));
+        auto r = apspOtn(net, g);
+        ns.push_back(static_cast<double>(n));
+        times.push_back(static_cast<double>(r.time));
+    }
+    auto fit = analysis::fitPowerLaw(ns, times);
+    EXPECT_GT(fit.exponent, 0.7);
+    EXPECT_LT(fit.exponent, 1.5); // ~N log N: pipelined, not N^2
+}
+
+} // namespace

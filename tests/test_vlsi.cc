@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Unit tests for the VLSI model substrate: bit math, wire delay rules
+ * and the cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vlsi/bitmath.hh"
+#include "vlsi/cost_model.hh"
+#include "vlsi/delay.hh"
+#include "vlsi/word.hh"
+
+namespace {
+
+using namespace ot::vlsi;
+
+TEST(BitMath, Ilog2Floor)
+{
+    EXPECT_EQ(ilog2Floor(1), 0u);
+    EXPECT_EQ(ilog2Floor(2), 1u);
+    EXPECT_EQ(ilog2Floor(3), 1u);
+    EXPECT_EQ(ilog2Floor(4), 2u);
+    EXPECT_EQ(ilog2Floor(1023), 9u);
+    EXPECT_EQ(ilog2Floor(1024), 10u);
+}
+
+TEST(BitMath, Ilog2Ceil)
+{
+    EXPECT_EQ(ilog2Ceil(1), 0u);
+    EXPECT_EQ(ilog2Ceil(2), 1u);
+    EXPECT_EQ(ilog2Ceil(3), 2u);
+    EXPECT_EQ(ilog2Ceil(4), 2u);
+    EXPECT_EQ(ilog2Ceil(5), 3u);
+    EXPECT_EQ(ilog2Ceil(1024), 10u);
+    EXPECT_EQ(ilog2Ceil(1025), 11u);
+}
+
+TEST(BitMath, IsPow2)
+{
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(2));
+    EXPECT_TRUE(isPow2(64));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_FALSE(isPow2(63));
+    EXPECT_FALSE(isPow2(0));
+}
+
+TEST(BitMath, NextPow2)
+{
+    EXPECT_EQ(nextPow2(1), 1u);
+    EXPECT_EQ(nextPow2(2), 2u);
+    EXPECT_EQ(nextPow2(3), 4u);
+    EXPECT_EQ(nextPow2(5), 8u);
+    EXPECT_EQ(nextPow2(1023), 1024u);
+}
+
+TEST(BitMath, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(10, 3), 4u);
+    EXPECT_EQ(ceilDiv(9, 3), 3u);
+    EXPECT_EQ(ceilDiv(1, 7), 1u);
+    EXPECT_EQ(ceilDiv(0, 7), 0u);
+}
+
+TEST(BitMath, LogCeilAtLeast1)
+{
+    EXPECT_EQ(logCeilAtLeast1(1), 1u);
+    EXPECT_EQ(logCeilAtLeast1(2), 1u);
+    EXPECT_EQ(logCeilAtLeast1(4), 2u);
+    EXPECT_EQ(logCeilAtLeast1(16), 4u);
+}
+
+TEST(BitMath, ReverseBits)
+{
+    EXPECT_EQ(reverseBits(0b001, 3), 0b100u);
+    EXPECT_EQ(reverseBits(0b110, 3), 0b011u);
+    EXPECT_EQ(reverseBits(0b1011, 4), 0b1101u);
+    EXPECT_EQ(reverseBits(5, 0), 0u);
+}
+
+TEST(Delay, ConstantModelIsLengthIndependent)
+{
+    EXPECT_EQ(wireDelay(DelayModel::Constant, 1), 1u);
+    EXPECT_EQ(wireDelay(DelayModel::Constant, 1000000), 1u);
+}
+
+TEST(Delay, LogModelGrowsLogarithmically)
+{
+    EXPECT_EQ(wireDelay(DelayModel::Logarithmic, 1), 1u);
+    EXPECT_EQ(wireDelay(DelayModel::Logarithmic, 2), 2u);
+    EXPECT_EQ(wireDelay(DelayModel::Logarithmic, 1024), 11u);
+    // Doubling length adds one stage.
+    for (WireLength len = 2; len < (1u << 20); len *= 2)
+        EXPECT_EQ(wireDelay(DelayModel::Logarithmic, 2 * len),
+                  wireDelay(DelayModel::Logarithmic, len) + 1);
+}
+
+TEST(Delay, LinearModelIsProportional)
+{
+    EXPECT_EQ(wireDelay(DelayModel::Linear, 64), 64u);
+    EXPECT_EQ(wireDelay(DelayModel::Linear, 0), 1u);
+}
+
+TEST(Delay, ModelNames)
+{
+    EXPECT_EQ(toString(DelayModel::Constant), "constant-delay");
+    EXPECT_NE(toString(DelayModel::Logarithmic).find("Thompson"),
+              std::string::npos);
+}
+
+TEST(Word, DefaultFormatIsTwoLogN)
+{
+    EXPECT_EQ(WordFormat::forProblemSize(16).bits(), 8u);
+    EXPECT_EQ(WordFormat::forProblemSize(1024).bits(), 20u);
+    EXPECT_EQ(WordFormat::forProblemSize(1).bits(), 2u);
+}
+
+TEST(Word, MaxValue)
+{
+    EXPECT_EQ(WordFormat(4).maxValue(), 15u);
+    EXPECT_EQ(WordFormat(8).maxValue(), 255u);
+    // Wide words saturate rather than overflow.
+    EXPECT_EQ(WordFormat(64).maxValue(), (std::uint64_t{1} << 63) - 1);
+}
+
+TEST(CostModel, WordAlongPathPipelinesBits)
+{
+    CostModel cm(DelayModel::Constant, WordFormat(8));
+    std::vector<WireLength> path{4, 4, 4};
+    // 3 edges at unit delay + 7 pipelined bits.
+    EXPECT_EQ(cm.wordAlongPath(path), 3u + 7u);
+}
+
+TEST(CostModel, LogDelayChargesPerEdgeLog)
+{
+    CostModel cm(DelayModel::Logarithmic, WordFormat(8));
+    std::vector<WireLength> path{16, 4};
+    EXPECT_EQ(cm.pathLatency(path), (4u + 1u) + (2u + 1u));
+    EXPECT_EQ(cm.wordAlongPath(path), cm.pathLatency(path) + 7u);
+}
+
+TEST(CostModel, ScaledTreesMakeEdgesConstant)
+{
+    CostModel plain(DelayModel::Logarithmic, WordFormat(8), false);
+    CostModel scaled(DelayModel::Logarithmic, WordFormat(8), true);
+    std::vector<WireLength> path{1024, 512, 256};
+    EXPECT_GT(plain.pathLatency(path), scaled.pathLatency(path));
+    EXPECT_EQ(scaled.pathLatency(path), 3u);
+}
+
+TEST(CostModel, ReduceAddsPerNodeCombine)
+{
+    CostModel cm(DelayModel::Constant, WordFormat(4));
+    std::vector<WireLength> path{2, 2};
+    EXPECT_EQ(cm.reducePath(path), cm.wordAlongPath(path) + 2);
+}
+
+TEST(CostModel, PipelineTotal)
+{
+    EXPECT_EQ(CostModel::pipelineTotal(100, 1, 7), 100u);
+    EXPECT_EQ(CostModel::pipelineTotal(100, 5, 7), 100u + 4 * 7);
+    EXPECT_EQ(CostModel::pipelineTotal(100, 0, 7), 0u);
+}
+
+TEST(CostModel, BitSerialOps)
+{
+    CostModel cm(DelayModel::Logarithmic, WordFormat(10));
+    EXPECT_EQ(cm.bitSerialOp(), 10u);
+    EXPECT_EQ(cm.bitSerialMultiply(), 20u);
+    EXPECT_EQ(cm.wordSeparation(), 10u);
+}
+
+} // namespace

@@ -1,0 +1,463 @@
+/**
+ * @file
+ * otsim — command-line driver for the orthotree simulators.
+ *
+ * Usage:
+ *   otsim sort    --net otn|otc|mesh|psn|ccc|tree [--n N] [--seed S]
+ *                 [--model log|const|linear] [--scaled]
+ *   otsim cc      --net otn|otc|mesh [--n N] [--p PROB] [--seed S]
+ *   otsim mst     --net otn|otc [--n N] [--seed S]
+ *   otsim matmul  --net otn|otc|mesh|hex|mot3d [--n N] [--seed S]
+ *   otsim sssp    [--n N] [--seed S]
+ *   otsim layout  --net otn|otc [--n N] [--art]
+ *   otsim tables  [--n N]
+ *
+ * Every run prints the result summary, the machine's model time, chip
+ * area and AT^2, and verifies against the sequential reference.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "orthotree/orthotree.hh"
+
+namespace {
+
+using namespace ot;
+
+struct Options
+{
+    std::string command;
+    std::string net = "otn";
+    std::string svg_path;
+    std::size_t n = 64;
+    double p = 0.1;
+    std::uint64_t seed = 1;
+    vlsi::DelayModel model = vlsi::DelayModel::Logarithmic;
+    bool scaled = false;
+    bool art = false;
+};
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s <sort|cc|mst|matmul|sssp|layout|tables> [options]\n"
+        "  --net <otn|otc|mesh|psn|ccc|tree|hex|mot3d>\n"
+        "  --n <size>   --seed <seed>   --p <edge prob>\n"
+        "  --model <log|const|linear>   --scaled   --art   --svg <file>\n",
+        argv0);
+    std::exit(2);
+}
+
+Options
+parse(int argc, char **argv)
+{
+    if (argc < 2)
+        usage(argv[0]);
+    Options opt;
+    opt.command = argv[1];
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--net") {
+            opt.net = next();
+        } else if (arg == "--n") {
+            opt.n = std::strtoul(next(), nullptr, 10);
+        } else if (arg == "--seed") {
+            opt.seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--p") {
+            opt.p = std::strtod(next(), nullptr);
+        } else if (arg == "--model") {
+            std::string m = next();
+            if (m == "log")
+                opt.model = vlsi::DelayModel::Logarithmic;
+            else if (m == "const")
+                opt.model = vlsi::DelayModel::Constant;
+            else if (m == "linear")
+                opt.model = vlsi::DelayModel::Linear;
+            else
+                usage(argv[0]);
+        } else if (arg == "--scaled") {
+            opt.scaled = true;
+        } else if (arg == "--art") {
+            opt.art = true;
+        } else if (arg == "--svg") {
+            opt.svg_path = next();
+        } else {
+            usage(argv[0]);
+        }
+    }
+    if (opt.n < 2 || opt.n > (1u << 14)) {
+        std::fprintf(stderr, "otsim: --n must be in [2, 16384]\n");
+        std::exit(2);
+    }
+    return opt;
+}
+
+void
+printCost(const char *what, vlsi::ModelTime time, double area)
+{
+    double t = static_cast<double>(time);
+    std::printf("%s: model time %s, area %s lambda^2, AT^2 %s\n", what,
+                analysis::formatQuantity(t).c_str(),
+                analysis::formatQuantity(area).c_str(),
+                analysis::formatQuantity(area * t * t).c_str());
+}
+
+int
+runSort(const Options &opt)
+{
+    auto v = [&] {
+        sim::Rng rng(opt.seed);
+        std::vector<std::uint64_t> out(opt.n);
+        for (auto &x : out)
+            x = rng.uniform(0, opt.n - 1);
+        return out;
+    }();
+    auto expect = v;
+    std::sort(expect.begin(), expect.end());
+    vlsi::CostModel cost(opt.model, vlsi::WordFormat::forProblemSize(opt.n),
+                         opt.scaled);
+
+    std::vector<std::uint64_t> got;
+    vlsi::ModelTime time = 0;
+    double area = 0;
+    if (opt.net == "otn") {
+        otn::OrthogonalTreesNetwork net(opt.n, cost);
+        auto r = otn::sortOtn(net, v);
+        got = r.sorted;
+        time = r.time;
+        area = static_cast<double>(net.chipLayout().metrics().area());
+    } else if (opt.net == "otc") {
+        unsigned l = vlsi::logCeilAtLeast1(opt.n);
+        otc::OtcNetwork net(opt.n / l, l, cost);
+        auto r = otc::sortOtc(net, v);
+        got = r.sorted;
+        time = r.time;
+        area = static_cast<double>(net.chipLayout().metrics().area());
+    } else if (opt.net == "mesh") {
+        baselines::MeshMachine net(opt.n, cost);
+        auto r = baselines::meshSort(net, v);
+        got = r.sorted;
+        time = r.time;
+        area = static_cast<double>(net.chipLayout().metrics().area());
+    } else if (opt.net == "psn") {
+        baselines::PsnMachine net(opt.n, cost);
+        auto r = baselines::psnSort(net, v);
+        got = r.sorted;
+        time = r.time;
+        area = static_cast<double>(net.chipLayout().metrics().area());
+    } else if (opt.net == "ccc") {
+        baselines::CccMachine net(opt.n, cost);
+        auto r = baselines::cccSort(net, v);
+        got = r.sorted;
+        time = r.time;
+        area = static_cast<double>(net.chipLayout().metrics().area());
+    } else if (opt.net == "tree") {
+        baselines::TreeMachine net(opt.n, cost);
+        got = net.extractMinSort(v);
+        time = net.now();
+        area = static_cast<double>(net.chipArea());
+    } else {
+        std::fprintf(stderr, "otsim: unknown sorter '%s'\n",
+                     opt.net.c_str());
+        return 2;
+    }
+
+    if (got != expect) {
+        std::fprintf(stderr, "otsim: SORT MISMATCH\n");
+        return 1;
+    }
+    std::printf("sorted %zu values on %s under %s%s — verified\n", opt.n,
+                opt.net.c_str(), vlsi::toString(opt.model).c_str(),
+                opt.scaled ? " (scaled trees)" : "");
+    printCost("sort", time, area);
+    return 0;
+}
+
+int
+runCc(const Options &opt)
+{
+    sim::Rng rng(opt.seed);
+    auto g = graph::randomGnp(opt.n, opt.p, rng);
+    auto expect = graph::connectedComponents(g);
+    auto cost = defaultCostModel(opt.n, opt.model, opt.scaled);
+
+    std::vector<std::size_t> got;
+    vlsi::ModelTime time = 0;
+    double area = 0;
+    std::size_t count = 0;
+    if (opt.net == "otn") {
+        otn::OrthogonalTreesNetwork net(opt.n, cost);
+        auto r = otn::connectedComponentsOtn(net, g);
+        got = r.labels;
+        count = r.componentCount;
+        time = r.time;
+        area = static_cast<double>(net.chipLayout().metrics().area());
+    } else if (opt.net == "otc") {
+        auto r = otc::connectedComponentsOtc(g, cost);
+        got = r.result.labels;
+        count = r.result.componentCount;
+        time = r.result.time;
+        area = static_cast<double>(r.chip.area());
+    } else if (opt.net == "mesh") {
+        baselines::MeshMachine net(opt.n * opt.n, cost);
+        auto r = baselines::meshConnectedComponents(net, g);
+        got = r.labels;
+        count = r.componentCount;
+        time = r.time;
+        area = static_cast<double>(net.chipLayout().metrics().area());
+    } else {
+        std::fprintf(stderr, "otsim: unknown cc engine '%s'\n",
+                     opt.net.c_str());
+        return 2;
+    }
+
+    if (got != expect) {
+        std::fprintf(stderr, "otsim: CC MISMATCH\n");
+        return 1;
+    }
+    std::printf("G(%zu, %.3f): %zu edges, %zu components on %s — "
+                "verified against union-find\n",
+                opt.n, opt.p, g.edgeCount(), count, opt.net.c_str());
+    printCost("cc", time, area);
+    return 0;
+}
+
+int
+runMst(const Options &opt)
+{
+    sim::Rng rng(opt.seed);
+    auto g = graph::randomWeightedConnected(opt.n, 2 * opt.n, rng);
+    auto expect = graph::kruskalMsf(g);
+    vlsi::CostModel cost(opt.model,
+                         otn::mstWordFormat(opt.n, opt.n * opt.n),
+                         opt.scaled);
+
+    otn::MstResult r;
+    double area = 0;
+    if (opt.net == "otn") {
+        otn::OrthogonalTreesNetwork net(opt.n, cost);
+        r = otn::mstOtn(net, g);
+        area = static_cast<double>(net.chipLayout().metrics().area());
+    } else if (opt.net == "otc") {
+        auto rr = otc::mstOtc(g, cost);
+        r = rr.result;
+        area = static_cast<double>(rr.chip.area());
+    } else {
+        std::fprintf(stderr, "otsim: unknown mst engine '%s'\n",
+                     opt.net.c_str());
+        return 2;
+    }
+
+    if (r.edges != expect) {
+        std::fprintf(stderr, "otsim: MST MISMATCH\n");
+        return 1;
+    }
+    std::printf("MST of %zu vertices: %zu edges, total weight %lu on %s "
+                "— matches Kruskal\n",
+                opt.n, r.edges.size(),
+                static_cast<unsigned long>(r.totalWeight),
+                opt.net.c_str());
+    printCost("mst", r.time, area);
+    return 0;
+}
+
+int
+runMatMul(const Options &opt)
+{
+    sim::Rng rng(opt.seed);
+    linalg::IntMatrix a(opt.n, opt.n), b(opt.n, opt.n);
+    for (std::size_t i = 0; i < opt.n; ++i)
+        for (std::size_t j = 0; j < opt.n; ++j) {
+            a(i, j) = rng.uniform(0, 9);
+            b(i, j) = rng.uniform(0, 9);
+        }
+    auto expect = linalg::matMul(a, b);
+    unsigned bits = vlsi::logCeilAtLeast1(opt.n * 81 + 1) + 2;
+    vlsi::CostModel cost(opt.model, vlsi::WordFormat(bits), opt.scaled);
+
+    linalg::IntMatrix got;
+    vlsi::ModelTime time = 0;
+    double area = 0;
+    if (opt.net == "otn") {
+        otn::OrthogonalTreesNetwork net(opt.n, cost);
+        auto r = otn::matMulPipelined(net, a, b);
+        got = r.product;
+        time = r.time;
+        area = static_cast<double>(net.chipLayout().metrics().area());
+    } else if (opt.net == "otc") {
+        auto r = otc::matMulOtc(a, b, cost);
+        got = r.result.product;
+        time = r.result.time;
+        area = static_cast<double>(r.chip.area());
+    } else if (opt.net == "mesh") {
+        baselines::MeshMachine net(opt.n * opt.n, cost);
+        auto r = baselines::meshMatMul(net, a, b);
+        got = r.product;
+        time = r.time;
+        area = static_cast<double>(net.chipLayout().metrics().area());
+    } else if (opt.net == "hex") {
+        baselines::HexArray hex(opt.n, cost);
+        auto t0 = hex.now();
+        got = hex.matMul(a, b);
+        time = hex.now() - t0;
+        area = static_cast<double>(hex.chipArea());
+    } else if (opt.net == "mot3d") {
+        otn::MeshOfTrees3d mot(opt.n, cost);
+        auto r = mot.matMul(a, b);
+        got = r.product;
+        time = r.time;
+        area = static_cast<double>(mot.chipArea());
+    } else {
+        std::fprintf(stderr, "otsim: unknown matmul engine '%s'\n",
+                     opt.net.c_str());
+        return 2;
+    }
+
+    if (got != expect) {
+        std::fprintf(stderr, "otsim: MATMUL MISMATCH\n");
+        return 1;
+    }
+    std::printf("%zux%zu product on %s — verified\n", opt.n, opt.n,
+                opt.net.c_str());
+    printCost("matmul", time, area);
+    return 0;
+}
+
+int
+runSssp(const Options &opt)
+{
+    sim::Rng rng(opt.seed);
+    auto g = graph::randomWeightedConnected(opt.n, 2 * opt.n, rng);
+    vlsi::CostModel cost(opt.model,
+                         otn::pathWordFormat(opt.n, opt.n * opt.n),
+                         opt.scaled);
+    otn::OrthogonalTreesNetwork net(opt.n, cost);
+    std::size_t src = rng.uniform(0, opt.n - 1);
+    auto r = otn::ssspOtn(net, g, src);
+    if (r.dist != graph::dijkstra(g, src)) {
+        std::fprintf(stderr, "otsim: SSSP MISMATCH\n");
+        return 1;
+    }
+    std::printf("SSSP from %zu over %zu vertices in %u rounds — matches "
+                "Dijkstra\n",
+                src, opt.n, r.rounds);
+    printCost("sssp", r.time,
+              static_cast<double>(net.chipLayout().metrics().area()));
+    return 0;
+}
+
+int
+runLayout(const Options &opt)
+{
+    auto cost = defaultCostModel(opt.n, opt.model);
+    if (opt.net == "otn") {
+        layout::OtnLayout l(opt.n, cost.word().bits());
+        auto m = l.metrics();
+        std::printf("(%zu x %zu)-OTN: pitch %lu, side %lu, area %lu, "
+                    "%lu processors, longest wire %lu\n",
+                    l.n(), l.n(),
+                    static_cast<unsigned long>(l.pitch()),
+                    static_cast<unsigned long>(m.width),
+                    static_cast<unsigned long>(m.area()),
+                    static_cast<unsigned long>(m.processors),
+                    static_cast<unsigned long>(m.longestWire));
+        if (opt.art)
+            std::printf("%s", l.asciiArt().c_str());
+        if (!opt.svg_path.empty()) {
+            std::FILE *f = std::fopen(opt.svg_path.c_str(), "w");
+            if (!f) {
+                std::perror("otsim: --svg");
+                return 1;
+            }
+            auto svg = layout::renderOtnSvg(l);
+            std::fwrite(svg.data(), 1, svg.size(), f);
+            std::fclose(f);
+            std::printf("wrote %s\n", opt.svg_path.c_str());
+        }
+    } else if (opt.net == "otc") {
+        unsigned cl = vlsi::logCeilAtLeast1(opt.n);
+        layout::OtcLayout l(opt.n / cl, cl, cost.word().bits());
+        auto m = l.metrics();
+        std::printf("(%zu x %zu)-OTC, cycles of %u: area %lu, "
+                    "%lu processors\n",
+                    l.cyclesPerSide(), l.cyclesPerSide(), l.cycleLength(),
+                    static_cast<unsigned long>(m.area()),
+                    static_cast<unsigned long>(m.processors));
+        if (opt.art)
+            std::printf("%s", l.asciiArt().c_str());
+        if (!opt.svg_path.empty()) {
+            std::FILE *f = std::fopen(opt.svg_path.c_str(), "w");
+            if (!f) {
+                std::perror("otsim: --svg");
+                return 1;
+            }
+            auto svg = layout::renderOtcSvg(l);
+            std::fwrite(svg.data(), 1, svg.size(), f);
+            std::fclose(f);
+            std::printf("wrote %s\n", opt.svg_path.c_str());
+        }
+    } else {
+        std::fprintf(stderr, "otsim: layout supports otn/otc\n");
+        return 2;
+    }
+    return 0;
+}
+
+int
+runTables(const Options &opt)
+{
+    double n = static_cast<double>(opt.n);
+    for (auto problem :
+         {analysis::Problem::Sorting, analysis::Problem::BoolMatMul,
+          analysis::Problem::ConnectedComponents, analysis::Problem::Mst}) {
+        std::printf("\n%s at N = %.0f (paper formulas, constants = 1):\n",
+                    analysis::toString(problem).c_str(), n);
+        analysis::TextTable t({"network", "area", "time", "AT^2"});
+        for (auto net :
+             {analysis::Network::Mesh, analysis::Network::Psn,
+              analysis::Network::Ccc, analysis::Network::Otn,
+              analysis::Network::Otc}) {
+            auto a = analysis::paperFormula(net, problem, opt.model, n);
+            t.addRow({analysis::toString(net),
+                      analysis::formatQuantity(a.area),
+                      analysis::formatQuantity(a.time),
+                      analysis::formatQuantity(a.at2())});
+        }
+        std::printf("%s", t.str().c_str());
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parse(argc, argv);
+    if (opt.command == "sort")
+        return runSort(opt);
+    if (opt.command == "cc")
+        return runCc(opt);
+    if (opt.command == "mst")
+        return runMst(opt);
+    if (opt.command == "matmul")
+        return runMatMul(opt);
+    if (opt.command == "sssp")
+        return runSssp(opt);
+    if (opt.command == "layout")
+        return runLayout(opt);
+    if (opt.command == "tables")
+        return runTables(opt);
+    usage(argv[0]);
+}
