@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bitonic_dft.dir/bench_bitonic_dft.cc.o"
+  "CMakeFiles/bench_bitonic_dft.dir/bench_bitonic_dft.cc.o.d"
+  "bench_bitonic_dft"
+  "bench_bitonic_dft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bitonic_dft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_otn_layout.dir/bench_fig1_otn_layout.cc.o"
+  "CMakeFiles/bench_fig1_otn_layout.dir/bench_fig1_otn_layout.cc.o.d"
+  "bench_fig1_otn_layout"
+  "bench_fig1_otn_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_otn_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

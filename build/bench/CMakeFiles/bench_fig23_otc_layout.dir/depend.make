@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig23_otc_layout.
+# This may be replaced when dependencies are built.

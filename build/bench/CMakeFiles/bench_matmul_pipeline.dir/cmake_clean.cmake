@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_matmul_pipeline.dir/bench_matmul_pipeline.cc.o"
+  "CMakeFiles/bench_matmul_pipeline.dir/bench_matmul_pipeline.cc.o.d"
+  "bench_matmul_pipeline"
+  "bench_matmul_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_matmul_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

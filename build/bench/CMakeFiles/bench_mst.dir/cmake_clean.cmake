@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mst.dir/bench_mst.cc.o"
+  "CMakeFiles/bench_mst.dir/bench_mst.cc.o.d"
+  "bench_mst"
+  "bench_mst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_shortest_paths.dir/bench_shortest_paths.cc.o"
+  "CMakeFiles/bench_shortest_paths.dir/bench_shortest_paths.cc.o.d"
+  "bench_shortest_paths"
+  "bench_shortest_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shortest_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

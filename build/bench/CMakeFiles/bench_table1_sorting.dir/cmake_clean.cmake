@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_sorting.dir/bench_table1_sorting.cc.o"
+  "CMakeFiles/bench_table1_sorting.dir/bench_table1_sorting.cc.o.d"
+  "bench_table1_sorting"
+  "bench_table1_sorting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_sorting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_boolean_matmul.dir/bench_table2_boolean_matmul.cc.o"
+  "CMakeFiles/bench_table2_boolean_matmul.dir/bench_table2_boolean_matmul.cc.o.d"
+  "bench_table2_boolean_matmul"
+  "bench_table2_boolean_matmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_boolean_matmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

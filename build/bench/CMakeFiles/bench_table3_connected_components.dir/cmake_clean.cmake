@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_connected_components.dir/bench_table3_connected_components.cc.o"
+  "CMakeFiles/bench_table3_connected_components.dir/bench_table3_connected_components.cc.o.d"
+  "bench_table3_connected_components"
+  "bench_table3_connected_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_connected_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

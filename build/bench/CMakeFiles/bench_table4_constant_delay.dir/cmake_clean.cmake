@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_constant_delay.dir/bench_table4_constant_delay.cc.o"
+  "CMakeFiles/bench_table4_constant_delay.dir/bench_table4_constant_delay.cc.o.d"
+  "bench_table4_constant_delay"
+  "bench_table4_constant_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_constant_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arithmetic_dft.dir/arithmetic_dft.cpp.o"
+  "CMakeFiles/arithmetic_dft.dir/arithmetic_dft.cpp.o.d"
+  "arithmetic_dft"
+  "arithmetic_dft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arithmetic_dft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

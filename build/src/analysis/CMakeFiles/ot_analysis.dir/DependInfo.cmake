@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/asymptotics.cc" "src/analysis/CMakeFiles/ot_analysis.dir/asymptotics.cc.o" "gcc" "src/analysis/CMakeFiles/ot_analysis.dir/asymptotics.cc.o.d"
+  "/root/repo/src/analysis/fitting.cc" "src/analysis/CMakeFiles/ot_analysis.dir/fitting.cc.o" "gcc" "src/analysis/CMakeFiles/ot_analysis.dir/fitting.cc.o.d"
+  "/root/repo/src/analysis/table.cc" "src/analysis/CMakeFiles/ot_analysis.dir/table.cc.o" "gcc" "src/analysis/CMakeFiles/ot_analysis.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vlsi/CMakeFiles/ot_vlsi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

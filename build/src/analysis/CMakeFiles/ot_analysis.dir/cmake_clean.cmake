@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ot_analysis.dir/asymptotics.cc.o"
+  "CMakeFiles/ot_analysis.dir/asymptotics.cc.o.d"
+  "CMakeFiles/ot_analysis.dir/fitting.cc.o"
+  "CMakeFiles/ot_analysis.dir/fitting.cc.o.d"
+  "CMakeFiles/ot_analysis.dir/table.cc.o"
+  "CMakeFiles/ot_analysis.dir/table.cc.o.d"
+  "libot_analysis.a"
+  "libot_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ot_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ot_baselines.dir/ccc.cc.o"
+  "CMakeFiles/ot_baselines.dir/ccc.cc.o.d"
+  "CMakeFiles/ot_baselines.dir/hex_array.cc.o"
+  "CMakeFiles/ot_baselines.dir/hex_array.cc.o.d"
+  "CMakeFiles/ot_baselines.dir/mesh.cc.o"
+  "CMakeFiles/ot_baselines.dir/mesh.cc.o.d"
+  "CMakeFiles/ot_baselines.dir/psn.cc.o"
+  "CMakeFiles/ot_baselines.dir/psn.cc.o.d"
+  "CMakeFiles/ot_baselines.dir/tree_machine.cc.o"
+  "CMakeFiles/ot_baselines.dir/tree_machine.cc.o.d"
+  "libot_baselines.a"
+  "libot_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ot_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/generators.cc" "src/graph/CMakeFiles/ot_graph.dir/generators.cc.o" "gcc" "src/graph/CMakeFiles/ot_graph.dir/generators.cc.o.d"
+  "/root/repo/src/graph/reference_algorithms.cc" "src/graph/CMakeFiles/ot_graph.dir/reference_algorithms.cc.o" "gcc" "src/graph/CMakeFiles/ot_graph.dir/reference_algorithms.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/ot_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ot_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/vlsi/CMakeFiles/ot_vlsi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

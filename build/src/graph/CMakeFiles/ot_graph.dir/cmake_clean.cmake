@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ot_graph.dir/generators.cc.o"
+  "CMakeFiles/ot_graph.dir/generators.cc.o.d"
+  "CMakeFiles/ot_graph.dir/reference_algorithms.cc.o"
+  "CMakeFiles/ot_graph.dir/reference_algorithms.cc.o.d"
+  "libot_graph.a"
+  "libot_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ot_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layout/baseline_layouts.cc" "src/layout/CMakeFiles/ot_layout.dir/baseline_layouts.cc.o" "gcc" "src/layout/CMakeFiles/ot_layout.dir/baseline_layouts.cc.o.d"
+  "/root/repo/src/layout/otc_layout.cc" "src/layout/CMakeFiles/ot_layout.dir/otc_layout.cc.o" "gcc" "src/layout/CMakeFiles/ot_layout.dir/otc_layout.cc.o.d"
+  "/root/repo/src/layout/otn_layout.cc" "src/layout/CMakeFiles/ot_layout.dir/otn_layout.cc.o" "gcc" "src/layout/CMakeFiles/ot_layout.dir/otn_layout.cc.o.d"
+  "/root/repo/src/layout/svg.cc" "src/layout/CMakeFiles/ot_layout.dir/svg.cc.o" "gcc" "src/layout/CMakeFiles/ot_layout.dir/svg.cc.o.d"
+  "/root/repo/src/layout/tree_embedding.cc" "src/layout/CMakeFiles/ot_layout.dir/tree_embedding.cc.o" "gcc" "src/layout/CMakeFiles/ot_layout.dir/tree_embedding.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vlsi/CMakeFiles/ot_vlsi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ot_layout.dir/baseline_layouts.cc.o"
+  "CMakeFiles/ot_layout.dir/baseline_layouts.cc.o.d"
+  "CMakeFiles/ot_layout.dir/otc_layout.cc.o"
+  "CMakeFiles/ot_layout.dir/otc_layout.cc.o.d"
+  "CMakeFiles/ot_layout.dir/otn_layout.cc.o"
+  "CMakeFiles/ot_layout.dir/otn_layout.cc.o.d"
+  "CMakeFiles/ot_layout.dir/svg.cc.o"
+  "CMakeFiles/ot_layout.dir/svg.cc.o.d"
+  "CMakeFiles/ot_layout.dir/tree_embedding.cc.o"
+  "CMakeFiles/ot_layout.dir/tree_embedding.cc.o.d"
+  "libot_layout.a"
+  "libot_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ot_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

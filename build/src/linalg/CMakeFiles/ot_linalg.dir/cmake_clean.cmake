@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ot_linalg.dir/reference.cc.o"
+  "CMakeFiles/ot_linalg.dir/reference.cc.o.d"
+  "libot_linalg.a"
+  "libot_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ot_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

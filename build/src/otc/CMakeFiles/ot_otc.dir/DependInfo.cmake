@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/otc/algorithms.cc" "src/otc/CMakeFiles/ot_otc.dir/algorithms.cc.o" "gcc" "src/otc/CMakeFiles/ot_otc.dir/algorithms.cc.o.d"
+  "/root/repo/src/otc/connected_components_native.cc" "src/otc/CMakeFiles/ot_otc.dir/connected_components_native.cc.o" "gcc" "src/otc/CMakeFiles/ot_otc.dir/connected_components_native.cc.o.d"
+  "/root/repo/src/otc/cycle_ops.cc" "src/otc/CMakeFiles/ot_otc.dir/cycle_ops.cc.o" "gcc" "src/otc/CMakeFiles/ot_otc.dir/cycle_ops.cc.o.d"
+  "/root/repo/src/otc/emulated_otn.cc" "src/otc/CMakeFiles/ot_otc.dir/emulated_otn.cc.o" "gcc" "src/otc/CMakeFiles/ot_otc.dir/emulated_otn.cc.o.d"
+  "/root/repo/src/otc/matmul_native.cc" "src/otc/CMakeFiles/ot_otc.dir/matmul_native.cc.o" "gcc" "src/otc/CMakeFiles/ot_otc.dir/matmul_native.cc.o.d"
+  "/root/repo/src/otc/mst_native.cc" "src/otc/CMakeFiles/ot_otc.dir/mst_native.cc.o" "gcc" "src/otc/CMakeFiles/ot_otc.dir/mst_native.cc.o.d"
+  "/root/repo/src/otc/network.cc" "src/otc/CMakeFiles/ot_otc.dir/network.cc.o" "gcc" "src/otc/CMakeFiles/ot_otc.dir/network.cc.o.d"
+  "/root/repo/src/otc/sort.cc" "src/otc/CMakeFiles/ot_otc.dir/sort.cc.o" "gcc" "src/otc/CMakeFiles/ot_otc.dir/sort.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/otn/CMakeFiles/ot_otn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ot_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/ot_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ot_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ot_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/vlsi/CMakeFiles/ot_vlsi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ot_otc.dir/algorithms.cc.o"
+  "CMakeFiles/ot_otc.dir/algorithms.cc.o.d"
+  "CMakeFiles/ot_otc.dir/connected_components_native.cc.o"
+  "CMakeFiles/ot_otc.dir/connected_components_native.cc.o.d"
+  "CMakeFiles/ot_otc.dir/cycle_ops.cc.o"
+  "CMakeFiles/ot_otc.dir/cycle_ops.cc.o.d"
+  "CMakeFiles/ot_otc.dir/emulated_otn.cc.o"
+  "CMakeFiles/ot_otc.dir/emulated_otn.cc.o.d"
+  "CMakeFiles/ot_otc.dir/matmul_native.cc.o"
+  "CMakeFiles/ot_otc.dir/matmul_native.cc.o.d"
+  "CMakeFiles/ot_otc.dir/mst_native.cc.o"
+  "CMakeFiles/ot_otc.dir/mst_native.cc.o.d"
+  "CMakeFiles/ot_otc.dir/network.cc.o"
+  "CMakeFiles/ot_otc.dir/network.cc.o.d"
+  "CMakeFiles/ot_otc.dir/sort.cc.o"
+  "CMakeFiles/ot_otc.dir/sort.cc.o.d"
+  "libot_otc.a"
+  "libot_otc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ot_otc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/otn/bitonic.cc" "src/otn/CMakeFiles/ot_otn.dir/bitonic.cc.o" "gcc" "src/otn/CMakeFiles/ot_otn.dir/bitonic.cc.o.d"
+  "/root/repo/src/otn/closure.cc" "src/otn/CMakeFiles/ot_otn.dir/closure.cc.o" "gcc" "src/otn/CMakeFiles/ot_otn.dir/closure.cc.o.d"
+  "/root/repo/src/otn/connected_components.cc" "src/otn/CMakeFiles/ot_otn.dir/connected_components.cc.o" "gcc" "src/otn/CMakeFiles/ot_otn.dir/connected_components.cc.o.d"
+  "/root/repo/src/otn/dft.cc" "src/otn/CMakeFiles/ot_otn.dir/dft.cc.o" "gcc" "src/otn/CMakeFiles/ot_otn.dir/dft.cc.o.d"
+  "/root/repo/src/otn/integer_multiply.cc" "src/otn/CMakeFiles/ot_otn.dir/integer_multiply.cc.o" "gcc" "src/otn/CMakeFiles/ot_otn.dir/integer_multiply.cc.o.d"
+  "/root/repo/src/otn/matmul.cc" "src/otn/CMakeFiles/ot_otn.dir/matmul.cc.o" "gcc" "src/otn/CMakeFiles/ot_otn.dir/matmul.cc.o.d"
+  "/root/repo/src/otn/mesh_of_trees_3d.cc" "src/otn/CMakeFiles/ot_otn.dir/mesh_of_trees_3d.cc.o" "gcc" "src/otn/CMakeFiles/ot_otn.dir/mesh_of_trees_3d.cc.o.d"
+  "/root/repo/src/otn/mst.cc" "src/otn/CMakeFiles/ot_otn.dir/mst.cc.o" "gcc" "src/otn/CMakeFiles/ot_otn.dir/mst.cc.o.d"
+  "/root/repo/src/otn/network.cc" "src/otn/CMakeFiles/ot_otn.dir/network.cc.o" "gcc" "src/otn/CMakeFiles/ot_otn.dir/network.cc.o.d"
+  "/root/repo/src/otn/patterns.cc" "src/otn/CMakeFiles/ot_otn.dir/patterns.cc.o" "gcc" "src/otn/CMakeFiles/ot_otn.dir/patterns.cc.o.d"
+  "/root/repo/src/otn/pipeline.cc" "src/otn/CMakeFiles/ot_otn.dir/pipeline.cc.o" "gcc" "src/otn/CMakeFiles/ot_otn.dir/pipeline.cc.o.d"
+  "/root/repo/src/otn/selection.cc" "src/otn/CMakeFiles/ot_otn.dir/selection.cc.o" "gcc" "src/otn/CMakeFiles/ot_otn.dir/selection.cc.o.d"
+  "/root/repo/src/otn/shortest_paths.cc" "src/otn/CMakeFiles/ot_otn.dir/shortest_paths.cc.o" "gcc" "src/otn/CMakeFiles/ot_otn.dir/shortest_paths.cc.o.d"
+  "/root/repo/src/otn/sort.cc" "src/otn/CMakeFiles/ot_otn.dir/sort.cc.o" "gcc" "src/otn/CMakeFiles/ot_otn.dir/sort.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/ot_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/ot_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ot_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ot_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/vlsi/CMakeFiles/ot_vlsi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

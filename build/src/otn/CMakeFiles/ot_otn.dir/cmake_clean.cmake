@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ot_otn.dir/bitonic.cc.o"
+  "CMakeFiles/ot_otn.dir/bitonic.cc.o.d"
+  "CMakeFiles/ot_otn.dir/closure.cc.o"
+  "CMakeFiles/ot_otn.dir/closure.cc.o.d"
+  "CMakeFiles/ot_otn.dir/connected_components.cc.o"
+  "CMakeFiles/ot_otn.dir/connected_components.cc.o.d"
+  "CMakeFiles/ot_otn.dir/dft.cc.o"
+  "CMakeFiles/ot_otn.dir/dft.cc.o.d"
+  "CMakeFiles/ot_otn.dir/integer_multiply.cc.o"
+  "CMakeFiles/ot_otn.dir/integer_multiply.cc.o.d"
+  "CMakeFiles/ot_otn.dir/matmul.cc.o"
+  "CMakeFiles/ot_otn.dir/matmul.cc.o.d"
+  "CMakeFiles/ot_otn.dir/mesh_of_trees_3d.cc.o"
+  "CMakeFiles/ot_otn.dir/mesh_of_trees_3d.cc.o.d"
+  "CMakeFiles/ot_otn.dir/mst.cc.o"
+  "CMakeFiles/ot_otn.dir/mst.cc.o.d"
+  "CMakeFiles/ot_otn.dir/network.cc.o"
+  "CMakeFiles/ot_otn.dir/network.cc.o.d"
+  "CMakeFiles/ot_otn.dir/patterns.cc.o"
+  "CMakeFiles/ot_otn.dir/patterns.cc.o.d"
+  "CMakeFiles/ot_otn.dir/pipeline.cc.o"
+  "CMakeFiles/ot_otn.dir/pipeline.cc.o.d"
+  "CMakeFiles/ot_otn.dir/selection.cc.o"
+  "CMakeFiles/ot_otn.dir/selection.cc.o.d"
+  "CMakeFiles/ot_otn.dir/shortest_paths.cc.o"
+  "CMakeFiles/ot_otn.dir/shortest_paths.cc.o.d"
+  "CMakeFiles/ot_otn.dir/sort.cc.o"
+  "CMakeFiles/ot_otn.dir/sort.cc.o.d"
+  "libot_otn.a"
+  "libot_otn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ot_otn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

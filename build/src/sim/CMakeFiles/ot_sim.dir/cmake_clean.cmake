@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ot_sim.dir/bitserial.cc.o"
+  "CMakeFiles/ot_sim.dir/bitserial.cc.o.d"
+  "CMakeFiles/ot_sim.dir/stats.cc.o"
+  "CMakeFiles/ot_sim.dir/stats.cc.o.d"
+  "libot_sim.a"
+  "libot_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ot_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

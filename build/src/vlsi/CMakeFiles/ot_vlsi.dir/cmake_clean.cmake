@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ot_vlsi.dir/cost_model.cc.o"
+  "CMakeFiles/ot_vlsi.dir/cost_model.cc.o.d"
+  "CMakeFiles/ot_vlsi.dir/delay.cc.o"
+  "CMakeFiles/ot_vlsi.dir/delay.cc.o.d"
+  "libot_vlsi.a"
+  "libot_vlsi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ot_vlsi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libot_vlsi.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adversarial_graphs.dir/test_adversarial_graphs.cc.o"
+  "CMakeFiles/test_adversarial_graphs.dir/test_adversarial_graphs.cc.o.d"
+  "test_adversarial_graphs"
+  "test_adversarial_graphs.pdb"
+  "test_adversarial_graphs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adversarial_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

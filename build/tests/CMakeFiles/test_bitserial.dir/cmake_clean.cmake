@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bitserial.dir/test_bitserial.cc.o"
+  "CMakeFiles/test_bitserial.dir/test_bitserial.cc.o.d"
+  "test_bitserial"
+  "test_bitserial.pdb"
+  "test_bitserial[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bitserial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

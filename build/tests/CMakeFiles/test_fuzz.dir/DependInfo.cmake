@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_fuzz.cc" "tests/CMakeFiles/test_fuzz.dir/test_fuzz.cc.o" "gcc" "tests/CMakeFiles/test_fuzz.dir/test_fuzz.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/otn/CMakeFiles/ot_otn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ot_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/ot_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ot_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ot_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/vlsi/CMakeFiles/ot_vlsi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

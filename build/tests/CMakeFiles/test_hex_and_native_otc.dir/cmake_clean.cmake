@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hex_and_native_otc.dir/test_hex_and_native_otc.cc.o"
+  "CMakeFiles/test_hex_and_native_otc.dir/test_hex_and_native_otc.cc.o.d"
+  "test_hex_and_native_otc"
+  "test_hex_and_native_otc.pdb"
+  "test_hex_and_native_otc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hex_and_native_otc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_hex_and_native_otc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_otc.dir/test_otc.cc.o"
+  "CMakeFiles/test_otc.dir/test_otc.cc.o.d"
+  "test_otc"
+  "test_otc.pdb"
+  "test_otc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_otc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

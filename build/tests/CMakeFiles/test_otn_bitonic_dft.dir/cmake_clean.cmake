@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_otn_bitonic_dft.dir/test_otn_bitonic_dft.cc.o"
+  "CMakeFiles/test_otn_bitonic_dft.dir/test_otn_bitonic_dft.cc.o.d"
+  "test_otn_bitonic_dft"
+  "test_otn_bitonic_dft.pdb"
+  "test_otn_bitonic_dft[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_otn_bitonic_dft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_otn_bitonic_dft.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_otn_extensions.dir/test_otn_extensions.cc.o"
+  "CMakeFiles/test_otn_extensions.dir/test_otn_extensions.cc.o.d"
+  "test_otn_extensions"
+  "test_otn_extensions.pdb"
+  "test_otn_extensions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_otn_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

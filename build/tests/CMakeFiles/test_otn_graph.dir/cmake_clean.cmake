@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_otn_graph.dir/test_otn_graph.cc.o"
+  "CMakeFiles/test_otn_graph.dir/test_otn_graph.cc.o.d"
+  "test_otn_graph"
+  "test_otn_graph.pdb"
+  "test_otn_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_otn_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_otn_matmul.dir/test_otn_matmul.cc.o"
+  "CMakeFiles/test_otn_matmul.dir/test_otn_matmul.cc.o.d"
+  "test_otn_matmul"
+  "test_otn_matmul.pdb"
+  "test_otn_matmul[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_otn_matmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

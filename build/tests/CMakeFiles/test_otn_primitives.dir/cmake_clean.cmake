@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_otn_primitives.dir/test_otn_primitives.cc.o"
+  "CMakeFiles/test_otn_primitives.dir/test_otn_primitives.cc.o.d"
+  "test_otn_primitives"
+  "test_otn_primitives.pdb"
+  "test_otn_primitives[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_otn_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_otn_sort.dir/test_otn_sort.cc.o"
+  "CMakeFiles/test_otn_sort.dir/test_otn_sort.cc.o.d"
+  "test_otn_sort"
+  "test_otn_sort.pdb"
+  "test_otn_sort[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_otn_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

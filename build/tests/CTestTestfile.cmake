@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_vlsi[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_bitserial[1]_include.cmake")
+include("/root/repo/build/tests/test_layout[1]_include.cmake")
+include("/root/repo/build/tests/test_linalg[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_otn_primitives[1]_include.cmake")
+include("/root/repo/build/tests/test_otn_sort[1]_include.cmake")
+include("/root/repo/build/tests/test_otn_matmul[1]_include.cmake")
+include("/root/repo/build/tests/test_otn_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_otn_bitonic_dft[1]_include.cmake")
+include("/root/repo/build/tests/test_otc[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_otn_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_failure_injection[1]_include.cmake")
+include("/root/repo/build/tests/test_shortest_paths[1]_include.cmake")
+include("/root/repo/build/tests/test_hex_and_native_otc[1]_include.cmake")
+include("/root/repo/build/tests/test_edge_cases[1]_include.cmake")
+include("/root/repo/build/tests/test_adversarial_graphs[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")

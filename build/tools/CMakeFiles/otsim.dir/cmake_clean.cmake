@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otsim.dir/otsim.cc.o"
+  "CMakeFiles/otsim.dir/otsim.cc.o.d"
+  "otsim"
+  "otsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(otsim_sort_otn "/root/repo/build/tools/otsim" "sort" "--net" "otn" "--n" "64" "--seed" "3")
+set_tests_properties(otsim_sort_otn PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(otsim_sort_otc_const "/root/repo/build/tools/otsim" "sort" "--net" "otc" "--n" "64" "--model" "const")
+set_tests_properties(otsim_sort_otc_const PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(otsim_sort_tree "/root/repo/build/tools/otsim" "sort" "--net" "tree" "--n" "32")
+set_tests_properties(otsim_sort_tree PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(otsim_cc_otc "/root/repo/build/tools/otsim" "cc" "--net" "otc" "--n" "32" "--p" "0.1")
+set_tests_properties(otsim_cc_otc PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(otsim_mst_otn "/root/repo/build/tools/otsim" "mst" "--net" "otn" "--n" "24")
+set_tests_properties(otsim_mst_otn PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(otsim_matmul_hex "/root/repo/build/tools/otsim" "matmul" "--net" "hex" "--n" "16")
+set_tests_properties(otsim_matmul_hex PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(otsim_matmul_mot3d "/root/repo/build/tools/otsim" "matmul" "--net" "mot3d" "--n" "8")
+set_tests_properties(otsim_matmul_mot3d PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(otsim_sssp "/root/repo/build/tools/otsim" "sssp" "--n" "32" "--seed" "5")
+set_tests_properties(otsim_sssp PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(otsim_layout_art "/root/repo/build/tools/otsim" "layout" "--net" "otn" "--n" "4" "--art")
+set_tests_properties(otsim_layout_art PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;23;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(otsim_tables "/root/repo/build/tools/otsim" "tables" "--n" "1024")
+set_tests_properties(otsim_tables PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;25;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(otsim_rejects_unknown_command "/root/repo/build/tools/otsim" "frobnicate")
+set_tests_properties(otsim_rejects_unknown_command PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;29;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(otsim_rejects_bad_n "/root/repo/build/tools/otsim" "sort" "--n" "1")
+set_tests_properties(otsim_rejects_bad_n PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;32;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(otsim_layout_svg "/root/repo/build/tools/otsim" "layout" "--net" "otn" "--n" "8" "--svg" "fig1.svg")
+set_tests_properties(otsim_layout_svg PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;34;add_test;/root/repo/tools/CMakeLists.txt;0;")
