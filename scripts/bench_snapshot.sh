@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Snapshot the Table-1 sorting benchmark to a JSON file.
+#
+#   scripts/bench_snapshot.sh [build-dir] [out.json] [min-time-seconds]
+#
+# Output goes through --benchmark_out (not stdout: the bench also prints
+# its human-readable paper table there).  OT_HOST_THREADS is honoured;
+# record it in the filename or environment when comparing runs, e.g.
+#
+#   OT_HOST_THREADS=1 scripts/bench_snapshot.sh build BENCH_seq.json
+#   OT_HOST_THREADS=8 scripts/bench_snapshot.sh build BENCH_par.json
+set -euo pipefail
+
+build_dir=${1:-build}
+out=${2:-BENCH_sorting.json}
+min_time=${3:-0.2}
+
+bench="$build_dir/bench/bench_table1_sorting"
+if [[ ! -x "$bench" ]]; then
+    echo "error: $bench not found or not executable (build first)" >&2
+    exit 1
+fi
+
+"$bench" \
+    --benchmark_filter='BM_Sort(Otn|Otc)' \
+    --benchmark_min_time="$min_time" \
+    --benchmark_out="$out" \
+    --benchmark_out_format=json \
+    > /dev/null
+
+echo "wrote $out (host threads: ${OT_HOST_THREADS:-auto})"

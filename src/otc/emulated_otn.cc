@@ -26,8 +26,8 @@ cyclesPerSideFor(std::size_t n, unsigned l)
 } // namespace
 
 OtcEmulatedOtn::OtcEmulatedOtn(std::size_t n, const vlsi::CostModel &cost,
-                               unsigned cycle_len)
-    : OrthogonalTreesNetwork(n, cost),
+                               unsigned cycle_len, unsigned host_threads)
+    : OrthogonalTreesNetwork(n, cost, {}, host_threads),
       _cycleLen(defaultCycleLen(n, cycle_len)),
       _otcLayout(cyclesPerSideFor(n, _cycleLen), _cycleLen,
                  cost.word().bits())
@@ -35,7 +35,7 @@ OtcEmulatedOtn::OtcEmulatedOtn(std::size_t n, const vlsi::CostModel &cost,
 }
 
 vlsi::ModelTime
-OtcEmulatedOtn::treeTraversalCost() const
+OtcEmulatedOtn::computeTreeTraversalCost() const
 {
     // L words of the emulated row/column segment stream through the
     // K-leaf OTC tree O(log N) apart (Section V-A's broadcast
@@ -49,7 +49,7 @@ OtcEmulatedOtn::treeTraversalCost() const
 }
 
 vlsi::ModelTime
-OtcEmulatedOtn::treeReduceCost() const
+OtcEmulatedOtn::computeTreeReduceCost() const
 {
     std::array<vlsi::WireLength, 1> wrap{_otcLayout.cycleWrapLength()};
     return vlsi::CostModel::pipelineTotal(

@@ -40,9 +40,10 @@ class OtcEmulatedOtn : public otn::OrthogonalTreesNetwork
      * @param n     Emulated OTN side (the problem size).
      * @param cost  Cost rules.
      * @param cycle_len  L; 0 = the standard log N.
+     * @param host_threads  Host threads for parallelFor (see the base).
      */
     OtcEmulatedOtn(std::size_t n, const vlsi::CostModel &cost,
-                   unsigned cycle_len = 0);
+                   unsigned cycle_len = 0, unsigned host_threads = 0);
 
     /** The underlying OTC's cycle length L. */
     unsigned cycleLen() const { return _cycleLen; }
@@ -53,16 +54,17 @@ class OtcEmulatedOtn : public otn::OrthogonalTreesNetwork
     /** The physical chip: the OTC layout (area Theta(N^2)). */
     const layout::OtcLayout &otcLayout() const { return _otcLayout; }
 
-    /** Streamed tree-op cost: L words pipelined through a K-leaf tree. */
-    vlsi::ModelTime treeTraversalCost() const override;
-
-    vlsi::ModelTime treeReduceCost() const override;
-
     /** Base ops dilated by the cycle serialisation factor L. */
     vlsi::ModelTime
     baseOp(vlsi::ModelTime op_cost,
            const std::function<void(std::size_t i, std::size_t j)> &op)
         override;
+
+  protected:
+    /** Streamed tree-op cost: L words pipelined through a K-leaf tree. */
+    vlsi::ModelTime computeTreeTraversalCost() const override;
+
+    vlsi::ModelTime computeTreeReduceCost() const override;
 
   private:
     unsigned _cycleLen;

@@ -8,15 +8,31 @@
 namespace ot::otc {
 
 OtcNetwork::OtcNetwork(std::size_t cycles_per_side, unsigned cycle_len,
-                       const CostModel &cost)
+                       const CostModel &cost, unsigned host_threads)
     : _k(vlsi::nextPow2(cycles_per_side ? cycles_per_side : 1)),
       _l(cycle_len ? cycle_len : 1),
       _cost(cost),
       _layout(_k, _l, cost.word().bits()),
+      _engine(_acct, _stats, host_threads),
       _regs(otn::kNumRegs, std::vector<std::uint64_t>(_k * _k * _l, 0)),
       _rowStream(_k, std::vector<std::uint64_t>(_l, kNull)),
       _colStream(_k, std::vector<std::uint64_t>(_l, kNull))
 {
+    _treeTraversalCost = _cost.wordAlongPath(_layout.tree().pathEdges());
+    // Bounded by the wrap-around wire of the cycle plus the bit-serial
+    // word shift.
+    std::array<vlsi::WireLength, 1> wrap{_layout.cycleWrapLength()};
+    _circulateCost = _cost.wordAlongPath(wrap);
+    // L words pipelined O(log N) apart through one tree traversal,
+    // interleaved with the circulations that position them.
+    _streamCost = CostModel::pipelineTotal(_treeTraversalCost, _l,
+                                           _cost.wordSeparation()) +
+                  _circulateCost;
+    // Same pipeline with per-node combining.
+    _reduceStreamCost =
+        CostModel::pipelineTotal(_cost.reducePath(_layout.tree().pathEdges()),
+                                 _l, _cost.wordSeparation()) +
+        _circulateCost;
 }
 
 void
@@ -31,71 +47,6 @@ OtcNetwork::configureMemory(unsigned slots)
 {
     _memSlots = slots;
     _mem.assign(std::size_t{_k} * _k * _l * slots, 0);
-}
-
-ModelTime
-OtcNetwork::parallelFor(std::size_t count,
-                        const std::function<void(std::size_t)> &body)
-{
-    ++_parallelDepth;
-    ModelTime saved_chain = _chainAccum;
-    ModelTime longest = 0;
-    for (std::size_t c = 0; c < count; ++c) {
-        _chainAccum = 0;
-        body(c);
-        longest = std::max(longest, _chainAccum);
-    }
-    --_parallelDepth;
-    _chainAccum = saved_chain;
-    charge(longest);
-    return longest;
-}
-
-ModelTime
-OtcNetwork::runUncharged(const std::function<void()> &body)
-{
-    ++_parallelDepth;
-    ModelTime saved = _chainAccum;
-    _chainAccum = 0;
-    body();
-    ModelTime would_charge = _chainAccum;
-    _chainAccum = saved;
-    --_parallelDepth;
-    return would_charge;
-}
-
-void
-OtcNetwork::charge(ModelTime dt)
-{
-    if (_parallelDepth > 0)
-        _chainAccum += dt;
-    else
-        _acct.advance(dt);
-}
-
-ModelTime
-OtcNetwork::treeTraversalCost() const
-{
-    return _cost.wordAlongPath(_layout.tree().pathEdges());
-}
-
-ModelTime
-OtcNetwork::streamCost() const
-{
-    // L words pipelined O(log N) apart through one tree traversal,
-    // interleaved with the circulations that position them.
-    return CostModel::pipelineTotal(treeTraversalCost(), _l,
-                                    _cost.wordSeparation()) +
-           circulateCost();
-}
-
-ModelTime
-OtcNetwork::circulateCost() const
-{
-    // Bounded by the wrap-around wire of the cycle plus the bit-serial
-    // word shift.
-    std::array<vlsi::WireLength, 1> wrap{_layout.cycleWrapLength()};
-    return _cost.wordAlongPath(wrap);
 }
 
 std::uint64_t &
@@ -116,7 +67,7 @@ OtcNetwork::circulate(std::size_t i, std::size_t j,
             reg(r, i, j, q) = reg(r, i, j, q + 1);
         reg(r, i, j, _l - 1) = first;
     }
-    ++_stats.counter("otc.circulate");
+    ++_engine.counter("otc.circulate");
     ModelTime dt = circulateCost();
     charge(dt);
     return dt;
@@ -126,16 +77,16 @@ ModelTime
 OtcNetwork::vectorCirculate(Axis axis, std::size_t idx,
                             const std::vector<Reg> &regs)
 {
+    // All K cycles of the vector shift concurrently: one circulate's
+    // cost is charged, not K.
     ModelTime dt = 0;
-    ++_parallelDepth; // suppress per-cycle charging; all concurrent
-    for (std::size_t c = 0; c < _k; ++c) {
-        auto [i, j] = cycleAddr(axis, idx, c);
-        ModelTime saved = _chainAccum;
-        dt = circulate(i, j, regs);
-        _chainAccum = saved;
-    }
-    --_parallelDepth;
-    ++_stats.counter("otc.vectorCirculate");
+    _engine.runUncharged([&] {
+        for (std::size_t c = 0; c < _k; ++c) {
+            auto [i, j] = cycleAddr(axis, idx, c);
+            dt = circulate(i, j, regs);
+        }
+    });
+    ++_engine.counter("otc.vectorCirculate");
     charge(dt);
     return dt;
 }
@@ -149,12 +100,12 @@ OtcNetwork::rootToCycle(Axis axis, std::size_t idx, const CycleSelector &sel,
     // VECTORCIRCULATE converges to exactly this placement).
     for (std::size_t c = 0; c < _k; ++c) {
         auto [i, j] = cycleAddr(axis, idx, c);
-        if (!sel(i, j))
+        if (!sel.matches(i, j))
             continue;
         for (std::size_t q = 0; q < _l; ++q)
             reg(dest, i, j, q) = rootStream(axis, idx, q);
     }
-    ++_stats.counter("otc.rootToCycle");
+    ++_engine.counter("otc.rootToCycle");
     ModelTime dt = streamCost();
     charge(dt);
     return dt;
@@ -167,7 +118,7 @@ OtcNetwork::cycleToRoot(Axis axis, std::size_t idx, const CycleSelector &sel,
     [[maybe_unused]] unsigned selected = 0;
     for (std::size_t c = 0; c < _k; ++c) {
         auto [i, j] = cycleAddr(axis, idx, c);
-        if (!sel(i, j))
+        if (!sel.matches(i, j))
             continue;
         ++selected;
         for (std::size_t q = 0; q < _l; ++q)
@@ -177,7 +128,7 @@ OtcNetwork::cycleToRoot(Axis axis, std::size_t idx, const CycleSelector &sel,
     if (selected == 0)
         for (std::size_t q = 0; q < _l; ++q)
             rootStream(axis, idx, q) = kNull;
-    ++_stats.counter("otc.cycleToRoot");
+    ++_engine.counter("otc.cycleToRoot");
     ModelTime dt = streamCost();
     charge(dt);
     return dt;
@@ -190,26 +141,21 @@ OtcNetwork::reduceToRoot(
         &combine,
     std::uint64_t identity)
 {
+    thread_local std::vector<std::uint64_t> level;
     for (std::size_t q = 0; q < _l; ++q) {
-        // Level-by-level reduction over the K cycles of the vector.
-        std::vector<std::uint64_t> level(_k);
+        // Level-by-level reduction over the K cycles of the vector,
+        // halved in place in the per-host-thread scratch buffer.
+        level.resize(_k);
         for (std::size_t c = 0; c < _k; ++c) {
             auto [i, j] = cycleAddr(axis, idx, c);
-            level[c] = sel(i, j) ? reg(src, i, j, q) : identity;
+            level[c] = sel.matches(i, j) ? reg(src, i, j, q) : identity;
         }
-        while (level.size() > 1) {
-            std::vector<std::uint64_t> next(level.size() / 2);
-            for (std::size_t c = 0; c < next.size(); ++c)
-                next[c] = combine(level[2 * c], level[2 * c + 1]);
-            level.swap(next);
-        }
+        for (std::size_t width = _k; width > 1; width /= 2)
+            for (std::size_t c = 0; c < width / 2; ++c)
+                level[c] = combine(level[2 * c], level[2 * c + 1]);
         rootStream(axis, idx, q) = level[0];
     }
-    // Same pipeline as a plain stream, with per-node combining.
-    ModelTime dt = CostModel::pipelineTotal(
-                       _cost.reducePath(_layout.tree().pathEdges()), _l,
-                       _cost.wordSeparation()) +
-                   circulateCost();
+    ModelTime dt = _reduceStreamCost;
     charge(dt);
     return dt;
 }
@@ -218,7 +164,7 @@ ModelTime
 OtcNetwork::sumCycleToRoot(Axis axis, std::size_t idx,
                            const CycleSelector &sel, Reg src)
 {
-    ++_stats.counter("otc.sumCycleToRoot");
+    ++_engine.counter("otc.sumCycleToRoot");
     return reduceToRoot(
         axis, idx, sel, src,
         [](std::uint64_t a, std::uint64_t b) { return a + b; }, 0);
@@ -228,7 +174,7 @@ ModelTime
 OtcNetwork::minCycleToRoot(Axis axis, std::size_t idx,
                            const CycleSelector &sel, Reg src)
 {
-    ++_stats.counter("otc.minCycleToRoot");
+    ++_engine.counter("otc.minCycleToRoot");
     return reduceToRoot(
         axis, idx, sel, src,
         [](std::uint64_t a, std::uint64_t b) { return std::min(a, b); },
@@ -242,7 +188,7 @@ OtcNetwork::cycleToCycle(Axis axis, std::size_t idx,
 {
     ModelTime dt = cycleToRoot(axis, idx, src_sel, src);
     dt += rootToCycle(axis, idx, dst_sel, dst);
-    ++_stats.counter("otc.cycleToCycle");
+    ++_engine.counter("otc.cycleToCycle");
     return dt;
 }
 
@@ -253,7 +199,7 @@ OtcNetwork::sumCycleToCycle(Axis axis, std::size_t idx,
 {
     ModelTime dt = sumCycleToRoot(axis, idx, src_sel, src);
     dt += rootToCycle(axis, idx, dst_sel, dst);
-    ++_stats.counter("otc.sumCycleToCycle");
+    ++_engine.counter("otc.sumCycleToCycle");
     return dt;
 }
 
@@ -264,7 +210,7 @@ OtcNetwork::minCycleToCycle(Axis axis, std::size_t idx,
 {
     ModelTime dt = minCycleToRoot(axis, idx, src_sel, src);
     dt += rootToCycle(axis, idx, dst_sel, dst);
-    ++_stats.counter("otc.minCycleToCycle");
+    ++_engine.counter("otc.minCycleToCycle");
     return dt;
 }
 
@@ -277,7 +223,7 @@ OtcNetwork::baseOp(ModelTime op_cost,
         for (std::size_t j = 0; j < _k; ++j)
             for (std::size_t q = 0; q < _l; ++q)
                 op(i, j, q);
-    ++_stats.counter("otc.baseOp");
+    ++_engine.counter("otc.baseOp");
     charge(op_cost);
     return op_cost;
 }

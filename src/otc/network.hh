@@ -20,10 +20,12 @@
 #include <cassert>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "layout/otc_layout.hh"
 #include "otn/registers.hh"
+#include "sim/chain_engine.hh"
 #include "sim/stats.hh"
 #include "sim/time_accountant.hh"
 #include "vlsi/cost_model.hh"
@@ -39,30 +41,78 @@ using vlsi::ModelTime;
 /** Row or column trees of cycles. */
 enum class Axis { Row, Col };
 
-/** Cycle predicate over cycle addresses (i = row, j = column). */
-using CycleSelector = std::function<bool(std::size_t i, std::size_t j)>;
-
-/** Common cycle selector factories. */
-struct CSel
+/**
+ * Cycle predicate over cycle addresses (i = row, j = column).  Like
+ * otn::Sel, a flat value type: the per-cycle loops evaluate it with
+ * one switch and no allocation (CSel::pred is the escape hatch).
+ */
+class CSel
 {
-    static CycleSelector
-    all()
-    {
-        return [](std::size_t, std::size_t) { return true; };
-    }
+  public:
+    enum class Kind : std::uint8_t { All, None, RowIs, ColIs, Pred };
 
-    static CycleSelector
+    using Predicate = std::function<bool(std::size_t i, std::size_t j)>;
+
+    static CSel all() { return CSel(Kind::All); }
+    static CSel none() { return CSel(Kind::None); }
+
+    static CSel
     rowIs(std::size_t k)
     {
-        return [k](std::size_t i, std::size_t) { return i == k; };
+        CSel s(Kind::RowIs);
+        s._index = k;
+        return s;
     }
 
-    static CycleSelector
+    static CSel
     colIs(std::size_t k)
     {
-        return [k](std::size_t, std::size_t j) { return j == k; };
+        CSel s(Kind::ColIs);
+        s._index = k;
+        return s;
     }
+
+    /** Escape hatch: an arbitrary predicate over (i, j). */
+    static CSel
+    pred(Predicate p)
+    {
+        CSel s(Kind::Pred);
+        s._pred = std::make_shared<const Predicate>(std::move(p));
+        return s;
+    }
+
+    Kind kind() const { return _kind; }
+    std::size_t index() const { return _index; }
+
+    bool
+    matches(std::size_t i, std::size_t j) const
+    {
+        switch (_kind) {
+        case Kind::All:
+            return true;
+        case Kind::None:
+            return false;
+        case Kind::RowIs:
+            return i == _index;
+        case Kind::ColIs:
+            return j == _index;
+        case Kind::Pred:
+            assert(_pred);
+            return (*_pred)(i, j);
+        }
+        return false;
+    }
+
+  private:
+    explicit CSel(Kind kind) : _kind(kind) {}
+
+    Kind _kind;
+    std::size_t _index = 0;
+    std::shared_ptr<const Predicate> _pred;
 };
+
+/** The primitives' cycle-selector argument type. */
+using CycleSelector = CSel;
 
 /** Simulator of a (K x K)-OTC with length-L cycles. */
 class OtcNetwork
@@ -72,9 +122,12 @@ class OtcNetwork
      * @param cycles_per_side  K (rounded up to a power of two).
      * @param cycle_len        L (>= 1); log N for the standard machine.
      * @param cost             Cost rules.
+     * @param host_threads     Host threads for parallelFor dispatch
+     *                         (0 = OT_HOST_THREADS / hardware
+     *                         concurrency, 1 = sequential).
      */
     OtcNetwork(std::size_t cycles_per_side, unsigned cycle_len,
-               const CostModel &cost);
+               const CostModel &cost, unsigned host_threads = 0);
 
     std::size_t k() const { return _k; }
     unsigned cycleLen() const { return _l; }
@@ -87,6 +140,9 @@ class OtcNetwork
     TimeAccountant &acct() { return _acct; }
     sim::StatSet &stats() { return _stats; }
     ModelTime now() const { return _acct.now(); }
+
+    /** Host threads the engine dispatches parallelFor onto. */
+    unsigned hostThreads() const { return _engine.hostThreads(); }
 
     void
     resetTime()
@@ -166,12 +222,20 @@ class OtcNetwork
     // Parallel sections (same semantics as the OTN's)
     // ------------------------------------------------------------------
 
-    ModelTime parallelFor(std::size_t count,
-                          const std::function<void(std::size_t)> &body);
+    ModelTime
+    parallelFor(std::size_t count,
+                const std::function<void(std::size_t)> &body)
+    {
+        return _engine.parallelFor(count, body);
+    }
 
-    ModelTime runUncharged(const std::function<void()> &body);
+    ModelTime
+    runUncharged(const std::function<void()> &body)
+    {
+        return _engine.runUncharged(body);
+    }
 
-    void charge(ModelTime dt);
+    void charge(ModelTime dt) { _engine.charge(dt); }
 
     // ------------------------------------------------------------------
     // Primitives (Section V-B)
@@ -233,16 +297,17 @@ class OtcNetwork
                      const std::function<void(std::size_t i, std::size_t j,
                                               std::size_t q)> &op);
 
-    // Cost building blocks (public for the benches).
+    // Cost building blocks (public for the benches).  All are derived
+    // from the layout geometry once, at construction.
 
     /** One word root<->BP(0) through a tree of K leaves. */
-    ModelTime treeTraversalCost() const;
+    ModelTime treeTraversalCost() const { return _treeTraversalCost; }
 
     /** L words pipelined through a tree: the standard primitive cost. */
-    ModelTime streamCost() const;
+    ModelTime streamCost() const { return _streamCost; }
 
     /** One CIRCULATE step (bounded by the wrap-around wire). */
-    ModelTime circulateCost() const;
+    ModelTime circulateCost() const { return _circulateCost; }
 
   private:
     std::uint64_t &rootStream(Axis axis, std::size_t idx, std::size_t q);
@@ -268,15 +333,19 @@ class OtcNetwork
     layout::OtcLayout _layout;
     TimeAccountant _acct;
     sim::StatSet _stats;
+    sim::ChainEngine _engine;
+
+    // Geometry-derived costs, computed once in the constructor.
+    ModelTime _treeTraversalCost = 0;
+    ModelTime _streamCost = 0;
+    ModelTime _reduceStreamCost = 0;
+    ModelTime _circulateCost = 0;
 
     std::vector<std::vector<std::uint64_t>> _regs;
     std::vector<std::vector<std::uint64_t>> _rowStream;
     std::vector<std::vector<std::uint64_t>> _colStream;
     std::vector<std::uint64_t> _mem;
     unsigned _memSlots = 0;
-
-    unsigned _parallelDepth = 0;
-    ModelTime _chainAccum = 0;
 };
 
 } // namespace ot::otc

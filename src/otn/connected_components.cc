@@ -86,11 +86,9 @@ connectedComponentsOtn(OrthogonalTreesNetwork &net, const graph::Graph &g,
         // vertex i deposits its candidate at BP(i, D(i)), and column
         // D(i)'s tree reduces.  The result is fanned back down the
         // column and latched on the diagonal as newC.
-        Selector member = [&net](std::size_t i, std::size_t j) {
-            return net.reg(Reg::B, i, j) == j;
-        };
+        // Membership test along column j: B(i, j) == j.
         net.parallelFor(n, [&](std::size_t j) {
-            net.minLeafToRoot(Axis::Col, j, member, Reg::E);
+            net.minLeafToRoot(Axis::Col, j, Sel::regEq(Reg::B, j), Reg::E);
             net.rootToLeaf(Axis::Col, j, Sel::all(), Reg::H);
         });
         net.baseOp(net.cost().bitSerialOp(),

@@ -64,7 +64,7 @@ matMulImpl(OrthogonalTreesNetwork &net, const linalg::IntMatrix &a,
     // First vector product is charged in full (it sets the pipeline
     // latency)...
     vecMatBody(net, a.row(0), boolean);
-    auto out0 = net.colRootOutputs();
+    const auto &out0 = net.colRootOutputs();
     for (std::size_t j = 0; j < m; ++j)
         result.product(0, j) = boolean ? (out0[j] ? 1 : 0) : out0[j];
     result.firstRowLatency = net.now() - start;
@@ -74,7 +74,7 @@ matMulImpl(OrthogonalTreesNetwork &net, const linalg::IntMatrix &a,
     // successive i's in the pipeline is O(log N) units").
     for (std::size_t i = 1; i < m; ++i) {
         net.runUncharged([&] { vecMatBody(net, a.row(i), boolean); });
-        auto out = net.colRootOutputs();
+        const auto &out = net.colRootOutputs();
         for (std::size_t j = 0; j < m; ++j)
             result.product(i, j) = boolean ? (out[j] ? 1 : 0) : out[j];
         net.charge(separation);
@@ -91,7 +91,8 @@ std::vector<std::uint64_t>
 vecMatMulOtn(OrthogonalTreesNetwork &net, const std::vector<std::uint64_t> &a)
 {
     vecMatBody(net, a, /*boolean=*/false);
-    auto out = net.colRootOutputs();
+    // Copy: the result is truncated to the caller's length.
+    std::vector<std::uint64_t> out = net.colRootOutputs();
     out.resize(a.size());
     return out;
 }
@@ -142,7 +143,7 @@ matMulStream(OrthogonalTreesNetwork &net,
                     [&] { vecMatBody(net, a.row(i), false); });
                 net.charge(sep);
             }
-            auto out = net.colRootOutputs();
+            const auto &out = net.colRootOutputs();
             for (std::size_t j = 0; j < m; ++j)
                 product(i, j) = out[j];
         }
@@ -190,7 +191,7 @@ boolMatMulReplicated(OrthogonalTreesNetwork &block,
         ModelTime t =
             block.runUncharged([&] { vecMatBody(block, row, true); });
         one_product = std::max(one_product, t);
-        auto out = block.colRootOutputs();
+        const auto &out = block.colRootOutputs();
         for (std::size_t j = 0; j < m; ++j)
             result.product(i, j) = out[j] ? 1 : 0;
     }

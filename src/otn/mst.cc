@@ -117,12 +117,10 @@ mstOtn(OrthogonalTreesNetwork &net, const graph::WeightedGraph &g,
             net.rootToLeaf(Axis::Row, i, Sel::all(), Reg::E);
         });
 
-        // Per-component minimum edge, latched on the diagonal.
-        Selector member = [&net](std::size_t i, std::size_t j) {
-            return net.reg(Reg::B, i, j) == j;
-        };
+        // Per-component minimum edge (members have B(i, j) == j),
+        // latched on the diagonal.
         net.parallelFor(n, [&](std::size_t j) {
-            net.minLeafToRoot(Axis::Col, j, member, Reg::E);
+            net.minLeafToRoot(Axis::Col, j, Sel::regEq(Reg::B, j), Reg::E);
             net.rootToLeaf(Axis::Col, j, Sel::diag(), Reg::H);
         });
 

@@ -1,6 +1,7 @@
 #include "otn/network.hh"
 
 #include <algorithm>
+#include <utility>
 
 #include "vlsi/bitmath.hh"
 
@@ -8,14 +9,25 @@ namespace ot::otn {
 
 OrthogonalTreesNetwork::OrthogonalTreesNetwork(std::size_t n,
                                                const CostModel &cost,
-                                               layout::LayoutParams params)
+                                               layout::LayoutParams params,
+                                               unsigned host_threads)
     : _n(vlsi::nextPow2(n ? n : 1)),
       _cost(cost),
+      _layoutParams(params),
       _layout(_n, cost.word().bits(), params),
+      _engine(_acct, _stats, host_threads),
       _regs(kNumRegs, std::vector<std::uint64_t>(_n * _n, 0)),
       _rowRoot(_n, kNull),
       _colRoot(_n, kNull)
 {
+}
+
+void
+OrthogonalTreesNetwork::setCostModel(const CostModel &cost)
+{
+    _cost = cost;
+    _layout = layout::OtnLayout(_n, cost.word().bits(), _layoutParams);
+    invalidateCostCaches();
 }
 
 void
@@ -30,12 +42,6 @@ OrthogonalTreesNetwork::setRowRootInputs(std::span<const std::uint64_t> values)
         _rowRoot[i] = kNull;
 }
 
-std::vector<std::uint64_t>
-OrthogonalTreesNetwork::colRootOutputs() const
-{
-    return _colRoot;
-}
-
 void
 OrthogonalTreesNetwork::fillReg(Reg r, std::uint64_t value)
 {
@@ -44,40 +50,13 @@ OrthogonalTreesNetwork::fillReg(Reg r, std::uint64_t value)
 }
 
 ModelTime
-OrthogonalTreesNetwork::parallelFor(
-    std::size_t count, const std::function<void(std::size_t)> &body)
-{
-    ++_parallelDepth;
-    ModelTime saved_chain = _chainAccum;
-    ModelTime longest = 0;
-    for (std::size_t k = 0; k < count; ++k) {
-        _chainAccum = 0;
-        body(k);
-        longest = std::max(longest, _chainAccum);
-    }
-    --_parallelDepth;
-    _chainAccum = saved_chain;
-    charge(longest);
-    return longest;
-}
-
-void
-OrthogonalTreesNetwork::charge(ModelTime dt)
-{
-    if (_parallelDepth > 0)
-        _chainAccum += dt;
-    else
-        _acct.advance(dt);
-}
-
-ModelTime
-OrthogonalTreesNetwork::treeTraversalCost() const
+OrthogonalTreesNetwork::computeTreeTraversalCost() const
 {
     return _cost.wordAlongPath(_layout.tree().pathEdges());
 }
 
 ModelTime
-OrthogonalTreesNetwork::treeReduceCost() const
+OrthogonalTreesNetwork::computeTreeReduceCost() const
 {
     return _cost.reducePath(_layout.tree().pathEdges());
 }
@@ -96,10 +75,10 @@ OrthogonalTreesNetwork::rootToLeaf(Axis axis, std::size_t idx,
     std::uint64_t value = rootReg(axis, idx);
     for (std::size_t k = 0; k < _n; ++k) {
         auto [i, j] = leafAddr(axis, idx, k);
-        if (sel(i, j))
+        if (selected(sel, i, j))
             reg(dest, i, j) = value;
     }
-    ++_stats.counter("otn.rootToLeaf");
+    ++_engine.counter("otn.rootToLeaf");
     ModelTime dt = treeTraversalCost();
     charge(dt);
     return dt;
@@ -110,39 +89,37 @@ OrthogonalTreesNetwork::leafToRoot(Axis axis, std::size_t idx,
                                    const Selector &sel, Reg src)
 {
     std::uint64_t value = kNull;
-    [[maybe_unused]] unsigned selected = 0;
+    [[maybe_unused]] unsigned n_selected = 0;
     for (std::size_t k = 0; k < _n; ++k) {
         auto [i, j] = leafAddr(axis, idx, k);
-        if (sel(i, j)) {
+        if (selected(sel, i, j)) {
             value = reg(src, i, j);
-            ++selected;
+            ++n_selected;
         }
     }
-    assert(selected <= 1 && "LEAFTOROOT requires a unique source leaf");
+    assert(n_selected <= 1 && "LEAFTOROOT requires a unique source leaf");
     rootReg(axis, idx) = value;
-    ++_stats.counter("otn.leafToRoot");
+    ++_engine.counter("otn.leafToRoot");
     ModelTime dt = treeTraversalCost();
     charge(dt);
     return dt;
 }
 
+template <typename LeafValue, typename Combine>
 std::uint64_t
-OrthogonalTreesNetwork::reduceTree(
-    const std::function<std::uint64_t(std::size_t k)> &leaf_value,
-    const std::function<std::uint64_t(std::uint64_t, std::uint64_t)>
-        &combine)
+OrthogonalTreesNetwork::reduceTree(LeafValue &&leaf_value, Combine &&combine)
 {
     // Level-by-level: each IP combines the values accumulated by its
-    // two sons (Section II-B, COUNT-LEAFTOROOT description).
-    std::vector<std::uint64_t> level(_n);
+    // two sons (Section II-B, COUNT-LEAFTOROOT description).  The
+    // halving is done in place in a per-host-thread scratch buffer so
+    // the reduction allocates nothing in steady state.
+    thread_local std::vector<std::uint64_t> level;
+    level.resize(_n);
     for (std::size_t k = 0; k < _n; ++k)
         level[k] = leaf_value(k);
-    while (level.size() > 1) {
-        std::vector<std::uint64_t> next(level.size() / 2);
-        for (std::size_t k = 0; k < next.size(); ++k)
-            next[k] = combine(level[2 * k], level[2 * k + 1]);
-        level.swap(next);
-    }
+    for (std::size_t width = _n; width > 1; width /= 2)
+        for (std::size_t k = 0; k < width / 2; ++k)
+            level[k] = combine(level[2 * k], level[2 * k + 1]);
     return level[0];
 }
 
@@ -155,7 +132,7 @@ OrthogonalTreesNetwork::countLeafToRoot(Axis axis, std::size_t idx, Reg flag)
             return reg(flag, i, j) != 0 ? std::uint64_t{1} : 0;
         },
         [](std::uint64_t a, std::uint64_t b) { return a + b; });
-    ++_stats.counter("otn.countLeafToRoot");
+    ++_engine.counter("otn.countLeafToRoot");
     ModelTime dt = treeReduceCost();
     charge(dt);
     return dt;
@@ -168,10 +145,10 @@ OrthogonalTreesNetwork::sumLeafToRoot(Axis axis, std::size_t idx,
     rootReg(axis, idx) = reduceTree(
         [&](std::size_t k) -> std::uint64_t {
             auto [i, j] = leafAddr(axis, idx, k);
-            return sel(i, j) ? reg(src, i, j) : 0;
+            return selected(sel, i, j) ? reg(src, i, j) : 0;
         },
         [](std::uint64_t a, std::uint64_t b) { return a + b; });
-    ++_stats.counter("otn.sumLeafToRoot");
+    ++_engine.counter("otn.sumLeafToRoot");
     ModelTime dt = treeReduceCost();
     charge(dt);
     return dt;
@@ -184,10 +161,10 @@ OrthogonalTreesNetwork::minLeafToRoot(Axis axis, std::size_t idx,
     rootReg(axis, idx) = reduceTree(
         [&](std::size_t k) -> std::uint64_t {
             auto [i, j] = leafAddr(axis, idx, k);
-            return sel(i, j) ? reg(src, i, j) : kNull;
+            return selected(sel, i, j) ? reg(src, i, j) : kNull;
         },
         [](std::uint64_t a, std::uint64_t b) { return std::min(a, b); });
-    ++_stats.counter("otn.minLeafToRoot");
+    ++_engine.counter("otn.minLeafToRoot");
     ModelTime dt = treeReduceCost();
     charge(dt);
     return dt;
@@ -200,7 +177,7 @@ OrthogonalTreesNetwork::leafToLeaf(Axis axis, std::size_t idx,
 {
     ModelTime dt = leafToRoot(axis, idx, src_sel, src);
     dt += rootToLeaf(axis, idx, dst_sel, dst);
-    ++_stats.counter("otn.leafToLeaf");
+    ++_engine.counter("otn.leafToLeaf");
     return dt;
 }
 
@@ -210,7 +187,7 @@ OrthogonalTreesNetwork::countLeafToLeaf(Axis axis, std::size_t idx, Reg flag,
 {
     ModelTime dt = countLeafToRoot(axis, idx, flag);
     dt += rootToLeaf(axis, idx, dst_sel, dst);
-    ++_stats.counter("otn.countLeafToLeaf");
+    ++_engine.counter("otn.countLeafToLeaf");
     return dt;
 }
 
@@ -221,7 +198,7 @@ OrthogonalTreesNetwork::sumLeafToLeaf(Axis axis, std::size_t idx,
 {
     ModelTime dt = sumLeafToRoot(axis, idx, src_sel, src);
     dt += rootToLeaf(axis, idx, dst_sel, dst);
-    ++_stats.counter("otn.sumLeafToLeaf");
+    ++_engine.counter("otn.sumLeafToLeaf");
     return dt;
 }
 
@@ -232,21 +209,8 @@ OrthogonalTreesNetwork::minLeafToLeaf(Axis axis, std::size_t idx,
 {
     ModelTime dt = minLeafToRoot(axis, idx, src_sel, src);
     dt += rootToLeaf(axis, idx, dst_sel, dst);
-    ++_stats.counter("otn.minLeafToLeaf");
+    ++_engine.counter("otn.minLeafToLeaf");
     return dt;
-}
-
-ModelTime
-OrthogonalTreesNetwork::runUncharged(const std::function<void()> &body)
-{
-    ++_parallelDepth;
-    ModelTime saved = _chainAccum;
-    _chainAccum = 0;
-    body();
-    ModelTime would_charge = _chainAccum;
-    _chainAccum = saved;
-    --_parallelDepth;
-    return would_charge;
 }
 
 ModelTime
@@ -294,9 +258,10 @@ OrthogonalTreesNetwork::permutationCost(
     // the node over span s covers leaves [s*2^h, (s+1)*2^h); a word
     // k -> perm[k] crosses it iff both endpoints are in the span but
     // in different halves.
+    thread_local std::vector<std::uint64_t> crossing;
     std::uint64_t busiest = 0;
     for (std::size_t span = 2; span <= _n; span <<= 1) {
-        std::vector<std::uint64_t> crossing(_n / span, 0);
+        crossing.assign(_n / span, 0);
         for (std::size_t k = 0; k < _n; ++k) {
             std::size_t from_block = k / span;
             std::size_t to_block = perm[k] / span;
@@ -331,7 +296,8 @@ OrthogonalTreesNetwork::permuteLeafToLeaf(Axis axis, std::size_t idx,
         }
     }
 #endif
-    std::vector<std::uint64_t> moved(_n);
+    thread_local std::vector<std::uint64_t> moved;
+    moved.resize(_n);
     for (std::size_t k = 0; k < _n; ++k) {
         auto [i, j] = leafAddr(axis, idx, k);
         moved[perm[k]] = reg(src, i, j);
@@ -340,7 +306,7 @@ OrthogonalTreesNetwork::permuteLeafToLeaf(Axis axis, std::size_t idx,
         auto [i, j] = leafAddr(axis, idx, k);
         reg(dst, i, j) = moved[k];
     }
-    ++_stats.counter("otn.permuteLeafToLeaf");
+    ++_engine.counter("otn.permuteLeafToLeaf");
     ModelTime dt = permutationCost(perm);
     charge(dt);
     return dt;
@@ -357,11 +323,11 @@ OrthogonalTreesNetwork::prefixSumLeafToLeaf(Axis axis, std::size_t idx,
     std::uint64_t running = 0;
     for (std::size_t k = 0; k < _n; ++k) {
         auto [i, j] = leafAddr(axis, idx, k);
-        if (src_sel(i, j))
+        if (selected(src_sel, i, j))
             running += reg(src, i, j);
         reg(dst, i, j) = running;
     }
-    ++_stats.counter("otn.prefixSumLeafToLeaf");
+    ++_engine.counter("otn.prefixSumLeafToLeaf");
     ModelTime dt = 2 * treeReduceCost();
     charge(dt);
     return dt;
@@ -375,7 +341,7 @@ OrthogonalTreesNetwork::baseOp(
     for (std::size_t i = 0; i < _n; ++i)
         for (std::size_t j = 0; j < _n; ++j)
             op(i, j);
-    ++_stats.counter("otn.baseOp");
+    ++_engine.counter("otn.baseOp");
     charge(op_cost);
     return op_cost;
 }

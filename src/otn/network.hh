@@ -14,22 +14,26 @@
  * *model time* per Thompson's VLSI rules: every primitive's cost is
  * computed from the wire geometry of a concrete OtnLayout through a
  * CostModel, and accumulated in a TimeAccountant.  Algorithms express
- * the paper's "for each i pardo" with the parallel() helper, which
- * charges the maximum cost of the enclosed operations instead of
- * their sum.
+ * the paper's "for each i pardo" with parallelFor, which charges the
+ * maximum cost of the enclosed operations instead of their sum — and,
+ * through the sim::ChainEngine, spreads the iterations over host
+ * threads (OT_HOST_THREADS) with bit-identical model-time accounting.
  */
 
 #pragma once
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "layout/otn_layout.hh"
 #include "linalg/matrix.hh"
 #include "otn/registers.hh"
+#include "sim/chain_engine.hh"
 #include "sim/stats.hh"
 #include "sim/time_accountant.hh"
 #include "vlsi/cost_model.hh"
@@ -44,51 +48,117 @@ using vlsi::ModelTime;
 enum class Axis { Row, Col };
 
 /**
- * A leaf predicate over full BP addresses (i = row, j = column).  The
- * paper's "Selector" argument; factories live in struct Sel.
+ * A leaf predicate over full BP addresses (i = row, j = column) — the
+ * paper's "Selector" argument.
+ *
+ * Sel is a flat value type (a tag plus a few indices), not a
+ * std::function: the per-leaf inner loops of the primitives evaluate
+ * it with one branch-predictable switch and zero allocations.  The
+ * named factories cover every selector the paper's algorithms use;
+ * Sel::pred is the escape hatch for arbitrary host predicates (it is
+ * the only kind that allocates).
  */
-using Selector = std::function<bool(std::size_t i, std::size_t j)>;
-
-/** Common selector factories. */
-struct Sel
+class Sel
 {
+  public:
+    enum class Kind : std::uint8_t {
+        All,       ///< every BP of the vector
+        None,      ///< no BP
+        Diag,      ///< i == j
+        RowIs,     ///< i == index
+        ColIs,     ///< j == index
+        EvenAlong, ///< even position along the vector axis
+        RegEq,     ///< machine register reg(r, i, j) == value
+        Pred,      ///< arbitrary host predicate
+    };
+
+    using Predicate = std::function<bool(std::size_t i, std::size_t j)>;
+
     /** Every BP of the vector. */
-    static Selector
-    all()
-    {
-        return [](std::size_t, std::size_t) { return true; };
-    }
+    static Sel all() { return Sel(Kind::All); }
+
+    /** No BP (the empty selection). */
+    static Sel none() { return Sel(Kind::None); }
 
     /** BPs on the main diagonal (i == j). */
-    static Selector
-    diag()
-    {
-        return [](std::size_t i, std::size_t j) { return i == j; };
-    }
+    static Sel diag() { return Sel(Kind::Diag); }
 
     /** BPs in row k (selects one leaf of a column vector). */
-    static Selector
+    static Sel
     rowIs(std::size_t k)
     {
-        return [k](std::size_t i, std::size_t) { return i == k; };
+        Sel s(Kind::RowIs);
+        s._index = k;
+        return s;
     }
 
     /** BPs in column k (selects one leaf of a row vector). */
-    static Selector
+    static Sel
     colIs(std::size_t k)
     {
-        return [k](std::size_t, std::size_t j) { return j == k; };
+        Sel s(Kind::ColIs);
+        s._index = k;
+        return s;
     }
 
     /** BPs with even position along the vector axis. */
-    static Selector
+    static Sel
     evenAlong(Axis axis)
     {
-        return [axis](std::size_t i, std::size_t j) {
-            return (axis == Axis::Row ? j : i) % 2 == 0;
-        };
+        Sel s(Kind::EvenAlong);
+        s._axis = axis;
+        return s;
     }
+
+    /**
+     * BPs whose register r holds `value` — the "flag test" selector
+     * every paper algorithm builds its custom predicates from (e.g.
+     * SORT-OTN's "rank == i", CONNECT's "B(i, j) == j").
+     */
+    static Sel
+    regEq(Reg r, std::uint64_t value)
+    {
+        Sel s(Kind::RegEq);
+        s._reg = r;
+        s._value = value;
+        return s;
+    }
+
+    /** Escape hatch: an arbitrary predicate over (i, j). */
+    static Sel
+    pred(Predicate p)
+    {
+        Sel s(Kind::Pred);
+        s._pred = std::make_shared<const Predicate>(std::move(p));
+        return s;
+    }
+
+    Kind kind() const { return _kind; }
+    std::size_t index() const { return _index; }
+    Axis axis() const { return _axis; }
+    Reg selReg() const { return _reg; }
+    std::uint64_t value() const { return _value; }
+
+    const Predicate &
+    predicate() const
+    {
+        assert(_pred);
+        return *_pred;
+    }
+
+  private:
+    explicit Sel(Kind kind) : _kind(kind) {}
+
+    Kind _kind;
+    Axis _axis = Axis::Row;
+    Reg _reg = Reg::A;
+    std::size_t _index = 0;
+    std::uint64_t _value = 0;
+    std::shared_ptr<const Predicate> _pred;
 };
+
+/** The primitives' selector argument type. */
+using Selector = Sel;
 
 /** Simulator of an (N x N) orthogonal trees network. */
 class OrthogonalTreesNetwork
@@ -98,9 +168,14 @@ class OrthogonalTreesNetwork
      * @param n      Side of the base; rounded up to a power of two.
      * @param cost   Cost rules (delay model, word width, scaling).
      * @param params Layout constants for the chip geometry.
+     * @param host_threads Host threads for parallelFor dispatch:
+     *               0 = the OT_HOST_THREADS environment switch
+     *               (default: hardware concurrency), 1 = sequential.
+     *               Model time is bit-identical for every setting.
      */
     OrthogonalTreesNetwork(std::size_t n, const CostModel &cost,
-                           layout::LayoutParams params = {});
+                           layout::LayoutParams params = {},
+                           unsigned host_threads = 0);
 
     virtual ~OrthogonalTreesNetwork() = default;
 
@@ -113,6 +188,9 @@ class OrthogonalTreesNetwork
     const TimeAccountant &acct() const { return _acct; }
     sim::StatSet &stats() { return _stats; }
 
+    /** Host threads the engine dispatches parallelFor onto. */
+    unsigned hostThreads() const { return _engine.hostThreads(); }
+
     /** Model time elapsed since construction/reset. */
     ModelTime now() const { return _acct.now(); }
 
@@ -123,6 +201,13 @@ class OrthogonalTreesNetwork
         _acct.reset();
         _stats.reset();
     }
+
+    /**
+     * Swap the cost rules (e.g. a different delay model).  Rebuilds
+     * the layout for the new word width and invalidates the cached
+     * tree costs; registers and the clock are untouched.
+     */
+    void setCostModel(const CostModel &cost);
 
     // ------------------------------------------------------------------
     // Register file and I/O ports
@@ -154,8 +239,12 @@ class OrthogonalTreesNetwork
     /** Load one word per input (row-root) port. */
     void setRowRootInputs(std::span<const std::uint64_t> values);
 
-    /** Read all output (column-root) ports. */
-    std::vector<std::uint64_t> colRootOutputs() const;
+    /** All output (column-root) ports, as a view (no copy). */
+    const std::vector<std::uint64_t> &
+    colRootOutputs() const
+    {
+        return _colRoot;
+    }
 
     /** Fill register r of every BP with `value`. */
     void fillReg(Reg r, std::uint64_t value);
@@ -181,9 +270,20 @@ class OrthogonalTreesNetwork
      * is charged.  Nested parallelFor composes: an inner pardo
      * contributes its (max) cost to the enclosing iteration's chain.
      * Returns the charged (max-of-chains) cost.
+     *
+     * When the engine is configured with more than one host thread,
+     * top-level calls dispatch contiguous iteration blocks onto the
+     * shared pool; the charged time is bit-identical either way (see
+     * sim/chain_engine.hh).  Iteration bodies must then only touch
+     * disjoint machine state, which every "pardo over disjoint
+     * trees" algorithm of the paper does by construction.
      */
-    ModelTime parallelFor(std::size_t count,
-                          const std::function<void(std::size_t)> &body);
+    ModelTime
+    parallelFor(std::size_t count,
+                const std::function<void(std::size_t)> &body)
+    {
+        return _engine.parallelFor(count, body);
+    }
 
     // ------------------------------------------------------------------
     // Primitive operations (Section II-B)
@@ -301,16 +401,34 @@ class OrthogonalTreesNetwork
 
     /**
      * Per-word transfer cost of one tree traversal (root<->leaf).
-     * Virtual: emulating machines substitute their own tree geometry
-     * and word-pipelining schedule.
+     * Cached at first use; emulating machines substitute their own
+     * geometry by overriding computeTreeTraversalCost().
      */
-    virtual ModelTime treeTraversalCost() const;
+    ModelTime
+    treeTraversalCost() const
+    {
+        ModelTime c = _traversalCost.load(std::memory_order_relaxed);
+        if (c == kCostUnset) {
+            c = computeTreeTraversalCost();
+            _traversalCost.store(c, std::memory_order_relaxed);
+        }
+        return c;
+    }
 
     /** Per-word cost of a combining traversal (COUNT/SUM/MIN). */
-    virtual ModelTime treeReduceCost() const;
+    ModelTime
+    treeReduceCost() const
+    {
+        ModelTime c = _reduceCost.load(std::memory_order_relaxed);
+        if (c == kCostUnset) {
+            c = computeTreeReduceCost();
+            _reduceCost.store(c, std::memory_order_relaxed);
+        }
+        return c;
+    }
 
     /** Charge an explicitly computed pipeline cost (pipedo blocks). */
-    void charge(ModelTime dt);
+    void charge(ModelTime dt) { _engine.charge(dt); }
 
     /**
      * Run `body` with the clock stopped, returning what it *would*
@@ -319,7 +437,11 @@ class OrthogonalTreesNetwork
      * the first functionally, but only the pipeline separation is
      * charged for it (Section III-A).
      */
-    ModelTime runUncharged(const std::function<void()> &body);
+    ModelTime
+    runUncharged(const std::function<void()> &body)
+    {
+        return _engine.runUncharged(body);
+    }
 
     /**
      * Load a matrix into base register r, m(i, j) -> BP(i, j).  If
@@ -332,13 +454,55 @@ class OrthogonalTreesNetwork
     /** Read base register r back into a matrix (host-side view). */
     linalg::IntMatrix readBase(Reg r) const;
 
+  protected:
+    /** Geometry-derived traversal cost; see treeTraversalCost(). */
+    virtual ModelTime computeTreeTraversalCost() const;
+
+    /** Geometry-derived combining cost; see treeReduceCost(). */
+    virtual ModelTime computeTreeReduceCost() const;
+
+    /** Drop the cached tree costs (after a geometry/cost change). */
+    void
+    invalidateCostCaches()
+    {
+        _traversalCost.store(kCostUnset, std::memory_order_relaxed);
+        _reduceCost.store(kCostUnset, std::memory_order_relaxed);
+    }
+
   private:
+    static constexpr ModelTime kCostUnset = ~ModelTime{0};
+
     /** Resolve (axis, idx, k) to a BP address. */
     std::pair<std::size_t, std::size_t>
     leafAddr(Axis axis, std::size_t idx, std::size_t k) const
     {
         return axis == Axis::Row ? std::make_pair(idx, k)
                                  : std::make_pair(k, idx);
+    }
+
+    /** Evaluate a flat selector at BP(i, j). */
+    bool
+    selected(const Sel &sel, std::size_t i, std::size_t j) const
+    {
+        switch (sel.kind()) {
+        case Sel::Kind::All:
+            return true;
+        case Sel::Kind::None:
+            return false;
+        case Sel::Kind::Diag:
+            return i == j;
+        case Sel::Kind::RowIs:
+            return i == sel.index();
+        case Sel::Kind::ColIs:
+            return j == sel.index();
+        case Sel::Kind::EvenAlong:
+            return (sel.axis() == Axis::Row ? j : i) % 2 == 0;
+        case Sel::Kind::RegEq:
+            return reg(sel.selReg(), i, j) == sel.value();
+        case Sel::Kind::Pred:
+            return sel.predicate()(i, j);
+        }
+        return false;
     }
 
     std::uint64_t &rootReg(Axis axis, std::size_t idx);
@@ -348,28 +512,23 @@ class OrthogonalTreesNetwork
      * applied by each IP to its two sons' values (kNull = absent).
      * `leaf_value(k)` yields the word contributed by leaf k.
      */
-    std::uint64_t
-    reduceTree(const std::function<std::uint64_t(std::size_t k)> &leaf_value,
-               const std::function<std::uint64_t(std::uint64_t,
-                                                 std::uint64_t)> &combine);
+    template <typename LeafValue, typename Combine>
+    std::uint64_t reduceTree(LeafValue &&leaf_value, Combine &&combine);
 
     std::size_t _n;
     CostModel _cost;
+    layout::LayoutParams _layoutParams;
     layout::OtnLayout _layout;
     TimeAccountant _acct;
     sim::StatSet _stats;
+    sim::ChainEngine _engine;
+
+    mutable std::atomic<ModelTime> _traversalCost{kCostUnset};
+    mutable std::atomic<ModelTime> _reduceCost{kCostUnset};
 
     std::vector<std::vector<std::uint64_t>> _regs;
     std::vector<std::uint64_t> _rowRoot;
     std::vector<std::uint64_t> _colRoot;
-
-    /**
-     * Parallel-section state: when _parallelDepth > 0, charges
-     * accumulate into the current iteration's chain instead of
-     * advancing the clock; parallelFor maxes the chains.
-     */
-    unsigned _parallelDepth = 0;
-    ModelTime _chainAccum = 0;
 };
 
 } // namespace ot::otn

@@ -36,9 +36,7 @@ selectKthOtn(OrthogonalTreesNetwork &net,
     // Step 5, narrowed: only column 0's tree extracts — first the
     // value of rank k, then (one more traversal) its row index, which
     // each selected BP knows as its own address.
-    Selector rank_is_k = [&net, k](std::size_t r, std::size_t c) {
-        return net.reg(Reg::R, r, c) == k;
-    };
+    Selector rank_is_k = Sel::regEq(Reg::R, k);
     net.leafToRoot(Axis::Col, 0, rank_is_k, Reg::A);
     std::uint64_t value = net.colRoot(0);
 

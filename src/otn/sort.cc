@@ -42,14 +42,11 @@ sortOtn(OrthogonalTreesNetwork &net, const std::vector<std::uint64_t> &values)
 
     // Step 5: column root i picks up the element of rank i.
     net.parallelFor(n, [&](std::size_t i) {
-        Selector rank_is_i = [&net, i](std::size_t r, std::size_t c) {
-            return net.reg(Reg::R, r, c) == i;
-        };
-        net.leafToRoot(Axis::Col, i, rank_is_i, Reg::A);
+        net.leafToRoot(Axis::Col, i, Sel::regEq(Reg::R, i), Reg::A);
     });
 
     SortResult result;
-    auto out = net.colRootOutputs();
+    const auto &out = net.colRootOutputs();
     result.sorted.assign(out.begin(), out.begin() + static_cast<long>(m));
     result.time = net.now() - start;
     return result;

@@ -1,0 +1,142 @@
+#include "sim/chain_engine.hh"
+
+#include <algorithm>
+
+#include "sim/thread_pool.hh"
+
+namespace ot::sim {
+
+thread_local ChainEngine::LaneBinding ChainEngine::t_binding;
+
+ChainEngine::ChainEngine(TimeAccountant &acct, StatSet &stats,
+                         unsigned host_threads)
+    : _acct(acct),
+      _stats(stats),
+      _threads(host_threads ? host_threads : ThreadPool::defaultThreads())
+{
+}
+
+ChainEngine::HostLane *
+ChainEngine::boundLane() const
+{
+    return t_binding.engine == this ? t_binding.lane : nullptr;
+}
+
+void
+ChainEngine::charge(ModelTime dt)
+{
+    if (HostLane *lane = boundLane())
+        lane->chain += dt;
+    else if (_parallelDepth > 0)
+        _chainAccum += dt;
+    else
+        _acct.advance(dt);
+}
+
+Counter &
+ChainEngine::counter(const std::string &name)
+{
+    if (HostLane *lane = boundLane())
+        return lane->stats.counter(name);
+    return _stats.counter(name);
+}
+
+ModelTime
+ChainEngine::parallelFor(std::size_t count,
+                         const std::function<void(std::size_t)> &body)
+{
+    if (HostLane *lane = boundLane()) {
+        // Nested pardo on a pool lane: the lane's hardware is already
+        // dedicated to the outer iteration, so run sequentially and
+        // fold the max into the lane's chain — the same composition
+        // the sequential engine performs.
+        ModelTime saved = lane->chain;
+        ModelTime longest = 0;
+        for (std::size_t k = 0; k < count; ++k) {
+            lane->chain = 0;
+            body(k);
+            longest = std::max(longest, lane->chain);
+        }
+        lane->chain = saved + longest;
+        return longest;
+    }
+    if (_threads >= 2 && count >= 2)
+        return parallelForPooled(count, body);
+    return parallelForSequential(count, body);
+}
+
+ModelTime
+ChainEngine::parallelForSequential(
+    std::size_t count, const std::function<void(std::size_t)> &body)
+{
+    ++_parallelDepth;
+    ModelTime saved_chain = _chainAccum;
+    ModelTime longest = 0;
+    for (std::size_t k = 0; k < count; ++k) {
+        _chainAccum = 0;
+        body(k);
+        longest = std::max(longest, _chainAccum);
+    }
+    --_parallelDepth;
+    _chainAccum = saved_chain;
+    charge(longest);
+    return longest;
+}
+
+ModelTime
+ChainEngine::parallelForPooled(
+    std::size_t count, const std::function<void(std::size_t)> &body)
+{
+    const unsigned lanes = static_cast<unsigned>(
+        std::min<std::size_t>(_threads, count));
+    _lanes.assign(lanes, HostLane{});
+    auto job = [&](unsigned t) {
+        HostLane &lane = _lanes[t];
+        LaneBinding saved = t_binding;
+        t_binding = LaneBinding{this, &lane};
+        const std::size_t lo = count * t / lanes;
+        const std::size_t hi = count * (t + 1) / lanes;
+        for (std::size_t k = lo; k < hi; ++k) {
+            lane.chain = 0;
+            body(k);
+            lane.longest = std::max(lane.longest, lane.chain);
+        }
+        t_binding = saved;
+    };
+    ThreadPool::shared().run(lanes, job);
+
+    // Deterministic merge: max over lane maxima, sum of lane counters.
+    ModelTime longest = 0;
+    for (HostLane &lane : _lanes) {
+        longest = std::max(longest, lane.longest);
+        for (const auto &[name, c] : lane.stats.counters())
+            if (c.value())
+                _stats.counter(name) += c.value();
+    }
+    _lanes.clear();
+    charge(longest);
+    return longest;
+}
+
+ModelTime
+ChainEngine::runUncharged(const std::function<void()> &body)
+{
+    if (HostLane *lane = boundLane()) {
+        ModelTime saved = lane->chain;
+        lane->chain = 0;
+        body();
+        ModelTime would_charge = lane->chain;
+        lane->chain = saved;
+        return would_charge;
+    }
+    ++_parallelDepth;
+    ModelTime saved = _chainAccum;
+    _chainAccum = 0;
+    body();
+    ModelTime would_charge = _chainAccum;
+    _chainAccum = saved;
+    --_parallelDepth;
+    return would_charge;
+}
+
+} // namespace ot::sim

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Host-parallel execution engine for the networks' pardo semantics.
+ *
+ * Both network simulators (OTN and OTC) express the paper's
+ * "for each i pardo" as a parallelFor that charges the *maximum* of
+ * the per-iteration model-time chains, and "pipedo" as runUncharged.
+ * ChainEngine owns that accounting and, when configured with more
+ * than one host thread, dispatches the iteration range onto the
+ * shared ThreadPool.
+ *
+ * Determinism: each pool lane accumulates its iterations' chains and
+ * stat bumps into private HostLane storage; after the join the engine
+ * max-reduces the lane maxima and sums the lane counters.  max and +
+ * are commutative and associative over exact integers, and the clock
+ * is advanced exactly once per parallelFor in both modes, so model
+ * time, step counts, phase attribution, and stats are bit-identical
+ * to the sequential engine regardless of thread count or scheduling.
+ *
+ * Charges issued from inside a pool lane — including nested
+ * parallelFor / runUncharged and direct charge() calls in algorithm
+ * bodies — are routed to that lane through a thread_local binding, so
+ * the iteration bodies need no knowledge of the host threading.  A
+ * nested parallelFor inside a lane runs sequentially on that lane
+ * (its iterations' hardware is already busy serving the outer pardo's
+ * host lane), which composes chains exactly as the sequential engine
+ * does.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/time_accountant.hh"
+#include "vlsi/delay.hh"
+
+namespace ot::sim {
+
+using vlsi::ModelTime;
+
+class ChainEngine
+{
+  public:
+    /**
+     * @param acct         Clock the engine advances.
+     * @param stats        Stat set top-level bumps land in.
+     * @param host_threads 0 = ThreadPool::defaultThreads() (the
+     *                     OT_HOST_THREADS switch), 1 = sequential,
+     *                     n = dispatch onto n host lanes.
+     */
+    ChainEngine(TimeAccountant &acct, StatSet &stats,
+                unsigned host_threads = 0);
+
+    ChainEngine(const ChainEngine &) = delete;
+    ChainEngine &operator=(const ChainEngine &) = delete;
+
+    /** Resolved host-thread count (>= 1). */
+    unsigned hostThreads() const { return _threads; }
+
+    /**
+     * Charge model time: to the current pool lane's chain if this
+     * thread is executing one of this engine's lanes, else to the
+     * innermost sequential parallel section, else to the clock.
+     */
+    void charge(ModelTime dt);
+
+    /** Stat counter routed like charge() (lane-local under the pool). */
+    Counter &counter(const std::string &name);
+
+    /**
+     * Max-of-chains parallel loop.  Returns the charged cost.  Host
+     * dispatch engages only for top-level loops with >= 2 iterations
+     * and >= 2 configured threads; nested loops run sequentially on
+     * their lane.
+     */
+    ModelTime parallelFor(std::size_t count,
+                          const std::function<void(std::size_t)> &body);
+
+    /** Run body with the clock stopped; return what it would charge. */
+    ModelTime runUncharged(const std::function<void()> &body);
+
+  private:
+    /** Per-pool-lane accounting, private to one lane of one job. */
+    struct HostLane
+    {
+        ModelTime chain = 0;   // current iteration's chain
+        ModelTime longest = 0; // max chain over this lane's iterations
+        StatSet stats;         // merged into the engine's after the join
+    };
+
+    struct LaneBinding
+    {
+        const ChainEngine *engine = nullptr;
+        HostLane *lane = nullptr;
+    };
+
+    /** This thread's lane, iff it is serving one of *our* jobs. */
+    HostLane *boundLane() const;
+
+    ModelTime parallelForSequential(
+        std::size_t count, const std::function<void(std::size_t)> &body);
+    ModelTime parallelForPooled(
+        std::size_t count, const std::function<void(std::size_t)> &body);
+
+    static thread_local LaneBinding t_binding;
+
+    TimeAccountant &_acct;
+    StatSet &_stats;
+    unsigned _threads;
+
+    // Sequential parallel-section state (main thread, unbound).
+    unsigned _parallelDepth = 0;
+    ModelTime _chainAccum = 0;
+
+    std::vector<HostLane> _lanes;
+};
+
+} // namespace ot::sim

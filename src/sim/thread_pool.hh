@@ -1,0 +1,85 @@
+/**
+ * @file
+ * A small fixed-size host thread pool for parallelFor dispatch.
+ *
+ * The simulator's `pardo` loops iterate over disjoint row/column trees,
+ * so their host execution can be spread over real cores without
+ * changing any model-time arithmetic.  The pool is deliberately
+ * work-stealing-free: a job splits its iteration range into one
+ * contiguous block per lane, every worker runs exactly one block, and
+ * the caller joins at the end.  That static schedule is what makes the
+ * engine's per-lane accounting deterministic (see chain_engine.hh).
+ *
+ * One job runs at a time (callers serialize on the job mutex); nested
+ * `run` calls from inside a worker fall back to running all lanes
+ * inline on the calling thread, which preserves the lane-indexed
+ * accounting exactly.
+ */
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ot::sim {
+
+class ThreadPool
+{
+  public:
+    ThreadPool() = default;
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Process-wide pool shared by every network instance.  Workers are
+     * spawned lazily, so a program that never runs with more than one
+     * host thread never creates any.
+     */
+    static ThreadPool &shared();
+
+    /**
+     * Host-thread count requested by the environment: the value of
+     * OT_HOST_THREADS if set to a positive integer, else
+     * std::thread::hardware_concurrency() (min 1).
+     */
+    static unsigned defaultThreads();
+
+    /** True on a thread currently executing a pool job. */
+    static bool inWorker();
+
+    /**
+     * Run `fn(lane)` for every lane in [0, lanes).  Lane 0 executes on
+     * the calling thread; lanes 1..lanes-1 on pool workers.  Blocks
+     * until all lanes finish.  When called from inside a running job —
+     * whether from a worker lane or from lane 0 on the original caller —
+     * all lanes run inline, sequentially, on the calling thread.
+     */
+    void run(unsigned lanes, const std::function<void(unsigned)> &fn);
+
+    /** Workers currently spawned (for tests). */
+    std::size_t workerCount();
+
+  private:
+    void workerLoop(unsigned id);
+    void ensureWorkers(unsigned n);
+
+    std::mutex _jobMutex; // serializes concurrent run() callers
+
+    std::mutex _m;
+    std::condition_variable _wake;
+    std::condition_variable _done;
+    std::vector<std::thread> _workers;
+    const std::function<void(unsigned)> *_fn = nullptr;
+    unsigned _lanes = 0;
+    unsigned _pending = 0;
+    std::uint64_t _epoch = 0;
+    bool _stop = false;
+};
+
+} // namespace ot::sim

@@ -76,10 +76,19 @@ struct SelSpec
     Selector
     toSelector() const
     {
-        SelSpec copy = *this;
-        return [copy](std::size_t i, std::size_t j) {
-            return copy.test(i, j);
-        };
+        switch (kind) {
+          case All:
+            return Sel::all();
+          case Diag:
+            return Sel::diag();
+          case RowIs:
+            return Sel::rowIs(arg);
+          case ColIs:
+            return Sel::colIs(arg);
+          case Even:
+            return Sel::evenAlong(Axis::Row);
+        }
+        return Sel::none();
     }
 };
 
@@ -158,10 +167,11 @@ TEST_P(FuzzOtn, RandomPrimitiveSequencesMatchShadow)
           case 1: { // LEAFTOROOT — needs a unique selection
             std::size_t k0 = rng.uniform(0, kN - 1);
             auto [si, sj] = leaf(k0);
-            Selector unique = [si = si, sj = sj](std::size_t i,
-                                                 std::size_t j) {
-                return i == si && j == sj;
-            };
+            // Exercises the Sel::pred escape hatch.
+            Selector unique = Sel::pred(
+                [si = si, sj = sj](std::size_t i, std::size_t j) {
+                    return i == si && j == sj;
+                });
             net.leafToRoot(axis, idx, unique, static_cast<Reg>(src));
             root = shadow.at(src, si, sj);
             break;

@@ -82,8 +82,7 @@ TEST(OtnNetwork, LeafToRootPicksUniqueLeaf)
 TEST(OtnNetwork, LeafToRootWithNoSelectionYieldsNull)
 {
     OrthogonalTreesNetwork net(4, logCost(4));
-    net.leafToRoot(Axis::Col, 1,
-                   [](std::size_t, std::size_t) { return false; }, Reg::A);
+    net.leafToRoot(Axis::Col, 1, Sel::none(), Reg::A);
     EXPECT_EQ(net.colRoot(1), kNull);
 }
 
@@ -173,7 +172,11 @@ TEST(OtnNetwork, ParallelForChargesMaxOfChains)
 
 TEST(OtnNetwork, NestedParallelForComposes)
 {
-    OrthogonalTreesNetwork net(4, logCost(4));
+    // host_threads = 1: the outer iterations of this synthetic nest
+    // deliberately touch the SAME rows, so they must run sequentially
+    // (real pardo bodies use disjoint trees; see test_host_parallel.cc
+    // for the race-free nested determinism test).
+    OrthogonalTreesNetwork net(4, logCost(4), {}, /*host_threads=*/1);
     ModelTime one = net.treeTraversalCost();
     net.resetTime();
     net.parallelFor(4, [&](std::size_t i) {
