@@ -17,6 +17,7 @@
  * The library is organised as:
  *   ot::vlsi      — Thompson's VLSI cost model (delay rules, words)
  *   ot::sim       — model-time accounting, stats, deterministic RNG
+ *   ot::trace     — model-time event tracing, Perfetto export, analysis
  *   ot::layout    — chip layouts (OTN, OTC, mesh, PSN, CCC)
  *   ot::linalg    — matrices and sequential references
  *   ot::graph     — graphs, generators, sequential references
@@ -70,6 +71,9 @@
 #include "sim/rng.hh"
 #include "sim/stats.hh"
 #include "sim/time_accountant.hh"
+#include "trace/analysis.hh"
+#include "trace/export.hh"
+#include "trace/tracer.hh"
 #include "vlsi/bitmath.hh"
 #include "vlsi/cost_model.hh"
 #include "vlsi/delay.hh"

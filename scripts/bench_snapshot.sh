@@ -28,4 +28,30 @@ fi
     --benchmark_out_format=json \
     > /dev/null
 
+# Fold the model-time trace analysis (per-phase breakdown, root
+# bandwidth, critical path) for a reference SORT-OTN run into the
+# snapshot, so a bench JSON explains *where* the model time went, not
+# just how fast the host simulated it.
+otsim="$build_dir/tools/otsim"
+if [[ -x "$otsim" ]] && command -v python3 > /dev/null; then
+    summary=$(mktemp)
+    trap 'rm -f "$summary"' EXIT
+    if "$otsim" sort --net otn --n 256 --trace-summary "$summary" \
+        > /dev/null; then
+        python3 - "$out" "$summary" << 'EOF'
+import json, sys
+out_path, summary_path = sys.argv[1], sys.argv[2]
+with open(out_path) as f:
+    bench = json.load(f)
+with open(summary_path) as f:
+    bench["trace_summary"] = json.load(f)
+with open(out_path, "w") as f:
+    json.dump(bench, f, indent=1)
+EOF
+        echo "folded trace summary (sort --net otn --n 256) into $out"
+    else
+        echo "note: otsim trace summary unavailable, skipping" >&2
+    fi
+fi
+
 echo "wrote $out (host threads: ${OT_HOST_THREADS:-auto})"

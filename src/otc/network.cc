@@ -7,6 +7,23 @@
 
 namespace ot::otc {
 
+namespace {
+
+/** Trace addressing of one per-tree-of-cycles primitive. */
+sim::ChainEngine::SpanArgs
+treeSpan(Axis axis, std::size_t idx, std::size_t k, std::uint64_t words)
+{
+    sim::ChainEngine::SpanArgs args;
+    args.axis = axis == Axis::Row ? trace::TraceAxis::Row
+                                  : trace::TraceAxis::Col;
+    args.tree = static_cast<std::int64_t>(idx);
+    args.levels = vlsi::logCeilAtLeast1(k);
+    args.words = words;
+    return args;
+}
+
+} // namespace
+
 OtcNetwork::OtcNetwork(std::size_t cycles_per_side, unsigned cycle_len,
                        const CostModel &cost, unsigned host_threads)
     : _k(vlsi::nextPow2(cycles_per_side ? cycles_per_side : 1)),
@@ -69,6 +86,7 @@ OtcNetwork::circulate(std::size_t i, std::size_t j,
     }
     ++_engine.counter("otc.circulate");
     ModelTime dt = circulateCost();
+    _engine.traceSpan("otc", "circulate", dt, {});
     charge(dt);
     return dt;
 }
@@ -87,6 +105,8 @@ OtcNetwork::vectorCirculate(Axis axis, std::size_t idx,
         }
     });
     ++_engine.counter("otc.vectorCirculate");
+    _engine.traceSpan("otc", "vectorCirculate", dt,
+                      treeSpan(axis, idx, _k, 0));
     charge(dt);
     return dt;
 }
@@ -107,6 +127,8 @@ OtcNetwork::rootToCycle(Axis axis, std::size_t idx, const CycleSelector &sel,
     }
     ++_engine.counter("otc.rootToCycle");
     ModelTime dt = streamCost();
+    _engine.traceSpan("otc", "rootToCycle", dt,
+                      treeSpan(axis, idx, _k, _l));
     charge(dt);
     return dt;
 }
@@ -130,6 +152,8 @@ OtcNetwork::cycleToRoot(Axis axis, std::size_t idx, const CycleSelector &sel,
             rootStream(axis, idx, q) = kNull;
     ++_engine.counter("otc.cycleToRoot");
     ModelTime dt = streamCost();
+    _engine.traceSpan("otc", "cycleToRoot", dt,
+                      treeSpan(axis, idx, _k, _l));
     charge(dt);
     return dt;
 }
@@ -165,6 +189,8 @@ OtcNetwork::sumCycleToRoot(Axis axis, std::size_t idx,
                            const CycleSelector &sel, Reg src)
 {
     ++_engine.counter("otc.sumCycleToRoot");
+    _engine.traceSpan("otc", "sumCycleToRoot", _reduceStreamCost,
+                      treeSpan(axis, idx, _k, _l));
     return reduceToRoot(
         axis, idx, sel, src,
         [](std::uint64_t a, std::uint64_t b) { return a + b; }, 0);
@@ -175,6 +201,8 @@ OtcNetwork::minCycleToRoot(Axis axis, std::size_t idx,
                            const CycleSelector &sel, Reg src)
 {
     ++_engine.counter("otc.minCycleToRoot");
+    _engine.traceSpan("otc", "minCycleToRoot", _reduceStreamCost,
+                      treeSpan(axis, idx, _k, _l));
     return reduceToRoot(
         axis, idx, sel, src,
         [](std::uint64_t a, std::uint64_t b) { return std::min(a, b); },
@@ -224,6 +252,7 @@ OtcNetwork::baseOp(ModelTime op_cost,
             for (std::size_t q = 0; q < _l; ++q)
                 op(i, j, q);
     ++_engine.counter("otc.baseOp");
+    _engine.traceSpan("otc", "baseOp", op_cost, {});
     charge(op_cost);
     return op_cost;
 }

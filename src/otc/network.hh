@@ -144,6 +144,16 @@ class OtcNetwork
     /** Host threads the engine dispatches parallelFor onto. */
     unsigned hostThreads() const { return _engine.hostThreads(); }
 
+    /** Attach a model-time tracer (see otn::setTracer). */
+    void
+    setTracer(trace::Tracer *tracer)
+    {
+        _acct.setTracer(tracer);
+        _engine.setTracer(tracer);
+    }
+
+    trace::Tracer *tracer() const { return _engine.tracer(); }
+
     void
     resetTime()
     {

@@ -7,6 +7,32 @@
 
 namespace ot::otn {
 
+namespace {
+
+/** Trace addressing of one per-tree primitive. */
+sim::ChainEngine::SpanArgs
+treeSpan(Axis axis, std::size_t idx, std::size_t n, std::uint64_t words)
+{
+    sim::ChainEngine::SpanArgs args;
+    args.axis = axis == Axis::Row ? trace::TraceAxis::Row
+                                  : trace::TraceAxis::Col;
+    args.tree = static_cast<std::int64_t>(idx);
+    args.levels = vlsi::logCeilAtLeast1(n);
+    args.words = words;
+    return args;
+}
+
+/** Trace addressing of a whole-base (no single tree) operation. */
+sim::ChainEngine::SpanArgs
+baseSpan(std::uint64_t words)
+{
+    sim::ChainEngine::SpanArgs args;
+    args.words = words;
+    return args;
+}
+
+} // namespace
+
 OrthogonalTreesNetwork::OrthogonalTreesNetwork(std::size_t n,
                                                const CostModel &cost,
                                                layout::LayoutParams params,
@@ -80,6 +106,7 @@ OrthogonalTreesNetwork::rootToLeaf(Axis axis, std::size_t idx,
     }
     ++_engine.counter("otn.rootToLeaf");
     ModelTime dt = treeTraversalCost();
+    _engine.traceSpan("otn", "rootToLeaf", dt, treeSpan(axis, idx, _n, 1));
     charge(dt);
     return dt;
 }
@@ -101,6 +128,7 @@ OrthogonalTreesNetwork::leafToRoot(Axis axis, std::size_t idx,
     rootReg(axis, idx) = value;
     ++_engine.counter("otn.leafToRoot");
     ModelTime dt = treeTraversalCost();
+    _engine.traceSpan("otn", "leafToRoot", dt, treeSpan(axis, idx, _n, 1));
     charge(dt);
     return dt;
 }
@@ -134,6 +162,8 @@ OrthogonalTreesNetwork::countLeafToRoot(Axis axis, std::size_t idx, Reg flag)
         [](std::uint64_t a, std::uint64_t b) { return a + b; });
     ++_engine.counter("otn.countLeafToRoot");
     ModelTime dt = treeReduceCost();
+    _engine.traceSpan("otn", "countLeafToRoot", dt,
+                      treeSpan(axis, idx, _n, 1));
     charge(dt);
     return dt;
 }
@@ -150,6 +180,8 @@ OrthogonalTreesNetwork::sumLeafToRoot(Axis axis, std::size_t idx,
         [](std::uint64_t a, std::uint64_t b) { return a + b; });
     ++_engine.counter("otn.sumLeafToRoot");
     ModelTime dt = treeReduceCost();
+    _engine.traceSpan("otn", "sumLeafToRoot", dt,
+                      treeSpan(axis, idx, _n, 1));
     charge(dt);
     return dt;
 }
@@ -166,6 +198,8 @@ OrthogonalTreesNetwork::minLeafToRoot(Axis axis, std::size_t idx,
         [](std::uint64_t a, std::uint64_t b) { return std::min(a, b); });
     ++_engine.counter("otn.minLeafToRoot");
     ModelTime dt = treeReduceCost();
+    _engine.traceSpan("otn", "minLeafToRoot", dt,
+                      treeSpan(axis, idx, _n, 1));
     charge(dt);
     return dt;
 }
@@ -233,6 +267,8 @@ OrthogonalTreesNetwork::loadBase(Reg r, const linalg::IntMatrix &m,
         separation = _cost.wordSeparation();
     ModelTime dt =
         CostModel::pipelineTotal(treeTraversalCost(), _n, separation);
+    _engine.traceSpan("otn", "loadBase", dt,
+                      baseSpan(static_cast<std::uint64_t>(_n) * _n));
     charge(dt);
     return dt;
 }
@@ -308,6 +344,8 @@ OrthogonalTreesNetwork::permuteLeafToLeaf(Axis axis, std::size_t idx,
     }
     ++_engine.counter("otn.permuteLeafToLeaf");
     ModelTime dt = permutationCost(perm);
+    _engine.traceSpan("otn", "permuteLeafToLeaf", dt,
+                      treeSpan(axis, idx, _n, 0));
     charge(dt);
     return dt;
 }
@@ -329,6 +367,8 @@ OrthogonalTreesNetwork::prefixSumLeafToLeaf(Axis axis, std::size_t idx,
     }
     ++_engine.counter("otn.prefixSumLeafToLeaf");
     ModelTime dt = 2 * treeReduceCost();
+    _engine.traceSpan("otn", "prefixSumLeafToLeaf", dt,
+                      treeSpan(axis, idx, _n, 0));
     charge(dt);
     return dt;
 }
@@ -342,6 +382,7 @@ OrthogonalTreesNetwork::baseOp(
         for (std::size_t j = 0; j < _n; ++j)
             op(i, j);
     ++_engine.counter("otn.baseOp");
+    _engine.traceSpan("otn", "baseOp", op_cost, baseSpan(0));
     charge(op_cost);
     return op_cost;
 }

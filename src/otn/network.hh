@@ -191,6 +191,21 @@ class OrthogonalTreesNetwork
     /** Host threads the engine dispatches parallelFor onto. */
     unsigned hostThreads() const { return _engine.hostThreads(); }
 
+    /**
+     * Attach a model-time tracer: every primitive becomes a Span event
+     * and every clock tick a Charge event (see trace/tracer.hh).  Pass
+     * nullptr to detach; the tracer must outlive the network or be
+     * detached first.
+     */
+    void
+    setTracer(trace::Tracer *tracer)
+    {
+        _acct.setTracer(tracer);
+        _engine.setTracer(tracer);
+    }
+
+    trace::Tracer *tracer() const { return _engine.tracer(); }
+
     /** Model time elapsed since construction/reset. */
     ModelTime now() const { return _acct.now(); }
 

@@ -36,6 +36,7 @@
 
 #include "sim/stats.hh"
 #include "sim/time_accountant.hh"
+#include "trace/tracer.hh"
 #include "vlsi/delay.hh"
 
 namespace ot::sim {
@@ -72,6 +73,41 @@ class ChainEngine
     Counter &counter(const std::string &name);
 
     /**
+     * Attach a tracer; primitive spans recorded through traceSpan()
+     * are routed like charge() (lane-local under the pool, merged
+     * deterministically after the join).  The caller usually attaches
+     * the same tracer to the TimeAccountant so the charge stream rides
+     * along.  nullptr detaches.
+     */
+    void setTracer(trace::Tracer *tracer) { _tracer = tracer; }
+    trace::Tracer *tracer() const { return _tracer; }
+
+    /** Addressing/args of one traced primitive span. */
+    struct SpanArgs
+    {
+        trace::TraceAxis axis = trace::TraceAxis::None;
+        std::int64_t tree = -1;
+        std::uint32_t levels = 0;
+        std::uint64_t words = 0;
+    };
+
+    /**
+     * Record one primitive span of duration `dur` starting at the
+     * current model-time offset (clock + enclosing chains + chain so
+     * far).  Call *before* the matching charge(dur).  No-op without an
+     * enabled tracer; compiled out entirely without OT_TRACE.
+     */
+#ifdef OT_TRACE
+    void traceSpan(const char *cat, const char *name, ModelTime dur,
+                   const SpanArgs &args);
+#else
+    void
+    traceSpan(const char *, const char *, ModelTime, const SpanArgs &)
+    {
+    }
+#endif
+
+    /**
      * Max-of-chains parallel loop.  Returns the charged cost.  Host
      * dispatch engages only for top-level loops with >= 2 iterations
      * and >= 2 configured threads; nested loops run sequentially on
@@ -89,7 +125,10 @@ class ChainEngine
     {
         ModelTime chain = 0;   // current iteration's chain
         ModelTime longest = 0; // max chain over this lane's iterations
+        ModelTime traceBase = 0;     // model-time offset of the chain start
+        unsigned unchargedDepth = 0; // runUncharged nesting on this lane
         StatSet stats;         // merged into the engine's after the join
+        trace::LaneLog trace;  // merged into the tracer after the join
     };
 
     struct LaneBinding
@@ -111,10 +150,13 @@ class ChainEngine
     TimeAccountant &_acct;
     StatSet &_stats;
     unsigned _threads;
+    trace::Tracer *_tracer = nullptr;
 
     // Sequential parallel-section state (main thread, unbound).
     unsigned _parallelDepth = 0;
     ModelTime _chainAccum = 0;
+    ModelTime _traceBase = 0;     // model-time offset of _chainAccum's start
+    unsigned _unchargedDepth = 0; // runUncharged nesting (main thread)
 
     std::vector<HostLane> _lanes;
 };

@@ -1,5 +1,10 @@
 #include "sim/stats.hh"
 
+#include <iomanip>
+#include <sstream>
+
+#include "trace/export.hh"
+
 namespace ot::sim {
 
 void
@@ -13,6 +18,32 @@ StatSet::dump(std::ostream &os, const std::string &prefix) const
            << prefix << name << ".min " << d.min() << "\n"
            << prefix << name << ".max " << d.max() << "\n";
     }
+}
+
+std::string
+StatSet::toJson() const
+{
+    std::ostringstream os;
+    os << std::setprecision(17);
+    os << "{\"counters\": {";
+    bool first = true;
+    for (const auto &[name, c] : _counters) {
+        os << (first ? "" : ", ") << "\"" << trace::jsonEscape(name)
+           << "\": " << c.value();
+        first = false;
+    }
+    os << "}, \"distributions\": {";
+    first = true;
+    for (const auto &[name, d] : _distributions) {
+        os << (first ? "" : ", ") << "\"" << trace::jsonEscape(name)
+           << "\": {\"count\": " << d.count() << ", \"total\": " << d.total()
+           << ", \"mean\": " << d.mean() << ", \"min\": " << d.min()
+           << ", \"max\": " << d.max() << ", \"stddev\": " << d.stddev()
+           << "}";
+        first = false;
+    }
+    os << "}}";
+    return os.str();
 }
 
 } // namespace ot::sim

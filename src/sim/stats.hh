@@ -11,6 +11,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <map>
@@ -32,7 +33,7 @@ class Counter
     std::uint64_t _value = 0;
 };
 
-/** Running min/max/mean/total of a sampled quantity. */
+/** Running min/max/mean/variance/total of a sampled quantity. */
 class Distribution
 {
   public:
@@ -41,6 +42,7 @@ class Distribution
     {
         ++_count;
         _total += v;
+        _sumSq += v * v;
         _min = std::min(_min, v);
         _max = std::max(_max, v);
     }
@@ -56,11 +58,25 @@ class Distribution
         return _count ? _total / static_cast<double>(_count) : 0.0;
     }
 
+    /** Population variance; 0 with fewer than two samples. */
+    double
+    variance() const
+    {
+        if (_count < 2)
+            return 0.0;
+        double m = mean();
+        double v = _sumSq / static_cast<double>(_count) - m * m;
+        return std::max(v, 0.0); // clamp the round-off
+    }
+
+    double stddev() const { return std::sqrt(variance()); }
+
     void
     reset()
     {
         _count = 0;
         _total = 0.0;
+        _sumSq = 0.0;
         _min = std::numeric_limits<double>::infinity();
         _max = -std::numeric_limits<double>::infinity();
     }
@@ -68,6 +84,7 @@ class Distribution
   private:
     std::uint64_t _count = 0;
     double _total = 0.0;
+    double _sumSq = 0.0;
     double _min = std::numeric_limits<double>::infinity();
     double _max = -std::numeric_limits<double>::infinity();
 };
@@ -110,6 +127,13 @@ class StatSet
 
     /** Dump all stats, one per line, `prefix.name value` format. */
     void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    /**
+     * The whole set as a JSON object — {"counters": {...},
+     * "distributions": {...}} — so stats can ride along in trace files
+     * and bench snapshots instead of only the ostream dump.
+     */
+    std::string toJson() const;
 
   private:
     std::map<std::string, Counter> _counters;

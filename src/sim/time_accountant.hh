@@ -16,11 +16,13 @@
 
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "trace/tracer.hh"
 #include "vlsi/delay.hh"
 
 namespace ot::sim {
@@ -37,10 +39,19 @@ class TimeAccountant
     void
     advance(ModelTime dt)
     {
+        ModelTime start = _now;
         _now += dt;
         ++_steps;
         if (!_phaseStack.empty())
             _phaseTimes[_phaseStack.back()] += dt;
+#ifdef OT_TRACE
+        if (_tracer && _tracer->enabled())
+            _tracer->recordCharge(
+                start, dt,
+                _phaseStack.empty() ? std::string() : _phaseStack.back());
+#else
+        (void)start;
+#endif
     }
 
     /** Current model time. */
@@ -55,6 +66,7 @@ class TimeAccountant
     {
         _now = 0;
         _steps = 0;
+        _phaseUnderflows = 0;
         _phaseTimes.clear();
         _phaseStack.clear();
     }
@@ -62,15 +74,46 @@ class TimeAccountant
     /** Enter a named phase; time advanced until endPhase is attributed
      *  to it (innermost phase only, so nested phases don't double
      *  count). */
-    void beginPhase(const std::string &name) { _phaseStack.push_back(name); }
+    void
+    beginPhase(const std::string &name)
+    {
+        _phaseStack.push_back(name);
+#ifdef OT_TRACE
+        if (_tracer && _tracer->enabled())
+            _tracer->recordPhase(trace::EventKind::PhaseBegin, _now, name);
+#endif
+    }
 
-    /** Leave the innermost phase. */
+    /**
+     * Leave the innermost phase.  Popping with an empty stack is a
+     * phase-balance bug (an endPhase without its beginPhase — use
+     * ScopedPhase to make leaks impossible); it is asserted in debug
+     * builds and otherwise counted in phaseUnderflows() and ignored,
+     * so attribution stays well defined.
+     */
     void
     endPhase()
     {
-        if (!_phaseStack.empty())
-            _phaseStack.pop_back();
+        assert(!_phaseStack.empty() &&
+               "endPhase without matching beginPhase");
+        if (_phaseStack.empty()) {
+            ++_phaseUnderflows;
+            return;
+        }
+#ifdef OT_TRACE
+        if (_tracer && _tracer->enabled())
+            _tracer->recordPhase(trace::EventKind::PhaseEnd, _now,
+                                 _phaseStack.back());
+#endif
+        _phaseStack.pop_back();
     }
+
+    /** endPhase calls that found the stack empty (always 0 in a
+     *  phase-balanced program). */
+    std::uint64_t phaseUnderflows() const { return _phaseUnderflows; }
+
+    /** Phases currently open. */
+    std::size_t phaseDepth() const { return _phaseStack.size(); }
 
     /** Per-phase accumulated model time. */
     const std::map<std::string, ModelTime> &
@@ -79,9 +122,19 @@ class TimeAccountant
         return _phaseTimes;
     }
 
+    /**
+     * Attach (or detach, with nullptr) a tracer; every advance emits a
+     * Charge event and every begin/endPhase a phase marker.  The
+     * tracer must outlive the accountant or be detached first.
+     */
+    void setTracer(trace::Tracer *tracer) { _tracer = tracer; }
+    trace::Tracer *tracer() const { return _tracer; }
+
   private:
     ModelTime _now = 0;
     std::uint64_t _steps = 0;
+    std::uint64_t _phaseUnderflows = 0;
+    trace::Tracer *_tracer = nullptr;
     std::map<std::string, ModelTime> _phaseTimes;
     std::vector<std::string> _phaseStack;
 };

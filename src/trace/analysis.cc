@@ -1,0 +1,226 @@
+#include "trace/analysis.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "trace/export.hh"
+
+namespace ot::trace {
+
+Summary
+analyze(const Tracer &tracer)
+{
+    Summary s;
+    s.droppedEvents = tracer.dropped();
+
+    // The phase stack, rebuilt from the begin/end events so charges can
+    // be attributed to their innermost phase, and the critical chain:
+    // one segment per maximal run of charges under the same innermost
+    // phase.
+    std::vector<std::string> stack;
+    auto innermost = [&]() -> const std::string & {
+        static const std::string unphased;
+        return stack.empty() ? unphased : stack.back();
+    };
+    bool segment_open = false;
+    auto extend_chain = [&](ModelTime start, ModelTime dur) {
+        const std::string &phase = innermost();
+        if (segment_open && s.criticalPath.back().phase == phase) {
+            PhaseSegment &seg = s.criticalPath.back();
+            seg.end = start + dur;
+            seg.charged += dur;
+        } else {
+            s.criticalPath.push_back({phase, start, start + dur, dur});
+            segment_open = true;
+        }
+    };
+
+    for (const Event &e : tracer.events()) {
+        switch (e.kind) {
+        case EventKind::PhaseBegin:
+            stack.push_back(e.phase);
+            segment_open = false;
+            break;
+        case EventKind::PhaseEnd:
+            if (!stack.empty())
+                stack.pop_back();
+            segment_open = false;
+            break;
+        case EventKind::Charge:
+            s.total += e.dur;
+            ++s.steps;
+            s.perPhase[e.phase] += e.dur;
+            extend_chain(e.start, e.dur);
+            break;
+        case EventKind::Span: {
+            PrimitiveStat &p = s.perPrimitive[e.name];
+            if (!e.charged) {
+                ++p.unchargedCount;
+                break;
+            }
+            ++p.count;
+            p.time += e.dur;
+            p.words += e.words;
+            s.rootWords += e.words;
+            if (e.axis != TraceAxis::None && e.tree >= 0) {
+                TreeStat &t = s.perTree[{e.axis, e.tree}];
+                ++t.count;
+                t.time += e.dur;
+                t.words += e.words;
+            }
+            if (e.levels)
+                s.perLevel[e.levels] += e.dur;
+            break;
+        }
+        }
+    }
+    return s;
+}
+
+namespace {
+
+std::string
+treeLabel(const std::pair<TraceAxis, std::int64_t> &key)
+{
+    std::ostringstream os;
+    os << (key.first == TraceAxis::Row ? "row-tree-" : "col-tree-")
+       << key.second;
+    return os.str();
+}
+
+double
+pct(ModelTime part, ModelTime total)
+{
+    return total ? 100.0 * static_cast<double>(part) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+} // namespace
+
+void
+Summary::writeText(std::ostream &os) const
+{
+    os << "trace summary: total model time " << total << " over " << steps
+       << " clock ticks";
+    if (droppedEvents)
+        os << " (" << droppedEvents << " events dropped)";
+    os << "\n";
+
+    os << "per-phase model time:\n";
+    for (const auto &[phase, t] : perPhase)
+        os << "  " << std::left << std::setw(28)
+           << (phase.empty() ? "(unphased)" : phase) << std::right
+           << std::setw(14) << t << "  " << std::fixed
+           << std::setprecision(1) << pct(t, total) << "%\n"
+           << std::defaultfloat;
+
+    os << "per-primitive charged time:\n";
+    for (const auto &[name, p] : perPrimitive) {
+        os << "  " << std::left << std::setw(28) << name << std::right
+           << std::setw(14) << p.time << "  x" << p.count;
+        if (p.unchargedCount)
+            os << "  (+" << p.unchargedCount << " pipelined)";
+        os << "\n";
+    }
+
+    if (!perLevel.empty()) {
+        os << "per-tree-level charged time:\n";
+        for (const auto &[levels, t] : perLevel)
+            os << "  " << levels << "-level trees" << std::setw(14) << t
+               << "\n";
+    }
+
+    os << "root bandwidth: " << rootWords << " words / " << total
+       << " time = " << std::scientific << std::setprecision(3)
+       << rootBandwidth() << " words per unit\n"
+       << std::defaultfloat;
+
+    // The busiest trees only; a full per-tree dump is in the JSON.
+    std::vector<std::pair<std::pair<TraceAxis, std::int64_t>, TreeStat>>
+        trees(perTree.begin(), perTree.end());
+    std::sort(trees.begin(), trees.end(), [](const auto &a, const auto &b) {
+        return a.second.time > b.second.time;
+    });
+    if (!trees.empty()) {
+        os << "busiest trees:\n";
+        for (std::size_t i = 0; i < std::min<std::size_t>(5, trees.size());
+             ++i)
+            os << "  " << std::left << std::setw(28)
+               << treeLabel(trees[i].first) << std::right << std::setw(14)
+               << trees[i].second.time << "  x" << trees[i].second.count
+               << "\n";
+    }
+
+    os << "critical phase chain:\n";
+    for (const PhaseSegment &seg : criticalPath)
+        os << "  [" << seg.begin << ", " << seg.end << "] "
+           << (seg.phase.empty() ? "(unphased)" : seg.phase) << " ("
+           << seg.charged << " charged, " << std::fixed
+           << std::setprecision(1) << pct(seg.charged, total) << "%)\n"
+           << std::defaultfloat;
+}
+
+std::string
+Summary::toJson() const
+{
+    std::ostringstream os;
+    os << "{\n  \"totalModelTime\": " << total << ",\n  \"steps\": " << steps
+       << ",\n  \"rootWords\": " << rootWords
+       << ",\n  \"rootBandwidth\": " << std::scientific
+       << std::setprecision(9) << rootBandwidth() << std::defaultfloat
+       << ",\n  \"droppedEvents\": " << droppedEvents;
+
+    os << ",\n  \"perPhase\": {";
+    bool first = true;
+    for (const auto &[phase, t] : perPhase) {
+        os << (first ? "" : ",") << "\n    \"" << jsonEscape(phase)
+           << "\": " << t;
+        first = false;
+    }
+    os << "\n  }";
+
+    os << ",\n  \"perPrimitive\": {";
+    first = true;
+    for (const auto &[name, p] : perPrimitive) {
+        os << (first ? "" : ",") << "\n    \"" << jsonEscape(name)
+           << "\": {\"count\": " << p.count << ", \"time\": " << p.time
+           << ", \"uncharged\": " << p.unchargedCount
+           << ", \"words\": " << p.words << "}";
+        first = false;
+    }
+    os << "\n  }";
+
+    os << ",\n  \"perTree\": {";
+    first = true;
+    for (const auto &[key, t] : perTree) {
+        os << (first ? "" : ",") << "\n    \"" << treeLabel(key)
+           << "\": {\"count\": " << t.count << ", \"time\": " << t.time
+           << ", \"words\": " << t.words << "}";
+        first = false;
+    }
+    os << "\n  }";
+
+    os << ",\n  \"perLevel\": {";
+    first = true;
+    for (const auto &[levels, t] : perLevel) {
+        os << (first ? "" : ",") << "\n    \"" << levels << "\": " << t;
+        first = false;
+    }
+    os << "\n  }";
+
+    os << ",\n  \"criticalPath\": [";
+    first = true;
+    for (const PhaseSegment &seg : criticalPath) {
+        os << (first ? "" : ",") << "\n    {\"phase\": \""
+           << jsonEscape(seg.phase) << "\", \"begin\": " << seg.begin
+           << ", \"end\": " << seg.end << ", \"charged\": " << seg.charged
+           << "}";
+        first = false;
+    }
+    os << "\n  ]\n}\n";
+    return os.str();
+}
+
+} // namespace ot::trace

@@ -1,0 +1,181 @@
+#include "trace/export.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+namespace ot::trace {
+
+namespace {
+
+constexpr std::uint64_t kTidPhases = 1;
+constexpr std::uint64_t kTidAccounting = 2;
+constexpr std::uint64_t kTidBase = 3;
+constexpr std::uint64_t kTidTrees = 16;
+
+std::uint64_t
+spanTid(const Event &e)
+{
+    if (e.axis == TraceAxis::None || e.tree < 0)
+        return kTidBase;
+    return kTidTrees + 2 * static_cast<std::uint64_t>(e.tree) +
+           (e.axis == TraceAxis::Col ? 1 : 0);
+}
+
+std::string
+trackName(const Event &e)
+{
+    if (e.axis == TraceAxis::None || e.tree < 0)
+        return "base";
+    std::ostringstream os;
+    os << (e.axis == TraceAxis::Row ? "row-tree-" : "col-tree-") << e.tree;
+    return os.str();
+}
+
+void
+writeMetaEvent(std::ostream &os, bool &first, std::uint64_t tid,
+               const std::string &name)
+{
+    os << (first ? "" : ",\n") << "  {\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+       << jsonEscape(name) << "\"}}";
+    first = false;
+}
+
+void
+writeCompleteEvent(std::ostream &os, bool &first, std::uint64_t tid,
+                   const std::string &name, const char *cat, ModelTime ts,
+                   ModelTime dur, const std::string &args_json)
+{
+    os << (first ? "" : ",\n") << "  {\"ph\":\"X\",\"pid\":1,\"tid\":" << tid
+       << ",\"name\":\"" << jsonEscape(name) << "\",\"cat\":\"" << cat
+       << "\",\"ts\":" << ts << ",\"dur\":" << dur;
+    if (!args_json.empty())
+        os << ",\"args\":" << args_json;
+    os << "}";
+    first = false;
+}
+
+} // namespace
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+writeChromeTrace(std::ostream &os, const Tracer &tracer,
+                 const std::string &stats_json)
+{
+    const auto &events = tracer.events();
+
+    // Pair PhaseBegin/PhaseEnd into complete spans; an unbalanced
+    // Begin closes at the last timestamp seen so a truncated trace
+    // still renders.
+    ModelTime last_ts = 0;
+    for (const Event &e : events)
+        last_ts = std::max(last_ts, e.start + e.dur);
+
+    struct OpenPhase
+    {
+        std::string name;
+        ModelTime begin;
+    };
+
+    os << "{\n\"traceEvents\": [\n";
+    bool first = true;
+    writeMetaEvent(os, first, kTidPhases, "phases");
+    writeMetaEvent(os, first, kTidAccounting, "accounting");
+
+    std::map<std::uint64_t, std::string> tracks;
+    std::vector<OpenPhase> open;
+    for (const Event &e : events) {
+        switch (e.kind) {
+        case EventKind::PhaseBegin:
+            open.push_back({e.phase, e.start});
+            break;
+        case EventKind::PhaseEnd: {
+            if (open.empty())
+                break;
+            OpenPhase p = std::move(open.back());
+            open.pop_back();
+            writeCompleteEvent(os, first, kTidPhases, p.name, "phase",
+                               p.begin, e.start - p.begin, "");
+            break;
+        }
+        case EventKind::Charge:
+            writeCompleteEvent(os, first, kTidAccounting,
+                               e.phase.empty() ? "(unphased)" : e.phase,
+                               "charge", e.start, e.dur, "");
+            break;
+        case EventKind::Span: {
+            std::uint64_t tid = spanTid(e);
+            tracks.emplace(tid, trackName(e));
+            std::ostringstream args;
+            args << "{\"words\":" << e.words << ",\"levels\":" << e.levels
+                 << ",\"charged\":" << (e.charged ? "true" : "false") << "}";
+            writeCompleteEvent(os, first, tid, e.name, e.cat, e.start, e.dur,
+                               args.str());
+            break;
+        }
+        }
+    }
+    while (!open.empty()) {
+        OpenPhase p = std::move(open.back());
+        open.pop_back();
+        writeCompleteEvent(os, first, kTidPhases, p.name, "phase", p.begin,
+                           last_ts - p.begin, "");
+    }
+    for (const auto &[tid, name] : tracks)
+        writeMetaEvent(os, first, tid, name);
+
+    os << "\n],\n\"displayTimeUnit\": \"ms\",\n\"otherData\": {\n"
+       << "  \"modelTimeEnd\": " << last_ts << ",\n"
+       << "  \"events\": " << events.size() << ",\n"
+       << "  \"droppedEvents\": " << tracer.dropped();
+    if (!stats_json.empty())
+        os << ",\n  \"stats\": " << stats_json;
+    os << "\n}\n}\n";
+}
+
+std::string
+toChromeTraceJson(const Tracer &tracer, const std::string &stats_json)
+{
+    std::ostringstream os;
+    writeChromeTrace(os, tracer, stats_json);
+    return os.str();
+}
+
+} // namespace ot::trace

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Chrome trace-event (Perfetto) export of a Tracer's stream.
+ *
+ * The emitted JSON is the classic `{"traceEvents": [...]}` format that
+ * ui.perfetto.dev and chrome://tracing load directly.  Model time maps
+ * to the timestamp axis one-to-one (one model-time unit = one "us" in
+ * the viewer; the absolute unit is abstract anyway).
+ *
+ * Track layout (all under one process, "orthotree model"):
+ *   tid 1            "phases"      — the TimeAccountant phase stack,
+ *                                    as complete spans
+ *   tid 2            "accounting"  — every clock tick (Charge event),
+ *                                    named by its innermost phase
+ *   tid 3            "base"        — spans with no tree address
+ *                                    (baseOp, loadBase, circulate)
+ *   tid 16 + 2t + a  one track per tree (axis a, tree index t), so a
+ *                    pardo over trees renders as overlapping rows
+ *
+ * Spans recorded inside runUncharged (pipedo) blocks carry
+ * "charged": false in their args.
+ */
+
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "trace/tracer.hh"
+
+namespace ot::trace {
+
+/** Escape a string for embedding in a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Write the Perfetto-loadable trace JSON.  `stats_json`, if nonempty,
+ * must be a complete JSON value (e.g. sim::StatSet::toJson()) and is
+ * embedded under otherData.stats so counters ride along with the
+ * events.
+ */
+void writeChromeTrace(std::ostream &os, const Tracer &tracer,
+                      const std::string &stats_json = "");
+
+/** Same, as a string. */
+std::string toChromeTraceJson(const Tracer &tracer,
+                              const std::string &stats_json = "");
+
+} // namespace ot::trace

@@ -1,0 +1,17 @@
+#include "trace/tracer.hh"
+
+#include <cstring>
+
+namespace ot::trace {
+
+bool
+eventsEqual(const Event &a, const Event &b)
+{
+    return a.kind == b.kind && a.axis == b.axis && a.charged == b.charged &&
+           a.start == b.start && a.dur == b.dur &&
+           std::strcmp(a.cat, b.cat) == 0 &&
+           std::strcmp(a.name, b.name) == 0 && a.phase == b.phase &&
+           a.tree == b.tree && a.levels == b.levels && a.words == b.words;
+}
+
+} // namespace ot::trace

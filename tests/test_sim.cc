@@ -79,6 +79,22 @@ TEST(TimeAccountant, ScopedPhaseIsExceptionSafeRaii)
     EXPECT_EQ(acct.phaseTimes().at("scoped"), 4u);
 }
 
+TEST(TimeAccountant, PhaseUnderflowIsCaught)
+{
+    // This repo keeps assertions on in every build type, so an
+    // endPhase without its beginPhase dies with a diagnostic rather
+    // than silently corrupting attribution.
+    TimeAccountant acct;
+    EXPECT_DEATH(acct.endPhase(), "endPhase without matching beginPhase");
+
+    // Balanced usage reports a clean bill of health.
+    acct.beginPhase("p");
+    EXPECT_EQ(acct.phaseDepth(), 1u);
+    acct.endPhase();
+    EXPECT_EQ(acct.phaseDepth(), 0u);
+    EXPECT_EQ(acct.phaseUnderflows(), 0u);
+}
+
 TEST(Stats, CountersAccumulateAndReset)
 {
     StatSet stats;
@@ -100,6 +116,40 @@ TEST(Stats, DistributionTracksMoments)
     EXPECT_DOUBLE_EQ(d.mean(), 6.0);
     EXPECT_DOUBLE_EQ(d.min(), 2.0);
     EXPECT_DOUBLE_EQ(d.max(), 10.0);
+}
+
+TEST(Stats, DistributionVarianceAndStddev)
+{
+    Distribution d;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        d.sample(v);
+    // The classic example: mean 5, population variance 4.
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(d.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(d.stddev(), 2.0);
+
+    Distribution one;
+    one.sample(3.0);
+    EXPECT_EQ(one.variance(), 0.0);
+    EXPECT_EQ(one.stddev(), 0.0);
+
+    d.reset();
+    EXPECT_EQ(d.variance(), 0.0);
+}
+
+TEST(Stats, ToJsonIsWellFormedAndComplete)
+{
+    StatSet stats;
+    stats.counter("otn.rootToLeaf") += 12;
+    auto &d = stats.distribution("lat");
+    d.sample(1.0);
+    d.sample(3.0);
+    auto json = stats.toJson();
+    EXPECT_NE(json.find("\"otn.rootToLeaf\": 12"), std::string::npos);
+    EXPECT_NE(json.find("\"lat\""), std::string::npos);
+    EXPECT_NE(json.find("\"count\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"mean\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"stddev\": 1"), std::string::npos);
 }
 
 TEST(Stats, EmptyDistributionIsZeroed)

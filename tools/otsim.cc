@@ -11,18 +11,32 @@
  *   otsim sssp    [--n N] [--seed S]
  *   otsim layout  --net otn|otc [--n N] [--art]
  *   otsim tables  [--n N]
+ *   otsim trace   [sort|cc|mst|matmul|sssp] [--net otn|otc] [--n N]
+ *                 [--trace-out FILE] [--trace-summary FILE]
  *
  * Every run prints the result summary, the machine's model time, chip
  * area and AT^2, and verifies against the sequential reference.
+ *
+ * Tracing: `--trace-out FILE` on sort/cc/mst/matmul/sssp records every
+ * primitive and clock tick in model time and writes a Chrome
+ * trace-event JSON loadable in ui.perfetto.dev; `--trace-summary FILE`
+ * writes the analyzer's per-phase/per-tree breakdown as JSON.  The
+ * `trace` subcommand runs a workload (default sort) and prints that
+ * breakdown as text.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iostream>
 #include <map>
 #include <string>
 
 #include "orthotree/orthotree.hh"
+#include "trace/analysis.hh"
+#include "trace/export.hh"
+#include "trace/tracer.hh"
 
 namespace {
 
@@ -33,12 +47,21 @@ struct Options
     std::string command;
     std::string net = "otn";
     std::string svg_path;
+    std::string trace_out;
+    std::string trace_summary;
     std::size_t n = 64;
     double p = 0.1;
     std::uint64_t seed = 1;
     vlsi::DelayModel model = vlsi::DelayModel::Logarithmic;
     bool scaled = false;
     bool art = false;
+    bool trace_text = false; // the `trace` subcommand: print the summary
+
+    bool
+    tracing() const
+    {
+        return trace_text || !trace_out.empty() || !trace_summary.empty();
+    }
 };
 
 [[noreturn]] void
@@ -46,10 +69,14 @@ usage(const char *argv0)
 {
     std::fprintf(
         stderr,
-        "usage: %s <sort|cc|mst|matmul|sssp|layout|tables> [options]\n"
+        "usage: %s <sort|cc|mst|matmul|sssp|layout|tables|trace> "
+        "[options]\n"
         "  --net <otn|otc|mesh|psn|ccc|tree|hex|mot3d>\n"
         "  --n <size>   --seed <seed>   --p <edge prob>\n"
-        "  --model <log|const|linear>   --scaled   --art   --svg <file>\n",
+        "  --model <log|const|linear>   --scaled   --art   --svg <file>\n"
+        "  --trace-out <file>      write a Perfetto (Chrome trace) JSON\n"
+        "  --trace-summary <file>  write the trace analyzer JSON\n"
+        "  trace [sort|cc|mst|matmul|sssp]  run traced, print breakdown\n",
         argv0);
     std::exit(2);
 }
@@ -70,8 +97,18 @@ parse(int argc, char **argv)
         };
         if (arg == "--net") {
             opt.net = next();
-        } else if (arg == "--n") {
+        } else if (arg == "--n" || arg == "-n") {
             opt.n = std::strtoul(next(), nullptr, 10);
+        } else if (arg == "--trace-out") {
+            opt.trace_out = next();
+        } else if (arg == "--trace-summary") {
+            opt.trace_summary = next();
+        } else if (opt.command == "trace" && !arg.empty() &&
+                   arg[0] != '-') {
+            // `otsim trace <workload>` — the workload rides in
+            // `command` once parsing is done.
+            opt.command = arg;
+            opt.trace_text = true;
         } else if (arg == "--seed") {
             opt.seed = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--p") {
@@ -96,12 +133,89 @@ parse(int argc, char **argv)
             usage(argv[0]);
         }
     }
+    if (opt.command == "trace") {
+        opt.command = "sort";
+        opt.trace_text = true;
+    }
     if (opt.n < 2 || opt.n > (1u << 14)) {
         std::fprintf(stderr, "otsim: --n must be in [2, 16384]\n");
         std::exit(2);
     }
     return opt;
 }
+
+/**
+ * Tracing glue for the runners: one Tracer attached to the network
+ * under test, flushed to the requested outputs after the run.
+ */
+class TraceSession
+{
+  public:
+    explicit TraceSession(const Options &opt) : _opt(opt)
+    {
+        _tracer.setEnabled(opt.tracing());
+    }
+
+    bool active() const { return _tracer.enabled(); }
+
+    template <typename Net>
+    void
+    attach(Net &net)
+    {
+        if (active())
+            net.setTracer(&_tracer);
+    }
+
+    /** Write/print the requested outputs.  Returns 0 or an exit code. */
+    int
+    finish(sim::StatSet &stats)
+    {
+        if (!active())
+            return 0;
+        auto summary = trace::analyze(_tracer);
+        if (!_opt.trace_out.empty()) {
+            std::ofstream f(_opt.trace_out);
+            if (!f) {
+                std::fprintf(stderr, "otsim: cannot write %s\n",
+                             _opt.trace_out.c_str());
+                return 1;
+            }
+            trace::writeChromeTrace(f, _tracer, stats.toJson());
+            std::printf("wrote %s (%zu events, %llu dropped) — load in "
+                        "ui.perfetto.dev\n",
+                        _opt.trace_out.c_str(), _tracer.events().size(),
+                        static_cast<unsigned long long>(_tracer.dropped()));
+        }
+        if (!_opt.trace_summary.empty()) {
+            std::ofstream f(_opt.trace_summary);
+            if (!f) {
+                std::fprintf(stderr, "otsim: cannot write %s\n",
+                             _opt.trace_summary.c_str());
+                return 1;
+            }
+            f << summary.toJson();
+            std::printf("wrote %s\n", _opt.trace_summary.c_str());
+        }
+        if (_opt.trace_text)
+            summary.writeText(std::cout);
+        return 0;
+    }
+
+    /** Error exit for engines without tracer hooks. */
+    static int
+    unsupported(const std::string &net)
+    {
+        std::fprintf(stderr,
+                     "otsim: tracing is not supported for --net %s "
+                     "(use otn or otc)\n",
+                     net.c_str());
+        return 2;
+    }
+
+  private:
+    const Options &_opt;
+    trace::Tracer _tracer;
+};
 
 void
 printCost(const char *what, vlsi::ModelTime time, double area)
@@ -128,22 +242,32 @@ runSort(const Options &opt)
     vlsi::CostModel cost(opt.model, vlsi::WordFormat::forProblemSize(opt.n),
                          opt.scaled);
 
+    TraceSession ts(opt);
+    if (ts.active() && opt.net != "otn" && opt.net != "otc")
+        return TraceSession::unsupported(opt.net);
+
     std::vector<std::uint64_t> got;
     vlsi::ModelTime time = 0;
     double area = 0;
     if (opt.net == "otn") {
         otn::OrthogonalTreesNetwork net(opt.n, cost);
+        ts.attach(net);
         auto r = otn::sortOtn(net, v);
         got = r.sorted;
         time = r.time;
         area = static_cast<double>(net.chipLayout().metrics().area());
+        if (int rc = ts.finish(net.stats()))
+            return rc;
     } else if (opt.net == "otc") {
         unsigned l = vlsi::logCeilAtLeast1(opt.n);
         otc::OtcNetwork net(opt.n / l, l, cost);
+        ts.attach(net);
         auto r = otc::sortOtc(net, v);
         got = r.sorted;
         time = r.time;
         area = static_cast<double>(net.chipLayout().metrics().area());
+        if (int rc = ts.finish(net.stats()))
+            return rc;
     } else if (opt.net == "mesh") {
         baselines::MeshMachine net(opt.n, cost);
         auto r = baselines::meshSort(net, v);
@@ -192,17 +316,24 @@ runCc(const Options &opt)
     auto expect = graph::connectedComponents(g);
     auto cost = defaultCostModel(opt.n, opt.model, opt.scaled);
 
+    TraceSession ts(opt);
+    if (ts.active() && opt.net != "otn")
+        return TraceSession::unsupported(opt.net);
+
     std::vector<std::size_t> got;
     vlsi::ModelTime time = 0;
     double area = 0;
     std::size_t count = 0;
     if (opt.net == "otn") {
         otn::OrthogonalTreesNetwork net(opt.n, cost);
+        ts.attach(net);
         auto r = otn::connectedComponentsOtn(net, g);
         got = r.labels;
         count = r.componentCount;
         time = r.time;
         area = static_cast<double>(net.chipLayout().metrics().area());
+        if (int rc = ts.finish(net.stats()))
+            return rc;
     } else if (opt.net == "otc") {
         auto r = otc::connectedComponentsOtc(g, cost);
         got = r.result.labels;
@@ -243,12 +374,19 @@ runMst(const Options &opt)
                          otn::mstWordFormat(opt.n, opt.n * opt.n),
                          opt.scaled);
 
+    TraceSession ts(opt);
+    if (ts.active() && opt.net != "otn")
+        return TraceSession::unsupported(opt.net);
+
     otn::MstResult r;
     double area = 0;
     if (opt.net == "otn") {
         otn::OrthogonalTreesNetwork net(opt.n, cost);
+        ts.attach(net);
         r = otn::mstOtn(net, g);
         area = static_cast<double>(net.chipLayout().metrics().area());
+        if (int rc = ts.finish(net.stats()))
+            return rc;
     } else if (opt.net == "otc") {
         auto rr = otc::mstOtc(g, cost);
         r = rr.result;
@@ -286,15 +424,22 @@ runMatMul(const Options &opt)
     unsigned bits = vlsi::logCeilAtLeast1(opt.n * 81 + 1) + 2;
     vlsi::CostModel cost(opt.model, vlsi::WordFormat(bits), opt.scaled);
 
+    TraceSession ts(opt);
+    if (ts.active() && opt.net != "otn")
+        return TraceSession::unsupported(opt.net);
+
     linalg::IntMatrix got;
     vlsi::ModelTime time = 0;
     double area = 0;
     if (opt.net == "otn") {
         otn::OrthogonalTreesNetwork net(opt.n, cost);
+        ts.attach(net);
         auto r = otn::matMulPipelined(net, a, b);
         got = r.product;
         time = r.time;
         area = static_cast<double>(net.chipLayout().metrics().area());
+        if (int rc = ts.finish(net.stats()))
+            return rc;
     } else if (opt.net == "otc") {
         auto r = otc::matMulOtc(a, b, cost);
         got = r.result.product;
@@ -342,9 +487,13 @@ runSssp(const Options &opt)
     vlsi::CostModel cost(opt.model,
                          otn::pathWordFormat(opt.n, opt.n * opt.n),
                          opt.scaled);
+    TraceSession ts(opt);
     otn::OrthogonalTreesNetwork net(opt.n, cost);
+    ts.attach(net);
     std::size_t src = rng.uniform(0, opt.n - 1);
     auto r = otn::ssspOtn(net, g, src);
+    if (int rc = ts.finish(net.stats()))
+        return rc;
     if (r.dist != graph::dijkstra(g, src)) {
         std::fprintf(stderr, "otsim: SSSP MISMATCH\n");
         return 1;
