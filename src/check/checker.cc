@@ -1,0 +1,222 @@
+#include "check/checker.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace ot::check {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+bool
+hasSourceExtension(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".cc" || ext == ".hh";
+}
+
+/** Make `p` relative to `root` with '/' separators; returns "" when
+ *  `p` is not under `root`. */
+std::string
+relativeTo(const fs::path &root, const fs::path &p)
+{
+    std::error_code ec;
+    fs::path rel = fs::relative(p, root, ec);
+    if (ec || rel.empty())
+        return "";
+    std::string s = rel.generic_string();
+    if (s.compare(0, 2, "..") == 0)
+        return "";
+    return s;
+}
+
+/**
+ * Pull the "file" entries out of a compile_commands.json.  The format
+ * is fixed (an array of objects with "directory"/"command"/"file"
+ * string members), so a targeted scan beats carrying a JSON parser:
+ * find each `"file"` key and take its string value, honouring
+ * escapes.
+ */
+std::vector<std::string>
+compileCommandsFiles(const std::string &json)
+{
+    std::vector<std::string> files;
+    const std::string key = "\"file\"";
+    std::size_t pos = 0;
+    while ((pos = json.find(key, pos)) != std::string::npos) {
+        pos += key.size();
+        while (pos < json.size() &&
+               (json[pos] == ' ' || json[pos] == '\t' ||
+                json[pos] == ':' || json[pos] == '\n'))
+            ++pos;
+        if (pos >= json.size() || json[pos] != '"')
+            continue;
+        ++pos;
+        std::string value;
+        while (pos < json.size() && json[pos] != '"') {
+            if (json[pos] == '\\' && pos + 1 < json.size()) {
+                ++pos;
+                value += json[pos] == 'n' ? '\n' : json[pos];
+            } else {
+                value += json[pos];
+            }
+            ++pos;
+        }
+        files.push_back(std::move(value));
+    }
+    return files;
+}
+
+void
+jsonEscape(std::ostringstream &out, const std::string &s)
+{
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            out << "\\\"";
+            break;
+        case '\\':
+            out << "\\\\";
+            break;
+        case '\n':
+            out << "\\n";
+            break;
+        case '\t':
+            out << "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out << buf;
+            } else {
+                out << c;
+            }
+        }
+    }
+}
+
+} // namespace
+
+std::vector<Diagnostic>
+checkSource(const std::string &path, const std::string &source)
+{
+    FileContext ctx;
+    ctx.lexed = lex(source);
+    ctx.path = ctx.lexed.fixturePath.empty() ? path
+                                             : ctx.lexed.fixturePath;
+    ctx.layer = classifyLayer(ctx.path);
+    return runRules(ctx);
+}
+
+std::vector<Diagnostic>
+checkFile(const std::string &filePath, const std::string &displayPath)
+{
+    return checkSource(displayPath, readFile(filePath));
+}
+
+std::vector<std::string>
+collectFiles(const std::string &root,
+             const std::string &compileCommandsPath)
+{
+    std::vector<std::string> files;
+    const fs::path rootPath(root);
+
+    for (const char *sub : {"src", "tools"}) {
+        fs::path dir = rootPath / sub;
+        std::error_code ec;
+        if (!fs::is_directory(dir, ec))
+            continue;
+        for (auto it = fs::recursive_directory_iterator(dir, ec);
+             !ec && it != fs::recursive_directory_iterator(); ++it)
+            if (it->is_regular_file() &&
+                hasSourceExtension(it->path()))
+                files.push_back(relativeTo(rootPath, it->path()));
+    }
+
+    if (!compileCommandsPath.empty()) {
+        for (const std::string &f :
+             compileCommandsFiles(readFile(compileCommandsPath))) {
+            std::string rel = relativeTo(rootPath, fs::path(f));
+            if (rel.empty())
+                continue;
+            if (rel.compare(0, 4, "src/") == 0 ||
+                rel.compare(0, 6, "tools/") == 0)
+                files.push_back(std::move(rel));
+        }
+    }
+
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+    files.erase(std::remove(files.begin(), files.end(), std::string()),
+                files.end());
+    return files;
+}
+
+Report
+checkTree(const std::string &root,
+          const std::vector<std::string> &files)
+{
+    Report report;
+    report.files = files;
+    for (const std::string &rel : files) {
+        std::vector<Diagnostic> d =
+            checkFile((fs::path(root) / rel).string(), rel);
+        report.diagnostics.insert(report.diagnostics.end(),
+                                  d.begin(), d.end());
+    }
+    return report;
+}
+
+std::string
+renderText(const Report &report)
+{
+    std::ostringstream out;
+    for (const Diagnostic &d : report.diagnostics) {
+        out << d.file << ":" << d.line << ": error: [" << d.rule
+            << "] " << d.message;
+        if (!d.hint.empty())
+            out << " (hint: " << d.hint << ")";
+        out << "\n";
+    }
+    out << "otcheck: " << report.files.size() << " files, "
+        << report.diagnostics.size() << " diagnostic"
+        << (report.diagnostics.size() == 1 ? "" : "s") << "\n";
+    return out.str();
+}
+
+std::string
+renderJson(const Report &report)
+{
+    std::ostringstream out;
+    out << "[";
+    for (std::size_t i = 0; i < report.diagnostics.size(); ++i) {
+        const Diagnostic &d = report.diagnostics[i];
+        out << (i ? ",\n " : "\n ") << "{\"file\": \"";
+        jsonEscape(out, d.file);
+        out << "\", \"line\": " << d.line << ", \"rule\": \"";
+        jsonEscape(out, d.rule);
+        out << "\", \"message\": \"";
+        jsonEscape(out, d.message);
+        out << "\", \"hint\": \"";
+        jsonEscape(out, d.hint);
+        out << "\"}";
+    }
+    out << (report.diagnostics.empty() ? "]\n" : "\n]\n");
+    return out.str();
+}
+
+} // namespace ot::check

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * otcheck driver: file collection, rule dispatch, rendering.
+ *
+ * The checker walks src/ and tools/ under a repo root (and/or the
+ * translation units named in a compile_commands.json) and runs every
+ * rule over every file.  File order, diagnostic order and both output
+ * formats are deterministic — the checker holds itself to the same
+ * standard it enforces.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "check/rules.hh"
+
+namespace ot::check {
+
+/** Everything one run produced. */
+struct Report
+{
+    std::vector<std::string> files; ///< repo-relative, sorted
+    std::vector<Diagnostic> diagnostics;
+};
+
+/** Run all rules over in-memory source presented as `path`.  A
+ *  fixture-path marker in the source re-classifies the file under
+ *  the path it names (used by the fixture corpus). */
+std::vector<Diagnostic> checkSource(const std::string &path,
+                                    const std::string &source);
+
+/** Read and check one on-disk file; `displayPath` names it in
+ *  diagnostics and layer classification. */
+std::vector<Diagnostic> checkFile(const std::string &filePath,
+                                  const std::string &displayPath);
+
+/**
+ * Collect the audit set under `root`: every *.cc / *.hh beneath
+ * root/src and root/tools, unioned with any file listed in
+ * `compileCommandsPath` (may be empty) that lies in those trees.
+ * Returned paths are repo-relative and sorted.
+ */
+std::vector<std::string>
+collectFiles(const std::string &root,
+             const std::string &compileCommandsPath);
+
+/** Check every file in `files` (repo-relative, resolved against
+ *  `root`). */
+Report checkTree(const std::string &root,
+                 const std::vector<std::string> &files);
+
+/** `file:line: error: [rule] message` lines plus a summary line. */
+std::string renderText(const Report &report);
+
+/** Machine-readable form: a JSON array of diagnostic objects. */
+std::string renderJson(const Report &report);
+
+} // namespace ot::check

@@ -1,0 +1,510 @@
+#include "check/rules.hh"
+
+#include <algorithm>
+#include <map>
+
+namespace ot::check {
+
+namespace {
+
+const std::vector<std::string> kNoRestriction;
+
+/**
+ * The layer DAG, as observed includes: layer → layers it may include.
+ * Kept in one table so DESIGN.md, this file and the fixtures can be
+ * diffed against each other.  A layer always includes itself.
+ */
+const std::map<std::string, std::vector<std::string>> &
+layerTable()
+{
+    static const std::map<std::string, std::vector<std::string>> t = {
+        {"vlsi", {"vlsi"}},
+        {"trace", {"trace", "vlsi"}},
+        {"sim", {"sim", "trace", "vlsi"}},
+        {"linalg", {"linalg", "vlsi"}},
+        {"layout", {"layout", "vlsi"}},
+        {"analysis", {"analysis", "vlsi"}},
+        {"graph", {"graph", "linalg", "sim", "trace", "vlsi"}},
+        {"otn",
+         {"otn", "graph", "layout", "linalg", "sim", "trace", "vlsi"}},
+        {"otc",
+         {"otc", "otn", "graph", "layout", "linalg", "sim", "trace",
+          "vlsi"}},
+        {"baselines",
+         {"baselines", "otn", "graph", "layout", "linalg", "sim",
+          "trace", "vlsi"}},
+        // The checker itself: standard library only, so it can never
+        // deadlock on the layers it audits.
+        {"check", {"check"}},
+    };
+    return t;
+}
+
+bool
+isSrcLayer(const std::string &layer)
+{
+    return layerTable().count(layer) != 0;
+}
+
+std::vector<std::string>
+splitPath(const std::string &path)
+{
+    std::vector<std::string> parts;
+    std::string cur;
+    for (char c : path) {
+        if (c == '/') {
+            if (!cur.empty())
+                parts.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        parts.push_back(cur);
+    return parts;
+}
+
+/** Token text at index, or "" out of range. */
+const std::string &
+at(const std::vector<Token> &toks, std::size_t i)
+{
+    static const std::string empty;
+    return i < toks.size() ? toks[i].text : empty;
+}
+
+bool
+isIdent(const std::vector<Token> &toks, std::size_t i)
+{
+    return i < toks.size() && toks[i].kind == Token::Kind::Ident;
+}
+
+/**
+ * Is the identifier at `i` (known to be followed by `(`) a *call* in
+ * free/static position?  Member calls (`x.time()`) are someone else's
+ * method and fine; declarations (`int time(...)`) are not calls.
+ */
+bool
+freeCallContext(const std::vector<Token> &toks, std::size_t i)
+{
+    if (i == 0)
+        return true;
+    const std::string &prev = at(toks, i - 1);
+    if (prev == "." || prev == "->")
+        return false; // member call
+    if (prev == "::") {
+        // std::rand( / ::rand( are the banned spellings;
+        // SomeClass::time( is someone's own static.
+        if (i < 2)
+            return true;
+        const std::string &q = at(toks, i - 2);
+        return q == "std" || !isIdent(toks, i - 2);
+    }
+    if (isIdent(toks, i - 1))
+        return prev == "return" || prev == "co_return" ||
+               prev == "co_await" || prev == "case";
+    return true; // after `;`, `{`, `(`, `,`, `=`, operators, ...
+}
+
+struct BannedName
+{
+    const char *name;
+    bool callOnly; ///< only in free-call position `name(`
+    const char *message;
+    const char *hint;
+};
+
+const BannedName kDeterminismBans[] = {
+    {"rand", true, "call to rand() is a nondeterminism source",
+     "use ot::sim::Rng with an explicit seed"},
+    {"srand", true, "call to srand() seeds global hidden state",
+     "use ot::sim::Rng with an explicit seed"},
+    {"random_device", false,
+     "std::random_device draws entropy from the host",
+     "use ot::sim::Rng with an explicit seed"},
+    {"random_shuffle", false,
+     "std::random_shuffle uses unspecified global randomness",
+     "shuffle with ot::sim::Rng-driven std::swap loop"},
+    {"time", true, "call to time() reads the wall clock",
+     "model time lives in sim::TimeAccountant::now()"},
+    {"clock", true, "call to clock() reads host CPU time",
+     "model time lives in sim::TimeAccountant::now()"},
+    {"clock_gettime", false, "clock_gettime() reads the wall clock",
+     "model time lives in sim::TimeAccountant::now()"},
+    {"gettimeofday", false, "gettimeofday() reads the wall clock",
+     "model time lives in sim::TimeAccountant::now()"},
+    {"system_clock", false, "std::chrono clocks read host time",
+     "model time lives in sim::TimeAccountant::now()"},
+    {"steady_clock", false, "std::chrono clocks read host time",
+     "model time lives in sim::TimeAccountant::now()"},
+    {"high_resolution_clock", false,
+     "std::chrono clocks read host time",
+     "model time lives in sim::TimeAccountant::now()"},
+    {"getpid", false, "getpid() varies run to run",
+     "derive ids from loop indices, not the host"},
+    {"pthread_self", false, "pthread_self() is host-thread-dependent",
+     "lane identity must come from the dispatch index"},
+    {"get_id", false,
+     "thread ids are host-dependent and vary with OT_HOST_THREADS",
+     "lane identity must come from the dispatch index"},
+    {"unordered_map", false,
+     "std::unordered_map iteration order is unspecified",
+     "use std::map or a sorted vector of pairs"},
+    {"unordered_set", false,
+     "std::unordered_set iteration order is unspecified",
+     "use std::set or a sorted vector"},
+    {"unordered_multimap", false,
+     "std::unordered_multimap iteration order is unspecified",
+     "use std::multimap or a sorted vector of pairs"},
+    {"unordered_multiset", false,
+     "std::unordered_multiset iteration order is unspecified",
+     "use std::multiset or a sorted vector"},
+};
+
+const BannedName kHotpathBans[] = {
+    {"virtual", false, "virtual dispatch in a hotpath file",
+     "use flat value types (cf. otn::Sel / otc::CSel)"},
+    {"new", false, "heap allocation in a hotpath file",
+     "preallocate in setup code and reuse buffers"},
+    {"malloc", false, "heap allocation in a hotpath file",
+     "preallocate in setup code and reuse buffers"},
+    {"calloc", false, "heap allocation in a hotpath file",
+     "preallocate in setup code and reuse buffers"},
+    {"realloc", false, "heap allocation in a hotpath file",
+     "preallocate in setup code and reuse buffers"},
+    {"make_unique", false, "heap allocation in a hotpath file",
+     "preallocate in setup code and reuse buffers"},
+    {"make_shared", false, "heap allocation in a hotpath file",
+     "preallocate in setup code and reuse buffers"},
+};
+
+/** begin/end call names the accounting rule pairs up. */
+struct CallPair
+{
+    const char *begin;
+    const char *end;
+};
+const CallPair kAccountingPairs[] = {
+    {"beginPhase", "endPhase"},
+    {"spanBegin", "spanEnd"},
+};
+
+void
+emit(std::vector<Diagnostic> &out, const FileContext &ctx, int line,
+     const char *rule, const std::string &message,
+     const std::string &hint)
+{
+    Diagnostic d;
+    d.file = ctx.path;
+    d.line = line;
+    d.rule = rule;
+    d.message = message;
+    d.hint = hint;
+    out.push_back(std::move(d));
+}
+
+void
+runDeterminism(const FileContext &ctx, std::vector<Diagnostic> &out)
+{
+    const auto &toks = ctx.lexed.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].kind != Token::Kind::Ident)
+            continue;
+        for (const BannedName &ban : kDeterminismBans) {
+            if (toks[i].text != ban.name)
+                continue;
+            if (ban.callOnly &&
+                !(at(toks, i + 1) == "(" && freeCallContext(toks, i)))
+                continue;
+            emit(out, ctx, toks[i].line, "determinism", ban.message,
+                 ban.hint);
+        }
+
+        // Address-keyed associative containers: std::map/std::set
+        // with a pointer in the key type iterate in address order.
+        if ((toks[i].text == "map" || toks[i].text == "set" ||
+             toks[i].text == "multimap" ||
+             toks[i].text == "multiset") &&
+            at(toks, i - 1) == "::" && at(toks, i - 2) == "std" &&
+            at(toks, i + 1) == "<") {
+            int depth = 0;
+            for (std::size_t j = i + 1;
+                 j < toks.size() && j < i + 64; ++j) {
+                const std::string &t = toks[j].text;
+                if (t == "<")
+                    ++depth;
+                else if (t == ">") {
+                    if (--depth == 0)
+                        break;
+                } else if (t == "," && depth == 1) {
+                    break; // end of the key type
+                } else if (t == ";" || t == "{") {
+                    break; // not a template argument list after all
+                } else if (t == "*") {
+                    emit(out, ctx, toks[j].line, "determinism",
+                         "pointer-keyed std::" + toks[i].text +
+                             " iterates in address order",
+                         "key by a stable index or id instead");
+                    break;
+                }
+            }
+        }
+    }
+}
+
+void
+runLayering(const FileContext &ctx, std::vector<Diagnostic> &out)
+{
+    bool underSrc = false;
+    for (const std::string &part : splitPath(ctx.path))
+        if (part == "src")
+            underSrc = true;
+
+    const bool restricted = isSrcLayer(ctx.layer);
+    const auto &allowed =
+        restricted ? layerTable().at(ctx.layer) : kNoRestriction;
+
+    for (const Include &inc : ctx.lexed.includes) {
+        std::size_t slash = inc.path.find('/');
+        if (slash == std::string::npos)
+            continue; // system or same-directory include
+        std::string dir = inc.path.substr(0, slash);
+
+        if (dir == "orthotree") {
+            if (underSrc)
+                emit(out, ctx, inc.line, "layering",
+                     "umbrella include \"orthotree/...\" from inside "
+                     "src/",
+                     "include the specific layer header instead");
+            continue;
+        }
+        if (!restricted || layerTable().count(dir) == 0)
+            continue;
+        if (std::find(allowed.begin(), allowed.end(), dir) ==
+            allowed.end())
+            emit(out, ctx, inc.line, "layering",
+                 "layer '" + ctx.layer + "' may not include '" + dir +
+                     "/" + inc.path.substr(slash + 1) + "'",
+                 "allowed from '" + ctx.layer +
+                     "': see the layer DAG in DESIGN.md");
+    }
+}
+
+/**
+ * Does the `{` at index `i` open a function body?  Walk back over the
+ * tokens a declarator tail may contain (cv-qualifiers, trailing
+ * return types); a `)` means yes, anything else (class heads,
+ * initializers, namespaces) means no.
+ */
+bool
+opensFunctionBody(const std::vector<Token> &toks, std::size_t i)
+{
+    std::size_t steps = 0;
+    for (std::size_t j = i; j-- > 0 && steps < 16; ++steps) {
+        const std::string &t = toks[j].text;
+        if (t == ")")
+            return true;
+        bool declaratorTail =
+            toks[j].kind == Token::Kind::Ident ||
+            toks[j].kind == Token::Kind::Number || t == "::" ||
+            t == "->" || t == "<" || t == ">" || t == "*" ||
+            t == "&" || t == ",";
+        // Identifier-ish heads that can never trail a parameter list.
+        if (t == "class" || t == "struct" || t == "union" ||
+            t == "enum" || t == "namespace")
+            return false;
+        if (!declaratorTail)
+            return false;
+    }
+    return false;
+}
+
+bool
+isPairCall(const std::vector<Token> &toks, std::size_t i,
+           const char *name)
+{
+    if (toks[i].kind != Token::Kind::Ident || toks[i].text != name)
+        return false;
+    if (at(toks, i + 1) != "(")
+        return false;
+    // Count both free calls and member calls (acct.beginPhase(...));
+    // skip declarations (`void beginPhase(...)`).
+    const std::string &prev = at(toks, i - 1);
+    if (prev == "." || prev == "->")
+        return true;
+    return freeCallContext(toks, i);
+}
+
+void
+runAccounting(const FileContext &ctx, std::vector<Diagnostic> &out)
+{
+    const auto &toks = ctx.lexed.tokens;
+    constexpr std::size_t nPairs =
+        sizeof(kAccountingPairs) / sizeof(kAccountingPairs[0]);
+
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].text != "{" ||
+            toks[i].kind != Token::Kind::Punct ||
+            !opensFunctionBody(toks, i))
+            continue;
+
+        int outstanding[nPairs] = {};
+        int lastBeginLine[nPairs] = {};
+        int depth = 0;
+        std::size_t j = i;
+        for (; j < toks.size(); ++j) {
+            const std::string &t = toks[j].text;
+            if (toks[j].kind == Token::Kind::Punct) {
+                if (t == "{")
+                    ++depth;
+                else if (t == "}" && --depth == 0)
+                    break;
+                continue;
+            }
+            if (t == "return" || t == "co_return") {
+                for (std::size_t p = 0; p < nPairs; ++p)
+                    if (outstanding[p] > 0)
+                        emit(out, ctx, toks[j].line, "accounting",
+                             std::string("return with ") +
+                                 kAccountingPairs[p].begin +
+                                 " still open on this path",
+                             std::string("call ") +
+                                 kAccountingPairs[p].end +
+                                 " first, or use the RAII wrapper "
+                                 "(sim::ScopedPhase)");
+                continue;
+            }
+            for (std::size_t p = 0; p < nPairs; ++p) {
+                if (isPairCall(toks, j, kAccountingPairs[p].begin)) {
+                    ++outstanding[p];
+                    lastBeginLine[p] = toks[j].line;
+                } else if (isPairCall(toks, j,
+                                      kAccountingPairs[p].end)) {
+                    if (outstanding[p] == 0)
+                        emit(out, ctx, toks[j].line, "accounting",
+                             std::string(kAccountingPairs[p].end) +
+                                 " without a matching " +
+                                 kAccountingPairs[p].begin +
+                                 " in this function",
+                             "balance the pair within one function "
+                             "body");
+                    else
+                        --outstanding[p];
+                }
+            }
+        }
+        for (std::size_t p = 0; p < nPairs; ++p)
+            if (outstanding[p] > 0)
+                emit(out, ctx, lastBeginLine[p], "accounting",
+                     std::string(kAccountingPairs[p].begin) +
+                         " never closed before the function ends",
+                     std::string("call ") + kAccountingPairs[p].end +
+                         " on every path, or use the RAII wrapper "
+                         "(sim::ScopedPhase)");
+        i = j; // resume after this body
+    }
+}
+
+void
+runHotpath(const FileContext &ctx, std::vector<Diagnostic> &out)
+{
+    if (!ctx.lexed.hotpath)
+        return;
+    const auto &toks = ctx.lexed.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].kind != Token::Kind::Ident)
+            continue;
+        // std::function specifically (a variable named `function` is
+        // not dispatch).
+        if (toks[i].text == "function" && at(toks, i - 1) == "::" &&
+            at(toks, i - 2) == "std") {
+            emit(out, ctx, toks[i].line, "hotpath",
+                 "std::function (type-erased call) in a hotpath file",
+                 "use flat value types (cf. otn::Sel / otc::CSel)");
+            continue;
+        }
+        for (const BannedName &ban : kHotpathBans)
+            if (toks[i].text == ban.name)
+                emit(out, ctx, toks[i].line, "hotpath", ban.message,
+                     ban.hint);
+    }
+}
+
+} // namespace
+
+std::string
+classifyLayer(const std::string &path)
+{
+    std::vector<std::string> parts = splitPath(path);
+    for (std::size_t i = 0; i + 1 < parts.size(); ++i)
+        if (parts[i] == "src")
+            return parts[i + 1];
+    for (const std::string &p : parts)
+        if (p == "tools" || p == "tests" || p == "bench" ||
+            p == "examples" || p == "include")
+            return p;
+    return "";
+}
+
+const std::vector<std::string> &
+allowedIncludes(const std::string &layer)
+{
+    auto it = layerTable().find(layer);
+    return it == layerTable().end() ? kNoRestriction : it->second;
+}
+
+bool
+knownRule(const std::string &rule)
+{
+    return rule == "determinism" || rule == "layering" ||
+           rule == "accounting" || rule == "hotpath";
+}
+
+std::vector<Diagnostic>
+runRules(const FileContext &ctx)
+{
+    std::vector<Diagnostic> raw;
+
+    if (ctx.layer == "sim" || ctx.layer == "otn" || ctx.layer == "otc")
+        runDeterminism(ctx, raw);
+    runLayering(ctx, raw);
+    runAccounting(ctx, raw);
+    runHotpath(ctx, raw);
+
+    // Apply allow() escapes: a marker suppresses a same-rule
+    // diagnostic on its own or the following line, but only when it
+    // carries a justification.
+    std::vector<Diagnostic> out;
+    for (Diagnostic &d : raw) {
+        bool suppressed = false;
+        for (const Allow &a : ctx.lexed.allows)
+            if (a.rule == d.rule && !a.justification.empty() &&
+                (a.line == d.line || a.line == d.line - 1))
+                suppressed = true;
+        if (!suppressed)
+            out.push_back(std::move(d));
+    }
+
+    // Validate the markers themselves.
+    for (const Allow &a : ctx.lexed.allows) {
+        if (a.rule.empty() || !knownRule(a.rule))
+            emit(out, ctx, a.line, "allow-syntax",
+                 "otcheck:allow names unknown rule '" + a.rule + "'",
+                 "rules: determinism, layering, accounting, hotpath");
+        else if (a.justification.empty())
+            emit(out, ctx, a.line, "allow-syntax",
+                 "otcheck:allow(" + a.rule + ") without justification",
+                 "write otcheck:allow(" + a.rule +
+                     "): <why this is safe>");
+    }
+
+    std::sort(out.begin(), out.end(),
+              [](const Diagnostic &l, const Diagnostic &r) {
+                  if (l.line != r.line)
+                      return l.line < r.line;
+                  return l.rule < r.rule;
+              });
+    return out;
+}
+
+} // namespace ot::check

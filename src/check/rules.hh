@@ -1,0 +1,78 @@
+/**
+ * @file
+ * otcheck rule definitions.
+ *
+ * Four rule families guard the engine's headline guarantee — charged
+ * model time and trace streams bit-identical at any OT_HOST_THREADS —
+ * plus the architectural layering that keeps them auditable:
+ *
+ *   determinism — no nondeterminism sources (wall clocks, rand(),
+ *                 thread ids) and no iteration-order hazards
+ *                 (std::unordered_*, pointer-keyed map/set) inside
+ *                 the lane-reachable layers src/sim, src/otn,
+ *                 src/otc.
+ *   layering    — `#include` edges must follow the layer DAG (see
+ *                 DESIGN.md); no back-edges, and no
+ *                 include/orthotree umbrella includes from src/.
+ *   accounting  — TimeAccountant::beginPhase/endPhase (and any
+ *                 spanBegin/spanEnd pairing) must balance on every
+ *                 path through a function body: equal counts, no
+ *                 underflow, no `return` while a phase is open.
+ *   hotpath     — files carrying the hotpath marker may not mention
+ *                 std::function, `virtual`, or heap-allocation
+ *                 tokens (new/malloc/make_unique/...).
+ *
+ * Any diagnostic can be suppressed with an allow(rule): justification
+ * marker comment on the same or the preceding line; an empty
+ * justification is itself an error (rule id `allow-syntax`).  The
+ * exact marker spelling is documented in README.md — writing it out
+ * here would make the checker read its own docs as markers.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "check/lexer.hh"
+
+namespace ot::check {
+
+/** One finding.  `rule` is the stable machine-readable id. */
+struct Diagnostic
+{
+    std::string file;
+    int line = 0;
+    std::string rule;
+    std::string message;
+    std::string hint; ///< how to fix, one line
+};
+
+/** A file presented to the rules: lexed content plus the repo-relative
+ *  path it should be judged as (fixtures override their real path). */
+struct FileContext
+{
+    std::string path;  ///< repo-relative, '/'-separated
+    std::string layer; ///< classified layer, see classifyLayer()
+    LexedFile lexed;
+};
+
+/**
+ * Map a repo-relative path to its layer: the directory under src/
+ * ("sim", "otn", ...), or "tools" / "tests" / "bench" / "examples" /
+ * "include" for the app-level trees, or "" for anything else.
+ */
+std::string classifyLayer(const std::string &path);
+
+/** Layers a given layer may include (empty ⇒ unrestricted). */
+const std::vector<std::string> &allowedIncludes(const std::string &layer);
+
+/** True iff `rule` is one of the rule ids allow() may name. */
+bool knownRule(const std::string &rule);
+
+/** Run every rule over one file; diagnostics come back sorted by
+ *  line.  allow() markers are applied (and themselves validated)
+ *  here. */
+std::vector<Diagnostic> runRules(const FileContext &ctx);
+
+} // namespace ot::check

@@ -11,6 +11,7 @@
  */
 
 #pragma once
+// otcheck:hotpath — per-event helpers; keep allocation-free
 
 #include <cstdint>
 

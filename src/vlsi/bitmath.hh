@@ -8,6 +8,7 @@
  */
 
 #pragma once
+// otcheck:hotpath — per-event helpers; keep allocation-free
 
 #include <cassert>
 #include <cstdint>

@@ -18,6 +18,7 @@
  */
 
 #pragma once
+// otcheck:hotpath — per-event helpers; keep allocation-free
 
 #include <cstdint>
 #include <string>

@@ -10,6 +10,7 @@
  */
 
 #pragma once
+// otcheck:hotpath — per-event helpers; keep allocation-free
 
 #include <cstddef>
 #include <cstdint>

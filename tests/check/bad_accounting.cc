@@ -1,0 +1,53 @@
+// otcheck:fixture-path src/otn/fixture_bad_accounting.cc
+//
+// Known-bad accounting fixture: beginPhase/endPhase (and the generic
+// spanBegin/spanEnd pairing) must balance on every path through a
+// function body.
+struct Acct
+{
+    void beginPhase(const char *name);
+    void endPhase();
+};
+
+struct Probe
+{
+    void spanBegin(const char *name);
+    void spanEnd();
+};
+
+void
+phaseLeak(Acct &acct)
+{
+    acct.beginPhase("rank"); // expect: accounting
+}
+
+int
+earlyReturn(Acct &acct, bool done)
+{
+    acct.beginPhase("hook");
+    if (done)
+        return 1; // expect: accounting
+    acct.endPhase();
+    return 0;
+}
+
+void
+underflow(Acct &acct)
+{
+    acct.endPhase(); // expect: accounting
+}
+
+void
+doubleEnd(Acct &acct, bool flip)
+{
+    acct.beginPhase("jump");
+    if (flip)
+        acct.endPhase();
+    acct.endPhase(); // expect: accounting
+}
+
+void
+spanLeak(Probe &probe)
+{
+    probe.spanBegin("sweep"); // expect: accounting
+}

@@ -1,0 +1,19 @@
+// otcheck:fixture-path src/otn/fixture_bad_allow.cc
+//
+// Known-bad escape-hatch fixture: allow() markers must name a real
+// rule and carry a justification; a bare allow suppresses nothing.
+#include <cstdlib>
+
+int
+unjustified()
+{
+    // otcheck:allow(determinism) -- expect: allow-syntax
+    return rand(); // expect: determinism
+}
+
+int
+unknownRule()
+{
+    // otcheck:allow(speed): it felt slow -- expect: allow-syntax
+    return 2;
+}

@@ -1,0 +1,31 @@
+// otcheck:fixture-path src/vlsi/fixture_bad_hotpath.hh
+// otcheck:hotpath
+//
+// Known-bad hotpath fixture: a file marked `// otcheck:hotpath` may
+// not mention type-erased calls, virtual dispatch or heap
+// allocation.
+#include <functional>
+#include <memory>
+
+struct Base
+{
+    virtual int cost() const; // expect: hotpath
+};
+
+inline int
+boxedCall(const std::function<int(int)> &f) // expect: hotpath
+{
+    return f(1);
+}
+
+inline int *
+rawAlloc()
+{
+    return new int(3); // expect: hotpath
+}
+
+inline std::unique_ptr<int>
+smartAlloc()
+{
+    return std::make_unique<int>(4); // expect: hotpath
+}

@@ -1,0 +1,70 @@
+// otcheck:fixture-path src/otn/fixture_good_accounting.cc
+//
+// Known-good accounting fixture: balanced pairing in every shape the
+// real algorithms use.  Must check clean.
+struct Acct
+{
+    void beginPhase(const char *name);
+    void endPhase();
+};
+
+// RAII wrapper, as in sim::ScopedPhase: the unpaired calls in the
+// constructor and destructor are the sanctioned allow() sites.
+class Scoped
+{
+  public:
+    explicit Scoped(Acct &acct) : _acct(acct)
+    {
+        // otcheck:allow(accounting): RAII — dtor is the matching end
+        _acct.beginPhase("scope");
+    }
+
+    // otcheck:allow(accounting): RAII — ctor opened the phase
+    ~Scoped() { _acct.endPhase(); }
+
+  private:
+    Acct &_acct;
+};
+
+void
+plainBalanced(Acct &acct)
+{
+    acct.beginPhase("rank");
+    acct.endPhase();
+}
+
+int
+balancedBeforeReturn(Acct &acct, int n)
+{
+    acct.beginPhase("hook");
+    int rounds = n * 2;
+    acct.endPhase();
+    return rounds;
+}
+
+void
+loopBalanced(Acct &acct, int rounds)
+{
+    for (int i = 0; i < rounds; ++i) {
+        acct.beginPhase("sweep");
+        acct.endPhase();
+    }
+}
+
+void
+nestedBalanced(Acct &acct)
+{
+    acct.beginPhase("outer");
+    acct.beginPhase("inner");
+    acct.endPhase();
+    acct.endPhase();
+}
+
+int
+raiiEarlyReturn(Acct &acct, bool done)
+{
+    Scoped phase(acct);
+    if (done)
+        return 1; // RAII: no open begin/end call at this point
+    return 0;
+}

@@ -1,0 +1,70 @@
+// otcheck:fixture-path src/otn/fixture_good_determinism.cc
+//
+// Known-good determinism fixture: the sanctioned spellings of
+// everything bad_determinism.cc gets flagged for.  Must check clean.
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+// The house RNG: explicit seed, reproducible everywhere.
+struct Rng
+{
+    explicit Rng(std::uint64_t seed) : state(seed) {}
+    std::uint64_t next();
+    std::uint64_t state;
+};
+
+std::uint64_t
+laneSeed(std::uint64_t seed)
+{
+    Rng rng(seed);
+    return rng.next();
+}
+
+// Banned names inside comments and strings are not tokens:
+// rand(), std::random_device, std::unordered_map<int, int>.
+const char *
+bannedNamesInLiterals()
+{
+    return "rand() time(nullptr) unordered_map get_id";
+}
+
+// A member called time() is someone's own API, not the wall clock.
+struct Span
+{
+    long time() const { return duration; }
+    long duration = 0;
+};
+
+long
+memberTime(const Span &s)
+{
+    return s.time();
+}
+
+// String-keyed std::map iterates in key order: deterministic.
+long
+orderedSum(const std::map<std::string, long> &m)
+{
+    long sum = 0;
+    for (const auto &kv : m)
+        sum += kv.second;
+    return sum;
+}
+
+// Pointer *values* are fine; only pointer *keys* leak address order.
+int
+pointerValues()
+{
+    std::map<int, Span *> byIndex;
+    return static_cast<int>(byIndex.size());
+}
+
+// The escape hatch: justified allows suppress the diagnostic.
+unsigned
+mixBits()
+{
+    // otcheck:allow(determinism): masked to zero — no entropy drawn
+    return static_cast<unsigned>(std::time(nullptr)) & 0u;
+}

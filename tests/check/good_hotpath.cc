@@ -1,0 +1,43 @@
+// otcheck:fixture-path src/vlsi/fixture_good_hotpath.hh
+// otcheck:hotpath
+//
+// Known-good hotpath fixture: flat value types, callers pass
+// preallocated buffers, one justified allow() on a setup path.
+// Must check clean.
+#include <cstddef>
+#include <cstdint>
+
+// Flat value-type selector in the style of otn::Sel / otc::CSel:
+// dispatch by enum, not by virtual call or std::function.
+struct Sel
+{
+    enum class Op : std::uint8_t { Min, Max, Sum };
+    Op op = Op::Min;
+
+    std::uint64_t
+    apply(std::uint64_t a, std::uint64_t b) const
+    {
+        if (op == Op::Min)
+            return a < b ? a : b;
+        if (op == Op::Max)
+            return a > b ? a : b;
+        return a + b;
+    }
+};
+
+// A variable named `function` is not std::function.
+inline std::uint64_t
+reduceInto(std::uint64_t *buf, std::size_t n, Sel function)
+{
+    std::uint64_t acc = buf[0];
+    for (std::size_t i = 1; i < n; ++i)
+        acc = function.apply(acc, buf[i]);
+    return acc;
+}
+
+struct Arena
+{
+    std::uint64_t *grow(std::size_t n);
+    // otcheck:allow(hotpath): setup-path arena growth, not per-event
+    std::uint64_t *slowPath(std::size_t n) { return new std::uint64_t[n]; }
+};

@@ -1,0 +1,25 @@
+// otcheck:fixture-path src/otc/fixture_good_layering.cc
+//
+// Known-good layering fixture: src/otc sits near the top of the layer
+// DAG and may include every layer below it.  Must check clean.
+#include "otc/network.hh"
+
+#include <cstdint>
+#include <sys/types.h>
+
+#include "graph/graph.hh"
+#include "layout/geometry.hh"
+#include "linalg/matrix.hh"
+#include "otn/network.hh"
+#include "sim/time_accountant.hh"
+#include "trace/tracer.hh"
+#include "vlsi/delay.hh"
+
+// Same-directory and system includes carry no layer information and
+// are never flagged; <sys/types.h> has a '/' but names no layer.
+
+int
+fixtureUnused()
+{
+    return 0;
+}

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Tests for otcheck (src/check): the lexer, each rule family, the
+ * fixture corpus under tests/check/, and — the gate the tool exists
+ * for — that the shipped src/ + tools/ tree checks clean while
+ * seeded violations do not.
+ */
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/checker.hh"
+
+namespace {
+
+using ot::check::Diagnostic;
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << "cannot read " << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** (line, rule) pairs, the comparable essence of a diagnostic set. */
+using Findings = std::multiset<std::pair<int, std::string>>;
+
+Findings
+findingsOf(const std::vector<Diagnostic> &diags)
+{
+    Findings f;
+    for (const Diagnostic &d : diags)
+        f.insert({d.line, d.rule});
+    return f;
+}
+
+/** Parse `// ... expect: rule[, rule]` annotations, one per line. */
+Findings
+expectedFindings(const std::string &source)
+{
+    Findings f;
+    std::istringstream in(source);
+    std::string line;
+    int lineNo = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        std::size_t pos = line.find("expect:");
+        if (pos == std::string::npos)
+            continue;
+        std::istringstream rules(line.substr(pos + 7));
+        std::string rule;
+        while (std::getline(rules, rule, ',')) {
+            rule.erase(std::remove_if(rule.begin(), rule.end(),
+                                      [](unsigned char c) {
+                                          return std::isspace(c);
+                                      }),
+                       rule.end());
+            if (!rule.empty())
+                f.insert({lineNo, rule});
+        }
+    }
+    return f;
+}
+
+std::string
+show(const Findings &f)
+{
+    std::ostringstream out;
+    for (const auto &[line, rule] : f)
+        out << "  line " << line << ": " << rule << "\n";
+    return out.str();
+}
+
+std::vector<Diagnostic>
+checkAs(const std::string &virtualPath, const std::string &source)
+{
+    return ot::check::checkSource(virtualPath, source);
+}
+
+// ---------------------------------------------------------------
+// Fixture corpus: each tests/check/*.cc file carries its own
+// expected diagnostics; bad fixtures must produce exactly them and
+// good fixtures none.
+
+TEST(CheckFixtures, CorpusMatchesAnnotations)
+{
+    const std::string dir = OT_CHECK_FIXTURE_DIR;
+    const std::vector<std::string> names = {
+        "bad_accounting.cc",  "bad_allow.cc",     "bad_determinism.cc",
+        "bad_hotpath.cc",     "bad_layering.cc",  "good_accounting.cc",
+        "good_determinism.cc", "good_hotpath.cc", "good_layering.cc",
+    };
+    for (const std::string &name : names) {
+        SCOPED_TRACE(name);
+        std::string source = slurp(dir + "/" + name);
+        ASSERT_FALSE(source.empty());
+        Findings expected = expectedFindings(source);
+        if (name.compare(0, 5, "good_") == 0) {
+            EXPECT_TRUE(expected.empty())
+                << "good fixtures must carry no expect: annotations";
+        }
+        Findings actual = findingsOf(
+            ot::check::checkSource("tests/check/" + name, source));
+        EXPECT_EQ(expected, actual)
+            << "expected:\n" << show(expected) << "actual:\n"
+            << show(actual);
+    }
+}
+
+// ---------------------------------------------------------------
+// The acceptance gate: the shipped tree is clean, and the canonical
+// seeded violations are caught.
+
+TEST(CheckTree, ShippedSrcAndToolsAreClean)
+{
+    const std::string root = OT_CHECK_SOURCE_ROOT;
+    std::vector<std::string> files =
+        ot::check::collectFiles(root, "");
+    EXPECT_GT(files.size(), 80u) << "directory walk found too little";
+    ot::check::Report report = ot::check::checkTree(root, files);
+    EXPECT_TRUE(report.diagnostics.empty())
+        << ot::check::renderText(report);
+}
+
+TEST(CheckTree, SeededRandInOtnSortIsCaught)
+{
+    const std::string root = OT_CHECK_SOURCE_ROOT;
+    std::string source = slurp(root + "/src/otn/sort.cc");
+    int lines = static_cast<int>(
+        std::count(source.begin(), source.end(), '\n'));
+    source += "\nint otcheckSeed() { return rand(); }\n";
+    std::vector<Diagnostic> diags =
+        checkAs("src/otn/sort.cc", source);
+    ASSERT_EQ(1u, diags.size());
+    EXPECT_EQ("determinism", diags[0].rule);
+    EXPECT_EQ(lines + 2, diags[0].line);
+    EXPECT_EQ("src/otn/sort.cc", diags[0].file);
+}
+
+TEST(CheckTree, SeededSimToOtnIncludeIsCaught)
+{
+    std::vector<Diagnostic> diags = checkAs(
+        "src/sim/chain_engine.cc",
+        "#include \"otn/sort.hh\"\nint x;\n");
+    ASSERT_EQ(1u, diags.size());
+    EXPECT_EQ("layering", diags[0].rule);
+    EXPECT_EQ(1, diags[0].line);
+}
+
+// ---------------------------------------------------------------
+// Lexer behaviour the rules depend on.
+
+TEST(CheckLexer, LiteralsAndCommentsAreNotTokens)
+{
+    EXPECT_TRUE(checkAs("src/otn/a.cc",
+                        "// rand() in a comment\n"
+                        "/* std::random_device too */\n"
+                        "const char *s = \"rand()\";\n"
+                        "const char *r = R\"(time(nullptr))\";\n")
+                    .empty());
+}
+
+TEST(CheckLexer, PreprocessorDefinesAreNotTokens)
+{
+    EXPECT_TRUE(checkAs("src/otn/a.cc",
+                        "#define SEED() \\\n    rand()\n"
+                        "int x;\n")
+                    .empty());
+}
+
+TEST(CheckLexer, RawStringDelimitersRespected)
+{
+    // The banned name sits between a fake and the real raw-string
+    // terminator; the lexer must not resurface early.
+    EXPECT_TRUE(checkAs("src/otn/a.cc",
+                        "const char *s = R\"x()\" rand() )x\";\n")
+                    .empty());
+}
+
+// ---------------------------------------------------------------
+// Rule details.
+
+TEST(CheckRules, MemberTimeCallIsNotWallClock)
+{
+    EXPECT_TRUE(checkAs("src/sim/a.cc",
+                        "long f(S &s) { return s.time(); }\n")
+                    .empty());
+    EXPECT_EQ(1u, checkAs("src/sim/a.cc",
+                          "long f() { return time(nullptr); }\n")
+                      .size());
+}
+
+TEST(CheckRules, DeterminismScopedToLaneLayers)
+{
+    const std::string body = "int f() { return rand(); }\n";
+    EXPECT_EQ(1u, checkAs("src/sim/a.cc", body).size());
+    EXPECT_EQ(1u, checkAs("src/otc/a.cc", body).size());
+    // Host-side layers may use host randomness.
+    EXPECT_TRUE(checkAs("src/analysis/a.cc", body).empty());
+    EXPECT_TRUE(checkAs("tools/a.cc", body).empty());
+}
+
+TEST(CheckRules, UmbrellaBannedOnlyInsideSrc)
+{
+    const std::string inc = "#include \"orthotree/orthotree.hh\"\n";
+    EXPECT_EQ(1u, checkAs("src/layout/a.cc", inc).size());
+    EXPECT_TRUE(checkAs("tools/otsim.cc", inc).empty());
+    EXPECT_TRUE(checkAs("tests/a.cc", inc).empty());
+}
+
+TEST(CheckRules, AllowRequiresJustification)
+{
+    EXPECT_TRUE(
+        checkAs("src/otn/a.cc",
+                "// otcheck:allow(determinism): fixed fold\n"
+                "int f() { return rand(); }\n")
+            .empty());
+    std::vector<Diagnostic> diags =
+        checkAs("src/otn/a.cc",
+                "// otcheck:allow(determinism)\n"
+                "int f() { return rand(); }\n");
+    ASSERT_EQ(2u, diags.size());
+    EXPECT_EQ("allow-syntax", diags[0].rule);
+    EXPECT_EQ("determinism", diags[1].rule);
+}
+
+TEST(CheckRules, LayerClassification)
+{
+    EXPECT_EQ("otn", ot::check::classifyLayer("src/otn/sort.cc"));
+    EXPECT_EQ("tools", ot::check::classifyLayer("tools/otsim.cc"));
+    EXPECT_EQ("tests", ot::check::classifyLayer("tests/test_sim.cc"));
+    EXPECT_EQ("", ot::check::classifyLayer("docs/notes.md"));
+    EXPECT_TRUE(ot::check::allowedIncludes("analysis").size() == 2);
+    EXPECT_TRUE(ot::check::allowedIncludes("tools").empty());
+}
+
+TEST(CheckRules, JsonOutputIsWellFormed)
+{
+    ot::check::Report report;
+    report.files = {"src/otn/a.cc"};
+    report.diagnostics = checkAs(
+        "src/otn/a.cc", "int f() { return rand(); }\n");
+    ASSERT_EQ(1u, report.diagnostics.size());
+    std::string json = ot::check::renderJson(report);
+    EXPECT_EQ('[', json.front());
+    EXPECT_NE(std::string::npos,
+              json.find("\"rule\": \"determinism\""));
+    EXPECT_NE(std::string::npos, json.find("\"line\": 1"));
+    // Balanced brackets/braces as a cheap well-formedness probe.
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+}
+
+} // namespace

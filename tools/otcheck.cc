@@ -1,0 +1,102 @@
+/**
+ * @file
+ * otcheck — project-specific static analysis for the orthotree tree.
+ *
+ * Enforces the invariants the engine's bit-identical-at-any-
+ * OT_HOST_THREADS guarantee rests on: no nondeterminism sources in
+ * lane-reachable code, no layering back-edges, balanced
+ * beginPhase/endPhase accounting, and allocation-free hotpath files.
+ * See src/check/rules.hh for the rule catalogue and DESIGN.md for
+ * the layer DAG.
+ *
+ * Usage:
+ *   otcheck [--root DIR] [--compile-commands FILE] [--json]
+ *           [--list-files] [FILE...]
+ *
+ * With no FILE arguments, audits every *.cc / *.hh under root/src
+ * and root/tools (unioned with the translation units named in the
+ * compile_commands.json, when given).  Exit status: 0 clean,
+ * 1 diagnostics, 2 usage error.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "check/checker.hh"
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--root DIR] [--compile-commands FILE] [--json]\n"
+        "          [--list-files] [FILE...]\n"
+        "rules: determinism, layering, accounting, hotpath\n"
+        "escape: // otcheck:allow(<rule>): <justification>\n",
+        argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string root = ".";
+    std::string compileCommands;
+    bool json = false;
+    bool listFiles = false;
+    std::vector<std::string> explicitFiles;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--root") == 0 && i + 1 < argc) {
+            root = argv[++i];
+        } else if (std::strcmp(arg, "--compile-commands") == 0 &&
+                   i + 1 < argc) {
+            compileCommands = argv[++i];
+        } else if (std::strcmp(arg, "--json") == 0) {
+            json = true;
+        } else if (std::strcmp(arg, "--list-files") == 0) {
+            listFiles = true;
+        } else if (std::strncmp(arg, "--", 2) == 0) {
+            return usage(argv[0]);
+        } else {
+            explicitFiles.push_back(arg);
+        }
+    }
+
+    std::error_code ec;
+    if (!std::filesystem::is_directory(root, ec) || ec) {
+        std::fprintf(stderr, "otcheck: no such root: %s\n",
+                     root.c_str());
+        return 2;
+    }
+    // A missing compile_commands.json is not an error: the directory
+    // walk already covers the tree; the database only adds files.
+    if (!compileCommands.empty() &&
+        !std::filesystem::is_regular_file(compileCommands, ec))
+        compileCommands.clear();
+
+    std::vector<std::string> files =
+        explicitFiles.empty()
+            ? ot::check::collectFiles(root, compileCommands)
+            : explicitFiles;
+
+    if (listFiles) {
+        for (const std::string &f : files)
+            std::printf("%s\n", f.c_str());
+        return 0;
+    }
+
+    ot::check::Report report = ot::check::checkTree(root, files);
+    std::string rendered = json ? ot::check::renderJson(report)
+                                : ot::check::renderText(report);
+    std::fputs(rendered.c_str(), stdout);
+    return report.diagnostics.empty() ? 0 : 1;
+}
