@@ -23,6 +23,7 @@
  *   ot::graph     — graphs, generators, sequential references
  *   ot::otn       — the orthogonal trees network and its algorithms
  *   ot::otc       — the orthogonal tree cycles and its algorithms
+ *   ot::workload  — batched multi-instance serving with network cache
  *   ot::baselines — mesh / PSN / CCC comparison machines
  *   ot::analysis  — the paper's table formulas, fitting, rendering
  */
@@ -78,6 +79,9 @@
 #include "vlsi/cost_model.hh"
 #include "vlsi/delay.hh"
 #include "vlsi/word.hh"
+#include "workload/engine.hh"
+#include "workload/network_cache.hh"
+#include "workload/spec.hh"
 
 namespace ot {
 

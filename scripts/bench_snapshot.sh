@@ -54,4 +54,33 @@ EOF
     fi
 fi
 
+# Fold the workload-farm benchmark (cold vs warm NetworkCache, farm
+# width sweep) into the same snapshot so cache efficacy and batch
+# scaling travel with the sorting numbers.
+workload_bench="$build_dir/bench/bench_workload"
+if [[ -x "$workload_bench" ]] && command -v python3 > /dev/null; then
+    wl=$(mktemp)
+    trap 'rm -f "${summary:-}" "$wl"' EXIT
+    if "$workload_bench" \
+        --benchmark_filter='BM_Batch(Cold|Warm|Wide)' \
+        --benchmark_min_time="$min_time" \
+        --benchmark_out="$wl" \
+        --benchmark_out_format=json \
+        > /dev/null; then
+        python3 - "$out" "$wl" << 'EOF'
+import json, sys
+out_path, wl_path = sys.argv[1], sys.argv[2]
+with open(out_path) as f:
+    bench = json.load(f)
+with open(wl_path) as f:
+    bench["workload_benchmarks"] = json.load(f)["benchmarks"]
+with open(out_path, "w") as f:
+    json.dump(bench, f, indent=1)
+EOF
+        echo "folded workload farm benchmarks into $out"
+    else
+        echo "note: bench_workload failed, skipping" >&2
+    fi
+fi
+
 echo "wrote $out (host threads: ${OT_HOST_THREADS:-auto})"

@@ -33,6 +33,9 @@ layerTable()
         {"baselines",
          {"baselines", "otn", "graph", "layout", "linalg", "sim",
           "trace", "vlsi"}},
+        {"workload",
+         {"workload", "otc", "otn", "graph", "layout", "linalg", "sim",
+          "trace", "vlsi"}},
         // The checker itself: standard library only, so it can never
         // deadlock on the layers it audits.
         {"check", {"check"}},
@@ -465,7 +468,8 @@ runRules(const FileContext &ctx)
 {
     std::vector<Diagnostic> raw;
 
-    if (ctx.layer == "sim" || ctx.layer == "otn" || ctx.layer == "otc")
+    if (ctx.layer == "sim" || ctx.layer == "otn" ||
+        ctx.layer == "otc" || ctx.layer == "workload")
         runDeterminism(ctx, raw);
     runLayering(ctx, raw);
     runAccounting(ctx, raw);

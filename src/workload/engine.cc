@@ -1,0 +1,422 @@
+#include "workload/engine.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <iomanip>
+#include <map>
+#include <sstream>
+
+#include "graph/generators.hh"
+#include "graph/reference_algorithms.hh"
+#include "layout/otc_layout.hh"
+#include "linalg/reference.hh"
+#include "otc/sort.hh"
+#include "otn/connected_components.hh"
+#include "otn/matmul.hh"
+#include "otn/mst.hh"
+#include "otn/sort.hh"
+#include "sim/rng.hh"
+#include "vlsi/bitmath.hh"
+
+namespace ot::workload {
+
+namespace {
+
+/** Stable span label per algorithm (the tracer keeps the pointer). */
+const char *
+algoSpanName(Algo algo)
+{
+    switch (algo) {
+      case Algo::Sort:
+        return "sort";
+      case Algo::MatMul:
+        return "matmul";
+      case Algo::BoolMatMul:
+        return "boolmm";
+      case Algo::ConnectedComponents:
+        return "cc";
+      case Algo::Mst:
+        return "mst";
+    }
+    return "?";
+}
+
+/** The word format each algorithm's machine is built with (mirrors
+ *  the otsim runners, so batch times match single-run times). */
+vlsi::WordFormat
+wordFor(const InstanceSpec &inst)
+{
+    switch (inst.algo) {
+      case Algo::MatMul:
+        // Entries in [0, 9]: row-product sums reach n * 81.
+        return vlsi::WordFormat(
+            vlsi::logCeilAtLeast1(inst.n * 81 + 1) + 2);
+      case Algo::Mst:
+        return otn::mstWordFormat(inst.n, inst.n * inst.n);
+      case Algo::Sort:
+      case Algo::BoolMatMul:
+      case Algo::ConnectedComponents:
+        break;
+    }
+    return vlsi::WordFormat::forProblemSize(inst.n);
+}
+
+/** Input values of a sort instance. */
+std::vector<std::uint64_t>
+sortValues(std::size_t n, sim::Rng &rng)
+{
+    std::vector<std::uint64_t> out(n);
+    for (auto &x : out)
+        x = rng.uniform(0, n - 1);
+    return out;
+}
+
+/** Input matrices of a matmul instance (entries in [0, 9]). */
+linalg::IntMatrix
+randomIntMatrix(std::size_t n, sim::Rng &rng)
+{
+    linalg::IntMatrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            m(i, j) = rng.uniform(0, 9);
+    return m;
+}
+
+/** Input matrices of a Boolean matmul instance (density 0.35). */
+linalg::BoolMatrix
+randomBoolMatrix(std::size_t n, sim::Rng &rng)
+{
+    linalg::BoolMatrix m(n, n, 0);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            m(i, j) = rng.bernoulli(0.35) ? 1 : 0;
+    return m;
+}
+
+/** Nonzero-pattern equality of a product against the Boolean ref. */
+bool
+boolProductMatches(const linalg::IntMatrix &got,
+                   const linalg::BoolMatrix &expect)
+{
+    if (got.rows() != expect.rows() || got.cols() != expect.cols())
+        return false;
+    for (std::size_t i = 0; i < got.rows(); ++i)
+        for (std::size_t j = 0; j < got.cols(); ++j)
+            if ((got(i, j) != 0) != (expect(i, j) != 0))
+                return false;
+    return true;
+}
+
+/** Bring a (possibly reused) OTN back to its post-construction state. */
+void
+resetOtn(otn::OrthogonalTreesNetwork &net)
+{
+    for (unsigned r = 0; r < otn::kNumRegs; ++r)
+        net.fillReg(static_cast<otn::Reg>(r), 0);
+    for (std::size_t i = 0; i < net.n(); ++i) {
+        net.rowRoot(i) = otn::kNull;
+        net.colRoot(i) = otn::kNull;
+    }
+    net.resetTime();
+}
+
+/** Bring a (possibly reused) OTC back to its post-construction state. */
+void
+resetOtc(otc::OtcNetwork &net)
+{
+    for (unsigned r = 0; r < otn::kNumRegs; ++r)
+        net.fillReg(static_cast<otn::Reg>(r), 0);
+    for (std::size_t i = 0; i < net.k(); ++i) {
+        net.rowStream(i).assign(net.cycleLen(), otn::kNull);
+        net.colStream(i).assign(net.cycleLen(), otn::kNull);
+    }
+    net.resetTime();
+}
+
+} // namespace
+
+CacheKey
+cacheKeyFor(const InstanceSpec &inst)
+{
+    const unsigned logn = vlsi::logCeilAtLeast1(inst.n);
+    CacheKey key;
+    key.n = inst.n;
+    key.model = inst.model;
+    key.wordBits = wordFor(inst).bits();
+    key.scaled = inst.scaled;
+    if (inst.net == NetKind::Otn) {
+        key.form = MachineForm::Otn;
+        key.cycleLen = 0;
+    } else if (inst.algo == Algo::Sort) {
+        // SORT-OTC runs natively on the streaming machine.
+        key.form = MachineForm::OtcNative;
+        key.cycleLen = logn;
+    } else if (inst.algo == Algo::BoolMatMul) {
+        // The Table II big-OTC: cycles of log^2 N one-bit BPs.
+        key.form = MachineForm::OtcEmulated;
+        key.cycleLen = logn * logn;
+    } else {
+        // Section VI-B: the OTN algorithms on the emulated machine.
+        key.form = MachineForm::OtcEmulated;
+        key.cycleLen = logn;
+    }
+    return key;
+}
+
+vlsi::CostModel
+costModelFor(const InstanceSpec &inst)
+{
+    return {inst.model, wordFor(inst), inst.scaled};
+}
+
+bool
+BatchReport::allVerified() const
+{
+    for (const InstanceReport &r : instances)
+        if (!r.verified)
+            return false;
+    return true;
+}
+
+std::string
+BatchReport::toJson() const
+{
+    std::ostringstream os;
+    os << "{\"instances\": [";
+    for (const InstanceReport &r : instances) {
+        if (r.index)
+            os << ",";
+        os << "\n  {\"index\": " << r.index;
+        os << ", \"algo\": \"" << toString(r.spec.algo) << "\"";
+        os << ", \"net\": \"" << toString(r.spec.net) << "\"";
+        os << ", \"n\": " << r.spec.n;
+        os << ", \"model\": \"" << shortName(r.spec.model) << "\"";
+        os << ", \"scaled\": " << (r.spec.scaled ? "true" : "false");
+        os << ", \"seed\": " << r.spec.seed;
+        os << ", \"shard\": " << r.shard;
+        os << ", \"cache\": \"" << (r.cacheHit ? "hit" : "miss") << "\"";
+        os << ", \"verified\": " << (r.verified ? "true" : "false");
+        os << ", \"model_time\": " << r.time;
+        os << ", \"steps\": " << r.steps;
+        os << ", \"area\": " << r.area << "}";
+    }
+    os << "\n], \"aggregate\": {";
+    os << "\"instances\": " << instances.size();
+    os << ", \"shards\": " << shards;
+    os << ", \"model_makespan\": " << makespan;
+    os << ", \"model_total_work\": " << totalWork;
+    os << ", \"cache_hits\": " << cacheHits;
+    os << ", \"cache_misses\": " << cacheMisses;
+    os << ", \"verified\": " << (allVerified() ? "true" : "false");
+    os << "}}\n";
+    return os.str();
+}
+
+void
+BatchReport::writeText(std::ostream &os) const
+{
+    os << std::left << std::setw(4) << "#" << std::setw(8) << "algo"
+       << std::setw(5) << "net" << std::right << std::setw(6) << "n"
+       << "  " << std::left << std::setw(7) << "model" << std::setw(6)
+       << "cache" << std::setw(4) << "ok" << std::right << std::setw(12)
+       << "time" << std::setw(14) << "area" << "\n";
+    for (const InstanceReport &r : instances) {
+        os << std::left << std::setw(4) << r.index << std::setw(8)
+           << toString(r.spec.algo) << std::setw(5)
+           << toString(r.spec.net) << std::right << std::setw(6)
+           << r.spec.n << "  " << std::left << std::setw(7)
+           << shortName(r.spec.model) << std::setw(6)
+           << (r.cacheHit ? "hit" : "miss") << std::setw(4)
+           << (r.verified ? "yes" : "NO") << std::right << std::setw(12)
+           << r.time << std::setw(14) << r.area << "\n";
+    }
+    os << instances.size() << " instances on " << shards
+       << " machine(s): makespan " << makespan << ", total work "
+       << totalWork << ", cache " << cacheHits << " hit(s) / "
+       << cacheMisses << " miss(es), "
+       << (allVerified() ? "all verified" : "VERIFICATION FAILED")
+       << "\n";
+}
+
+BatchEngine::BatchEngine(unsigned host_threads)
+    : _engine(_acct, _stats, host_threads)
+{
+}
+
+BatchReport
+BatchEngine::run(const WorkloadSpec &spec)
+{
+    validate(spec);
+
+    BatchReport report;
+    report.instances.resize(spec.instances.size());
+
+    const std::uint64_t hits0 = _cache.hits();
+    const std::uint64_t misses0 = _cache.misses();
+
+    // Resolve instances to farm shards, in submission order: one shard
+    // per distinct machine shape, each backed by one cache entry.  The
+    // acquires run on the main thread (the cache is not locked), and
+    // hit/miss per instance is deterministic by construction.
+    std::vector<Shard> shards;
+    std::map<CacheKey, std::size_t> shardOf;
+    for (std::size_t i = 0; i < spec.instances.size(); ++i) {
+        const InstanceSpec &inst = spec.instances[i];
+        const CacheKey key = cacheKeyFor(inst);
+        const vlsi::CostModel cost = costModelFor(inst);
+
+        auto [it, fresh] = shardOf.try_emplace(key, shards.size());
+        if (fresh) {
+            Shard sh;
+            sh.key = key;
+            shards.push_back(sh);
+        }
+        Shard &sh = shards[it->second];
+
+        const std::uint64_t before = _cache.hits();
+        switch (key.form) {
+          case MachineForm::Otn:
+            sh.otnNet = &_cache.acquireOtn(key, cost);
+            break;
+          case MachineForm::OtcNative:
+            sh.otcNet = &_cache.acquireOtcNative(key, cost);
+            break;
+          case MachineForm::OtcEmulated:
+            sh.emuNet = &_cache.acquireOtcEmulated(key, cost);
+            sh.otnNet = sh.emuNet;
+            break;
+        }
+        sh.members.push_back(i);
+
+        InstanceReport &r = report.instances[i];
+        r.spec = inst;
+        r.index = i;
+        r.shard = it->second;
+        r.cacheHit = _cache.hits() > before;
+    }
+
+    report.shards = shards.size();
+    report.cacheHits = _cache.hits() - hits0;
+    report.cacheMisses = _cache.misses() - misses0;
+    _stats.counter("workload.instances") += spec.instances.size();
+    _stats.counter("workload.shards") += shards.size();
+    _stats.counter("workload.cache.hit") += report.cacheHits;
+    _stats.counter("workload.cache.miss") += report.cacheMisses;
+
+    // The farm: shards run in parallel (disjoint machines), instances
+    // within a shard queue on their shared machine.  parallelFor
+    // charges the longest shard chain — the farm makespan.
+    sim::ScopedPhase phase(_acct, "workload.batch");
+    report.makespan = _engine.parallelFor(shards.size(), [&](std::size_t s) {
+        const Shard &sh = shards[s];
+        for (std::size_t idx : sh.members) {
+            const InstanceSpec &inst = spec.instances[idx];
+            InstanceReport &r = report.instances[idx];
+            ModelTime dt = runInstance(inst, sh, r);
+            sim::ChainEngine::SpanArgs args;
+            args.tree = static_cast<std::int64_t>(idx);
+            args.words = inst.n;
+            _engine.traceSpan("workload", algoSpanName(inst.algo), dt,
+                              args);
+            _engine.charge(dt);
+            ++_engine.counter(std::string("workload.algo.") +
+                              toString(inst.algo));
+        }
+    });
+
+    for (const InstanceReport &r : report.instances)
+        report.totalWork += r.time;
+    return report;
+}
+
+ModelTime
+BatchEngine::runInstance(const InstanceSpec &inst, const Shard &shard,
+                         InstanceReport &out)
+{
+    sim::Rng rng(inst.seed);
+
+    if (shard.otcNet) {
+        // Native streaming machine: SORT-OTC only.
+        assert(inst.algo == Algo::Sort);
+        otc::OtcNetwork &net = *shard.otcNet;
+        resetOtc(net);
+        auto values = sortValues(inst.n, rng);
+        auto expect = values;
+        std::sort(expect.begin(), expect.end());
+        auto r = otc::sortOtc(net, values);
+        out.verified = r.sorted == expect;
+        out.time = r.time;
+        out.steps = net.acct().steps();
+        out.area = net.chipLayout().metrics().area();
+        return out.time;
+    }
+
+    otn::OrthogonalTreesNetwork &net = *shard.otnNet;
+    resetOtn(net);
+    switch (inst.algo) {
+      case Algo::Sort: {
+        auto values = sortValues(inst.n, rng);
+        auto expect = values;
+        std::sort(expect.begin(), expect.end());
+        auto r = otn::sortOtn(net, values);
+        out.verified = r.sorted == expect;
+        out.time = r.time;
+        break;
+      }
+      case Algo::MatMul: {
+        auto a = randomIntMatrix(inst.n, rng);
+        auto b = randomIntMatrix(inst.n, rng);
+        auto r = otn::matMulPipelined(net, a, b);
+        out.verified = r.product == linalg::matMul(a, b);
+        out.time = r.time;
+        break;
+      }
+      case Algo::BoolMatMul: {
+        auto a = randomBoolMatrix(inst.n, rng);
+        auto b = randomBoolMatrix(inst.n, rng);
+        auto expect = linalg::boolMatMul(a, b);
+        // Plain OTN: the Section III pipeline; emulated OTC: the
+        // replicated-block Table II machine (as boolMatMulOtc).
+        auto r = shard.emuNet
+                     ? otn::boolMatMulReplicated(net, a, b)
+                     : otn::boolMatMulPipelined(net, a, b);
+        out.verified = boolProductMatches(r.product, expect);
+        out.time = r.time;
+        break;
+      }
+      case Algo::ConnectedComponents: {
+        auto g = graph::randomGnp(inst.n, 0.1, rng);
+        auto expect = graph::connectedComponents(g);
+        auto r = otn::connectedComponentsOtn(net, g);
+        out.verified = r.labels == expect;
+        out.time = r.time;
+        break;
+      }
+      case Algo::Mst: {
+        auto g = graph::randomWeightedConnected(inst.n, 2 * inst.n, rng);
+        auto expect = graph::kruskalMsf(g);
+        auto r = otn::mstOtn(net, g);
+        out.verified = r.edges == expect;
+        out.time = r.time;
+        break;
+      }
+    }
+    out.steps = net.acct().steps();
+
+    if (shard.emuNet && inst.algo == Algo::BoolMatMul) {
+        // The Table II chip: N^2/log^2 N cycles per side, cycles of
+        // log^2 N one-bit BPs (see otc::boolMatMulOtc).
+        const unsigned logn = vlsi::logCeilAtLeast1(inst.n);
+        layout::OtcLayout chip(vlsi::ceilDiv(inst.n * inst.n, logn * logn),
+                               logn * logn, /*word_bits=*/1,
+                               /*compact_bps=*/true);
+        out.area = chip.metrics().area();
+    } else if (shard.emuNet) {
+        out.area = shard.emuNet->otcLayout().metrics().area();
+    } else {
+        out.area = net.chipLayout().metrics().area();
+    }
+    return out.time;
+}
+
+} // namespace ot::workload

@@ -10,6 +10,7 @@
 #include "otc/network.hh"
 #include "otn/network.hh"
 #include "otn/sort.hh"
+#include "workload/engine.hh"
 
 namespace {
 
@@ -74,6 +75,48 @@ TEST(OtnDeath, SortRejectsOverfullInput)
     OrthogonalTreesNetwork net(4, logCost(4));
     std::vector<std::uint64_t> five(5, 1);
     EXPECT_DEATH(sortOtn(net, five), "m <= n");
+}
+
+TEST(WorkloadDeath, EmptyBatchDies)
+{
+    ot::workload::BatchEngine engine;
+    ot::workload::WorkloadSpec spec;
+    EXPECT_DEATH(engine.run(spec), "empty batch");
+}
+
+TEST(WorkloadDeath, NonPowerOfTwoInstanceDies)
+{
+    ot::workload::BatchEngine engine;
+    ot::workload::WorkloadSpec spec;
+    spec.instances.push_back({ot::workload::Algo::Sort,
+                              ot::workload::NetKind::Otn, 24,
+                              DelayModel::Logarithmic, false, 1});
+    EXPECT_DEATH(engine.run(spec), "power of two");
+}
+
+TEST(WorkloadDeath, OversizedInstanceDies)
+{
+    ot::workload::BatchEngine engine;
+    ot::workload::WorkloadSpec spec;
+    spec.instances.push_back({ot::workload::Algo::Sort,
+                              ot::workload::NetKind::Otn, 1 << 15,
+                              DelayModel::Logarithmic, false, 1});
+    EXPECT_DEATH(engine.run(spec), "out of range");
+}
+
+TEST(WorkloadDeath, MismatchedDelayModelWithinCacheKeyDies)
+{
+    // A cache key identifies one machine; acquiring it with a cost
+    // model that disagrees with the key is a bug, not a miss.
+    ot::workload::NetworkCache cache;
+    ot::workload::InstanceSpec log_inst{ot::workload::Algo::Sort,
+                                        ot::workload::NetKind::Otn, 16,
+                                        DelayModel::Logarithmic, false, 1};
+    auto key = ot::workload::cacheKeyFor(log_inst);
+    CostModel wrong{DelayModel::Constant,
+                    WordFormat::forProblemSize(16)};
+    EXPECT_DEATH(cache.acquireOtn(key, wrong),
+                 "delay model mismatched within a cache key");
 }
 
 // Sanity: the guards do NOT fire on legal inputs (the death tests

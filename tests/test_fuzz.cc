@@ -10,7 +10,7 @@
 
 #include <gtest/gtest.h>
 
-#include <array>
+#include <tuple>
 #include <vector>
 
 #include "otn/network.hh"
@@ -24,28 +24,27 @@ using ot::vlsi::CostModel;
 using ot::vlsi::DelayModel;
 using ot::vlsi::WordFormat;
 
-constexpr std::size_t kN = 8;
-
 /** Independent re-implementation of the machine state & primitives. */
 class ShadowOtn
 {
   public:
-    ShadowOtn()
+    explicit ShadowOtn(std::size_t n)
+        : n(n),
+          regs(kNumRegs, std::vector<std::uint64_t>(n * n, 0)),
+          rowRoot(n, kNull),
+          colRoot(n, kNull)
     {
-        for (auto &plane : regs)
-            plane.fill(0);
-        rowRoot.fill(kNull);
-        colRoot.fill(kNull);
     }
 
-    std::array<std::array<std::uint64_t, kN * kN>, kNumRegs> regs;
-    std::array<std::uint64_t, kN> rowRoot;
-    std::array<std::uint64_t, kN> colRoot;
+    std::size_t n;
+    std::vector<std::vector<std::uint64_t>> regs;
+    std::vector<std::uint64_t> rowRoot;
+    std::vector<std::uint64_t> colRoot;
 
     std::uint64_t &
     at(unsigned r, std::size_t i, std::size_t j)
     {
-        return regs[r][i * kN + j];
+        return regs[r][i * n + j];
     }
 };
 
@@ -92,21 +91,23 @@ struct SelSpec
     }
 };
 
-class FuzzOtn : public ::testing::TestWithParam<int>
+/** Params: (seed, N). */
+class FuzzOtn
+    : public ::testing::TestWithParam<std::tuple<int, std::size_t>>
 {
   protected:
     void
-    expectStatesMatch(OrthogonalTreesNetwork &net, const ShadowOtn &shadow,
+    expectStatesMatch(OrthogonalTreesNetwork &net, ShadowOtn &shadow,
                       int step)
     {
         for (unsigned r = 0; r < kNumRegs; ++r)
-            for (std::size_t i = 0; i < kN; ++i)
-                for (std::size_t j = 0; j < kN; ++j)
+            for (std::size_t i = 0; i < shadow.n; ++i)
+                for (std::size_t j = 0; j < shadow.n; ++j)
                     ASSERT_EQ(net.reg(static_cast<Reg>(r), i, j),
-                              shadow.regs[r][i * kN + j])
+                              shadow.at(r, i, j))
                         << "step " << step << " reg " << r << " @(" << i
                         << "," << j << ")";
-        for (std::size_t i = 0; i < kN; ++i) {
+        for (std::size_t i = 0; i < shadow.n; ++i) {
             ASSERT_EQ(net.rowRoot(i), shadow.rowRoot[i])
                 << "step " << step << " rowRoot " << i;
             ASSERT_EQ(net.colRoot(i), shadow.colRoot[i])
@@ -117,10 +118,11 @@ class FuzzOtn : public ::testing::TestWithParam<int>
 
 TEST_P(FuzzOtn, RandomPrimitiveSequencesMatchShadow)
 {
-    Rng rng(static_cast<std::uint64_t>(GetParam()) * 7907 + 13);
+    auto [seed, kN] = GetParam();
+    Rng rng(static_cast<std::uint64_t>(seed) * 7907 + 13);
     CostModel cost(DelayModel::Logarithmic, WordFormat::forProblemSize(kN));
     OrthogonalTreesNetwork net(kN, cost);
-    ShadowOtn shadow;
+    ShadowOtn shadow(kN);
 
     auto rand_reg = [&] {
         return static_cast<unsigned>(rng.uniform(0, kNumRegs - 1));
@@ -255,6 +257,16 @@ TEST_P(FuzzOtn, RandomPrimitiveSequencesMatchShadow)
     EXPECT_GT(net.now(), 0u);
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, FuzzOtn, ::testing::Range(1, 13));
+INSTANTIATE_TEST_SUITE_P(
+    SeedsN8, FuzzOtn,
+    ::testing::Combine(::testing::Range(1, 13),
+                       ::testing::Values<std::size_t>(8)));
+
+// The same sequences at N = 16 cover a deeper tree (4 levels) and the
+// even/odd selector patterns beyond one subtree.
+INSTANTIATE_TEST_SUITE_P(
+    SeedsN16, FuzzOtn,
+    ::testing::Combine(::testing::Range(1, 7),
+                       ::testing::Values<std::size_t>(16)));
 
 } // namespace

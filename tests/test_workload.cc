@@ -1,0 +1,249 @@
+/**
+ * @file
+ * The batched workload engine: cache hit/miss semantics, the farm
+ * makespan rule (max over shards of summed instance times), and the
+ * determinism contract — reports and trace streams byte-identical at
+ * every host-thread count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "trace/tracer.hh"
+#include "workload/engine.hh"
+
+namespace {
+
+using namespace ot::workload;
+using ot::vlsi::DelayModel;
+
+InstanceSpec
+inst(Algo algo, NetKind net, std::size_t n,
+     DelayModel model = DelayModel::Logarithmic, std::uint64_t seed = 1)
+{
+    return {algo, net, n, model, false, seed};
+}
+
+TEST(CacheKeyTest, DistinguishesMachineShapes)
+{
+    auto otn_sort = cacheKeyFor(inst(Algo::Sort, NetKind::Otn, 32));
+    auto otc_sort = cacheKeyFor(inst(Algo::Sort, NetKind::Otc, 32));
+    auto otc_cc =
+        cacheKeyFor(inst(Algo::ConnectedComponents, NetKind::Otc, 32));
+    auto otc_bool = cacheKeyFor(inst(Algo::BoolMatMul, NetKind::Otc, 32));
+
+    EXPECT_EQ(otn_sort.form, MachineForm::Otn);
+    EXPECT_EQ(otc_sort.form, MachineForm::OtcNative);
+    EXPECT_EQ(otc_cc.form, MachineForm::OtcEmulated);
+    EXPECT_EQ(otc_bool.form, MachineForm::OtcEmulated);
+    // SORT-OTC streams cycles of log N; the Table II Boolean machine
+    // uses cycles of log^2 N.
+    EXPECT_EQ(otc_sort.cycleLen, 5u);
+    EXPECT_EQ(otc_bool.cycleLen, 25u);
+    EXPECT_NE(otc_cc, otc_bool);
+}
+
+TEST(CacheKeyTest, SameShapeSameKeyDifferentSeed)
+{
+    auto a = cacheKeyFor(inst(Algo::Sort, NetKind::Otn, 32,
+                              DelayModel::Logarithmic, 1));
+    auto b = cacheKeyFor(inst(Algo::Sort, NetKind::Otn, 32,
+                              DelayModel::Logarithmic, 99));
+    EXPECT_EQ(a, b);
+    auto c = cacheKeyFor(
+        inst(Algo::Sort, NetKind::Otn, 32, DelayModel::Constant, 1));
+    EXPECT_NE(a, c);
+}
+
+TEST(NetworkCacheTest, SecondAcquireIsAHitOnTheSameMachine)
+{
+    NetworkCache cache;
+    auto spec = inst(Algo::Sort, NetKind::Otn, 16);
+    auto key = cacheKeyFor(spec);
+    auto cost = costModelFor(spec);
+
+    auto &first = cache.acquireOtn(key, cost);
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.misses(), 1u);
+
+    auto &second = cache.acquireOtn(key, cost);
+    EXPECT_EQ(&first, &second);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.size(), 1u);
+
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(BatchEngineTest, DemoWorkloadVerifiesWithThreeHits)
+{
+    BatchEngine engine;
+    auto report = engine.run(demoWorkload());
+
+    ASSERT_EQ(report.instances.size(), 12u);
+    EXPECT_TRUE(report.allVerified());
+    // Three repeated shapes in the demo mix (see demoWorkload()).
+    EXPECT_EQ(report.cacheHits, 3u);
+    EXPECT_EQ(report.cacheMisses, 9u);
+    EXPECT_EQ(report.shards, 9u);
+    EXPECT_GT(report.makespan, 0u);
+    EXPECT_GE(report.totalWork, report.makespan);
+}
+
+TEST(BatchEngineTest, MakespanIsMaxOverShardsOfSummedTimes)
+{
+    BatchEngine engine;
+    auto report = engine.run(demoWorkload());
+
+    std::map<std::size_t, ot::vlsi::ModelTime> shard_time;
+    ot::vlsi::ModelTime total = 0;
+    for (const auto &r : report.instances) {
+        shard_time[r.shard] += r.time;
+        total += r.time;
+        EXPECT_GT(r.time, 0u) << "instance " << r.index;
+        EXPECT_GT(r.area, 0u) << "instance " << r.index;
+    }
+    ASSERT_EQ(shard_time.size(), report.shards);
+
+    ot::vlsi::ModelTime longest = 0;
+    for (const auto &[shard, t] : shard_time)
+        longest = std::max(longest, t);
+    EXPECT_EQ(report.makespan, longest);
+    EXPECT_EQ(report.totalWork, total);
+}
+
+TEST(BatchEngineTest, SingleInstanceBatchMakespanEqualsItsTime)
+{
+    WorkloadSpec spec;
+    spec.instances.push_back(inst(Algo::Sort, NetKind::Otn, 16));
+    BatchEngine engine;
+    auto report = engine.run(spec);
+    ASSERT_EQ(report.instances.size(), 1u);
+    EXPECT_EQ(report.makespan, report.instances[0].time);
+    EXPECT_EQ(report.totalWork, report.instances[0].time);
+    EXPECT_EQ(report.shards, 1u);
+}
+
+TEST(BatchEngineTest, CachePersistsAcrossRuns)
+{
+    BatchEngine engine;
+    auto cold = engine.run(demoWorkload());
+    auto warm = engine.run(demoWorkload());
+
+    EXPECT_EQ(warm.cacheHits, 12u);
+    EXPECT_EQ(warm.cacheMisses, 0u);
+    EXPECT_EQ(engine.cache().size(), 9u);
+
+    // Machine reuse must not leak state between runs: the warm pass
+    // reproduces the cold pass exactly.
+    EXPECT_EQ(warm.makespan, cold.makespan);
+    for (std::size_t i = 0; i < cold.instances.size(); ++i) {
+        EXPECT_EQ(warm.instances[i].time, cold.instances[i].time) << i;
+        EXPECT_TRUE(warm.instances[i].verified) << i;
+    }
+}
+
+TEST(BatchEngineTest, ReportsAreByteIdenticalAcrossHostThreads)
+{
+    std::vector<std::string> jsons;
+    std::vector<std::string> texts;
+    for (unsigned threads : {1u, 2u, 8u}) {
+        BatchEngine engine(threads);
+        auto report = engine.run(demoWorkload());
+        jsons.push_back(report.toJson());
+        std::ostringstream os;
+        report.writeText(os);
+        texts.push_back(os.str());
+    }
+    EXPECT_EQ(jsons[0], jsons[1]);
+    EXPECT_EQ(jsons[0], jsons[2]);
+    EXPECT_EQ(texts[0], texts[1]);
+    EXPECT_EQ(texts[0], texts[2]);
+}
+
+#ifdef OT_TRACE
+TEST(BatchEngineTest, TraceStreamsAreIdenticalAcrossHostThreads)
+{
+    auto trace_of = [](unsigned threads) {
+        auto tracer = std::make_unique<ot::trace::Tracer>();
+        tracer->setEnabled(true);
+        BatchEngine engine(threads);
+        engine.setTracer(tracer.get());
+        engine.run(demoWorkload());
+        engine.setTracer(nullptr);
+        return tracer;
+    };
+
+    auto seq = trace_of(1);
+    EXPECT_GT(seq->events().size(), 0u);
+    EXPECT_EQ(seq->dropped(), 0u);
+    for (unsigned threads : {2u, 8u}) {
+        auto par = trace_of(threads);
+        ASSERT_EQ(par->events().size(), seq->events().size())
+            << "threads=" << threads;
+        for (std::size_t i = 0; i < seq->events().size(); ++i)
+            ASSERT_TRUE(ot::trace::eventsEqual(seq->events()[i],
+                                               par->events()[i]))
+                << "threads=" << threads << " event " << i;
+    }
+}
+#endif
+
+TEST(BatchEngineTest, StatsSurfaceCacheAndAlgoCounters)
+{
+    BatchEngine engine;
+    engine.run(demoWorkload());
+    EXPECT_EQ(engine.stats().counter("workload.instances").value(), 12u);
+    EXPECT_EQ(engine.stats().counter("workload.cache.hit").value(), 3u);
+    EXPECT_EQ(engine.stats().counter("workload.cache.miss").value(), 9u);
+    EXPECT_EQ(engine.stats().counter("workload.algo.sort").value(), 4u);
+    EXPECT_EQ(engine.stats().counter("workload.algo.mst").value(), 2u);
+}
+
+TEST(SpecTest, JsonRoundTrips)
+{
+    auto spec = demoWorkload();
+    auto text = toJson(spec);
+    WorkloadSpec parsed;
+    std::string err;
+    ASSERT_TRUE(parseWorkloadJson(text, parsed, err)) << err;
+    EXPECT_EQ(parsed.instances, spec.instances);
+}
+
+TEST(SpecTest, ParseInstanceTokens)
+{
+    InstanceSpec out;
+    std::string err;
+    ASSERT_TRUE(parseInstance("boolmm:otc:64:const:seed=7", out, err))
+        << err;
+    EXPECT_EQ(out.algo, Algo::BoolMatMul);
+    EXPECT_EQ(out.net, NetKind::Otc);
+    EXPECT_EQ(out.n, 64u);
+    EXPECT_EQ(out.model, DelayModel::Constant);
+    EXPECT_EQ(out.seed, 7u);
+    EXPECT_FALSE(out.scaled);
+
+    ASSERT_TRUE(parseInstance("sort:otn:32:log:scaled", out, err)) << err;
+    EXPECT_TRUE(out.scaled);
+
+    EXPECT_FALSE(parseInstance("sort:otn:32", out, err));
+    EXPECT_FALSE(parseInstance("quicksort:otn:32:log", out, err));
+    EXPECT_FALSE(parseInstance("sort:mesh:32:log", out, err));
+}
+
+TEST(SpecTest, DescribeInvalidFlagsBadSizes)
+{
+    WorkloadSpec spec;
+    EXPECT_NE(describeInvalid(spec), "");
+    spec.instances.push_back(inst(Algo::Sort, NetKind::Otn, 16));
+    EXPECT_EQ(describeInvalid(spec), "");
+    spec.instances.push_back(inst(Algo::Sort, NetKind::Otn, 24));
+    EXPECT_NE(describeInvalid(spec), "");
+}
+
+} // namespace

@@ -13,9 +13,18 @@
  *   otsim tables  [--n N]
  *   otsim trace   [sort|cc|mst|matmul|sssp] [--net otn|otc] [--n N]
  *                 [--trace-out FILE] [--trace-summary FILE]
+ *   otsim batch   [--demo] [--spec FILE.json]
+ *                 [--inst algo:net:n:model[:scaled][:seed=K]]...
+ *                 [--json FILE] [--trace-out FILE]
  *
  * Every run prints the result summary, the machine's model time, chip
  * area and AT^2, and verifies against the sequential reference.
+ *
+ * `batch` executes a workload of heterogeneous instances on a machine
+ * farm (one simulated machine per distinct shape, cached and reused;
+ * see src/workload/engine.hh), printing a per-instance table and the
+ * aggregate model-time throughput.  The report is deterministic:
+ * byte-identical at every OT_HOST_THREADS setting.
  *
  * Tracing: `--trace-out FILE` on sort/cc/mst/matmul/sssp records every
  * primitive and clock tick in model time and writes a Chrome
@@ -31,7 +40,9 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "orthotree/orthotree.hh"
 #include "trace/analysis.hh"
@@ -49,6 +60,10 @@ struct Options
     std::string svg_path;
     std::string trace_out;
     std::string trace_summary;
+    std::string spec_path;           // batch: JSON workload file
+    std::string json_out;            // batch: report JSON output
+    std::vector<std::string> insts;  // batch: CLI instance tokens
+    bool demo = false;               // batch: the 12-instance demo mix
     std::size_t n = 64;
     double p = 0.1;
     std::uint64_t seed = 1;
@@ -69,14 +84,18 @@ usage(const char *argv0)
 {
     std::fprintf(
         stderr,
-        "usage: %s <sort|cc|mst|matmul|sssp|layout|tables|trace> "
+        "usage: %s <sort|cc|mst|matmul|sssp|layout|tables|trace|batch> "
         "[options]\n"
         "  --net <otn|otc|mesh|psn|ccc|tree|hex|mot3d>\n"
         "  --n <size>   --seed <seed>   --p <edge prob>\n"
         "  --model <log|const|linear>   --scaled   --art   --svg <file>\n"
         "  --trace-out <file>      write a Perfetto (Chrome trace) JSON\n"
         "  --trace-summary <file>  write the trace analyzer JSON\n"
-        "  trace [sort|cc|mst|matmul|sssp]  run traced, print breakdown\n",
+        "  trace [sort|cc|mst|matmul|sssp]  run traced, print breakdown\n"
+        "  batch --demo | --spec <file.json> |\n"
+        "        --inst algo:net:n:model[:scaled][:seed=K] (repeatable)\n"
+        "        [--json <file>]  run a workload batch on the machine "
+        "farm\n",
         argv0);
     std::exit(2);
 }
@@ -103,6 +122,14 @@ parse(int argc, char **argv)
             opt.trace_out = next();
         } else if (arg == "--trace-summary") {
             opt.trace_summary = next();
+        } else if (arg == "--spec") {
+            opt.spec_path = next();
+        } else if (arg == "--json") {
+            opt.json_out = next();
+        } else if (arg == "--inst") {
+            opt.insts.push_back(next());
+        } else if (arg == "--demo") {
+            opt.demo = true;
         } else if (opt.command == "trace" && !arg.empty() &&
                    arg[0] != '-') {
             // `otsim trace <workload>` — the workload rides in
@@ -507,6 +534,76 @@ runSssp(const Options &opt)
 }
 
 int
+runBatch(const Options &opt)
+{
+    workload::WorkloadSpec spec;
+    if (opt.demo)
+        spec = workload::demoWorkload();
+    if (!opt.spec_path.empty()) {
+        std::ifstream f(opt.spec_path);
+        if (!f) {
+            std::fprintf(stderr, "otsim: cannot read %s\n",
+                         opt.spec_path.c_str());
+            return 1;
+        }
+        std::ostringstream text;
+        text << f.rdbuf();
+        workload::WorkloadSpec parsed;
+        std::string err;
+        if (!workload::parseWorkloadJson(text.str(), parsed, err)) {
+            std::fprintf(stderr, "otsim: %s: %s\n", opt.spec_path.c_str(),
+                         err.c_str());
+            return 2;
+        }
+        spec.instances.insert(spec.instances.end(),
+                              parsed.instances.begin(),
+                              parsed.instances.end());
+    }
+    for (const std::string &token : opt.insts) {
+        workload::InstanceSpec inst;
+        std::string err;
+        if (!workload::parseInstance(token, inst, err)) {
+            std::fprintf(stderr, "otsim: --inst: %s\n", err.c_str());
+            return 2;
+        }
+        spec.instances.push_back(inst);
+    }
+    if (spec.instances.empty()) {
+        std::fprintf(stderr, "otsim: batch needs --demo, --spec or "
+                             "--inst\n");
+        return 2;
+    }
+    if (std::string bad = workload::describeInvalid(spec); !bad.empty()) {
+        std::fprintf(stderr, "otsim: %s\n", bad.c_str());
+        return 2;
+    }
+
+    workload::BatchEngine engine;
+    TraceSession ts(opt);
+    ts.attach(engine);
+    auto report = engine.run(spec);
+
+    report.writeText(std::cout);
+    if (!opt.json_out.empty()) {
+        std::ofstream f(opt.json_out);
+        if (!f) {
+            std::fprintf(stderr, "otsim: cannot write %s\n",
+                         opt.json_out.c_str());
+            return 1;
+        }
+        f << report.toJson();
+        std::printf("wrote %s\n", opt.json_out.c_str());
+    }
+    if (int rc = ts.finish(engine.stats()))
+        return rc;
+    if (!report.allVerified()) {
+        std::fprintf(stderr, "otsim: BATCH VERIFICATION FAILED\n");
+        return 1;
+    }
+    return 0;
+}
+
+int
 runLayout(const Options &opt)
 {
     auto cost = defaultCostModel(opt.n, opt.model);
@@ -604,6 +701,8 @@ main(int argc, char **argv)
         return runMatMul(opt);
     if (opt.command == "sssp")
         return runSssp(opt);
+    if (opt.command == "batch")
+        return runBatch(opt);
     if (opt.command == "layout")
         return runLayout(opt);
     if (opt.command == "tables")
