@@ -1,0 +1,102 @@
+#include "check/callgraph.hh"
+
+namespace ot::check {
+
+namespace {
+
+const char *
+allocName(const std::string &t)
+{
+    if (t == "new" || t == "malloc" || t == "calloc" ||
+        t == "realloc" || t == "make_unique" || t == "make_shared")
+        return t.c_str();
+    return nullptr;
+}
+
+/** Scan a definition's token range for intrinsically banned
+ *  constructs; returns a witness string or "". */
+std::string
+intrinsicDirt(const FileContext &ctx, const FuncDef &def)
+{
+    const auto &toks = ctx.lexed.tokens;
+    auto where = [&](std::size_t j) {
+        return " at " + ctx.path + ":" + std::to_string(toks[j].line);
+    };
+    if (def.isVirtual)
+        return "virtual dispatch at " + ctx.path + ":" +
+               std::to_string(def.line);
+    for (std::size_t j = def.bodyFirst;
+         j <= def.bodyLast && j < toks.size(); ++j) {
+        if (toks[j].kind != Token::Kind::Ident)
+            continue;
+        const std::string &t = toks[j].text;
+        if (allocName(t))
+            return "heap allocation (" + t + ")" + where(j);
+        if (t == "virtual")
+            return "virtual dispatch" + where(j);
+        if (t == "function" && j >= 2 && toks[j - 1].text == "::" &&
+            toks[j - 2].text == "std")
+            return "std::function (type-erased call)" + where(j);
+    }
+    return "";
+}
+
+} // namespace
+
+CallGraph
+buildCallGraph(const std::vector<FileContext> &ctxs)
+{
+    CallGraph g;
+    for (std::size_t i = 0; i < ctxs.size(); ++i) {
+        if (allowedIncludes(ctxs[i].layer).empty())
+            continue; // only src/-layer definitions participate
+        for (const FuncDef &f : ctxs[i].parsed.funcs) {
+            if (f.name.empty())
+                continue; // lambdas: scanned as part of the encloser
+            CallNode n;
+            n.file = static_cast<int>(i);
+            n.def = &f;
+            n.why = intrinsicDirt(ctxs[i], f);
+            n.dirty = !n.why.empty();
+            g.byName[f.name].push_back(
+                static_cast<int>(g.nodes.size()));
+            g.nodes.push_back(std::move(n));
+        }
+    }
+
+    // Monotone fixpoint: a clean node becomes dirty when some call
+    // site resolves (by name) to a non-empty candidate set that is
+    // entirely dirty.  Node count bounds the iteration.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (CallNode &n : g.nodes) {
+            if (n.dirty)
+                continue;
+            for (const CallSite &c : n.def->calls) {
+                auto it = g.byName.find(c.name);
+                if (it == g.byName.end())
+                    continue;
+                bool allDirty = true;
+                const CallNode *witness = nullptr;
+                for (int k : it->second) {
+                    if (!g.nodes[k].dirty) {
+                        allDirty = false;
+                        break;
+                    }
+                    if (!witness)
+                        witness = &g.nodes[k];
+                }
+                if (allDirty && witness) {
+                    n.dirty = true;
+                    n.why = witness->why + " via " + c.name + "()";
+                    changed = true;
+                    break;
+                }
+            }
+        }
+    }
+    return g;
+}
+
+} // namespace ot::check

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Project-wide call graph for otcheck's hotpath-propagation rule.
+ *
+ * Nodes are the named function definitions in the run's src/-layer
+ * files.  Each node carries a "dirty" bit: it is intrinsically dirty
+ * when its own body uses a construct the hotpath rule bans (heap
+ * allocation, std::function, virtual dispatch), and transitively
+ * dirty when every definition a call site could resolve to is dirty.
+ *
+ * Resolution is by name only — the checker has no types — so a call
+ * with several same-named candidates is judged pessimistically about
+ * *reachability* (any candidate may be the target) but optimistically
+ * about *dirt*: the caller is marked dirty only when ALL candidates
+ * are, because flagging a call that might bind to a clean overload
+ * would make the rule unusable.  Unknown names (std::, libc, files
+ * outside the run) resolve to nothing and propagate nothing.
+ */
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "check/cfg.hh"
+#include "check/rules.hh"
+
+namespace ot::check {
+
+/** One named src/-layer function definition. */
+struct CallNode
+{
+    int file = -1;              ///< index into the run's contexts
+    const FuncDef *def = nullptr;
+    bool dirty = false;         ///< intrinsic or transitive
+    std::string why;            ///< witness, e.g. "heap allocation
+                                ///  (new) at src/x.cc:7 via a → b"
+};
+
+struct CallGraph
+{
+    std::vector<CallNode> nodes;
+    /** Function name → node indices (all same-named definitions). */
+    std::map<std::string, std::vector<int>> byName;
+};
+
+/** Build the graph and run the dirt fixpoint to convergence. */
+CallGraph buildCallGraph(const std::vector<FileContext> &ctxs);
+
+} // namespace ot::check

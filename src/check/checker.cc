@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 
 namespace ot::check {
@@ -109,17 +110,74 @@ jsonEscape(std::ostringstream &out, const std::string &s)
     }
 }
 
+bool
+diagLess(const Diagnostic &l, const Diagnostic &r)
+{
+    if (l.file != r.file)
+        return l.file < r.file;
+    if (l.line != r.line)
+        return l.line < r.line;
+    if (l.rule != r.rule)
+        return l.rule < r.rule;
+    return l.message < r.message;
+}
+
+bool
+diagEqual(const Diagnostic &l, const Diagnostic &r)
+{
+    return l.file == r.file && l.line == r.line && l.rule == r.rule &&
+           l.message == r.message;
+}
+
 } // namespace
+
+Report
+checkProject(const std::vector<SourceFile> &files)
+{
+    std::vector<FileContext> ctxs;
+    ctxs.reserve(files.size());
+    for (const SourceFile &f : files) {
+        FileContext ctx;
+        ctx.lexed = lex(f.source);
+        ctx.path = ctx.lexed.fixturePath.empty()
+                       ? f.path
+                       : ctx.lexed.fixturePath;
+        ctx.layer = classifyLayer(ctx.path);
+        ctx.parsed = parseFile(ctx.lexed);
+        ctxs.push_back(std::move(ctx));
+    }
+
+    std::map<std::string, std::vector<Diagnostic>> byFile;
+    for (const FileContext &ctx : ctxs)
+        for (Diagnostic &d : runFileRules(ctx))
+            byFile[d.file].push_back(std::move(d));
+    for (Diagnostic &d : runProjectRules(ctxs))
+        byFile[d.file].push_back(std::move(d));
+
+    Report report;
+    for (const FileContext &ctx : ctxs) {
+        report.files.push_back(ctx.path);
+        std::vector<Diagnostic> mine;
+        auto it = byFile.find(ctx.path);
+        if (it != byFile.end())
+            mine = std::move(it->second);
+        for (Diagnostic &d : applyAllows(ctx, std::move(mine)))
+            report.diagnostics.push_back(std::move(d));
+    }
+    std::sort(report.files.begin(), report.files.end());
+    std::sort(report.diagnostics.begin(), report.diagnostics.end(),
+              diagLess);
+    report.diagnostics.erase(
+        std::unique(report.diagnostics.begin(),
+                    report.diagnostics.end(), diagEqual),
+        report.diagnostics.end());
+    return report;
+}
 
 std::vector<Diagnostic>
 checkSource(const std::string &path, const std::string &source)
 {
-    FileContext ctx;
-    ctx.lexed = lex(source);
-    ctx.path = ctx.lexed.fixturePath.empty() ? path
-                                             : ctx.lexed.fixturePath;
-    ctx.layer = classifyLayer(ctx.path);
-    return runRules(ctx);
+    return checkProject({{path, source}}).diagnostics;
 }
 
 std::vector<Diagnostic>
@@ -135,7 +193,7 @@ collectFiles(const std::string &root,
     std::vector<std::string> files;
     const fs::path rootPath(root);
 
-    for (const char *sub : {"src", "tools"}) {
+    for (const char *sub : {"src", "tools", "bench"}) {
         fs::path dir = rootPath / sub;
         std::error_code ec;
         if (!fs::is_directory(dir, ec))
@@ -154,7 +212,8 @@ collectFiles(const std::string &root,
             if (rel.empty())
                 continue;
             if (rel.compare(0, 4, "src/") == 0 ||
-                rel.compare(0, 6, "tools/") == 0)
+                rel.compare(0, 6, "tools/") == 0 ||
+                rel.compare(0, 6, "bench/") == 0)
                 files.push_back(std::move(rel));
         }
     }
@@ -170,15 +229,53 @@ Report
 checkTree(const std::string &root,
           const std::vector<std::string> &files)
 {
-    Report report;
-    report.files = files;
-    for (const std::string &rel : files) {
-        std::vector<Diagnostic> d =
-            checkFile((fs::path(root) / rel).string(), rel);
-        report.diagnostics.insert(report.diagnostics.end(),
-                                  d.begin(), d.end());
+    std::vector<SourceFile> sources;
+    sources.reserve(files.size());
+    for (const std::string &rel : files)
+        sources.push_back(
+            {rel, readFile((fs::path(root) / rel).string())});
+    return checkProject(sources);
+}
+
+Baseline
+loadBaseline(const std::string &path)
+{
+    Baseline b;
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+        std::size_t begin = line.find_first_not_of(" \t");
+        if (begin == std::string::npos || line[begin] == '#')
+            continue;
+        std::size_t sep = line.find_first_of(" \t", begin);
+        if (sep == std::string::npos)
+            continue;
+        std::string rule = line.substr(begin, sep - begin);
+        std::size_t fbegin = line.find_first_not_of(" \t", sep);
+        if (fbegin == std::string::npos)
+            continue;
+        std::size_t fend = line.find_last_not_of(" \t\r");
+        b.entries.insert(
+            {rule, line.substr(fbegin, fend - fbegin + 1)});
     }
-    return report;
+    return b;
+}
+
+std::size_t
+applyBaseline(const Baseline &baseline, Report &report)
+{
+    if (baseline.entries.empty())
+        return 0;
+    std::size_t before = report.diagnostics.size();
+    report.diagnostics.erase(
+        std::remove_if(report.diagnostics.begin(),
+                       report.diagnostics.end(),
+                       [&](const Diagnostic &d) {
+                           return baseline.entries.count(
+                                      {d.rule, d.file}) != 0;
+                       }),
+        report.diagnostics.end());
+    return before - report.diagnostics.size();
 }
 
 std::string

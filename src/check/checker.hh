@@ -2,21 +2,38 @@
  * @file
  * otcheck driver: file collection, rule dispatch, rendering.
  *
- * The checker walks src/ and tools/ under a repo root (and/or the
- * translation units named in a compile_commands.json) and runs every
- * rule over every file.  File order, diagnostic order and both output
- * formats are deterministic — the checker holds itself to the same
- * standard it enforces.
+ * The checker walks src/, tools/ and bench/ under a repo root (and/or
+ * the translation units named in a compile_commands.json) and runs
+ * every rule over the whole file set at once — the cross-file rules
+ * (hotpath-propagation, include-hygiene) need the full project in
+ * view.  File order, diagnostic order and all output formats are
+ * deterministic — the checker holds itself to the same standard it
+ * enforces.
+ *
+ * A baseline file (one `rule path` pair per line, `#` comments) mutes
+ * known pre-existing findings so new rules can land strict on new
+ * code without a big-bang cleanup; the policy (enforced by tests, not
+ * here) is that src/ entries are forbidden — only the app-level
+ * trees may carry debt.
  */
 
 #pragma once
 
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "check/rules.hh"
 
 namespace ot::check {
+
+/** One input file: repo-relative path plus its content. */
+struct SourceFile
+{
+    std::string path;
+    std::string source;
+};
 
 /** Everything one run produced. */
 struct Report
@@ -25,9 +42,20 @@ struct Report
     std::vector<Diagnostic> diagnostics;
 };
 
-/** Run all rules over in-memory source presented as `path`.  A
- *  fixture-path marker in the source re-classifies the file under
- *  the path it names (used by the fixture corpus). */
+/** Known findings to mute: (rule, file) pairs. */
+struct Baseline
+{
+    std::set<std::pair<std::string, std::string>> entries;
+};
+
+/** Run the full pipeline (lex → parse → file rules → project rules →
+ *  allows) over an in-memory file set.  A fixture-path marker in a
+ *  source re-classifies that file under the path it names (used by
+ *  the fixture corpus).  Diagnostics come back sorted by
+ *  (file, line, rule). */
+Report checkProject(const std::vector<SourceFile> &files);
+
+/** Single-file convenience over checkProject. */
 std::vector<Diagnostic> checkSource(const std::string &path,
                                     const std::string &source);
 
@@ -38,8 +66,8 @@ std::vector<Diagnostic> checkFile(const std::string &filePath,
 
 /**
  * Collect the audit set under `root`: every *.cc / *.hh beneath
- * root/src and root/tools, unioned with any file listed in
- * `compileCommandsPath` (may be empty) that lies in those trees.
+ * root/src, root/tools and root/bench, unioned with any file listed
+ * in `compileCommandsPath` (may be empty) that lies in those trees.
  * Returned paths are repo-relative and sorted.
  */
 std::vector<std::string>
@@ -47,9 +75,16 @@ collectFiles(const std::string &root,
              const std::string &compileCommandsPath);
 
 /** Check every file in `files` (repo-relative, resolved against
- *  `root`). */
+ *  `root`) as one project. */
 Report checkTree(const std::string &root,
                  const std::vector<std::string> &files);
+
+/** Parse a baseline file; a missing file yields an empty baseline. */
+Baseline loadBaseline(const std::string &path);
+
+/** Drop diagnostics whose (rule, file) pair the baseline carries.
+ *  Returns how many were muted. */
+std::size_t applyBaseline(const Baseline &baseline, Report &report);
 
 /** `file:line: error: [rule] message` lines plus a summary line. */
 std::string renderText(const Report &report);

@@ -146,12 +146,28 @@ lex(const std::string &source)
             continue;
         }
 
-        // Line comment.
+        // Line comment.  A backslash immediately before the newline
+        // splices the next line into the comment (translation phase
+        // 2), so code on the continued line is comment text to the
+        // compiler and must be comment text here too.
         if (c.startsWith("//")) {
             int line = c.line();
             std::string text;
-            while (!c.done() && c.peek() != '\n')
+            while (!c.done()) {
+                if (c.peek() == '\\' &&
+                    (c.peek(1) == '\n' ||
+                     (c.peek(1) == '\r' && c.peek(2) == '\n'))) {
+                    c.take(); // backslash
+                    if (c.peek() == '\r')
+                        c.take();
+                    c.take(); // newline (keeps marker lines aligned)
+                    text += '\n';
+                    continue;
+                }
+                if (c.peek() == '\n')
+                    break;
                 text += c.take();
+            }
             scanCommentMarkers(text, line, out);
             continue;
         }
@@ -204,11 +220,48 @@ lex(const std::string &source)
                         out.includes.push_back(std::move(inc));
                     }
                 }
+            } else {
+                // Identifiers in any other directive (`#define A B`,
+                // `#if FOO`, `#ifdef BAR`) count as uses for the
+                // include-hygiene rule; a `#define` additionally
+                // exports its name.
+                std::size_t k = 0;
+                while (k < body.size() &&
+                       !std::isspace(
+                           static_cast<unsigned char>(body[k])))
+                    ++k; // skip the directive keyword
+                bool isDefine = body.compare(0, 6, "define") == 0;
+                bool defineNamed = false;
+                while (k < body.size()) {
+                    if (!identStart(body[k])) {
+                        ++k;
+                        continue;
+                    }
+                    std::size_t b = k;
+                    while (k < body.size() && identCont(body[k]))
+                        ++k;
+                    std::string name = body.substr(b, k - b);
+                    if (isDefine && !defineNamed) {
+                        defineNamed = true;
+                        Define def;
+                        def.name = name;
+                        def.line = line;
+                        out.defines.push_back(std::move(def));
+                    } else {
+                        out.ppIdents.push_back(std::move(name));
+                    }
+                }
             }
             continue;
         }
 
-        // Raw string literal: (u8|u|U|L)? R"delim( ... )delim".
+        // Raw string literal: (u8|u|U|L)? R"delim( ... )delim".  The
+        // delimiter is validated before anything is consumed: at most
+        // 16 d-chars (no space, quote, backslash, paren or newline)
+        // then '('.  Anything else is not a raw string — the prefix
+        // falls through to the identifier path and the quote to the
+        // ordinary string path, so a malformed literal cannot swallow
+        // the rest of the file.
         if (ch == 'R' || ch == 'u' || ch == 'U' || ch == 'L') {
             std::size_t p = 0;
             if (c.startsWith("u8"))
@@ -216,21 +269,36 @@ lex(const std::string &source)
             else if (ch == 'u' || ch == 'U' || ch == 'L')
                 p = 1;
             if (c.peek(p) == 'R' && c.peek(p + 1) == '"') {
-                for (std::size_t k = 0; k < p + 2; ++k)
-                    c.take();
-                std::string delim;
-                while (!c.done() && c.peek() != '(')
-                    delim += c.take();
-                if (!c.done())
+                std::size_t delimLen = 0;
+                bool valid = false;
+                while (delimLen <= 16) {
+                    char d = c.peek(p + 2 + delimLen);
+                    if (d == '(') {
+                        valid = true;
+                        break;
+                    }
+                    if (d == '\0' || d == '"' || d == ')' ||
+                        d == '\\' || d == '\n' || d == ' ' ||
+                        delimLen == 16)
+                        break;
+                    ++delimLen;
+                }
+                if (valid) {
+                    for (std::size_t k = 0; k < p + 2; ++k)
+                        c.take();
+                    std::string delim;
+                    for (std::size_t k = 0; k < delimLen; ++k)
+                        delim += c.take();
                     c.take(); // '('
-                std::string closer = ")" + delim + "\"";
-                while (!c.done() && !c.startsWith(closer.c_str()))
-                    c.take();
-                for (std::size_t k = 0;
-                     k < closer.size() && !c.done(); ++k)
-                    c.take();
-                lineHasToken = true;
-                continue;
+                    std::string closer = ")" + delim + "\"";
+                    while (!c.done() && !c.startsWith(closer.c_str()))
+                        c.take();
+                    for (std::size_t k = 0;
+                         k < closer.size() && !c.done(); ++k)
+                        c.take();
+                    lineHasToken = true;
+                    continue;
+                }
             }
         }
 
@@ -262,13 +330,17 @@ lex(const std::string &source)
             continue;
         }
 
-        // Number (digits and the usual suffix/exponent characters;
-        // the rules never look inside numbers, so lumping is fine).
+        // Number (digits, digit separators and the usual
+        // suffix/exponent characters; the rules never look inside
+        // numbers, so lumping is fine).  The `1'000` separator must
+        // be consumed here or the `'` would start a bogus char
+        // literal and swallow real code.
         if (std::isdigit(static_cast<unsigned char>(ch))) {
             int line = c.line();
             std::string text;
             while (!c.done() &&
                    (identCont(c.peek()) || c.peek() == '.' ||
+                    (c.peek() == '\'' && identCont(c.peek(1))) ||
                     ((c.peek() == '+' || c.peek() == '-') &&
                      (text.back() == 'e' || text.back() == 'E' ||
                       text.back() == 'p' || text.back() == 'P'))))

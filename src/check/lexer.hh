@@ -62,12 +62,24 @@ struct Allow
     int line = 1;              ///< line the marker text sits on
 };
 
+/** One `#define` directive (object- or function-like). */
+struct Define
+{
+    std::string name;
+    int line = 1;
+};
+
 /** A file reduced to what the rules consume. */
 struct LexedFile
 {
     std::vector<Token> tokens;
     std::vector<Include> includes;
     std::vector<Allow> allows;
+    std::vector<Define> defines;
+    /** Identifiers appearing inside preprocessor directive bodies
+     *  (`#if FOO`, `#define A B`); the include-hygiene rule counts
+     *  them as uses even though directives produce no tokens. */
+    std::vector<std::string> ppIdents;
     bool hotpath = false;    ///< file carries the hotpath marker
     std::string fixturePath; ///< fixture-path override, or empty
 };

@@ -1,7 +1,12 @@
 #include "check/rules.hh"
 
 #include <algorithm>
+#include <array>
 #include <map>
+#include <set>
+
+#include "check/callgraph.hh"
+#include "check/symgraph.hh"
 
 namespace ot::check {
 
@@ -76,39 +81,6 @@ at(const std::vector<Token> &toks, std::size_t i)
     return i < toks.size() ? toks[i].text : empty;
 }
 
-bool
-isIdent(const std::vector<Token> &toks, std::size_t i)
-{
-    return i < toks.size() && toks[i].kind == Token::Kind::Ident;
-}
-
-/**
- * Is the identifier at `i` (known to be followed by `(`) a *call* in
- * free/static position?  Member calls (`x.time()`) are someone else's
- * method and fine; declarations (`int time(...)`) are not calls.
- */
-bool
-freeCallContext(const std::vector<Token> &toks, std::size_t i)
-{
-    if (i == 0)
-        return true;
-    const std::string &prev = at(toks, i - 1);
-    if (prev == "." || prev == "->")
-        return false; // member call
-    if (prev == "::") {
-        // std::rand( / ::rand( are the banned spellings;
-        // SomeClass::time( is someone's own static.
-        if (i < 2)
-            return true;
-        const std::string &q = at(toks, i - 2);
-        return q == "std" || !isIdent(toks, i - 2);
-    }
-    if (isIdent(toks, i - 1))
-        return prev == "return" || prev == "co_return" ||
-               prev == "co_await" || prev == "case";
-    return true; // after `;`, `{`, `(`, `,`, `=`, operators, ...
-}
-
 struct BannedName
 {
     const char *name;
@@ -179,17 +151,6 @@ const BannedName kHotpathBans[] = {
      "preallocate in setup code and reuse buffers"},
     {"make_shared", false, "heap allocation in a hotpath file",
      "preallocate in setup code and reuse buffers"},
-};
-
-/** begin/end call names the accounting rule pairs up. */
-struct CallPair
-{
-    const char *begin;
-    const char *end;
-};
-const CallPair kAccountingPairs[] = {
-    {"beginPhase", "endPhase"},
-    {"spanBegin", "spanEnd"},
 };
 
 void
@@ -293,121 +254,6 @@ runLayering(const FileContext &ctx, std::vector<Diagnostic> &out)
     }
 }
 
-/**
- * Does the `{` at index `i` open a function body?  Walk back over the
- * tokens a declarator tail may contain (cv-qualifiers, trailing
- * return types); a `)` means yes, anything else (class heads,
- * initializers, namespaces) means no.
- */
-bool
-opensFunctionBody(const std::vector<Token> &toks, std::size_t i)
-{
-    std::size_t steps = 0;
-    for (std::size_t j = i; j-- > 0 && steps < 16; ++steps) {
-        const std::string &t = toks[j].text;
-        if (t == ")")
-            return true;
-        bool declaratorTail =
-            toks[j].kind == Token::Kind::Ident ||
-            toks[j].kind == Token::Kind::Number || t == "::" ||
-            t == "->" || t == "<" || t == ">" || t == "*" ||
-            t == "&" || t == ",";
-        // Identifier-ish heads that can never trail a parameter list.
-        if (t == "class" || t == "struct" || t == "union" ||
-            t == "enum" || t == "namespace")
-            return false;
-        if (!declaratorTail)
-            return false;
-    }
-    return false;
-}
-
-bool
-isPairCall(const std::vector<Token> &toks, std::size_t i,
-           const char *name)
-{
-    if (toks[i].kind != Token::Kind::Ident || toks[i].text != name)
-        return false;
-    if (at(toks, i + 1) != "(")
-        return false;
-    // Count both free calls and member calls (acct.beginPhase(...));
-    // skip declarations (`void beginPhase(...)`).
-    const std::string &prev = at(toks, i - 1);
-    if (prev == "." || prev == "->")
-        return true;
-    return freeCallContext(toks, i);
-}
-
-void
-runAccounting(const FileContext &ctx, std::vector<Diagnostic> &out)
-{
-    const auto &toks = ctx.lexed.tokens;
-    constexpr std::size_t nPairs =
-        sizeof(kAccountingPairs) / sizeof(kAccountingPairs[0]);
-
-    for (std::size_t i = 0; i < toks.size(); ++i) {
-        if (toks[i].text != "{" ||
-            toks[i].kind != Token::Kind::Punct ||
-            !opensFunctionBody(toks, i))
-            continue;
-
-        int outstanding[nPairs] = {};
-        int lastBeginLine[nPairs] = {};
-        int depth = 0;
-        std::size_t j = i;
-        for (; j < toks.size(); ++j) {
-            const std::string &t = toks[j].text;
-            if (toks[j].kind == Token::Kind::Punct) {
-                if (t == "{")
-                    ++depth;
-                else if (t == "}" && --depth == 0)
-                    break;
-                continue;
-            }
-            if (t == "return" || t == "co_return") {
-                for (std::size_t p = 0; p < nPairs; ++p)
-                    if (outstanding[p] > 0)
-                        emit(out, ctx, toks[j].line, "accounting",
-                             std::string("return with ") +
-                                 kAccountingPairs[p].begin +
-                                 " still open on this path",
-                             std::string("call ") +
-                                 kAccountingPairs[p].end +
-                                 " first, or use the RAII wrapper "
-                                 "(sim::ScopedPhase)");
-                continue;
-            }
-            for (std::size_t p = 0; p < nPairs; ++p) {
-                if (isPairCall(toks, j, kAccountingPairs[p].begin)) {
-                    ++outstanding[p];
-                    lastBeginLine[p] = toks[j].line;
-                } else if (isPairCall(toks, j,
-                                      kAccountingPairs[p].end)) {
-                    if (outstanding[p] == 0)
-                        emit(out, ctx, toks[j].line, "accounting",
-                             std::string(kAccountingPairs[p].end) +
-                                 " without a matching " +
-                                 kAccountingPairs[p].begin +
-                                 " in this function",
-                             "balance the pair within one function "
-                             "body");
-                    else
-                        --outstanding[p];
-                }
-            }
-        }
-        for (std::size_t p = 0; p < nPairs; ++p)
-            if (outstanding[p] > 0)
-                emit(out, ctx, lastBeginLine[p], "accounting",
-                     std::string(kAccountingPairs[p].begin) +
-                         " never closed before the function ends",
-                     std::string("call ") + kAccountingPairs[p].end +
-                         " on every path, or use the RAII wrapper "
-                         "(sim::ScopedPhase)");
-        i = j; // resume after this body
-    }
-}
-
 void
 runHotpath(const FileContext &ctx, std::vector<Diagnostic> &out)
 {
@@ -431,6 +277,670 @@ runHotpath(const FileContext &ctx, std::vector<Diagnostic> &out)
                 emit(out, ctx, toks[i].line, "hotpath", ban.message,
                      ban.hint);
     }
+}
+
+// ---------------------------------------------------------------------
+// accounting: path-sensitive begin/end balance over the parsed CFG
+// ---------------------------------------------------------------------
+
+/** Sum a subtree's events per pair (begin +1, end -1). */
+void
+sumEvents(const Stmt &s, std::array<int, kNPairs> &net)
+{
+    for (const PairEvent &e : s.events)
+        net[e.pair] += e.begin ? 1 : -1;
+    for (const Stmt &c : s.children)
+        sumEvents(c, net);
+}
+
+bool
+hasEvents(const Stmt &s)
+{
+    if (!s.events.empty())
+        return true;
+    for (const Stmt &c : s.children)
+        if (hasEvents(c))
+            return true;
+    return false;
+}
+
+/** First event line of `pair` in the subtree (begin or end per
+ *  `wantBegin`), or 0. */
+int
+findEventLine(const Stmt &s, int pair, bool wantBegin)
+{
+    for (const PairEvent &e : s.events)
+        if (e.pair == pair && e.begin == wantBegin)
+            return e.line;
+    for (const Stmt &c : s.children) {
+        int l = findEventLine(c, pair, wantBegin);
+        if (l)
+            return l;
+    }
+    return 0;
+}
+
+/** RAII classification of one file's classes: a class whose ctor
+ *  nets +1 and dtor nets -1 on a pair carries that pair by design. */
+struct RaiiPairs
+{
+    std::array<bool, kNPairs> ctorOpens{};
+    std::array<bool, kNPairs> dtorCloses{};
+
+    bool
+    raii(std::size_t p) const
+    {
+        return ctorOpens[p] && dtorCloses[p];
+    }
+};
+
+std::map<std::string, RaiiPairs>
+classifyRaii(const ParsedFile &parsed)
+{
+    std::map<std::string, RaiiPairs> out;
+    for (const FuncDef &f : parsed.funcs) {
+        if (f.className.empty() || (!f.isCtor && !f.isDtor))
+            continue;
+        std::array<int, kNPairs> net{};
+        sumEvents(f.body, net);
+        for (std::size_t p = 0; p < kNPairs; ++p) {
+            if (f.isCtor && net[p] == 1)
+                out[f.className].ctorOpens[p] = true;
+            if (f.isDtor && net[p] == -1)
+                out[f.className].dtorCloses[p] = true;
+        }
+    }
+    return out;
+}
+
+/**
+ * Path-sensitive evaluator for one function body.  A state is the
+ * vector of open counts per pair; branching forks the state set,
+ * joins union it.  Loops are evaluated for one symbolic iteration:
+ * the iteration must be balance-neutral or the imbalance compounds.
+ * The state set and the counts are capped; an overflow abandons the
+ * function silently (conservative: no diagnostics from code too
+ * tangled to prove).
+ */
+class PhaseFlow
+{
+  public:
+    PhaseFlow(const FileContext &ctx, const FuncDef &func,
+              const std::array<bool, kNPairs> &skipLeak,
+              const std::array<bool, kNPairs> &skipUnderflow)
+        : _ctx(ctx), _func(func), _skipLeak(skipLeak),
+          _skipUnderflow(skipUnderflow)
+    {
+    }
+
+    void
+    run(std::vector<Diagnostic> &out)
+    {
+        States entry;
+        entry.insert(State{});
+        Flow f = eval(_func.body, entry);
+        if (_bailed)
+            return;
+        // Whatever completes the function normally (or dangles on a
+        // stray break/continue) must hold nothing open.
+        States end = f.normal;
+        end.insert(f.brk.begin(), f.brk.end());
+        end.insert(f.cont.begin(), f.cont.end());
+        for (std::size_t p = 0; p < kNPairs; ++p) {
+            if (_skipLeak[p])
+                continue;
+            for (const State &s : end) {
+                if (s[p] <= 0)
+                    continue;
+                int line = _lastBeginLine[p]
+                               ? _lastBeginLine[p]
+                               : _func.line;
+                note(p, line,
+                     std::string(kPairs[p].begin) +
+                         " never closed before the function ends",
+                     std::string("call ") + kPairs[p].end +
+                         " on every path, or use the RAII wrapper "
+                         "(sim::ScopedPhase)");
+                break;
+            }
+        }
+        if (!_bailed)
+            out.insert(out.end(), _diags.begin(), _diags.end());
+    }
+
+  private:
+    using State = std::array<int, kNPairs>;
+    using States = std::set<State>;
+
+    struct Flow
+    {
+        States normal, brk, cont;
+    };
+
+    static constexpr int kMaxCount = 4;
+    static constexpr std::size_t kMaxStates = 32;
+
+    const FileContext &_ctx;
+    const FuncDef &_func;
+    std::array<bool, kNPairs> _skipLeak;
+    std::array<bool, kNPairs> _skipUnderflow;
+    bool _bailed = false;
+    std::array<int, kNPairs> _lastBeginLine{};
+    std::set<std::pair<std::size_t, int>> _noted; // (pair, line)
+    std::vector<Diagnostic> _diags;
+
+    void
+    note(std::size_t pair, int line, const std::string &message,
+         const std::string &hint)
+    {
+        if (!_noted.insert({pair, line}).second)
+            return;
+        emit(_diags, _ctx, line, "accounting", message, hint);
+    }
+
+    States
+    apply(const States &in, const std::vector<PairEvent> &events)
+    {
+        if (events.empty())
+            return in;
+        States out;
+        for (State s : in) {
+            for (const PairEvent &e : events) {
+                std::size_t p = static_cast<std::size_t>(e.pair);
+                if (e.begin) {
+                    if (s[p] < kMaxCount)
+                        ++s[p];
+                    _lastBeginLine[p] = e.line;
+                } else if (s[p] > 0) {
+                    --s[p];
+                } else if (!_skipUnderflow[p]) {
+                    note(p, e.line,
+                         std::string(kPairs[p].end) +
+                             " without a matching " + kPairs[p].begin +
+                             " in this function",
+                         "balance the pair within one function body");
+                }
+            }
+            out.insert(s);
+        }
+        if (out.size() > kMaxStates)
+            _bailed = true;
+        return out;
+    }
+
+    void
+    checkReturn(const States &in, int line)
+    {
+        for (std::size_t p = 0; p < kNPairs; ++p) {
+            if (_skipLeak[p])
+                continue;
+            for (const State &s : in) {
+                if (s[p] <= 0)
+                    continue;
+                note(p, line,
+                     std::string("return with ") + kPairs[p].begin +
+                         " still open on this path",
+                     std::string("call ") + kPairs[p].end +
+                         " first, or use the RAII wrapper "
+                         "(sim::ScopedPhase)");
+                break;
+            }
+        }
+    }
+
+    static States
+    merge(const States &a, const States &b)
+    {
+        States out = a;
+        out.insert(b.begin(), b.end());
+        return out;
+    }
+
+    /** One symbolic loop iteration must leave the counts unchanged,
+     *  or iterations compound the imbalance. */
+    void
+    checkLoopCarried(const Stmt &s, const States &entry,
+                     const States &afterOne)
+    {
+        if (afterOne.empty() || afterOne == entry)
+            return;
+        for (std::size_t p = 0; p < kNPairs; ++p) {
+            int maxEntry = 0, maxAfter = 0;
+            for (const State &st : entry)
+                maxEntry = std::max(maxEntry, st[p]);
+            for (const State &st : afterOne)
+                maxAfter = std::max(maxAfter, st[p]);
+            if (maxAfter > maxEntry) {
+                int line = findEventLine(s, static_cast<int>(p), true);
+                note(p, line ? line : s.line,
+                     std::string(kPairs[p].begin) +
+                         " opened in a loop body is still open when "
+                         "the iteration ends; phases accumulate "
+                         "across iterations",
+                     "close the pair within the iteration, or hoist "
+                     "it out of the loop");
+            } else if (maxAfter < maxEntry) {
+                int line =
+                    findEventLine(s, static_cast<int>(p), false);
+                note(p, line ? line : s.line,
+                     std::string(kPairs[p].end) +
+                         " in a loop body closes a phase opened "
+                         "outside the loop; a later iteration "
+                         "underflows",
+                     "balance the pair within the iteration");
+            }
+        }
+    }
+
+    Flow
+    eval(const Stmt &s, const States &in)
+    {
+        Flow f;
+        if (_bailed || in.empty()) {
+            return f;
+        }
+        switch (s.kind) {
+        case Stmt::Kind::Seq: {
+            States cur = in;
+            for (const Stmt &c : s.children) {
+                Flow cf = eval(c, cur);
+                cur = cf.normal;
+                f.brk = merge(f.brk, cf.brk);
+                f.cont = merge(f.cont, cf.cont);
+                if (_bailed)
+                    return f;
+            }
+            f.normal = cur;
+            return f;
+        }
+        case Stmt::Kind::Simple:
+            f.normal = apply(in, s.events);
+            return f;
+        case Stmt::Kind::Return: {
+            States after = apply(in, s.events);
+            checkReturn(after, s.line);
+            return f;
+        }
+        case Stmt::Kind::Exit:
+            // throw/abort paths are exempt: the process or the
+            // exception machinery owns cleanup there.
+            apply(in, s.events);
+            return f;
+        case Stmt::Kind::Break:
+            f.brk = in;
+            return f;
+        case Stmt::Kind::Continue:
+            f.cont = in;
+            return f;
+        case Stmt::Kind::If: {
+            States head = apply(in, s.events);
+            Flow t = s.children.empty()
+                         ? Flow{head, {}, {}}
+                         : eval(s.children[0], head);
+            Flow e = (s.hasElse && s.children.size() > 1)
+                         ? eval(s.children[1], head)
+                         : Flow{head, {}, {}};
+            f.normal = merge(t.normal, e.normal);
+            f.brk = merge(t.brk, e.brk);
+            f.cont = merge(t.cont, e.cont);
+            return f;
+        }
+        case Stmt::Kind::Loop: {
+            States head =
+                s.isDoWhile ? in : apply(in, s.events);
+            Flow b = s.children.empty()
+                         ? Flow{head, {}, {}}
+                         : eval(s.children[0], head);
+            States afterOne = merge(b.normal, b.cont);
+            if (s.isDoWhile)
+                afterOne = apply(afterOne, s.events);
+            checkLoopCarried(s, head, afterOne);
+            // Zero iterations (head), one-plus iterations
+            // (afterOne), or a break out of the body.
+            f.normal = merge(merge(s.isDoWhile ? States{} : head,
+                                   afterOne),
+                             b.brk);
+            return f;
+        }
+        case Stmt::Kind::Switch: {
+            States head = apply(in, s.events);
+            States exitNormal = s.hasDefault ? States{} : head;
+            States carry; // fallthrough from the previous section
+            for (const Stmt &sec : s.children) {
+                Flow cf = eval(sec, merge(head, carry));
+                carry = cf.normal;
+                exitNormal = merge(exitNormal, cf.brk);
+                f.cont = merge(f.cont, cf.cont);
+                if (_bailed)
+                    return f;
+            }
+            f.normal = merge(exitNormal, carry);
+            return f;
+        }
+        case Stmt::Kind::Try: {
+            // Handlers are approximated as entered from the try
+            // entry: an exception can fire before any event runs.
+            for (std::size_t i = 0; i < s.children.size(); ++i) {
+                Flow cf = eval(s.children[i], in);
+                f.normal = merge(f.normal, cf.normal);
+                f.brk = merge(f.brk, cf.brk);
+                f.cont = merge(f.cont, cf.cont);
+                if (_bailed)
+                    return f;
+            }
+            if (s.children.empty())
+                f.normal = in;
+            return f;
+        }
+        }
+        f.normal = in;
+        return f;
+    }
+};
+
+void
+runAccounting(const FileContext &ctx, std::vector<Diagnostic> &out)
+{
+    std::map<std::string, RaiiPairs> raii = classifyRaii(ctx.parsed);
+    for (const FuncDef &f : ctx.parsed.funcs) {
+        if (!hasEvents(f.body))
+            continue;
+        std::array<bool, kNPairs> skipLeak{};
+        std::array<bool, kNPairs> skipUnderflow{};
+        auto it = raii.find(f.className);
+        if (it != raii.end()) {
+            for (std::size_t p = 0; p < kNPairs; ++p) {
+                if (!it->second.raii(p))
+                    continue;
+                // The ctor's +1 / dtor's -1 IS the pairing: the open
+                // phase is the object's invariant, not a leak.
+                if (f.isCtor)
+                    skipLeak[p] = true;
+                if (f.isDtor)
+                    skipUnderflow[p] = true;
+            }
+        }
+        PhaseFlow(ctx, f, skipLeak, skipUnderflow).run(out);
+    }
+}
+
+// ---------------------------------------------------------------------
+// unreachable: statements after an unconditional exit
+// ---------------------------------------------------------------------
+
+bool
+terminates(const Stmt &s)
+{
+    switch (s.kind) {
+    case Stmt::Kind::Return:
+    case Stmt::Kind::Exit:
+    case Stmt::Kind::Break:
+    case Stmt::Kind::Continue:
+        return true;
+    case Stmt::Kind::Seq:
+        for (const Stmt &c : s.children)
+            if (terminates(c))
+                return true;
+        return false;
+    case Stmt::Kind::If:
+        return s.hasElse && s.children.size() > 1 &&
+               terminates(s.children[0]) && terminates(s.children[1]);
+    default:
+        return false; // loops/switch/try: conservatively fall through
+    }
+}
+
+void
+walkUnreachable(const FileContext &ctx, const Stmt &s,
+                std::vector<Diagnostic> &out)
+{
+    if (s.kind == Stmt::Kind::Seq) {
+        bool dead = false;
+        bool flagged = false;
+        for (const Stmt &c : s.children) {
+            if (dead && !flagged && !c.labeled) {
+                emit(out, ctx, c.line, "unreachable",
+                     "statement is unreachable: every path above has "
+                     "already left the block",
+                     "delete it, or restructure the control flow");
+                flagged = true; // first casualty per block is enough
+            }
+            if (!dead && terminates(c))
+                dead = true;
+        }
+    }
+    for (const Stmt &c : s.children)
+        walkUnreachable(ctx, c, out);
+}
+
+void
+runUnreachable(const FileContext &ctx, std::vector<Diagnostic> &out)
+{
+    for (const FuncDef &f : ctx.parsed.funcs)
+        walkUnreachable(ctx, f.body, out);
+}
+
+// ---------------------------------------------------------------------
+// hotpath-propagation: transitive hotpath cleanliness over the call
+// graph
+// ---------------------------------------------------------------------
+
+void
+runHotpathPropagation(const std::vector<FileContext> &ctxs,
+                      const CallGraph &cg,
+                      std::vector<Diagnostic> &out)
+{
+    for (std::size_t i = 0; i < ctxs.size(); ++i) {
+        const FileContext &ctx = ctxs[i];
+        if (!ctx.lexed.hotpath)
+            continue;
+        std::set<std::pair<int, std::string>> seen;
+        for (const FuncDef &f : ctx.parsed.funcs) {
+            for (const CallSite &c : f.calls) {
+                auto it = cg.byName.find(c.name);
+                if (it == cg.byName.end())
+                    continue;
+                bool anyOtherFile = false;
+                bool allDirty = true;
+                const CallNode *witness = nullptr;
+                for (int k : it->second) {
+                    const CallNode &n = cg.nodes[k];
+                    if (n.file != static_cast<int>(i))
+                        anyOtherFile = true;
+                    if (!n.dirty) {
+                        allDirty = false;
+                        break;
+                    }
+                    if (!witness)
+                        witness = &n;
+                }
+                // Same-file callees are already covered lexically by
+                // the direct hotpath rule (the marker bans the
+                // construct anywhere in the file).
+                if (!anyOtherFile || !allDirty || !witness)
+                    continue;
+                if (!seen.insert({c.line, c.name}).second)
+                    continue;
+                emit(out, ctx, c.line, "hotpath-propagation",
+                     "call to '" + c.name + "' reaches " +
+                         witness->why,
+                     "hotpath code must stay allocation- and "
+                     "dispatch-free through every callee; "
+                     "restructure or hoist the work");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// include-hygiene: unused includes and include-what-you-use
+// ---------------------------------------------------------------------
+
+std::string
+pathStem(const std::string &path)
+{
+    std::size_t slash = path.rfind('/');
+    std::string base =
+        slash == std::string::npos ? path : path.substr(slash + 1);
+    std::size_t dot = base.rfind('.');
+    return dot == std::string::npos ? base : base.substr(0, dot);
+}
+
+/** Spell a repo-relative header path the way project code includes
+ *  it (without the leading src/). */
+std::string
+includeSpelling(const std::string &path)
+{
+    if (path.compare(0, 4, "src/") == 0)
+        return path.substr(4);
+    return path;
+}
+
+void
+runIncludeHygiene(const std::vector<FileContext> &ctxs,
+                  const SymGraph &sg, std::vector<Diagnostic> &out)
+{
+    for (std::size_t i = 0; i < ctxs.size(); ++i) {
+        const FileContext &ctx = ctxs[i];
+        const FileSyms &fs = sg.files[i];
+
+        auto anyExportMentioned = [&](int h) {
+            for (const std::string &e : sg.files[h].exports)
+                if (fs.mentions.count(e))
+                    return true;
+            return false;
+        };
+
+        // Unused includes: a resolved project include must
+        // contribute at least one referenced symbol, directly or as
+        // a gateway to deeper headers.
+        int ownHeader = -1;
+        std::set<int> direct;
+        for (std::size_t k = 0; k < fs.resolvedIncludes.size();
+             ++k) {
+            int g = fs.resolvedIncludes[k];
+            if (g < 0)
+                continue;
+            direct.insert(g);
+            if (pathStem(ctx.path) == pathStem(ctxs[g].path))
+                ownHeader = g;
+        }
+        for (std::size_t k = 0; k < fs.resolvedIncludes.size();
+             ++k) {
+            int g = fs.resolvedIncludes[k];
+            if (g < 0 || g == ownHeader)
+                continue;
+            const FileSyms &gs = sg.files[g];
+            if (gs.exports.empty())
+                continue; // nothing provable about this header
+            bool opExport = false;
+            for (const std::string &e : gs.exports)
+                if (e.compare(0, 8, "operator") == 0)
+                    opExport = true;
+            if (opExport)
+                continue; // operators are used without being named
+            if (anyExportMentioned(g))
+                continue;
+            bool gateway = false;
+            for (int h : gs.reachable)
+                if (anyExportMentioned(h)) {
+                    gateway = true;
+                    break;
+                }
+            if (gateway)
+                continue;
+            const Include &inc = ctx.lexed.includes[k];
+            emit(out, ctx, inc.line, "include-hygiene",
+                 "unused include \"" + inc.path +
+                     "\": nothing it declares (directly or "
+                     "transitively) is referenced",
+                 "remove the include, or reference what it "
+                 "declares");
+        }
+
+        // Include-what-you-use: a symbol with a unique declaring
+        // header must pull that header in directly, not lean on an
+        // unrelated transitive path.  The file's own header is its
+        // interface and exempts everything it reaches.
+        std::set<int> viaOwn;
+        if (ownHeader >= 0) {
+            viaOwn = sg.files[ownHeader].reachable;
+            viaOwn.insert(ownHeader);
+        }
+        std::map<int, std::pair<int, std::string>> missing;
+        for (const auto &m : fs.mentions) {
+            auto it = sg.declaringHeaders.find(m.first);
+            if (it == sg.declaringHeaders.end() ||
+                it->second.size() != 1)
+                continue;
+            int h = it->second[0];
+            if (h == static_cast<int>(i) || direct.count(h) ||
+                viaOwn.count(h))
+                continue;
+            if (!fs.reachable.count(h))
+                continue; // forward-declared or macro-gated
+            if (fs.exports.count(m.first))
+                continue; // locally (re)defined name
+            auto cur = missing.find(h);
+            if (cur == missing.end() ||
+                m.second < cur->second.first)
+                missing[h] = {m.second, m.first};
+        }
+        for (const auto &mh : missing) {
+            emit(out, ctx, mh.second.first, "include-hygiene",
+                 "'" + mh.second.second + "' is declared in \"" +
+                     ctxs[mh.first].path +
+                     "\" which is only included transitively",
+                 "include \"" +
+                     includeSpelling(ctxs[mh.first].path) +
+                     "\" directly");
+        }
+    }
+}
+
+/** Line extent an allow() marker covers: from its own line through
+ *  the end of the statement beginning at or after it (`;` at paren/
+ *  brace depth zero, or the close of a braced definition), at least
+ *  one following line, at most 20. */
+std::pair<int, int>
+allowExtent(const std::vector<Token> &toks, int line)
+{
+    const int kCap = 20;
+    int last = line + 1;
+    std::size_t i = 0;
+    while (i < toks.size() && toks[i].line < line)
+        ++i;
+    if (i >= toks.size() || toks[i].line > line + kCap)
+        return {line, last};
+    int paren = 0, brace = 0;
+    bool sawBrace = false;
+    for (std::size_t j = i; j < toks.size(); ++j) {
+        if (toks[j].line > line + kCap)
+            return {line, line + kCap};
+        const std::string &t = toks[j].text;
+        if (toks[j].kind != Token::Kind::Punct) {
+            last = std::max(last, toks[j].line);
+            continue;
+        }
+        last = std::max(last, toks[j].line);
+        if (t == "(") {
+            ++paren;
+        } else if (t == ")") {
+            if (paren > 0)
+                --paren;
+        } else if (t == "{") {
+            ++brace;
+            sawBrace = true;
+        } else if (t == "}") {
+            if (brace == 0)
+                return {line, last}; // enclosing block ended
+            if (--brace == 0 && sawBrace && paren == 0)
+                return {line, last}; // braced definition closed
+        } else if (t == ";" && paren == 0 && brace == 0) {
+            return {line, last};
+        }
+    }
+    return {line, last};
 }
 
 } // namespace
@@ -460,46 +970,94 @@ bool
 knownRule(const std::string &rule)
 {
     return rule == "determinism" || rule == "layering" ||
-           rule == "accounting" || rule == "hotpath";
+           rule == "accounting" || rule == "hotpath" ||
+           rule == "hotpath-propagation" ||
+           rule == "include-hygiene" || rule == "unreachable";
 }
 
 std::vector<Diagnostic>
-runRules(const FileContext &ctx)
+runFileRules(const FileContext &ctx)
 {
     std::vector<Diagnostic> raw;
-
     if (ctx.layer == "sim" || ctx.layer == "otn" ||
         ctx.layer == "otc" || ctx.layer == "workload")
         runDeterminism(ctx, raw);
     runLayering(ctx, raw);
     runAccounting(ctx, raw);
     runHotpath(ctx, raw);
+    runUnreachable(ctx, raw);
+    return raw;
+}
 
-    // Apply allow() escapes: a marker suppresses a same-rule
-    // diagnostic on its own or the following line, but only when it
-    // carries a justification.
+std::vector<Diagnostic>
+runProjectRules(const std::vector<FileContext> &ctxs)
+{
     std::vector<Diagnostic> out;
-    for (Diagnostic &d : raw) {
+    SymGraph sg = buildSymGraph(ctxs);
+    CallGraph cg = buildCallGraph(ctxs);
+    runHotpathPropagation(ctxs, cg, out);
+    runIncludeHygiene(ctxs, sg, out);
+    return out;
+}
+
+std::vector<Diagnostic>
+applyAllows(const FileContext &ctx, std::vector<Diagnostic> diags)
+{
+    struct Extent
+    {
+        int first = 0, last = 0;
+        bool wellFormed = false;
+        int uses = 0;
+    };
+    std::vector<Extent> exts;
+    exts.reserve(ctx.lexed.allows.size());
+    for (const Allow &a : ctx.lexed.allows) {
+        Extent e;
+        std::pair<int, int> span =
+            allowExtent(ctx.lexed.tokens, a.line);
+        e.first = span.first;
+        e.last = span.second;
+        e.wellFormed = !a.rule.empty() && knownRule(a.rule) &&
+                       !a.justification.empty();
+        exts.push_back(e);
+    }
+
+    std::vector<Diagnostic> out;
+    for (Diagnostic &d : diags) {
         bool suppressed = false;
-        for (const Allow &a : ctx.lexed.allows)
-            if (a.rule == d.rule && !a.justification.empty() &&
-                (a.line == d.line || a.line == d.line - 1))
+        for (std::size_t k = 0; k < exts.size(); ++k) {
+            const Allow &a = ctx.lexed.allows[k];
+            if (exts[k].wellFormed && a.rule == d.rule &&
+                d.line >= exts[k].first && d.line <= exts[k].last) {
+                ++exts[k].uses;
                 suppressed = true;
+                break;
+            }
+        }
         if (!suppressed)
             out.push_back(std::move(d));
     }
 
-    // Validate the markers themselves.
-    for (const Allow &a : ctx.lexed.allows) {
+    // Validate the markers themselves; a well-formed marker that
+    // suppresses nothing is stale and must go.
+    for (std::size_t k = 0; k < ctx.lexed.allows.size(); ++k) {
+        const Allow &a = ctx.lexed.allows[k];
         if (a.rule.empty() || !knownRule(a.rule))
             emit(out, ctx, a.line, "allow-syntax",
                  "otcheck:allow names unknown rule '" + a.rule + "'",
-                 "rules: determinism, layering, accounting, hotpath");
+                 "rules: determinism, layering, accounting, hotpath, "
+                 "hotpath-propagation, include-hygiene, unreachable");
         else if (a.justification.empty())
             emit(out, ctx, a.line, "allow-syntax",
                  "otcheck:allow(" + a.rule + ") without justification",
                  "write otcheck:allow(" + a.rule +
                      "): <why this is safe>");
+        else if (exts[k].uses == 0)
+            emit(out, ctx, a.line, "unused-allow",
+                 "otcheck:allow(" + a.rule +
+                     ") no longer suppresses anything",
+                 "the code it excused is gone or clean; remove the "
+                 "marker");
     }
 
     std::sort(out.begin(), out.end(),
@@ -509,6 +1067,16 @@ runRules(const FileContext &ctx)
                   return l.rule < r.rule;
               });
     return out;
+}
+
+std::vector<Diagnostic>
+runRules(const FileContext &ctx)
+{
+    std::vector<FileContext> one(1, ctx);
+    std::vector<Diagnostic> raw = runFileRules(one[0]);
+    std::vector<Diagnostic> proj = runProjectRules(one);
+    raw.insert(raw.end(), proj.begin(), proj.end());
+    return applyAllows(one[0], std::move(raw));
 }
 
 } // namespace ot::check

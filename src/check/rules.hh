@@ -2,7 +2,7 @@
  * @file
  * otcheck rule definitions.
  *
- * Four rule families guard the engine's headline guarantee — charged
+ * Seven rule families guard the engine's headline guarantee — charged
  * model time and trace streams bit-identical at any OT_HOST_THREADS —
  * plus the architectural layering that keeps them auditable:
  *
@@ -16,17 +16,36 @@
  *                 include/orthotree umbrella includes from src/.
  *   accounting  — TimeAccountant::beginPhase/endPhase (and any
  *                 spanBegin/spanEnd pairing) must balance on every
- *                 path through a function body: equal counts, no
- *                 underflow, no `return` while a phase is open.
+ *                 control-flow path through a function body: the
+ *                 per-function CFG is walked path-sensitively, so
+ *                 early returns, branches, switch fallthrough and
+ *                 loop-carried imbalance are all proven, and RAII
+ *                 wrappers (ctor net +1, dtor net -1) are recognized
+ *                 without escapes.
  *   hotpath     — files carrying the hotpath marker may not mention
  *                 std::function, `virtual`, or heap-allocation
  *                 tokens (new/malloc/make_unique/...).
+ *   hotpath-propagation — transitive form of the above over the
+ *                 project call graph: a function in a hotpath file
+ *                 may not call (by any chain of src/ definitions) a
+ *                 function that allocates, uses std::function, or is
+ *                 virtual.
+ *   include-hygiene — every resolved project include must contribute
+ *                 a used symbol (directly or as a gateway), and a
+ *                 symbol with a unique declaring header must include
+ *                 that header directly rather than rely on an
+ *                 unrelated transitive path.
+ *   unreachable — no statements after an unconditional
+ *                 return/throw/abort in a block.
  *
  * Any diagnostic can be suppressed with an allow(rule): justification
- * marker comment on the same or the preceding line; an empty
- * justification is itself an error (rule id `allow-syntax`).  The
- * exact marker spelling is documented in README.md — writing it out
- * here would make the checker read its own docs as markers.
+ * marker comment; the marker covers the full statement that begins on
+ * or after its line (not just the physical line).  An empty
+ * justification is itself an error (rule id `allow-syntax`), and a
+ * well-formed marker that suppresses nothing is reported as
+ * `unused-allow` so escapes cannot outlive their reason.  The exact
+ * marker spelling is documented in README.md — writing it out here
+ * would make the checker read its own docs as markers.
  */
 
 #pragma once
@@ -34,6 +53,7 @@
 #include <string>
 #include <vector>
 
+#include "check/cfg.hh"
 #include "check/lexer.hh"
 
 namespace ot::check {
@@ -48,13 +68,15 @@ struct Diagnostic
     std::string hint; ///< how to fix, one line
 };
 
-/** A file presented to the rules: lexed content plus the repo-relative
- *  path it should be judged as (fixtures override their real path). */
+/** A file presented to the rules: lexed + parsed content plus the
+ *  repo-relative path it should be judged as (fixtures override their
+ *  real path). */
 struct FileContext
 {
     std::string path;  ///< repo-relative, '/'-separated
     std::string layer; ///< classified layer, see classifyLayer()
     LexedFile lexed;
+    ParsedFile parsed;
 };
 
 /**
@@ -70,9 +92,25 @@ const std::vector<std::string> &allowedIncludes(const std::string &layer);
 /** True iff `rule` is one of the rule ids allow() may name. */
 bool knownRule(const std::string &rule);
 
-/** Run every rule over one file; diagnostics come back sorted by
- *  line.  allow() markers are applied (and themselves validated)
- *  here. */
+/** Run the single-file rules (determinism, layering, accounting,
+ *  hotpath, unreachable) over one file.  Raw: allow() markers are NOT
+ *  applied. */
+std::vector<Diagnostic> runFileRules(const FileContext &ctx);
+
+/** Run the cross-file rules (hotpath-propagation, include-hygiene)
+ *  over a whole run's file set.  Raw: allow() markers are NOT
+ *  applied. */
+std::vector<Diagnostic>
+runProjectRules(const std::vector<FileContext> &ctxs);
+
+/** Apply one file's allow() markers to the diagnostics raised against
+ *  it (from both rule passes): filter suppressed findings, validate
+ *  the markers, report stale ones, and sort by (line, rule). */
+std::vector<Diagnostic> applyAllows(const FileContext &ctx,
+                                    std::vector<Diagnostic> diags);
+
+/** Single-file convenience: file rules + the project rules run on the
+ *  singleton set, with allows applied. */
 std::vector<Diagnostic> runRules(const FileContext &ctx);
 
 } // namespace ot::check

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * SARIF 2.1.0 emitter for otcheck.
+ *
+ * One run object, one driver ("otcheck"), the full rule table in
+ * tool.driver.rules (so ruleIndex is stable run to run), and one
+ * result per diagnostic with a repo-relative artifact URI.  GitHub
+ * code scanning consumes this directly; the shape is also validated
+ * against the published 2.1.0 JSON schema by a ctest entry.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "check/checker.hh"
+
+namespace ot::check {
+
+/** Render a report as a SARIF 2.1.0 log (UTF-8, trailing newline). */
+std::string renderSarif(const Report &report);
+
+} // namespace ot::check

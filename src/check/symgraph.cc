@@ -1,0 +1,134 @@
+#include "check/symgraph.hh"
+
+#include <algorithm>
+
+namespace ot::check {
+
+namespace {
+
+std::string
+dirName(const std::string &path)
+{
+    std::size_t slash = path.rfind('/');
+    return slash == std::string::npos ? "" : path.substr(0, slash);
+}
+
+/** Collapse "./" and "a/../" segments; no filesystem access. */
+std::string
+normalize(const std::string &path)
+{
+    std::vector<std::string> parts;
+    std::string cur;
+    auto flush = [&]() {
+        if (cur.empty() || cur == ".") {
+            // drop
+        } else if (cur == ".." && !parts.empty() &&
+                   parts.back() != "..") {
+            parts.pop_back();
+        } else {
+            parts.push_back(cur);
+        }
+        cur.clear();
+    };
+    for (char c : path) {
+        if (c == '/')
+            flush();
+        else
+            cur += c;
+    }
+    flush();
+    std::string out;
+    for (const std::string &p : parts) {
+        if (!out.empty())
+            out += '/';
+        out += p;
+    }
+    return out;
+}
+
+} // namespace
+
+SymGraph
+buildSymGraph(const std::vector<FileContext> &ctxs)
+{
+    SymGraph g;
+    g.files.resize(ctxs.size());
+
+    std::map<std::string, int> byPath;
+    for (std::size_t i = 0; i < ctxs.size(); ++i)
+        byPath[ctxs[i].path] = static_cast<int>(i);
+
+    for (std::size_t i = 0; i < ctxs.size(); ++i) {
+        const FileContext &ctx = ctxs[i];
+        FileSyms &syms = g.files[i];
+
+        for (const DeclName &d : ctx.parsed.decls)
+            syms.exports.insert(d.name);
+        for (const FuncDef &f : ctx.parsed.funcs)
+            if (!f.name.empty())
+                syms.exports.insert(f.name);
+        for (const Define &d : ctx.lexed.defines)
+            syms.exports.insert(d.name);
+
+        for (const Token &t : ctx.lexed.tokens)
+            if (t.kind == Token::Kind::Ident)
+                syms.mentions.emplace(t.text, t.line);
+        for (const std::string &name : ctx.lexed.ppIdents)
+            syms.mentions.emplace(name, 1);
+
+        // Resolve each include against the run's file set: relative
+        // to the including file's directory, then under src/, then
+        // verbatim.  Unresolved → -1.
+        std::string dir = dirName(ctx.path);
+        for (const Include &inc : ctx.lexed.includes) {
+            int resolved = -1;
+            std::vector<std::string> candidates;
+            if (!inc.angled) {
+                if (!dir.empty())
+                    candidates.push_back(
+                        normalize(dir + "/" + inc.path));
+                candidates.push_back(normalize("src/" + inc.path));
+                candidates.push_back(normalize(inc.path));
+            }
+            for (const std::string &cand : candidates) {
+                auto it = byPath.find(cand);
+                if (it != byPath.end() &&
+                    it->second != static_cast<int>(i)) {
+                    resolved = it->second;
+                    break;
+                }
+            }
+            syms.resolvedIncludes.push_back(resolved);
+        }
+    }
+
+    // Transitive reachability, per file (the graphs are small:
+    // O(files · edges) is fine and deterministic).
+    for (std::size_t i = 0; i < ctxs.size(); ++i) {
+        std::vector<int> stack;
+        for (int r : g.files[i].resolvedIncludes)
+            if (r >= 0)
+                stack.push_back(r);
+        std::set<int> &seen = g.files[i].reachable;
+        while (!stack.empty()) {
+            int f = stack.back();
+            stack.pop_back();
+            if (!seen.insert(f).second)
+                continue;
+            for (int r : g.files[f].resolvedIncludes)
+                if (r >= 0 && r != static_cast<int>(i))
+                    stack.push_back(r);
+        }
+    }
+
+    for (std::size_t i = 0; i < ctxs.size(); ++i) {
+        const std::string &p = ctxs[i].path;
+        if (p.size() < 3 || p.compare(p.size() - 3, 3, ".hh") != 0)
+            continue;
+        for (const std::string &name : g.files[i].exports)
+            g.declaringHeaders[name].push_back(static_cast<int>(i));
+    }
+    return g;
+}
+
+} // namespace ot::check

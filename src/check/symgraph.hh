@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Project-wide symbol and include graph for otcheck.
+ *
+ * Built over every file in one analysis run: which names each file
+ * exports (declarations, function definitions, #define names), which
+ * names it mentions, and which project files its includes resolve to
+ * (directly and transitively).  The include-hygiene rules read this
+ * graph; nothing here emits diagnostics itself.
+ *
+ * Resolution is project-local on purpose: an include that does not
+ * name a file in the run (system headers, third-party code) resolves
+ * to nothing and is never judged — the graph can only make claims
+ * about files it has actually read.
+ */
+
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "check/rules.hh"
+
+namespace ot::check {
+
+/** Symbol/include facts for one file of the run. */
+struct FileSyms
+{
+    /** Names this file declares at namespace/class scope, plus
+     *  function definitions and #define names. */
+    std::set<std::string> exports;
+    /** Every identifier mentioned in the token stream or in a
+     *  preprocessor directive body → first line it appears on. */
+    std::map<std::string, int> mentions;
+    /** For each entry of lexed.includes (parallel array): index of
+     *  the project file it resolves to, or -1. */
+    std::vector<int> resolvedIncludes;
+    /** Project files reachable through includes, transitively
+     *  (excluding the file itself unless it includes itself). */
+    std::set<int> reachable;
+};
+
+/** The graph over one run's file set. */
+struct SymGraph
+{
+    std::vector<FileSyms> files; ///< parallel to the input contexts
+    /** Exported name → indices of the .hh files exporting it. */
+    std::map<std::string, std::vector<int>> declaringHeaders;
+};
+
+SymGraph buildSymGraph(const std::vector<FileContext> &ctxs);
+
+} // namespace ot::check

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "graph/graph.hh"
+#include "linalg/matrix.hh"
 
 namespace ot::graph {
 

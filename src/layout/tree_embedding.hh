@@ -22,7 +22,6 @@
 #include <vector>
 
 #include "layout/geometry.hh"
-#include "vlsi/bitmath.hh"
 
 namespace ot::layout {
 

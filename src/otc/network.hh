@@ -28,7 +28,9 @@
 #include "sim/chain_engine.hh"
 #include "sim/stats.hh"
 #include "sim/time_accountant.hh"
+#include "trace/tracer.hh"
 #include "vlsi/cost_model.hh"
+#include "vlsi/word.hh"
 
 namespace ot::otc {
 

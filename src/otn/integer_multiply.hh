@@ -25,6 +25,8 @@
 #include <cstdint>
 
 #include "otn/network.hh"
+#include "vlsi/delay.hh"
+#include "vlsi/word.hh"
 
 namespace ot::otn {
 

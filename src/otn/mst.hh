@@ -25,6 +25,7 @@
 #include "graph/graph.hh"
 #include "graph/reference_algorithms.hh"
 #include "otn/network.hh"
+#include "vlsi/word.hh"
 
 namespace ot::otn {
 

@@ -22,7 +22,9 @@
 
 #include "graph/graph.hh"
 #include "graph/reference_algorithms.hh"
+#include "linalg/matrix.hh"
 #include "otn/network.hh"
+#include "vlsi/word.hh"
 
 namespace ot::otn {
 

@@ -145,11 +145,9 @@ class ScopedPhase
   public:
     ScopedPhase(TimeAccountant &acct, const std::string &name) : _acct(acct)
     {
-        // otcheck:allow(accounting): RAII — dtor is the matching end
         _acct.beginPhase(name);
     }
 
-    // otcheck:allow(accounting): RAII wrapper — ctor opened the phase
     ~ScopedPhase() { _acct.endPhase(); }
 
     ScopedPhase(const ScopedPhase &) = delete;

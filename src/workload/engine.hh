@@ -35,6 +35,10 @@
 #include <string>
 #include <vector>
 
+#include "layout/geometry.hh"
+#include "otc/emulated_otn.hh"
+#include "otc/network.hh"
+#include "otn/network.hh"
 #include "sim/chain_engine.hh"
 #include "sim/stats.hh"
 #include "sim/time_accountant.hh"

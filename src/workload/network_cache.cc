@@ -2,7 +2,6 @@
 
 #include <cassert>
 
-#include "vlsi/bitmath.hh"
 #include "workload/spec.hh"
 
 namespace ot::workload {

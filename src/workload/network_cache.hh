@@ -35,6 +35,7 @@
 #include "otc/network.hh"
 #include "otn/network.hh"
 #include "vlsi/cost_model.hh"
+#include "vlsi/delay.hh"
 
 namespace ot::workload {
 

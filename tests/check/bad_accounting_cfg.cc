@@ -1,0 +1,61 @@
+// otcheck:fixture-path src/otn/fixture_bad_accounting_cfg.cc
+//
+// Known-bad CFG accounting fixture: every function below is balanced
+// *lexically* (the begin/end call counts match) or nearly so, yet
+// some path through the body leaks or depletes the phase stack.
+// Only a path-sensitive walk of the control-flow graph sees these.
+struct Acct
+{
+    void beginPhase(const char *name);
+    void endPhase();
+};
+
+void fiddle(bool flip);
+
+void
+branchLeak(Acct &acct, bool deep)
+{
+    acct.beginPhase("walk"); // expect: accounting
+    if (deep)
+        acct.endPhase();
+}
+
+void
+loopCarriedLeak(Acct &acct, int rounds)
+{
+    for (int i = 0; i < rounds; ++i)
+        acct.beginPhase("sweep"); // expect: accounting
+    // The end also underflows on the zero-iteration path:
+    acct.endPhase(); // expect: accounting
+}
+
+void
+loopCarriedDrain(Acct &acct, int n)
+{
+    acct.beginPhase("outer");
+    do {
+        acct.endPhase(); // expect: accounting
+    } while (--n > 0);
+}
+
+void
+switchLeak(Acct &acct, int mode)
+{
+    switch (mode) {
+      case 0:
+        acct.beginPhase("zero"); // expect: accounting
+        break;
+      default:
+        break;
+    }
+}
+
+void
+catchLeak(Acct &acct, bool flip)
+{
+    try {
+        fiddle(flip);
+    } catch (...) {
+        acct.beginPhase("recover"); // expect: accounting
+    }
+}

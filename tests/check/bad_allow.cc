@@ -1,7 +1,8 @@
 // otcheck:fixture-path src/otn/fixture_bad_allow.cc
 //
 // Known-bad escape-hatch fixture: allow() markers must name a real
-// rule and carry a justification; a bare allow suppresses nothing.
+// rule and carry a justification; a bare allow suppresses nothing;
+// a justified allow that suppresses nothing is itself reported.
 #include <cstdlib>
 
 int
@@ -16,4 +17,24 @@ unknownRule()
 {
     // otcheck:allow(speed): it felt slow -- expect: allow-syntax
     return 2;
+}
+
+int
+staleAllow()
+{
+    // otcheck:allow(determinism): was needed once -- expect: unused-allow
+    return 3;
+}
+
+int
+wholeStatementCovered()
+{
+    // The allow's extent is the whole next statement, so the call on
+    // the statement's later line is suppressed too (and the allow is
+    // used, hence no unused-allow here).
+    // otcheck:allow(determinism): fixture demonstrates the extent
+    int v =
+        rand() +
+        rand();
+    return v;
 }

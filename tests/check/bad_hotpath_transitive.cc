@@ -1,0 +1,27 @@
+// otcheck:fixture-path src/otn/fixture_bad_hotpath_transitive.cc
+// otcheck:hotpath
+//
+// Known-bad transitive-hotpath fixture (checked as a project with
+// fixture_hotpath_helper.cc): nothing here allocates lexically, but
+// the calls below resolve to a helper in another file whose body
+// heap-allocates.  The call-graph pass must flag the cross-file call
+// sites.
+#include <cstddef>
+#include <cstdint>
+
+std::uint64_t *fixtureScratchAlloc(std::size_t n);
+
+static std::uint64_t *
+scratch(std::size_t n)
+{
+    return fixtureScratchAlloc(n); // expect: hotpath-propagation
+}
+
+std::uint64_t
+fixtureHotReduce(const std::uint64_t *v, std::size_t n)
+{
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        acc += v[i];
+    return acc + scratch(1)[0];
+}

@@ -1,0 +1,16 @@
+// otcheck:fixture-path src/otn/fixture_bad_include_hygiene.cc
+//
+// Known-bad include-hygiene fixture (checked as a project with the
+// fixture_*.hh headers): one include contributes nothing, and one
+// symbol is used through a transitive path instead of its own
+// header.
+#include "vlsi/fixture_gateway.hh"
+#include "vlsi/fixture_unused.hh" // expect: include-hygiene
+
+int
+fixtureLeansOnGateway()
+{
+    // fixture_deep.hh is only reachable through the gateway include:
+    // naming its symbol requires including it directly.
+    return fixtureDeepValue(); // expect: include-hygiene
+}

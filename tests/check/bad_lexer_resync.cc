@@ -1,0 +1,25 @@
+// otcheck:fixture-path src/otn/fixture_bad_lexer_resync.cc
+//
+// Known-bad fixture proving the lexer resynchronises after tricky
+// literals: the findings *after* them must still surface.  A lexer
+// that mistook a digit separator for a character literal, or closed
+// a raw string at a fake terminator, would swallow these.
+#include <cstdlib>
+#include <ctime>
+
+int
+afterDigitSeparators()
+{
+    int n = 1'000'000 + 0xAB'CD;
+    return n + rand(); // expect: determinism
+}
+
+const char *kBanner = R"seq(
+  a fake terminator: )seq mid-string, real one on the next line
+)seq";
+
+long
+afterRawString()
+{
+    return time(nullptr); // expect: determinism
+}

@@ -1,0 +1,55 @@
+// otcheck:fixture-path src/otn/fixture_bad_unreachable.cc
+//
+// Known-bad unreachable fixture: statements after a terminator in
+// the same block can never execute.  Only the first casualty of each
+// block is reported.
+#include <cstdlib>
+
+int
+afterReturn(int n)
+{
+    return n * 2;
+    int dead = n + 1; // expect: unreachable
+    return dead;      // not reported: only the first casualty is
+}
+
+int
+afterThrow(int n)
+{
+    if (n < 0) {
+        throw n;
+        ++n; // expect: unreachable
+    }
+    return n;
+}
+
+int
+afterBreak(int n)
+{
+    int acc = 0;
+    while (acc < n) {
+        break;
+        ++acc; // expect: unreachable
+    }
+    return acc;
+}
+
+int
+afterExhaustiveIf(int n)
+{
+    if (n > 0)
+        return 1;
+    else
+        return 0;
+    return -1; // expect: unreachable
+}
+
+int
+afterAbort(int n)
+{
+    if (n < 0) {
+        std::abort();
+        n = 0; // expect: unreachable
+    }
+    return n;
+}

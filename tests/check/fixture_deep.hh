@@ -1,0 +1,8 @@
+// otcheck:fixture-path src/vlsi/fixture_deep.hh
+//
+// Deep header of the include-hygiene fixture project: the symbol a
+// client must include *this* header for, rather than leaning on a
+// transitive path.  Must check clean on its own.
+#pragma once
+
+int fixtureDeepValue();

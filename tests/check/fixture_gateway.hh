@@ -1,0 +1,16 @@
+// otcheck:fixture-path src/vlsi/fixture_gateway.hh
+//
+// Gateway header of the include-hygiene fixture project: it uses
+// fixture_deep.hh itself (so its own include is justified), and
+// clients that only need its wrapper are fine — but a client naming
+// fixtureDeepValue directly must include fixture_deep.hh itself.
+// Must check clean on its own.
+#pragma once
+
+#include "vlsi/fixture_deep.hh"
+
+inline int
+fixtureGatewayTwice()
+{
+    return 2 * fixtureDeepValue();
+}

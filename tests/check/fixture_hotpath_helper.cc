@@ -1,0 +1,23 @@
+// otcheck:fixture-path src/sim/fixture_hotpath_helper.cc
+//
+// Helper half of the transitive-hotpath fixture project: heap
+// allocation is legal here (the file carries no hotpath marker), but
+// a hotpath-marked caller must not reach fixtureScratchAlloc through
+// any call chain.  Must check clean on its own.
+#include <cstddef>
+#include <cstdint>
+
+std::uint64_t *
+fixtureScratchAlloc(std::size_t n)
+{
+    return new std::uint64_t[n];
+}
+
+std::uint64_t
+fixtureScratchSum(const std::uint64_t *v, std::size_t n)
+{
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        acc += v[i];
+    return acc;
+}

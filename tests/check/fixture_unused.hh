@@ -1,0 +1,8 @@
+// otcheck:fixture-path src/vlsi/fixture_unused.hh
+//
+// Header half of the include-hygiene fixture project: declares a
+// symbol nobody references, so including it is dead weight.  Must
+// check clean on its own.
+#pragma once
+
+int fixtureUnusedValue();

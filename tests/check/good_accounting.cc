@@ -8,18 +8,13 @@ struct Acct
     void endPhase();
 };
 
-// RAII wrapper, as in sim::ScopedPhase: the unpaired calls in the
-// constructor and destructor are the sanctioned allow() sites.
+// RAII wrapper, as in sim::ScopedPhase.  No allow() needed: the CFG
+// pass recognises the ctor/dtor net-balance and exempts the pair.
 class Scoped
 {
   public:
-    explicit Scoped(Acct &acct) : _acct(acct)
-    {
-        // otcheck:allow(accounting): RAII — dtor is the matching end
-        _acct.beginPhase("scope");
-    }
+    explicit Scoped(Acct &acct) : _acct(acct) { _acct.beginPhase("scope"); }
 
-    // otcheck:allow(accounting): RAII — ctor opened the phase
     ~Scoped() { _acct.endPhase(); }
 
   private:

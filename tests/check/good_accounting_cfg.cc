@@ -1,0 +1,115 @@
+// otcheck:fixture-path src/otn/fixture_good_accounting_cfg.cc
+//
+// Known-good CFG accounting fixture: balanced on every path through
+// branches, loops, switches, lambdas and early exits.  Must check
+// clean.
+#include <cstdlib>
+
+struct Acct
+{
+    void beginPhase(const char *name);
+    void endPhase();
+};
+
+void
+branchBalanced(Acct &acct, bool deep)
+{
+    acct.beginPhase("walk");
+    if (deep)
+        acct.endPhase();
+    else
+        acct.endPhase();
+}
+
+int
+throwExempt(Acct &acct, int n)
+{
+    acct.beginPhase("load");
+    if (n < 0)
+        throw n; // exceptional exits are exempt from balance
+    acct.endPhase();
+    return n;
+}
+
+void
+abortExempt(Acct &acct, bool bad)
+{
+    acct.beginPhase("commit");
+    if (bad)
+        std::abort(); // aborting paths are exempt from balance
+    acct.endPhase();
+}
+
+void
+loopBalancedBreak(Acct &acct, int n)
+{
+    for (int i = 0; i < n; ++i) {
+        acct.beginPhase("step");
+        if (i == 7) {
+            acct.endPhase();
+            break;
+        }
+        acct.endPhase();
+    }
+}
+
+void
+continueBalanced(Acct &acct, int n)
+{
+    for (int i = 0; i < n; ++i) {
+        if (i % 2)
+            continue;
+        acct.beginPhase("even");
+        acct.endPhase();
+    }
+}
+
+void
+doWhileBalanced(Acct &acct, int n)
+{
+    do {
+        acct.beginPhase("tick");
+        acct.endPhase();
+    } while (--n > 0);
+}
+
+void
+switchBalanced(Acct &acct, int mode)
+{
+    acct.beginPhase("mode");
+    switch (mode) {
+      case 0:
+        acct.endPhase();
+        break;
+      default:
+        acct.endPhase();
+        break;
+    }
+}
+
+void
+fallthroughBalanced(Acct &acct, int mode)
+{
+    switch (mode) {
+      case 0:
+        acct.beginPhase("zero");
+        acct.endPhase();
+        [[fallthrough]];
+      case 1:
+        break;
+    }
+}
+
+void
+lambdaIsolated(Acct &acct, int n)
+{
+    acct.beginPhase("fold");
+    // The lambda body is its own function: its (balanced) events do
+    // not leak into the host's path walk, and vice versa.
+    auto step = [&acct](int) {
+        acct.beginPhase("inner");
+        acct.endPhase();
+    };
+    step(n);
+    acct.endPhase();
+}

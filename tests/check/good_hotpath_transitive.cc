@@ -1,0 +1,16 @@
+// otcheck:fixture-path src/otn/fixture_good_hotpath_transitive.cc
+// otcheck:hotpath
+//
+// Known-good transitive-hotpath fixture (checked as a project with
+// fixture_hotpath_helper.cc): the cross-file call below reaches only
+// allocation-free code, so the call-graph pass must stay silent.
+#include <cstddef>
+#include <cstdint>
+
+std::uint64_t fixtureScratchSum(const std::uint64_t *v, std::size_t n);
+
+std::uint64_t
+fixtureHotTotal(const std::uint64_t *v, std::size_t n)
+{
+    return fixtureScratchSum(v, n);
+}

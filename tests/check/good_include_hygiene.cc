@@ -1,0 +1,14 @@
+// otcheck:fixture-path src/otn/fixture_good_include_hygiene.cc
+//
+// Known-good include-hygiene fixture (checked as a project with the
+// fixture_*.hh headers): every include contributes a referenced
+// symbol — the gateway include is justified by its wrapper alone.
+// Must check clean.
+#include "vlsi/fixture_deep.hh"
+#include "vlsi/fixture_gateway.hh"
+
+int
+fixtureUsesBoth()
+{
+    return fixtureDeepValue() + fixtureGatewayTwice();
+}

@@ -1,0 +1,37 @@
+// otcheck:fixture-path src/otn/fixture_good_lexer.cc
+//
+// Known-good lexer fixture: literal shapes that must not confuse the
+// token stream.  The banned names below appear only inside literals
+// and comments.  Must check clean.
+#include <cstdint>
+
+// A line comment that continues across a backslash \
+   rand() on this continued line is still part of the comment.
+
+/* time(nullptr) in a block comment */
+
+inline std::uint64_t
+separatedLiterals()
+{
+    // Digit separators must not open character literals.
+    std::uint64_t big = 1'000'000'007ULL;
+    std::uint64_t mask = 0xFF'FF'00'00u;
+    std::uint64_t bits = 0b1010'1010;
+    return big + mask + bits;
+}
+
+inline const char *
+rawStrings(int which)
+{
+    static const char *plain = R"(rand() and srand(7))";
+    // The fake terminator `)seq ` (no quote after it) must not close
+    // the raw string early.
+    static const char *tricky = R"seq(fake close )seq here, then )seq";
+    return which ? plain : tricky;
+}
+
+inline char
+quoteLiterals(bool dq)
+{
+    return dq ? '"' : '\'';
+}

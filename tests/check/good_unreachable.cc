@@ -1,0 +1,44 @@
+// otcheck:fixture-path src/otn/fixture_good_unreachable.cc
+//
+// Known-good unreachable fixture: code after terminators that *is*
+// reachable (half-open ifs, loops that may complete, labels), plus
+// the shapes the checker deliberately treats as open.  Must check
+// clean.
+int
+halfOpenIf(int n)
+{
+    if (n > 0)
+        return 1;
+    return 0; // reachable: the if has no else
+}
+
+int
+loopNotTerminator(int n)
+{
+    for (int i = 0; i < n; ++i)
+        if (i == 3)
+            return i;
+    return -1; // reachable: the loop may complete normally
+}
+
+int
+switchNotTerminator(int n)
+{
+    switch (n) {
+      case 0:
+        return 0;
+      default:
+        return 1;
+    }
+    return 2; // conservatively reachable: switches are treated as open
+}
+
+int
+labeledAfterReturn(int n)
+{
+    if (n == 0)
+        goto retry;
+    return n;
+retry: // reachable via goto: labels exempt their statement
+    return labeledAfterReturn(n + 1);
+}

@@ -1,9 +1,11 @@
 /**
  * @file
- * Tests for otcheck (src/check): the lexer, each rule family, the
- * fixture corpus under tests/check/, and — the gate the tool exists
- * for — that the shipped src/ + tools/ tree checks clean while
- * seeded violations do not.
+ * Tests for otcheck (src/check): the lexer, each rule family (the
+ * CFG-based ones included), the fixture corpus under tests/check/,
+ * the SARIF emitter and baseline machinery, and — the gate the tool
+ * exists for — that the shipped src/ + tools/ + bench/ tree checks
+ * clean (src/ absolutely, the rest modulo the checked-in baseline)
+ * while seeded violations do not.
  */
 
 #include <algorithm>
@@ -16,6 +18,7 @@
 #include <gtest/gtest.h>
 
 #include "check/checker.hh"
+#include "check/sarif.hh"
 
 namespace {
 
@@ -95,9 +98,14 @@ TEST(CheckFixtures, CorpusMatchesAnnotations)
 {
     const std::string dir = OT_CHECK_FIXTURE_DIR;
     const std::vector<std::string> names = {
-        "bad_accounting.cc",  "bad_allow.cc",     "bad_determinism.cc",
-        "bad_hotpath.cc",     "bad_layering.cc",  "good_accounting.cc",
-        "good_determinism.cc", "good_hotpath.cc", "good_layering.cc",
+        "bad_accounting.cc",      "bad_accounting_cfg.cc",
+        "bad_allow.cc",           "bad_determinism.cc",
+        "bad_hotpath.cc",         "bad_layering.cc",
+        "bad_lexer_resync.cc",    "bad_unreachable.cc",
+        "good_accounting.cc",     "good_accounting_cfg.cc",
+        "good_determinism.cc",    "good_hotpath.cc",
+        "good_layering.cc",       "good_lexer.cc",
+        "good_unreachable.cc",
     };
     for (const std::string &name : names) {
         SCOPED_TRACE(name);
@@ -116,17 +124,85 @@ TEST(CheckFixtures, CorpusMatchesAnnotations)
     }
 }
 
+/** Run several fixtures as one project (cross-file rules need it). */
+std::vector<Diagnostic>
+checkFixtureProject(const std::vector<std::string> &names)
+{
+    const std::string dir = OT_CHECK_FIXTURE_DIR;
+    std::vector<ot::check::SourceFile> files;
+    for (const std::string &name : names)
+        files.push_back({"tests/check/" + name, slurp(dir + "/" + name)});
+    return ot::check::checkProject(files).diagnostics;
+}
+
+// The hotpath-propagation rule only fires across translation units:
+// each fixture alone is silent, together they must reproduce exactly
+// the bad file's annotations.
+TEST(CheckFixtures, TransitiveHotpathProject)
+{
+    const std::string dir = OT_CHECK_FIXTURE_DIR;
+    Findings expected =
+        expectedFindings(slurp(dir + "/bad_hotpath_transitive.cc"));
+    ASSERT_FALSE(expected.empty());
+    Findings actual = findingsOf(checkFixtureProject(
+        {"fixture_hotpath_helper.cc", "bad_hotpath_transitive.cc",
+         "good_hotpath_transitive.cc"}));
+    EXPECT_EQ(expected, actual)
+        << "expected:\n" << show(expected) << "actual:\n" << show(actual);
+}
+
+TEST(CheckFixtures, IncludeHygieneProject)
+{
+    const std::string dir = OT_CHECK_FIXTURE_DIR;
+    Findings expected =
+        expectedFindings(slurp(dir + "/bad_include_hygiene.cc"));
+    ASSERT_FALSE(expected.empty());
+    Findings actual = findingsOf(checkFixtureProject(
+        {"fixture_unused.hh", "fixture_deep.hh", "fixture_gateway.hh",
+         "bad_include_hygiene.cc", "good_include_hygiene.cc"}));
+    EXPECT_EQ(expected, actual)
+        << "expected:\n" << show(expected) << "actual:\n" << show(actual);
+}
+
 // ---------------------------------------------------------------
 // The acceptance gate: the shipped tree is clean, and the canonical
 // seeded violations are caught.
 
-TEST(CheckTree, ShippedSrcAndToolsAreClean)
+TEST(CheckTree, CollectFilesCoversToolsAndBench)
+{
+    const std::string root = OT_CHECK_SOURCE_ROOT;
+    std::vector<std::string> files = ot::check::collectFiles(root, "");
+    auto anyWith = [&](const std::string &prefix) {
+        return std::any_of(files.begin(), files.end(),
+                           [&](const std::string &f) {
+                               return f.compare(0, prefix.size(),
+                                                prefix) == 0;
+                           });
+    };
+    EXPECT_TRUE(anyWith("src/"));
+    EXPECT_TRUE(anyWith("tools/"));
+    EXPECT_TRUE(anyWith("bench/"));
+}
+
+TEST(CheckTree, ShippedTreeIsCleanModuloBaseline)
 {
     const std::string root = OT_CHECK_SOURCE_ROOT;
     std::vector<std::string> files =
         ot::check::collectFiles(root, "");
     EXPECT_GT(files.size(), 80u) << "directory walk found too little";
     ot::check::Report report = ot::check::checkTree(root, files);
+
+    // The baseline may park pre-existing tools/ and bench/ debt, but
+    // never src/: the shipped library must be absolutely clean.
+    ot::check::Baseline baseline =
+        ot::check::loadBaseline(root + "/.otcheck-baseline");
+    for (const auto &[rule, file] : baseline.entries) {
+        EXPECT_TRUE(ot::check::knownRule(rule))
+            << "baseline names unknown rule " << rule;
+        EXPECT_NE(0, file.compare(0, 4, "src/"))
+            << "baseline must not mute src/: " << rule << " " << file;
+    }
+    ot::check::applyBaseline(baseline, report);
     EXPECT_TRUE(report.diagnostics.empty())
         << ot::check::renderText(report);
 }
@@ -258,6 +334,131 @@ TEST(CheckRules, JsonOutputIsWellFormed)
     // Balanced brackets/braces as a cheap well-formedness probe.
     EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
               std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(CheckRules, StaleAllowIsReported)
+{
+    std::vector<Diagnostic> diags =
+        checkAs("src/otn/a.cc",
+                "// otcheck:allow(determinism): was needed once\n"
+                "int f() { return 2; }\n");
+    ASSERT_EQ(1u, diags.size());
+    EXPECT_EQ("unused-allow", diags[0].rule);
+    EXPECT_EQ(1, diags[0].line);
+}
+
+TEST(CheckRules, AllowCoversWholeStatement)
+{
+    // The banned call sits two lines below the allow, but still
+    // inside the statement the allow is attached to.
+    EXPECT_TRUE(checkAs("src/otn/a.cc",
+                        "// otcheck:allow(determinism): fixed fold\n"
+                        "int f() { return 1 +\n"
+                        "    2 +\n"
+                        "    rand(); }\n")
+                    .empty());
+}
+
+TEST(CheckRules, RaiiWrapperNeedsNoAllow)
+{
+    // A ctor/dtor pair with net +1/-1 phase balance is recognised as
+    // RAII; neither side is flagged.
+    EXPECT_TRUE(checkAs("src/sim/a.hh",
+                        "struct A { void beginPhase(const char *);\n"
+                        "           void endPhase(); };\n"
+                        "class S {\n"
+                        "  public:\n"
+                        "    explicit S(A &a) : _a(a)\n"
+                        "    { _a.beginPhase(\"s\"); }\n"
+                        "    ~S() { _a.endPhase(); }\n"
+                        "  private:\n"
+                        "    A &_a;\n"
+                        "};\n")
+                    .empty());
+}
+
+// ---------------------------------------------------------------
+// SARIF output and the baseline machinery.
+
+TEST(CheckSarif, OutputIsWellFormed)
+{
+    ot::check::Report report;
+    report.files = {"src/otn/a.cc"};
+    report.diagnostics = checkAs(
+        "src/otn/a.cc", "int f() { return rand(); }\n");
+    ASSERT_EQ(1u, report.diagnostics.size());
+    std::string sarif = ot::check::renderSarif(report);
+    EXPECT_NE(std::string::npos, sarif.find("\"version\": \"2.1.0\""));
+    EXPECT_NE(std::string::npos, sarif.find("\"$schema\""));
+    EXPECT_NE(std::string::npos,
+              sarif.find("\"ruleId\": \"determinism\""));
+    EXPECT_NE(std::string::npos, sarif.find("\"startLine\": 1"));
+    EXPECT_NE(std::string::npos, sarif.find("\"uri\": \"src/otn/a.cc\""));
+    EXPECT_EQ(std::count(sarif.begin(), sarif.end(), '{'),
+              std::count(sarif.begin(), sarif.end(), '}'));
+    EXPECT_EQ(std::count(sarif.begin(), sarif.end(), '['),
+              std::count(sarif.begin(), sarif.end(), ']'));
+}
+
+TEST(CheckSarif, EveryRuleIsDeclared)
+{
+    // Each rule a diagnostic can carry must appear in the SARIF
+    // driver's rule table (code scanning rejects dangling ruleIds).
+    ot::check::Report report;
+    std::string sarif = ot::check::renderSarif(report);
+    for (const char *rule :
+         {"determinism", "layering", "accounting", "hotpath",
+          "hotpath-propagation", "include-hygiene", "unreachable",
+          "allow-syntax", "unused-allow"}) {
+        EXPECT_NE(std::string::npos,
+                  sarif.find("\"id\": \"" + std::string(rule) + "\""))
+            << rule;
+    }
+    // The allow() escape hatch covers exactly the suppressible rules
+    // (the two allow-meta rules themselves cannot be allowed away).
+    for (const char *rule :
+         {"determinism", "layering", "accounting", "hotpath",
+          "hotpath-propagation", "include-hygiene", "unreachable"})
+        EXPECT_TRUE(ot::check::knownRule(rule)) << rule;
+    EXPECT_FALSE(ot::check::knownRule("allow-syntax"));
+    EXPECT_FALSE(ot::check::knownRule("unused-allow"));
+}
+
+TEST(CheckBaseline, LoadParsesRuleFilePairs)
+{
+    std::string path = ::testing::TempDir() + "otcheck_baseline_test";
+    {
+        std::ofstream out(path);
+        out << "# comment\n"
+            << "\n"
+            << "include-hygiene  tools/otsim.cc\n"
+            << "determinism\tbench/bench_mst.cc\n";
+    }
+    ot::check::Baseline b = ot::check::loadBaseline(path);
+    EXPECT_EQ(2u, b.entries.size());
+    EXPECT_EQ(1u, b.entries.count({"include-hygiene", "tools/otsim.cc"}));
+    EXPECT_EQ(1u, b.entries.count({"determinism", "bench/bench_mst.cc"}));
+}
+
+TEST(CheckBaseline, ApplyMutesOnlyListedPairs)
+{
+    ot::check::Report report;
+    report.files = {"tools/a.cc", "src/otn/b.cc"};
+    ot::check::Diagnostic d1;
+    d1.file = "tools/a.cc";
+    d1.line = 3;
+    d1.rule = "include-hygiene";
+    d1.message = "unused include";
+    ot::check::Diagnostic d2 = d1;
+    d2.file = "src/otn/b.cc";
+    d2.rule = "determinism";
+    report.diagnostics = {d1, d2};
+    ot::check::Baseline b;
+    b.entries.insert({"include-hygiene", "tools/a.cc"});
+    std::size_t muted = ot::check::applyBaseline(b, report);
+    EXPECT_EQ(1u, muted);
+    ASSERT_EQ(1u, report.diagnostics.size());
+    EXPECT_EQ("determinism", report.diagnostics[0].rule);
 }
 
 } // namespace

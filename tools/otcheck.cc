@@ -4,28 +4,35 @@
  *
  * Enforces the invariants the engine's bit-identical-at-any-
  * OT_HOST_THREADS guarantee rests on: no nondeterminism sources in
- * lane-reachable code, no layering back-edges, balanced
- * beginPhase/endPhase accounting, and allocation-free hotpath files.
- * See src/check/rules.hh for the rule catalogue and DESIGN.md for
- * the layer DAG.
+ * lane-reachable code, no layering back-edges, path-sensitive
+ * beginPhase/endPhase accounting, allocation-free hotpath files (and
+ * call chains), used-and-direct includes, and no unreachable
+ * statements.  See src/check/rules.hh for the rule catalogue and
+ * DESIGN.md for the layer DAG and analysis pipeline.
  *
  * Usage:
  *   otcheck [--root DIR] [--compile-commands FILE] [--json]
- *           [--list-files] [FILE...]
+ *           [--sarif-out FILE] [--baseline FILE] [--no-baseline]
+ *           [--self] [--list-files] [FILE...]
  *
- * With no FILE arguments, audits every *.cc / *.hh under root/src
- * and root/tools (unioned with the translation units named in the
- * compile_commands.json, when given).  Exit status: 0 clean,
- * 1 diagnostics, 2 usage error.
+ * With no FILE arguments, audits every *.cc / *.hh under root/src,
+ * root/tools and root/bench (unioned with the translation units named
+ * in the compile_commands.json, when given).  `--self` narrows the
+ * set to src/check/ — the analyzer analyzing itself.  A baseline file
+ * (default: root/.otcheck-baseline when present; disable with
+ * --no-baseline) mutes known (rule, file) pairs.  Exit status:
+ * 0 clean, 1 diagnostics, 2 usage error.
  */
 
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "check/checker.hh"
+#include "check/sarif.hh"
 
 namespace {
 
@@ -35,8 +42,11 @@ usage(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s [--root DIR] [--compile-commands FILE] [--json]\n"
-        "          [--list-files] [FILE...]\n"
-        "rules: determinism, layering, accounting, hotpath\n"
+        "          [--sarif-out FILE] [--baseline FILE] "
+        "[--no-baseline]\n"
+        "          [--self] [--list-files] [FILE...]\n"
+        "rules: determinism, layering, accounting, hotpath,\n"
+        "       hotpath-propagation, include-hygiene, unreachable\n"
         "escape: // otcheck:allow(<rule>): <justification>\n",
         argv0);
     return 2;
@@ -49,6 +59,10 @@ main(int argc, char **argv)
 {
     std::string root = ".";
     std::string compileCommands;
+    std::string sarifOut;
+    std::string baselinePath;
+    bool noBaseline = false;
+    bool selfCheck = false;
     bool json = false;
     bool listFiles = false;
     std::vector<std::string> explicitFiles;
@@ -60,6 +74,16 @@ main(int argc, char **argv)
         } else if (std::strcmp(arg, "--compile-commands") == 0 &&
                    i + 1 < argc) {
             compileCommands = argv[++i];
+        } else if (std::strcmp(arg, "--sarif-out") == 0 &&
+                   i + 1 < argc) {
+            sarifOut = argv[++i];
+        } else if (std::strcmp(arg, "--baseline") == 0 &&
+                   i + 1 < argc) {
+            baselinePath = argv[++i];
+        } else if (std::strcmp(arg, "--no-baseline") == 0) {
+            noBaseline = true;
+        } else if (std::strcmp(arg, "--self") == 0) {
+            selfCheck = true;
         } else if (std::strcmp(arg, "--json") == 0) {
             json = true;
         } else if (std::strcmp(arg, "--list-files") == 0) {
@@ -88,6 +112,14 @@ main(int argc, char **argv)
             ? ot::check::collectFiles(root, compileCommands)
             : explicitFiles;
 
+    if (selfCheck) {
+        std::vector<std::string> narrowed;
+        for (const std::string &f : files)
+            if (f.compare(0, 10, "src/check/") == 0)
+                narrowed.push_back(f);
+        files = std::move(narrowed);
+    }
+
     if (listFiles) {
         for (const std::string &f : files)
             std::printf("%s\n", f.c_str());
@@ -95,8 +127,37 @@ main(int argc, char **argv)
     }
 
     ot::check::Report report = ot::check::checkTree(root, files);
+
+    std::size_t muted = 0;
+    if (!noBaseline) {
+        if (baselinePath.empty()) {
+            std::filesystem::path def =
+                std::filesystem::path(root) / ".otcheck-baseline";
+            if (std::filesystem::is_regular_file(def, ec) && !ec)
+                baselinePath = def.string();
+        }
+        if (!baselinePath.empty())
+            muted = ot::check::applyBaseline(
+                ot::check::loadBaseline(baselinePath), report);
+    }
+
+    if (!sarifOut.empty()) {
+        std::ofstream out(sarifOut, std::ios::binary);
+        if (!out) {
+            std::fprintf(stderr, "otcheck: cannot write %s\n",
+                         sarifOut.c_str());
+            return 2;
+        }
+        out << ot::check::renderSarif(report);
+    }
+
     std::string rendered = json ? ot::check::renderJson(report)
                                 : ot::check::renderText(report);
     std::fputs(rendered.c_str(), stdout);
+    if (muted)
+        std::fprintf(stderr,
+                     "otcheck: %zu baselined finding%s muted (%s)\n",
+                     muted, muted == 1 ? "" : "s",
+                     baselinePath.c_str());
     return report.diagnostics.empty() ? 0 : 1;
 }
