@@ -36,6 +36,19 @@ randomValues(std::size_t n, std::uint64_t seed)
     return v;
 }
 
+/**
+ * Attach one run's (deterministic) model time as a counter so every
+ * benchmark row shows simulated cycles next to host real time.  The
+ * value is identical every iteration — the simulation is deterministic
+ * — so last-write wins is exact, not an average.
+ */
+inline void
+reportModelTime(benchmark::State &state, vlsi::ModelTime t)
+{
+    state.counters["model_time"] =
+        benchmark::Counter(static_cast<double>(t));
+}
+
 /** Print a titled section. */
 inline void
 section(const std::string &title)

@@ -148,11 +148,11 @@ BM_SortOtn(benchmark::State &state)
     auto v = randomValues(n, 7);
     auto cost = defaultCostModel(n);
     otn::OrthogonalTreesNetwork net(n, cost);
+    state.SetLabel(simd::toString(net.simdBackend()));
     for (auto _ : state) {
         auto r = otn::sortOtn(net, v);
         benchmark::DoNotOptimize(r.sorted.data());
-        state.counters["model_time"] =
-            static_cast<double>(r.time);
+        reportModelTime(state, r.time);
     }
 }
 BENCHMARK(BM_SortOtn)->Arg(64)->Arg(256)->Arg(1024);
@@ -165,10 +165,11 @@ BM_SortOtc(benchmark::State &state)
     auto cost = defaultCostModel(n);
     unsigned l = vlsi::logCeilAtLeast1(n);
     otc::OtcNetwork net(n / l, l, cost);
+    state.SetLabel(simd::toString(net.simdBackend()));
     for (auto _ : state) {
         auto r = otc::sortOtc(net, v);
         benchmark::DoNotOptimize(r.sorted.data());
-        state.counters["model_time"] = static_cast<double>(r.time);
+        reportModelTime(state, r.time);
     }
 }
 BENCHMARK(BM_SortOtc)->Arg(64)->Arg(256)->Arg(1024);
@@ -183,7 +184,7 @@ BM_SortMesh(benchmark::State &state)
     for (auto _ : state) {
         auto r = baselines::meshSort(mesh, v);
         benchmark::DoNotOptimize(r.sorted.data());
-        state.counters["model_time"] = static_cast<double>(r.time);
+        reportModelTime(state, r.time);
     }
 }
 BENCHMARK(BM_SortMesh)->Arg(64)->Arg(256)->Arg(1024);

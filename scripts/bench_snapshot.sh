@@ -9,6 +9,12 @@
 #
 #   OT_HOST_THREADS=1 scripts/bench_snapshot.sh build BENCH_seq.json
 #   OT_HOST_THREADS=8 scripts/bench_snapshot.sh build BENCH_par.json
+#
+# The snapshot's "context" block records CMAKE_BUILD_TYPE, the
+# dispatched SIMD backend and OT_HOST_THREADS; OT_SIMD=scalar|avx2|neon
+# forces a backend for apples-to-apples runs, e.g.
+#
+#   OT_SIMD=scalar scripts/bench_snapshot.sh build-rel BENCH_scalar.json
 set -euo pipefail
 
 build_dir=${1:-build}
@@ -52,6 +58,34 @@ EOF
     else
         echo "note: otsim trace summary unavailable, skipping" >&2
     fi
+fi
+
+# Record the build/dispatch context the numbers were taken under: the
+# CMake build type (debug and Release snapshots are not comparable),
+# the SIMD backend the bench binary dispatches to, and the host-thread
+# setting.  Comparisons across snapshots must hold these fixed.
+if command -v python3 > /dev/null; then
+    build_type=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' \
+        "$build_dir/CMakeCache.txt" 2> /dev/null || true)
+    backend=""
+    if [[ -x "$otsim" ]]; then
+        backend=$("$otsim" simd | sed -n 's/^active: //p' || true)
+    fi
+    python3 - "$out" "${build_type:-unknown}" "${backend:-unknown}" \
+        "${OT_HOST_THREADS:-auto}" << 'EOF'
+import json, sys
+out_path, build_type, backend, threads = sys.argv[1:5]
+with open(out_path) as f:
+    bench = json.load(f)
+bench.setdefault("context", {})
+bench["context"]["cmake_build_type"] = build_type
+bench["context"]["simd_backend"] = backend
+bench["context"]["ot_host_threads"] = threads
+with open(out_path, "w") as f:
+    json.dump(bench, f, indent=1)
+EOF
+    echo "context: build_type=${build_type:-unknown}" \
+        "simd=${backend:-unknown} threads=${OT_HOST_THREADS:-auto}"
 fi
 
 # Fold the workload-farm benchmark (cold vs warm NetworkCache, farm

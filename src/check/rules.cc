@@ -24,6 +24,7 @@ layerTable()
 {
     static const std::map<std::string, std::vector<std::string>> t = {
         {"vlsi", {"vlsi"}},
+        {"simd", {"simd", "vlsi"}},
         {"trace", {"trace", "vlsi"}},
         {"sim", {"sim", "trace", "vlsi"}},
         {"linalg", {"linalg", "vlsi"}},
@@ -31,10 +32,11 @@ layerTable()
         {"analysis", {"analysis", "vlsi"}},
         {"graph", {"graph", "linalg", "sim", "trace", "vlsi"}},
         {"otn",
-         {"otn", "graph", "layout", "linalg", "sim", "trace", "vlsi"}},
-        {"otc",
-         {"otc", "otn", "graph", "layout", "linalg", "sim", "trace",
+         {"otn", "graph", "layout", "linalg", "sim", "simd", "trace",
           "vlsi"}},
+        {"otc",
+         {"otc", "otn", "graph", "layout", "linalg", "sim", "simd",
+          "trace", "vlsi"}},
         {"baselines",
          {"baselines", "otn", "graph", "layout", "linalg", "sim",
           "trace", "vlsi"}},
@@ -276,6 +278,85 @@ runHotpath(const FileContext &ctx, std::vector<Diagnostic> &out)
             if (toks[i].text == ban.name)
                 emit(out, ctx, toks[i].line, "hotpath", ban.message,
                      ban.hint);
+    }
+}
+
+// ---------------------------------------------------------------------
+// intrinsics: raw SIMD intrinsics are confined to the simd layer
+// ---------------------------------------------------------------------
+
+/** <immintrin.h> and friends (x86), <arm_neon.h> and friends (ARM). */
+bool
+isIntrinsicHeader(const std::string &path)
+{
+    if (path.size() >= 8 &&
+        path.compare(path.size() - 8, 8, "intrin.h") == 0)
+        return true;
+    return path == "arm_neon.h" || path == "arm_sve.h" ||
+           path == "arm_acle.h";
+}
+
+/** __m256i / __m128d / __m512 ...: "__m" followed by a digit. */
+bool
+isX86VectorType(const std::string &t)
+{
+    return t.size() > 3 && t.compare(0, 3, "__m") == 0 &&
+           t[3] >= '0' && t[3] <= '9';
+}
+
+/** uint64x2_t / float32x4_t ...: letters, digits, 'x', digits, "_t". */
+bool
+isNeonVectorType(const std::string &t)
+{
+    if (t.size() < 6 || t.compare(t.size() - 2, 2, "_t") != 0)
+        return false;
+    std::size_t i = 0;
+    while (i < t.size() && t[i] >= 'a' && t[i] <= 'z')
+        ++i;
+    if (i == 0)
+        return false;
+    std::size_t digits = i;
+    while (i < t.size() && t[i] >= '0' && t[i] <= '9')
+        ++i;
+    if (i == digits || i >= t.size() || t[i] != 'x')
+        return false;
+    digits = ++i;
+    while (i < t.size() && t[i] >= '0' && t[i] <= '9')
+        ++i;
+    return i > digits && i + 2 == t.size();
+}
+
+void
+runIntrinsics(const FileContext &ctx, std::vector<Diagnostic> &out)
+{
+    const char *hint =
+        "vector code belongs in src/simd behind the KernelTable "
+        "dispatch";
+    for (const Include &inc : ctx.lexed.includes)
+        if (isIntrinsicHeader(inc.path))
+            emit(out, ctx, inc.line, "intrinsics",
+                 "intrinsic header <" + inc.path +
+                     "> included outside the simd layer",
+                 hint);
+    const auto &toks = ctx.lexed.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].kind != Token::Kind::Ident)
+            continue;
+        const std::string &t = toks[i].text;
+        // _mm_/_mm256_/_mm512_ calls and __m128/__m256i/... types.
+        if (t.compare(0, 3, "_mm") == 0 || isX86VectorType(t)) {
+            emit(out, ctx, toks[i].line, "intrinsics",
+                 "x86 intrinsic '" + t + "' outside the simd layer",
+                 hint);
+            continue;
+        }
+        // NEON: vaddq_u64(...)-style calls and uint64x2_t types.
+        if (isNeonVectorType(t) ||
+            (t[0] == 'v' && t.find("q_") != std::string::npos &&
+             at(toks, i + 1) == "("))
+            emit(out, ctx, toks[i].line, "intrinsics",
+                 "NEON intrinsic '" + t + "' outside the simd layer",
+                 hint);
     }
 }
 
@@ -972,7 +1053,8 @@ knownRule(const std::string &rule)
     return rule == "determinism" || rule == "layering" ||
            rule == "accounting" || rule == "hotpath" ||
            rule == "hotpath-propagation" ||
-           rule == "include-hygiene" || rule == "unreachable";
+           rule == "include-hygiene" || rule == "unreachable" ||
+           rule == "intrinsics";
 }
 
 std::vector<Diagnostic>
@@ -985,6 +1067,8 @@ runFileRules(const FileContext &ctx)
     runLayering(ctx, raw);
     runAccounting(ctx, raw);
     runHotpath(ctx, raw);
+    if (ctx.layer != "simd")
+        runIntrinsics(ctx, raw);
     runUnreachable(ctx, raw);
     return raw;
 }
@@ -1046,7 +1130,8 @@ applyAllows(const FileContext &ctx, std::vector<Diagnostic> diags)
             emit(out, ctx, a.line, "allow-syntax",
                  "otcheck:allow names unknown rule '" + a.rule + "'",
                  "rules: determinism, layering, accounting, hotpath, "
-                 "hotpath-propagation, include-hygiene, unreachable");
+                 "hotpath-propagation, include-hygiene, unreachable, "
+                 "intrinsics");
         else if (a.justification.empty())
             emit(out, ctx, a.line, "allow-syntax",
                  "otcheck:allow(" + a.rule + ") without justification",

@@ -38,6 +38,9 @@ const RuleInfo kRules[] = {
                      "carry a justification"},
     {"unused-allow",
      "allow() markers that suppress nothing must be removed"},
+    {"intrinsics",
+     "Raw SIMD intrinsics are confined to the simd layer; everything "
+     "else goes through the KernelTable dispatch"},
 };
 
 int

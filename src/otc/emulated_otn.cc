@@ -59,14 +59,20 @@ OtcEmulatedOtn::computeTreeReduceCost() const
 }
 
 vlsi::ModelTime
-OtcEmulatedOtn::baseOp(
-    vlsi::ModelTime op_cost,
-    const std::function<void(std::size_t i, std::size_t j)> &op)
+OtcEmulatedOtn::baseOpCost(vlsi::ModelTime op_cost) const
 {
     // A cycle of L BPs serialises the L^2 base positions of its
     // emulated square in L rounds (Section V: "the same operations can
     // be performed in O(K t) time on a cycle of BPs of length K").
-    return OrthogonalTreesNetwork::baseOp(op_cost * _cycleLen, op);
+    return op_cost * _cycleLen;
+}
+
+vlsi::ModelTime
+OtcEmulatedOtn::baseOp(
+    vlsi::ModelTime op_cost,
+    const std::function<void(std::size_t i, std::size_t j)> &op)
+{
+    return OrthogonalTreesNetwork::baseOp(baseOpCost(op_cost), op);
 }
 
 } // namespace ot::otc

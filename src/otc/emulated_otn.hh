@@ -61,6 +61,9 @@ class OtcEmulatedOtn : public otn::OrthogonalTreesNetwork
         override;
 
   protected:
+    /** Base-step dilation by L (shared with the batch base ops). */
+    vlsi::ModelTime baseOpCost(vlsi::ModelTime op_cost) const override;
+
     /** Streamed tree-op cost: L words pipelined through a K-leaf tree. */
     vlsi::ModelTime computeTreeTraversalCost() const override;
 

@@ -1,7 +1,7 @@
 #include "otc/network.hh"
 
-#include <algorithm>
 #include <array>
+#include <cstring>
 
 #include "vlsi/bitmath.hh"
 
@@ -31,7 +31,9 @@ OtcNetwork::OtcNetwork(std::size_t cycles_per_side, unsigned cycle_len,
       _cost(cost),
       _layout(_k, _l, cost.word().bits()),
       _engine(_acct, _stats, host_threads),
-      _regs(otn::kNumRegs, std::vector<std::uint64_t>(_k * _k * _l, 0)),
+      _backend(simd::activeBackend()),
+      _kernels(&simd::kernelsFor(_backend)),
+      _regs(otn::kNumRegs, _k * _k * _l),
       _rowStream(_k, std::vector<std::uint64_t>(_l, kNull)),
       _colStream(_k, std::vector<std::uint64_t>(_l, kNull))
 {
@@ -55,8 +57,7 @@ OtcNetwork::OtcNetwork(std::size_t cycles_per_side, unsigned cycle_len,
 void
 OtcNetwork::fillReg(Reg r, std::uint64_t value)
 {
-    auto &plane = _regs[static_cast<unsigned>(r)];
-    std::fill(plane.begin(), plane.end(), value);
+    _kernels->fill(regPlane(r), std::size_t{_k} * _k * _l, value);
 }
 
 void
@@ -77,13 +78,10 @@ ModelTime
 OtcNetwork::circulate(std::size_t i, std::size_t j,
                       const std::vector<Reg> &regs)
 {
-    for (Reg r : regs) {
-        // R(q) := R((q+1) mod L): contents move one position down.
-        std::uint64_t first = reg(r, i, j, 0);
-        for (std::size_t q = 0; q + 1 < _l; ++q)
-            reg(r, i, j, q) = reg(r, i, j, q + 1);
-        reg(r, i, j, _l - 1) = first;
-    }
+    // R(q) := R((q+1) mod L): contents move one position down.  The
+    // cycle's stream is one contiguous L-word plane segment.
+    for (Reg r : regs)
+        _kernels->rotateCycles(regPlane(r) + (i * _k + j) * _l, 1, 0, _l);
     ++_engine.counter("otc.circulate");
     ModelTime dt = circulateCost();
     _engine.traceSpan("otc", "circulate", dt, {});
@@ -96,12 +94,23 @@ OtcNetwork::vectorCirculate(Axis axis, std::size_t idx,
                             const std::vector<Reg> &regs)
 {
     // All K cycles of the vector shift concurrently: one circulate's
-    // cost is charged, not K.
-    ModelTime dt = 0;
+    // cost is charged, not K.  A row's K cycle streams are contiguous
+    // (stride L); a column's are strided by a whole row (K*L).
+    for (Reg r : regs) {
+        std::uint64_t *plane = regPlane(r);
+        if (axis == Axis::Row)
+            _kernels->rotateCycles(plane + idx * _k * _l, _k, _l, _l);
+        else
+            _kernels->rotateCycles(plane + idx * _l, _k,
+                                   std::size_t{_k} * _l, _l);
+    }
+    // Accounting replay of the per-cycle circulate calls.
+    ModelTime dt = circulateCost();
     _engine.runUncharged([&] {
         for (std::size_t c = 0; c < _k; ++c) {
-            auto [i, j] = cycleAddr(axis, idx, c);
-            dt = circulate(i, j, regs);
+            ++_engine.counter("otc.circulate");
+            _engine.traceSpan("otc", "circulate", dt, {});
+            charge(dt);
         }
     });
     ++_engine.counter("otc.vectorCirculate");
@@ -118,12 +127,14 @@ OtcNetwork::rootToCycle(Axis axis, std::size_t idx, const CycleSelector &sel,
     // Functionally: word q of the root stream lands in BP(q) of every
     // selected cycle (the paper's pipedo of ROOTTOLEAF +
     // VECTORCIRCULATE converges to exactly this placement).
+    const std::uint64_t *stream =
+        axis == Axis::Row ? _rowStream[idx].data() : _colStream[idx].data();
     for (std::size_t c = 0; c < _k; ++c) {
         auto [i, j] = cycleAddr(axis, idx, c);
         if (!sel.matches(i, j))
             continue;
-        for (std::size_t q = 0; q < _l; ++q)
-            reg(dest, i, j, q) = rootStream(axis, idx, q);
+        std::memcpy(regPlane(dest) + (i * _k + j) * _l, stream,
+                    _l * sizeof(std::uint64_t));
     }
     ++_engine.counter("otc.rootToCycle");
     ModelTime dt = streamCost();
@@ -137,19 +148,20 @@ ModelTime
 OtcNetwork::cycleToRoot(Axis axis, std::size_t idx, const CycleSelector &sel,
                         Reg src)
 {
+    std::uint64_t *stream =
+        axis == Axis::Row ? _rowStream[idx].data() : _colStream[idx].data();
     [[maybe_unused]] unsigned selected = 0;
     for (std::size_t c = 0; c < _k; ++c) {
         auto [i, j] = cycleAddr(axis, idx, c);
         if (!sel.matches(i, j))
             continue;
         ++selected;
-        for (std::size_t q = 0; q < _l; ++q)
-            rootStream(axis, idx, q) = reg(src, i, j, q);
+        std::memcpy(stream, regPlane(src) + (i * _k + j) * _l,
+                    _l * sizeof(std::uint64_t));
     }
     assert(selected <= 1 && "CYCLETOROOT requires a unique source cycle");
     if (selected == 0)
-        for (std::size_t q = 0; q < _l; ++q)
-            rootStream(axis, idx, q) = kNull;
+        _kernels->fill(stream, _l, kNull);
     ++_engine.counter("otc.cycleToRoot");
     ModelTime dt = streamCost();
     _engine.traceSpan("otc", "cycleToRoot", dt,
@@ -159,25 +171,23 @@ OtcNetwork::cycleToRoot(Axis axis, std::size_t idx, const CycleSelector &sel,
 }
 
 ModelTime
-OtcNetwork::reduceToRoot(
-    Axis axis, std::size_t idx, const CycleSelector &sel, Reg src,
-    const std::function<std::uint64_t(std::uint64_t, std::uint64_t)>
-        &combine,
-    std::uint64_t identity)
+OtcNetwork::reduceToRoot(Axis axis, std::size_t idx,
+                         const CycleSelector &sel, Reg src, ReduceOp op)
 {
+    // Sum (mod 2^64) and min are associative, so the kernel's linear
+    // reduction over the gathered level buffer equals the machine's
+    // pairwise tree combining bit for bit.
+    const std::uint64_t identity = op == ReduceOp::Sum ? 0 : kNull;
     thread_local std::vector<std::uint64_t> level;
+    level.resize(_k);
     for (std::size_t q = 0; q < _l; ++q) {
-        // Level-by-level reduction over the K cycles of the vector,
-        // halved in place in the per-host-thread scratch buffer.
-        level.resize(_k);
         for (std::size_t c = 0; c < _k; ++c) {
             auto [i, j] = cycleAddr(axis, idx, c);
             level[c] = sel.matches(i, j) ? reg(src, i, j, q) : identity;
         }
-        for (std::size_t width = _k; width > 1; width /= 2)
-            for (std::size_t c = 0; c < width / 2; ++c)
-                level[c] = combine(level[2 * c], level[2 * c + 1]);
-        rootStream(axis, idx, q) = level[0];
+        rootStream(axis, idx, q) =
+            op == ReduceOp::Sum ? _kernels->reduceSum(level.data(), _k)
+                                : _kernels->reduceMin(level.data(), _k);
     }
     ModelTime dt = _reduceStreamCost;
     charge(dt);
@@ -191,9 +201,7 @@ OtcNetwork::sumCycleToRoot(Axis axis, std::size_t idx,
     ++_engine.counter("otc.sumCycleToRoot");
     _engine.traceSpan("otc", "sumCycleToRoot", _reduceStreamCost,
                       treeSpan(axis, idx, _k, _l));
-    return reduceToRoot(
-        axis, idx, sel, src,
-        [](std::uint64_t a, std::uint64_t b) { return a + b; }, 0);
+    return reduceToRoot(axis, idx, sel, src, ReduceOp::Sum);
 }
 
 ModelTime
@@ -203,10 +211,7 @@ OtcNetwork::minCycleToRoot(Axis axis, std::size_t idx,
     ++_engine.counter("otc.minCycleToRoot");
     _engine.traceSpan("otc", "minCycleToRoot", _reduceStreamCost,
                       treeSpan(axis, idx, _k, _l));
-    return reduceToRoot(
-        axis, idx, sel, src,
-        [](std::uint64_t a, std::uint64_t b) { return std::min(a, b); },
-        kNull);
+    return reduceToRoot(axis, idx, sel, src, ReduceOp::Min);
 }
 
 ModelTime

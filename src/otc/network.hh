@@ -28,6 +28,9 @@
 #include "sim/chain_engine.hh"
 #include "sim/stats.hh"
 #include "sim/time_accountant.hh"
+#include "simd/backend.hh"
+#include "simd/kernels.hh"
+#include "simd/regfile.hh"
 #include "trace/tracer.hh"
 #include "vlsi/cost_model.hh"
 #include "vlsi/word.hh"
@@ -172,14 +175,46 @@ class OtcNetwork
     reg(Reg r, std::size_t i, std::size_t j, std::size_t q)
     {
         assert(i < _k && j < _k && q < _l);
-        return _regs[static_cast<unsigned>(r)][(i * _k + j) * _l + q];
+        return _regs.at(static_cast<unsigned>(r), (i * _k + j) * _l + q);
     }
 
     std::uint64_t
     reg(Reg r, std::size_t i, std::size_t j, std::size_t q) const
     {
         assert(i < _k && j < _k && q < _l);
-        return _regs[static_cast<unsigned>(r)][(i * _k + j) * _l + q];
+        return _regs.at(static_cast<unsigned>(r), (i * _k + j) * _l + q);
+    }
+
+    /**
+     * Register r of the whole machine as one contiguous plane of
+     * K*K*L words ordered (i, j, q) — cycle (i, j)'s L-word stream is
+     * the contiguous segment at (i*K + j)*L.
+     */
+    std::uint64_t *
+    regPlane(Reg r)
+    {
+        return _regs.plane(static_cast<unsigned>(r));
+    }
+
+    const std::uint64_t *
+    regPlane(Reg r) const
+    {
+        return _regs.plane(static_cast<unsigned>(r));
+    }
+
+    /** The SIMD kernel table data movement is routed through. */
+    const simd::KernelTable &kernelTable() const { return *_kernels; }
+
+    /** Backend the kernel table was resolved to. */
+    simd::Backend simdBackend() const { return _backend; }
+
+    /** Re-route data movement through another compiled backend (see
+     *  otn::OrthogonalTreesNetwork::setSimdBackend). */
+    void
+    setSimdBackend(simd::Backend b)
+    {
+        _backend = b;
+        _kernels = &simd::kernelsFor(b);
     }
 
     /** Input stream of row-root port i (L words per operation). */
@@ -324,13 +359,14 @@ class OtcNetwork
   private:
     std::uint64_t &rootStream(Axis axis, std::size_t idx, std::size_t q);
 
+    /** Combining op of the SUM/MIN streamed primitives. */
+    enum class ReduceOp : std::uint8_t { Sum, Min };
+
     /** Shared pipeline: per-position reduce over cycles into the root
-     *  stream. */
-    ModelTime reduceToRoot(
-        Axis axis, std::size_t idx, const CycleSelector &sel, Reg src,
-        const std::function<std::uint64_t(std::uint64_t, std::uint64_t)>
-            &combine,
-        std::uint64_t identity);
+     *  stream, through the kernel table (no std::function on this
+     *  path). */
+    ModelTime reduceToRoot(Axis axis, std::size_t idx,
+                           const CycleSelector &sel, Reg src, ReduceOp op);
 
     std::pair<std::size_t, std::size_t>
     cycleAddr(Axis axis, std::size_t idx, std::size_t c) const
@@ -353,7 +389,9 @@ class OtcNetwork
     ModelTime _reduceStreamCost = 0;
     ModelTime _circulateCost = 0;
 
-    std::vector<std::vector<std::uint64_t>> _regs;
+    simd::Backend _backend;
+    const simd::KernelTable *_kernels;
+    simd::RegFile _regs;
     std::vector<std::vector<std::uint64_t>> _rowStream;
     std::vector<std::vector<std::uint64_t>> _colStream;
     std::vector<std::uint64_t> _mem;

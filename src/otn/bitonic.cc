@@ -20,17 +20,11 @@ compexSweep(OrthogonalTreesNetwork &net, std::size_t size, std::size_t d,
 {
     const std::size_t k = net.n();
     const std::size_t total = k * k;
-    for (std::size_t l = 0; l < total; ++l) {
-        std::size_t p = l ^ d;
-        if (p <= l)
-            continue;
-        bool ascending = (l & size) == 0;
-        auto &a = net.reg(Reg::A, l / k, l % k);
-        auto &b = net.reg(Reg::A, p / k, p % k);
-        bool out_of_order = ascending ? (a > b) : (a < b);
-        if (out_of_order)
-            std::swap(a, b);
-    }
+    // Element at linear index l lives at plane word l (row-major), so
+    // the whole sweep is one batch min/max pass over register A's
+    // contiguous plane — horizontal (d < K) and vertical exchanges
+    // alike.
+    net.kernelTable().compexLinear(net.regPlane(Reg::A), total, d, size);
     net.charge(compexStageCost(net, d, schedule));
     ++net.stats().counter("otn.compexSweep");
 }

@@ -1,6 +1,7 @@
 #include "otn/network.hh"
 
 #include <algorithm>
+#include <cstring>
 #include <utility>
 
 #include "vlsi/bitmath.hh"
@@ -42,7 +43,9 @@ OrthogonalTreesNetwork::OrthogonalTreesNetwork(std::size_t n,
       _layoutParams(params),
       _layout(_n, cost.word().bits(), params),
       _engine(_acct, _stats, host_threads),
-      _regs(kNumRegs, std::vector<std::uint64_t>(_n * _n, 0)),
+      _backend(simd::activeBackend()),
+      _kernels(&simd::kernelsFor(_backend)),
+      _regs(kNumRegs, _n * _n),
       _rowRoot(_n, kNull),
       _colRoot(_n, kNull)
 {
@@ -71,8 +74,7 @@ OrthogonalTreesNetwork::setRowRootInputs(std::span<const std::uint64_t> values)
 void
 OrthogonalTreesNetwork::fillReg(Reg r, std::uint64_t value)
 {
-    auto &plane = _regs[static_cast<unsigned>(r)];
-    std::fill(plane.begin(), plane.end(), value);
+    _kernels->fill(regPlane(r), _n * _n, value);
 }
 
 ModelTime
@@ -99,10 +101,16 @@ OrthogonalTreesNetwork::rootToLeaf(Axis axis, std::size_t idx,
                                    const Selector &sel, Reg dest)
 {
     std::uint64_t value = rootReg(axis, idx);
-    for (std::size_t k = 0; k < _n; ++k) {
-        auto [i, j] = leafAddr(axis, idx, k);
-        if (selected(sel, i, j))
-            reg(dest, i, j) = value;
+    if (axis == Axis::Row && sel.kind() == Sel::Kind::All) {
+        // Row leaves are one contiguous plane row: broadcast with the
+        // batch fill kernel instead of the per-leaf walk.
+        _kernels->fill(regRow(dest, idx), _n, value);
+    } else {
+        for (std::size_t k = 0; k < _n; ++k) {
+            auto [i, j] = leafAddr(axis, idx, k);
+            if (selected(sel, i, j))
+                reg(dest, i, j) = value;
+        }
     }
     ++_engine.counter("otn.rootToLeaf");
     ModelTime dt = treeTraversalCost();
@@ -154,12 +162,19 @@ OrthogonalTreesNetwork::reduceTree(LeafValue &&leaf_value, Combine &&combine)
 ModelTime
 OrthogonalTreesNetwork::countLeafToRoot(Axis axis, std::size_t idx, Reg flag)
 {
-    rootReg(axis, idx) = reduceTree(
-        [&](std::size_t k) {
-            auto [i, j] = leafAddr(axis, idx, k);
-            return reg(flag, i, j) != 0 ? std::uint64_t{1} : 0;
-        },
-        [](std::uint64_t a, std::uint64_t b) { return a + b; });
+    if (axis == Axis::Row) {
+        // Counting is associative: the kernel's linear tally equals
+        // the pairwise-halving tree sum bit for bit.
+        rootReg(axis, idx) =
+            _kernels->countNonzero(regRow(flag, idx), _n);
+    } else {
+        rootReg(axis, idx) = reduceTree(
+            [&](std::size_t k) {
+                auto [i, j] = leafAddr(axis, idx, k);
+                return reg(flag, i, j) != 0 ? std::uint64_t{1} : 0;
+            },
+            [](std::uint64_t a, std::uint64_t b) { return a + b; });
+    }
     ++_engine.counter("otn.countLeafToRoot");
     ModelTime dt = treeReduceCost();
     _engine.traceSpan("otn", "countLeafToRoot", dt,
@@ -172,12 +187,17 @@ ModelTime
 OrthogonalTreesNetwork::sumLeafToRoot(Axis axis, std::size_t idx,
                                       const Selector &sel, Reg src)
 {
-    rootReg(axis, idx) = reduceTree(
-        [&](std::size_t k) -> std::uint64_t {
-            auto [i, j] = leafAddr(axis, idx, k);
-            return selected(sel, i, j) ? reg(src, i, j) : 0;
-        },
-        [](std::uint64_t a, std::uint64_t b) { return a + b; });
+    if (axis == Axis::Row && sel.kind() == Sel::Kind::All) {
+        // Modular sum is associative: linear order == tree order.
+        rootReg(axis, idx) = _kernels->reduceSum(regRow(src, idx), _n);
+    } else {
+        rootReg(axis, idx) = reduceTree(
+            [&](std::size_t k) -> std::uint64_t {
+                auto [i, j] = leafAddr(axis, idx, k);
+                return selected(sel, i, j) ? reg(src, i, j) : 0;
+            },
+            [](std::uint64_t a, std::uint64_t b) { return a + b; });
+    }
     ++_engine.counter("otn.sumLeafToRoot");
     ModelTime dt = treeReduceCost();
     _engine.traceSpan("otn", "sumLeafToRoot", dt,
@@ -190,12 +210,18 @@ ModelTime
 OrthogonalTreesNetwork::minLeafToRoot(Axis axis, std::size_t idx,
                                       const Selector &sel, Reg src)
 {
-    rootReg(axis, idx) = reduceTree(
-        [&](std::size_t k) -> std::uint64_t {
-            auto [i, j] = leafAddr(axis, idx, k);
-            return selected(sel, i, j) ? reg(src, i, j) : kNull;
-        },
-        [](std::uint64_t a, std::uint64_t b) { return std::min(a, b); });
+    if (axis == Axis::Row && sel.kind() == Sel::Kind::All) {
+        rootReg(axis, idx) = _kernels->reduceMin(regRow(src, idx), _n);
+    } else {
+        rootReg(axis, idx) = reduceTree(
+            [&](std::size_t k) -> std::uint64_t {
+                auto [i, j] = leafAddr(axis, idx, k);
+                return selected(sel, i, j) ? reg(src, i, j) : kNull;
+            },
+            [](std::uint64_t a, std::uint64_t b) {
+                return std::min(a, b);
+            });
+    }
     ++_engine.counter("otn.minLeafToRoot");
     ModelTime dt = treeReduceCost();
     _engine.traceSpan("otn", "minLeafToRoot", dt,
@@ -381,6 +407,176 @@ OrthogonalTreesNetwork::baseOp(
     for (std::size_t i = 0; i < _n; ++i)
         for (std::size_t j = 0; j < _n; ++j)
             op(i, j);
+    ++_engine.counter("otn.baseOp");
+    _engine.traceSpan("otn", "baseOp", op_cost, baseSpan(0));
+    charge(op_cost);
+    return op_cost;
+}
+
+// ----------------------------------------------------------------------
+// Batch primitives.
+//
+// Each runs the data movement of all N per-tree primitives through the
+// kernel table first (plane-contiguous, single-threaded), then replays
+// the per-tree model-time accounting — the same counters, trace spans
+// and charges, in the same per-iteration order — under parallelFor.
+// Counters sum, trace streams merge by iteration index and charges
+// take the max chain exactly as they would have in the per-tree
+// formulation, so every accounting observable is bit-identical at any
+// OT_HOST_THREADS.
+// ----------------------------------------------------------------------
+
+ModelTime
+OrthogonalTreesNetwork::batchRowBroadcast(Reg dest)
+{
+    for (std::size_t i = 0; i < _n; ++i)
+        _kernels->fill(regRow(dest, i), _n, _rowRoot[i]);
+    ModelTime dt = treeTraversalCost();
+    return parallelFor(_n, [&](std::size_t i) {
+        ++_engine.counter("otn.rootToLeaf");
+        _engine.traceSpan("otn", "rootToLeaf", dt,
+                          treeSpan(Axis::Row, i, _n, 1));
+        charge(dt);
+    });
+}
+
+ModelTime
+OrthogonalTreesNetwork::batchDiagToRows(Reg src, Reg dst)
+{
+    for (std::size_t i = 0; i < _n; ++i) {
+        std::uint64_t v = reg(src, i, i);
+        _rowRoot[i] = v;
+        _kernels->fill(regRow(dst, i), _n, v);
+    }
+    ModelTime leg = treeTraversalCost();
+    return parallelFor(_n, [&](std::size_t i) {
+        ++_engine.counter("otn.leafToRoot");
+        _engine.traceSpan("otn", "leafToRoot", leg,
+                          treeSpan(Axis::Row, i, _n, 1));
+        charge(leg);
+        ++_engine.counter("otn.rootToLeaf");
+        _engine.traceSpan("otn", "rootToLeaf", leg,
+                          treeSpan(Axis::Row, i, _n, 1));
+        charge(leg);
+        ++_engine.counter("otn.leafToLeaf");
+    });
+}
+
+ModelTime
+OrthogonalTreesNetwork::batchDiagToCols(Reg src, Reg dst)
+{
+    // Every column j delivers reg(src, j, j) to all of its leaves, so
+    // each destination row is the same vector of diagonal values: one
+    // strided gather, then N contiguous row copies.
+    thread_local std::vector<std::uint64_t> diagvals;
+    diagvals.resize(_n);
+    for (std::size_t j = 0; j < _n; ++j) {
+        diagvals[j] = reg(src, j, j);
+        _colRoot[j] = diagvals[j];
+    }
+    for (std::size_t k = 0; k < _n; ++k)
+        std::memcpy(regRow(dst, k), diagvals.data(),
+                    _n * sizeof(std::uint64_t));
+    ModelTime leg = treeTraversalCost();
+    return parallelFor(_n, [&](std::size_t j) {
+        ++_engine.counter("otn.leafToRoot");
+        _engine.traceSpan("otn", "leafToRoot", leg,
+                          treeSpan(Axis::Col, j, _n, 1));
+        charge(leg);
+        ++_engine.counter("otn.rootToLeaf");
+        _engine.traceSpan("otn", "rootToLeaf", leg,
+                          treeSpan(Axis::Col, j, _n, 1));
+        charge(leg);
+        ++_engine.counter("otn.leafToLeaf");
+    });
+}
+
+ModelTime
+OrthogonalTreesNetwork::batchCountRowsToLeaves(Reg flag, Reg dst)
+{
+    for (std::size_t i = 0; i < _n; ++i) {
+        std::uint64_t c = _kernels->countNonzero(regRow(flag, i), _n);
+        _rowRoot[i] = c;
+        _kernels->fill(regRow(dst, i), _n, c);
+    }
+    ModelTime up = treeReduceCost();
+    ModelTime down = treeTraversalCost();
+    return parallelFor(_n, [&](std::size_t i) {
+        ++_engine.counter("otn.countLeafToRoot");
+        _engine.traceSpan("otn", "countLeafToRoot", up,
+                          treeSpan(Axis::Row, i, _n, 1));
+        charge(up);
+        ++_engine.counter("otn.rootToLeaf");
+        _engine.traceSpan("otn", "rootToLeaf", down,
+                          treeSpan(Axis::Row, i, _n, 1));
+        charge(down);
+        ++_engine.counter("otn.countLeafToLeaf");
+    });
+}
+
+ModelTime
+OrthogonalTreesNetwork::batchPickColByKeyIndex(Reg key, Reg src)
+{
+    thread_local std::vector<std::uint64_t> cnt;
+    cnt.assign(_n, 0);
+    _kernels->fill(_colRoot.data(), _n, kNull);
+    for (std::size_t k = 0; k < _n; ++k)
+        _kernels->scatterEqIndexRow(_colRoot.data(), cnt.data(),
+                                    regRow(key, k), regRow(src, k), _n);
+    for (std::size_t j = 0; j < _n; ++j)
+        assert(cnt[j] <= 1 &&
+               "LEAFTOROOT requires a unique source leaf");
+    ModelTime dt = treeTraversalCost();
+    return parallelFor(_n, [&](std::size_t j) {
+        ++_engine.counter("otn.leafToRoot");
+        _engine.traceSpan("otn", "leafToRoot", dt,
+                          treeSpan(Axis::Col, j, _n, 1));
+        charge(dt);
+    });
+}
+
+ModelTime
+OrthogonalTreesNetwork::batchMinRowsToDiag(Reg src, Reg out)
+{
+    for (std::size_t i = 0; i < _n; ++i) {
+        std::uint64_t m = _kernels->reduceMin(regRow(src, i), _n);
+        _rowRoot[i] = m;
+        reg(out, i, i) = m;
+    }
+    ModelTime up = treeReduceCost();
+    ModelTime down = treeTraversalCost();
+    return parallelFor(_n, [&](std::size_t i) {
+        ++_engine.counter("otn.minLeafToRoot");
+        _engine.traceSpan("otn", "minLeafToRoot", up,
+                          treeSpan(Axis::Row, i, _n, 1));
+        charge(up);
+        ++_engine.counter("otn.rootToLeaf");
+        _engine.traceSpan("otn", "rootToLeaf", down,
+                          treeSpan(Axis::Row, i, _n, 1));
+        charge(down);
+    });
+}
+
+ModelTime
+OrthogonalTreesNetwork::batchCompareRank(Reg a, Reg b, Reg flag)
+{
+    for (std::size_t i = 0; i < _n; ++i)
+        _kernels->cmpRankRow(regRow(flag, i), regRow(a, i),
+                             regRow(b, i), _n, i);
+    ModelTime op_cost = baseOpCost(_cost.bitSerialOp());
+    ++_engine.counter("otn.baseOp");
+    _engine.traceSpan("otn", "baseOp", op_cost, baseSpan(0));
+    charge(op_cost);
+    return op_cost;
+}
+
+ModelTime
+OrthogonalTreesNetwork::batchSelectValAtKeyIndex(Reg key, Reg val, Reg out)
+{
+    for (std::size_t i = 0; i < _n; ++i)
+        _kernels->selectEqIndexRow(regRow(out, i), regRow(key, i),
+                                   regRow(val, i), _n);
+    ModelTime op_cost = baseOpCost(_cost.bitSerialOp());
     ++_engine.counter("otn.baseOp");
     _engine.traceSpan("otn", "baseOp", op_cost, baseSpan(0));
     charge(op_cost);

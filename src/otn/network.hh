@@ -36,6 +36,9 @@
 #include "sim/chain_engine.hh"
 #include "sim/stats.hh"
 #include "sim/time_accountant.hh"
+#include "simd/backend.hh"
+#include "simd/kernels.hh"
+#include "simd/regfile.hh"
 #include "trace/tracer.hh"
 #include "vlsi/cost_model.hh"
 #include "vlsi/word.hh"
@@ -235,14 +238,50 @@ class OrthogonalTreesNetwork
     reg(Reg r, std::size_t i, std::size_t j)
     {
         assert(i < _n && j < _n);
-        return _regs[static_cast<unsigned>(r)][i * _n + j];
+        return _regs.at(static_cast<unsigned>(r), i * _n + j);
     }
 
     std::uint64_t
     reg(Reg r, std::size_t i, std::size_t j) const
     {
         assert(i < _n && j < _n);
-        return _regs[static_cast<unsigned>(r)][i * _n + j];
+        return _regs.at(static_cast<unsigned>(r), i * _n + j);
+    }
+
+    /**
+     * Register r of the whole base as one contiguous row-major plane
+     * of n*n words (the struct-of-arrays lane the batch kernels
+     * stream).  Row i is the subspan [i*n, (i+1)*n).
+     */
+    std::uint64_t *
+    regPlane(Reg r)
+    {
+        return _regs.plane(static_cast<unsigned>(r));
+    }
+
+    const std::uint64_t *
+    regPlane(Reg r) const
+    {
+        return _regs.plane(static_cast<unsigned>(r));
+    }
+
+    /** The SIMD kernel table data movement is routed through. */
+    const simd::KernelTable &kernelTable() const { return *_kernels; }
+
+    /** Backend the kernel table was resolved to. */
+    simd::Backend simdBackend() const { return _backend; }
+
+    /**
+     * Re-route this network's data movement through another compiled
+     * backend (differential tests compare scalar against vector paths
+     * in one process).  Aborts if `b` was not compiled in.  Model-time
+     * accounting is backend-independent by construction.
+     */
+    void
+    setSimdBackend(simd::Backend b)
+    {
+        _backend = b;
+        _kernels = &simd::kernelsFor(b);
     }
 
     /** Data register at the root of row tree i (input port i). */
@@ -361,6 +400,59 @@ class OrthogonalTreesNetwork
                             const Selector &src_sel, Reg src,
                             const Selector &dst_sel, Reg dst);
 
+    // ------------------------------------------------------------------
+    // Batch primitives ("for each tree pardo <primitive>")
+    // ------------------------------------------------------------------
+    //
+    // Each batch call is semantically the parallelFor over all N trees
+    // (or the whole-base op) written in its doc comment, but the data
+    // movement runs level-at-a-time through the SIMD kernel table over
+    // contiguous register planes.  Model-time accounting is then
+    // replayed per tree under parallelFor exactly as the per-tree
+    // formulation would have produced it, so counters, trace streams
+    // and the clock are bit-identical to the scalar per-tree path at
+    // any OT_HOST_THREADS.
+
+    /** For each row i pardo: rootToLeaf(Row, i, all, dest). */
+    ModelTime batchRowBroadcast(Reg dest);
+
+    /** For each row i pardo: leafToLeaf(Row, i, diag, src, all, dst). */
+    ModelTime batchDiagToRows(Reg src, Reg dst);
+
+    /** For each col j pardo: leafToLeaf(Col, j, diag, src, all, dst). */
+    ModelTime batchDiagToCols(Reg src, Reg dst);
+
+    /** For each row i pardo: countLeafToLeaf(Row, i, flag, all, dst). */
+    ModelTime batchCountRowsToLeaves(Reg flag, Reg dst);
+
+    /**
+     * For each col j pardo: leafToRoot(Col, j, regEq(key, j), src) —
+     * the enumeration sort's output step: column j's root receives the
+     * src word of the unique leaf whose key register equals j (kNull
+     * if none; more than one is asserted, as in leafToRoot).
+     */
+    ModelTime batchPickColByKeyIndex(Reg key, Reg src);
+
+    /**
+     * For each row i pardo: minLeafToRoot(Row, i, all, src) then
+     * rootToLeaf(Row, i, diag, out) — the gather pattern's second
+     * phase (row minima delivered to the diagonal).
+     */
+    ModelTime batchMinRowsToDiag(Reg src, Reg out);
+
+    /**
+     * baseOp computing flag = (a > b || (a == b && i > j)) ? 1 : 0 at
+     * every BP(i, j) — the enumeration sort's rank comparison, charged
+     * one bit-serial op like the equivalent baseOp call.
+     */
+    ModelTime batchCompareRank(Reg a, Reg b, Reg flag);
+
+    /**
+     * baseOp computing out = (key == j) ? val : kNull at every
+     * BP(i, j), charged one bit-serial op.
+     */
+    ModelTime batchSelectValAtKeyIndex(Reg key, Reg val, Reg out);
+
     /**
      * PERMUTE-LEAFTOLEAF: route dst(perm(k)) := src(k) along one
      * vector through its tree.
@@ -472,6 +564,20 @@ class OrthogonalTreesNetwork
     linalg::IntMatrix readBase(Reg r) const;
 
   protected:
+    /**
+     * Model time one base-processing step of nominal cost `op_cost`
+     * actually takes on this machine.  The OTN runs the base at full
+     * width (identity); emulating machines dilate it (the OTC
+     * multiplies by the cycle length).  baseOp() and the batch base
+     * ops charge through this hook so both formulations price base
+     * work identically.
+     */
+    virtual ModelTime
+    baseOpCost(ModelTime op_cost) const
+    {
+        return op_cost;
+    }
+
     /** Geometry-derived traversal cost; see treeTraversalCost(). */
     virtual ModelTime computeTreeTraversalCost() const;
 
@@ -524,6 +630,21 @@ class OrthogonalTreesNetwork
 
     std::uint64_t &rootReg(Axis axis, std::size_t idx);
 
+    /** Row i of register r's plane (n contiguous words). */
+    std::uint64_t *
+    regRow(Reg r, std::size_t i)
+    {
+        assert(i < _n);
+        return regPlane(r) + i * _n;
+    }
+
+    const std::uint64_t *
+    regRow(Reg r, std::size_t i) const
+    {
+        assert(i < _n);
+        return regPlane(r) + i * _n;
+    }
+
     /**
      * Level-by-level combining reduction up one tree; `combine` is
      * applied by each IP to its two sons' values (kNull = absent).
@@ -543,7 +664,9 @@ class OrthogonalTreesNetwork
     mutable std::atomic<ModelTime> _traversalCost{kCostUnset};
     mutable std::atomic<ModelTime> _reduceCost{kCostUnset};
 
-    std::vector<std::vector<std::uint64_t>> _regs;
+    simd::Backend _backend;
+    const simd::KernelTable *_kernels;
+    simd::RegFile _regs;
     std::vector<std::uint64_t> _rowRoot;
     std::vector<std::uint64_t> _colRoot;
 };

@@ -5,17 +5,17 @@ namespace ot::otn {
 ModelTime
 diagToRows(OrthogonalTreesNetwork &net, Reg src, Reg dst)
 {
-    return net.parallelFor(net.n(), [&](std::size_t i) {
-        net.leafToLeaf(Axis::Row, i, Sel::diag(), src, Sel::all(), dst);
-    });
+    // Batch form of: for each row i pardo
+    //   leafToLeaf(Row, i, diag, src, all, dst).
+    return net.batchDiagToRows(src, dst);
 }
 
 ModelTime
 diagToCols(OrthogonalTreesNetwork &net, Reg src, Reg dst)
 {
-    return net.parallelFor(net.n(), [&](std::size_t j) {
-        net.leafToLeaf(Axis::Col, j, Sel::diag(), src, Sel::all(), dst);
-    });
+    // Batch form of: for each col j pardo
+    //   leafToLeaf(Col, j, diag, src, all, dst).
+    return net.batchDiagToCols(src, dst);
 }
 
 ModelTime
@@ -26,19 +26,11 @@ gatherAtIndex(OrthogonalTreesNetwork &net, Reg key_by_row, Reg val_by_col,
 
     // Each BP checks whether it sits at (i, key(i)); the selected BP
     // copies the column-broadcast value into the scratch register.
-    dt += net.baseOp(net.cost().bitSerialOp(),
-                     [&](std::size_t i, std::size_t j) {
-                         bool selected = net.reg(key_by_row, i, j) == j;
-                         net.reg(scratch, i, j) =
-                             selected ? net.reg(val_by_col, i, j) : kNull;
-                     });
+    dt += net.batchSelectValAtKeyIndex(key_by_row, val_by_col, scratch);
 
     // Row reduction brings the (unique or absent) value to the root,
     // and the root writes it back to the diagonal.
-    dt += net.parallelFor(net.n(), [&](std::size_t i) {
-        net.minLeafToRoot(Axis::Row, i, Sel::all(), scratch);
-        net.rootToLeaf(Axis::Row, i, Sel::diag(), out);
-    });
+    dt += net.batchMinRowsToDiag(scratch, out);
     return dt;
 }
 

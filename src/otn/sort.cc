@@ -14,36 +14,28 @@ sortOtn(OrthogonalTreesNetwork &net, const std::vector<std::uint64_t> &values)
 
     sim::ScopedPhase phase(net.acct(), "sort-otn");
 
+    // Each step is the batch (all-trees) form of the per-tree pardo of
+    // Section II-B; see network.hh's batch section for the data/
+    // accounting split.  Model time and traces are bit-identical to
+    // the per-tree formulation.
+
     // Step 1: A(i, j) := x(i) for all j.
-    net.parallelFor(n, [&](std::size_t i) {
-        net.rootToLeaf(Axis::Row, i, Sel::all(), Reg::A);
-    });
+    net.batchRowBroadcast(Reg::A);
 
     // Step 2: B(i, j) := x(j) — the diagonal's A fanned out down each
     // column.
-    net.parallelFor(n, [&](std::size_t i) {
-        net.leafToLeaf(Axis::Col, i, Sel::rowIs(i), Reg::A, Sel::all(),
-                       Reg::B);
-    });
+    net.batchDiagToCols(Reg::A, Reg::B);
 
     // Step 3: flag := A > B, or A == B and i > j (the duplicate-safe
     // variant at the end of Section II-B).  kNull compares as +infinity
     // so absent ports rank last.
-    net.baseOp(net.cost().bitSerialOp(), [&](std::size_t i, std::size_t j) {
-        std::uint64_t a = net.reg(Reg::A, i, j);
-        std::uint64_t b = net.reg(Reg::B, i, j);
-        net.reg(Reg::F, i, j) = (a > b || (a == b && i > j)) ? 1 : 0;
-    });
+    net.batchCompareRank(Reg::A, Reg::B, Reg::F);
 
     // Step 4: R(i, j) := rank of x(i), for all j.
-    net.parallelFor(n, [&](std::size_t i) {
-        net.countLeafToLeaf(Axis::Row, i, Reg::F, Sel::all(), Reg::R);
-    });
+    net.batchCountRowsToLeaves(Reg::F, Reg::R);
 
     // Step 5: column root i picks up the element of rank i.
-    net.parallelFor(n, [&](std::size_t i) {
-        net.leafToRoot(Axis::Col, i, Sel::regEq(Reg::R, i), Reg::A);
-    });
+    net.batchPickColByKeyIndex(Reg::R, Reg::A);
 
     SortResult result;
     const auto &out = net.colRootOutputs();

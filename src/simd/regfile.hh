@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Struct-of-arrays register file for the network simulators.
+ *
+ * Instead of a vector-of-vectors (one heap block per named register),
+ * every register is one contiguous, cache-line-aligned lane — a
+ * "plane" of machine words — inside a single allocation, indexed by
+ * the register's enumerator value.  The batch kernels
+ * (simd/kernels.hh) stream whole rows or levels of a plane with
+ * vector loads, so this layout *is* the optimization: one level of
+ * one register is one contiguous span, and every plane starts on a
+ * vector-friendly boundary.
+ *
+ * RegFile owns storage only: it performs no model-time accounting and
+ * allocates exactly once, at construction (planes are zero-filled,
+ * matching the machines' power-on state).
+ */
+
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+
+namespace ot::simd {
+
+/** SoA block of `planes` equally sized u64 lanes, 64-byte aligned. */
+class RegFile
+{
+  public:
+    /** Alignment of every plane, in bytes (one x86 cache line; a
+     *  multiple of every vector width we dispatch to). */
+    static constexpr std::size_t kAlign = 64;
+
+    RegFile(unsigned planes, std::size_t plane_size)
+        : _planes(planes),
+          _planeSize(plane_size),
+          _stride(roundUp(plane_size)),
+          _data(allocate(_stride * planes))
+    {
+        std::memset(_data.get(), 0,
+                    _stride * planes * sizeof(std::uint64_t));
+    }
+
+    /** Number of planes (named registers). */
+    unsigned planes() const { return _planes; }
+
+    /** Words per plane (the machine's base-processor count). */
+    std::size_t planeSize() const { return _planeSize; }
+
+    /** Contiguous lane of register `p` (aligned to kAlign). */
+    std::uint64_t *
+    plane(unsigned p)
+    {
+        assert(p < _planes);
+        return _data.get() + p * _stride;
+    }
+
+    const std::uint64_t *
+    plane(unsigned p) const
+    {
+        assert(p < _planes);
+        return _data.get() + p * _stride;
+    }
+
+    /** Word `i` of plane `p` (the scalar element accessor). */
+    std::uint64_t &
+    at(unsigned p, std::size_t i)
+    {
+        assert(p < _planes && i < _planeSize);
+        return _data.get()[p * _stride + i];
+    }
+
+    std::uint64_t
+    at(unsigned p, std::size_t i) const
+    {
+        assert(p < _planes && i < _planeSize);
+        return _data.get()[p * _stride + i];
+    }
+
+  private:
+    struct Deleter
+    {
+        void
+        operator()(std::uint64_t *p) const
+        {
+            ::operator delete[](p, std::align_val_t{kAlign});
+        }
+    };
+
+    static std::size_t
+    roundUp(std::size_t words)
+    {
+        constexpr std::size_t per = kAlign / sizeof(std::uint64_t);
+        return (words + per - 1) / per * per;
+    }
+
+    static std::unique_ptr<std::uint64_t[], Deleter>
+    allocate(std::size_t words)
+    {
+        void *raw = ::operator new[](words * sizeof(std::uint64_t),
+                                     std::align_val_t{kAlign});
+        return std::unique_ptr<std::uint64_t[], Deleter>(
+            static_cast<std::uint64_t *>(raw));
+    }
+
+    unsigned _planes;
+    std::size_t _planeSize;
+    std::size_t _stride;
+    std::unique_ptr<std::uint64_t[], Deleter> _data;
+};
+
+} // namespace ot::simd

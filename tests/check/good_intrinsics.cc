@@ -1,0 +1,22 @@
+// otcheck:fixture-path src/simd/fixture_good_intrinsics.hh
+//
+// Known-good intrinsics fixture: raw vector intrinsics are fine
+// INSIDE the simd layer — that is where the backend kernel tables
+// live.  Must check clean.  This file is checker input, never
+// compiled, so mixing x86 and ARM idioms here is harmless.
+#include <cstddef>
+#include <cstdint>
+#include <immintrin.h>
+
+inline __m256i
+addLanes(__m256i a, __m256i b)
+{
+    return _mm256_add_epi64(a, b);
+}
+
+inline void
+fill4(std::uint64_t *dst, std::uint64_t v)
+{
+    __m256i s = _mm256_set1_epi64x(static_cast<long long>(v));
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst), s);
+}

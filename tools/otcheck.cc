@@ -46,7 +46,8 @@ usage(const char *argv0)
         "[--no-baseline]\n"
         "          [--self] [--list-files] [FILE...]\n"
         "rules: determinism, layering, accounting, hotpath,\n"
-        "       hotpath-propagation, include-hygiene, unreachable\n"
+        "       hotpath-propagation, include-hygiene, unreachable,\n"
+        "       intrinsics\n"
         "escape: // otcheck:allow(<rule>): <justification>\n",
         argv0);
     return 2;

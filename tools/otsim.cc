@@ -16,6 +16,7 @@
  *   otsim batch   [--demo] [--spec FILE.json]
  *                 [--inst algo:net:n:model[:scaled][:seed=K]]...
  *                 [--json FILE] [--trace-out FILE]
+ *   otsim simd
  *
  * Every run prints the result summary, the machine's model time, chip
  * area and AT^2, and verifies against the sequential reference.
@@ -84,8 +85,8 @@ usage(const char *argv0)
 {
     std::fprintf(
         stderr,
-        "usage: %s <sort|cc|mst|matmul|sssp|layout|tables|trace|batch> "
-        "[options]\n"
+        "usage: %s <sort|cc|mst|matmul|sssp|layout|tables|trace|batch"
+        "|simd> [options]\n"
         "  --net <otn|otc|mesh|psn|ccc|tree|hex|mot3d>\n"
         "  --n <size>   --seed <seed>   --p <edge prob>\n"
         "  --model <log|const|linear>   --scaled   --art   --svg <file>\n"
@@ -95,7 +96,8 @@ usage(const char *argv0)
         "  batch --demo | --spec <file.json> |\n"
         "        --inst algo:net:n:model[:scaled][:seed=K] (repeatable)\n"
         "        [--json <file>]  run a workload batch on the machine "
-        "farm\n",
+        "farm\n"
+        "  simd  print the dispatched SIMD backend (OT_SIMD overrides)\n",
         argv0);
     std::exit(2);
 }
@@ -685,6 +687,23 @@ runTables(const Options &opt)
     return 0;
 }
 
+/**
+ * `otsim simd`: which kernel backend this process dispatches to
+ * (resolving the OT_SIMD override, so a bad value aborts here rather
+ * than mid-benchmark), plus the per-backend build/CPU status.
+ */
+int
+runSimd(const Options &)
+{
+    std::printf("active: %s\n", simd::toString(simd::activeBackend()));
+    for (simd::Backend b :
+         {simd::Backend::Scalar, simd::Backend::Avx2, simd::Backend::Neon})
+        std::printf("%-8s compiled=%s available=%s\n", simd::toString(b),
+                    simd::backendCompiled(b) ? "yes" : "no",
+                    simd::backendAvailable(b) ? "yes" : "no");
+    return 0;
+}
+
 } // namespace
 
 int
@@ -707,5 +726,7 @@ main(int argc, char **argv)
         return runLayout(opt);
     if (opt.command == "tables")
         return runTables(opt);
+    if (opt.command == "simd")
+        return runSimd(opt);
     usage(argv[0]);
 }
