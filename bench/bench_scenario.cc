@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Scenario-engine benchmark: the traffic-model layer from
+ * src/scenario, scheduling policy x traffic shape.
+ *
+ * Prints the smoke scenario's report under all four policies (the
+ * same spec `otsim scenario --demo` runs), then benchmarks:
+ *
+ *   - BM_ScenarioReplay: a warm queue walk (measurements memoized),
+ *     swept over the four policies — the cost of *re-scheduling* an
+ *     already-measured stream, which is what `--compare` pays per
+ *     extra policy;
+ *   - BM_ArrivalGen: arrival-sequence generation alone, swept over
+ *     the three arrival processes — pure splitmix64 stream work;
+ *   - BM_ScenarioCold: a fresh engine per iteration, so every shape
+ *     is measured through the BatchEngine first (the full
+ *     `otsim scenario` cost).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+namespace {
+
+using namespace ot;
+using namespace ot::bench;
+
+void
+printTables()
+{
+    section("Scenario engine: the otsim scenario --demo spec");
+    scenario::ScenarioEngine engine;
+    scenario::ScenarioSpec spec = scenario::demoScenario();
+    for (auto kind :
+         {scenario::SchedulerKind::Fifo, scenario::SchedulerKind::Sjf,
+          scenario::SchedulerKind::FairShare,
+          scenario::SchedulerKind::Edf}) {
+        auto report = engine.run(spec, kind);
+        report.writeText(std::cout);
+    }
+}
+
+constexpr scenario::SchedulerKind kPolicies[] = {
+    scenario::SchedulerKind::Fifo,
+    scenario::SchedulerKind::Sjf,
+    scenario::SchedulerKind::FairShare,
+    scenario::SchedulerKind::Edf,
+};
+
+void
+BM_ScenarioReplay(benchmark::State &state)
+{
+    auto kind = kPolicies[state.range(0)];
+    auto spec = scenario::demoScenario();
+    scenario::ScenarioEngine engine;
+    engine.run(spec, kind); // memoize the measurements
+    for (auto _ : state) {
+        auto report = engine.run(spec, kind);
+        benchmark::DoNotOptimize(report.makespan);
+        state.counters["p95_sojourn"] =
+            static_cast<double>(report.sojourn.p95);
+    }
+    state.SetLabel(toString(kind));
+}
+BENCHMARK(BM_ScenarioReplay)->DenseRange(0, 3);
+
+void
+BM_ArrivalGen(benchmark::State &state)
+{
+    auto spec = scenario::demoScenario();
+    spec.arrival.maxArrivals = 4096;
+    spec.arrival.duration = 10000000;
+    switch (state.range(0)) {
+      case 1:
+        spec.arrival.kind = scenario::ArrivalKind::Bursty;
+        spec.arrival.onMean = 2000;
+        spec.arrival.offMean = 1000;
+        break;
+      case 2:
+        spec.arrival.kind = scenario::ArrivalKind::Diurnal;
+        spec.arrival.period = 50000;
+        spec.arrival.ampPct = 60;
+        break;
+      default:
+        break;
+    }
+    for (auto _ : state) {
+        auto arrivals = scenario::generateArrivals(spec);
+        benchmark::DoNotOptimize(arrivals.size());
+        state.counters["arrivals"] =
+            static_cast<double>(arrivals.size());
+    }
+    state.SetLabel(toString(spec.arrival.kind));
+}
+BENCHMARK(BM_ArrivalGen)->DenseRange(0, 2);
+
+void
+BM_ScenarioCold(benchmark::State &state)
+{
+    auto spec = scenario::demoScenario();
+    for (auto _ : state) {
+        scenario::ScenarioEngine engine;
+        auto report = engine.run(spec);
+        benchmark::DoNotOptimize(report.makespan);
+        state.counters["model_makespan"] =
+            static_cast<double>(report.makespan);
+    }
+}
+BENCHMARK(BM_ScenarioCold);
+
+} // namespace
+
+OT_BENCH_MAIN(printTables)

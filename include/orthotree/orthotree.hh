@@ -24,6 +24,7 @@
  *   ot::otn       — the orthogonal trees network and its algorithms
  *   ot::otc       — the orthogonal tree cycles and its algorithms
  *   ot::workload  — batched multi-instance serving with network cache
+ *   ot::scenario  — traffic scenarios: arrivals, schedulers, SLOs
  *   ot::baselines — mesh / PSN / CCC comparison machines
  *   ot::analysis  — the paper's table formulas, fitting, rendering
  */
@@ -69,6 +70,11 @@
 #include "otn/selection.hh"
 #include "otn/shortest_paths.hh"
 #include "otn/sort.hh"
+#include "scenario/arrivals.hh"
+#include "scenario/engine.hh"
+#include "scenario/prng.hh"
+#include "scenario/scheduler.hh"
+#include "scenario/spec.hh"
 #include "sim/rng.hh"
 #include "sim/stats.hh"
 #include "sim/time_accountant.hh"

@@ -43,6 +43,9 @@ layerTable()
         {"workload",
          {"workload", "otc", "otn", "graph", "layout", "linalg", "sim",
           "trace", "vlsi"}},
+        {"scenario",
+         {"scenario", "workload", "otc", "otn", "graph", "layout",
+          "linalg", "sim", "trace", "vlsi"}},
         // The checker itself: standard library only, so it can never
         // deadlock on the layers it audits.
         {"check", {"check"}},
@@ -136,6 +139,10 @@ const BannedName kDeterminismBans[] = {
     {"unordered_multiset", false,
      "std::unordered_multiset iteration order is unspecified",
      "use std::multiset or a sorted vector"},
+    {"splitmix64", true,
+     "raw splitmix64 stream outside the sanctioned PRNG wrappers",
+     "draw through ot::sim::Rng or ot::scenario::StreamRng; the only "
+     "allowed raw call sites live in src/scenario/prng.hh"},
 };
 
 const BannedName kHotpathBans[] = {
@@ -1062,7 +1069,8 @@ runFileRules(const FileContext &ctx)
 {
     std::vector<Diagnostic> raw;
     if (ctx.layer == "sim" || ctx.layer == "otn" ||
-        ctx.layer == "otc" || ctx.layer == "workload")
+        ctx.layer == "otc" || ctx.layer == "workload" ||
+        ctx.layer == "scenario")
         runDeterminism(ctx, raw);
     runLayering(ctx, raw);
     runAccounting(ctx, raw);

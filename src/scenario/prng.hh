@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The scenario layer's PRNG: seeded splitmix64 streams for arrival
+ * processes.
+ *
+ * Arrival generation needs many decorrelated random sequences per
+ * scenario (inter-arrival gaps, burst dwells, client picks, mix
+ * picks, per-arrival input seeds) that are (a) seeded from the .scn
+ * spec, (b) independent of host threading, and (c) cheap.  StreamRng
+ * wraps the same splitmix64 core as sim::Rng but adds an explicit
+ * stream id, so a generator can split one spec seed into any number
+ * of independent sequences without coordination.
+ *
+ * This header is the determinism-scope exemption for the scenario
+ * layer: otcheck bans raw `splitmix64` calls everywhere in the
+ * determinism scope (rules.cc), and the two call sites below carry
+ * the only justified allows.  Everything else draws through
+ * StreamRng, whose output is a pure function of (seed, stream).
+ */
+
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+#include "vlsi/delay.hh"
+
+namespace ot::scenario {
+
+/**
+ * One splitmix64 step: advance `state` and return the mixed output
+ * (Steele, Lea & Flood; the same constants as sim::Rng).  Call sites
+ * are confined to StreamRng — otcheck's determinism rule flags any
+ * other.
+ */
+inline std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/**
+ * A seeded, stream-indexed splitmix64 generator.  Streams with the
+ * same seed but different ids are offset by a multiplier that is
+ * *not* the splitmix increment (otherwise stream k would be stream 0
+ * shifted by k steps), plus one warm-up step to decorrelate nearby
+ * (seed, stream) pairs.
+ */
+class StreamRng
+{
+  public:
+    explicit StreamRng(std::uint64_t seed, std::uint64_t stream = 0)
+        : _state(seed ^ (0x94d049bb133111ebULL * (stream + 1)))
+    {
+        // otcheck:allow(determinism): the scenario layer owns the
+        // seeded arrival PRNG; the warm-up draw is part of the
+        // (seed, stream) -> sequence function
+        (void)splitmix64(_state);
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        // otcheck:allow(determinism): sole draw site of the scenario
+        // PRNG — every stream is seeded from the .scn spec
+        return splitmix64(_state);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    uniform(std::uint64_t lo, std::uint64_t hi)
+    {
+        assert(lo <= hi);
+        std::uint64_t span = hi - lo + 1;
+        if (span == 0) // full 64-bit range
+            return next();
+        return lo + next() % span;
+    }
+
+    /** Uniform double in (0, 1] — never 0, so std::log is safe. */
+    double
+    unitOpen()
+    {
+        return (static_cast<double>(next() >> 11) + 1.0) *
+               (1.0 / 9007199254740992.0);
+    }
+
+    /** Exponential variate with the given mean, as a double. */
+    double
+    expReal(double mean)
+    {
+        assert(mean > 0.0);
+        return -mean * std::log(unitOpen());
+    }
+
+    /**
+     * Exponential inter-arrival gap in model time: rounded to the
+     * nearest tick and floored at 1 so time always advances.
+     */
+    vlsi::ModelTime
+    exponential(vlsi::ModelTime mean)
+    {
+        double g = expReal(static_cast<double>(mean));
+        if (g < 1.0)
+            return 1;
+        return static_cast<vlsi::ModelTime>(g + 0.5);
+    }
+
+  private:
+    std::uint64_t _state;
+};
+
+} // namespace ot::scenario

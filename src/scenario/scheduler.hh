@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The pluggable scheduling policies: which queued job starts next.
+ *
+ * The queueing engine (engine.hh) keeps the admission queue as plain
+ * data and asks pickNext() for a decision whenever a worker frees —
+ * so a policy is one pure ranking function, not a stateful object.
+ * Every policy breaks ties on the lowest job index (= arrival
+ * order), making the ranking a strict total order: the decision is a
+ * pure function of the queue contents, independent of host threads.
+ *
+ * FIFO ranks by arrival, SJF by the cached per-shape cost estimate
+ * (see ScenarioEngine — first measured time per NetworkCache key,
+ * deliberately not a per-job oracle), fair-share by least model
+ * service time delivered to the job's client so far, and EDF by
+ * arrival + the client's SLO target.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "scenario/spec.hh"
+#include "vlsi/delay.hh"
+
+namespace ot::scenario {
+
+/** One queued job, as the policies see it. */
+struct QueueJob
+{
+    /** Index into the scenario's job table (= arrival order). */
+    std::size_t job = 0;
+    vlsi::ModelTime arrive = 0;
+    /** Index into ScenarioSpec::clients. */
+    unsigned client = 0;
+    /** Cached cost estimate for the job's machine shape (SJF). */
+    vlsi::ModelTime estimate = 0;
+    /** arrive + the client's SLO target; maxed out when none (EDF). */
+    vlsi::ModelTime deadline = 0;
+};
+
+/**
+ * The index into `queue` of the job `kind` starts next.  `served` is
+ * indexed by client and holds the model service time each client has
+ * received so far (fair-share's currency).  The queue must be
+ * non-empty.
+ */
+std::size_t pickNext(SchedulerKind kind,
+                     const std::vector<QueueJob> &queue,
+                     const std::vector<vlsi::ModelTime> &served);
+
+} // namespace ot::scenario

@@ -344,6 +344,19 @@ parseInstance(const std::string &token, InstanceSpec &out, std::string &err)
     return true;
 }
 
+std::string
+toToken(const InstanceSpec &inst)
+{
+    std::string out = toString(inst.algo) + ":" + toString(inst.net) +
+                      ":" + std::to_string(inst.n) + ":" +
+                      shortName(inst.model);
+    if (inst.scaled)
+        out += ":scaled";
+    if (inst.seed != 1)
+        out += ":seed=" + std::to_string(inst.seed);
+    return out;
+}
+
 bool
 parseWorkloadJson(const std::string &text, WorkloadSpec &out,
                   std::string &err)

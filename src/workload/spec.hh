@@ -66,7 +66,8 @@ struct InstanceSpec
     /** Seed of the deterministic input generator. */
     std::uint64_t seed = 1;
 
-    bool operator==(const InstanceSpec &other) const = default;
+    /** Ordered so instance sets / maps can key on the spec. */
+    auto operator<=>(const InstanceSpec &other) const = default;
 };
 
 /** A batch of instances, executed together by the BatchEngine. */
@@ -97,6 +98,12 @@ std::string describeInvalid(const WorkloadSpec &spec);
  */
 bool parseInstance(const std::string &token, InstanceSpec &out,
                    std::string &err);
+
+/**
+ * The instance as the CLI token parseInstance accepts (defaults
+ * elided): `algo:net:n:model[:scaled][:seed=K]`.
+ */
+std::string toToken(const InstanceSpec &inst);
 
 /**
  * Parse a JSON workload document: an object whose "instances" key

@@ -102,10 +102,11 @@ TEST(CheckFixtures, CorpusMatchesAnnotations)
         "bad_allow.cc",           "bad_determinism.cc",
         "bad_hotpath.cc",         "bad_intrinsics.cc",
         "bad_layering.cc",        "bad_lexer_resync.cc",
-        "bad_unreachable.cc",     "good_accounting.cc",
-        "good_accounting_cfg.cc", "good_determinism.cc",
-        "good_hotpath.cc",        "good_intrinsics.cc",
-        "good_layering.cc",       "good_lexer.cc",
+        "bad_scenario_prng.cc",   "bad_unreachable.cc",
+        "good_accounting.cc",     "good_accounting_cfg.cc",
+        "good_determinism.cc",    "good_hotpath.cc",
+        "good_intrinsics.cc",     "good_layering.cc",
+        "good_lexer.cc",          "good_scenario_prng.cc",
         "good_unreachable.cc",
     };
     for (const std::string &name : names) {

@@ -65,6 +65,9 @@ struct Options
     std::string json_out;            // batch: report JSON output
     std::vector<std::string> insts;  // batch: CLI instance tokens
     bool demo = false;               // batch: the 12-instance demo mix
+    std::string scn_path;            // scenario: .scn spec file
+    std::string scheduler_override;  // scenario: --scheduler
+    std::string compare;             // scenario: comma list of policies
     std::size_t n = 64;
     double p = 0.1;
     std::uint64_t seed = 1;
@@ -86,7 +89,7 @@ usage(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s <sort|cc|mst|matmul|sssp|layout|tables|trace|batch"
-        "|simd> [options]\n"
+        "|scenario|simd> [options]\n"
         "  --net <otn|otc|mesh|psn|ccc|tree|hex|mot3d>\n"
         "  --n <size>   --seed <seed>   --p <edge prob>\n"
         "  --model <log|const|linear>   --scaled   --art   --svg <file>\n"
@@ -97,6 +100,10 @@ usage(const char *argv0)
         "        --inst algo:net:n:model[:scaled][:seed=K] (repeatable)\n"
         "        [--json <file>]  run a workload batch on the machine "
         "farm\n"
+        "  scenario --file <file.scn> [--scheduler fifo|sjf|fair|edf]\n"
+        "        [--compare fifo,sjf,...] [--json <file>]  run a "
+        "traffic\n"
+        "        scenario (arrival process + scheduler + SLO report)\n"
         "  simd  print the dispatched SIMD backend (OT_SIMD overrides)\n",
         argv0);
     std::exit(2);
@@ -132,6 +139,12 @@ parse(int argc, char **argv)
             opt.insts.push_back(next());
         } else if (arg == "--demo") {
             opt.demo = true;
+        } else if (arg == "--file") {
+            opt.scn_path = next();
+        } else if (arg == "--scheduler") {
+            opt.scheduler_override = next();
+        } else if (arg == "--compare") {
+            opt.compare = next();
         } else if (opt.command == "trace" && !arg.empty() &&
                    arg[0] != '-') {
             // `otsim trace <workload>` — the workload rides in
@@ -606,6 +619,110 @@ runBatch(const Options &opt)
 }
 
 int
+runScenario(const Options &opt)
+{
+    if (opt.scn_path.empty() && !opt.demo) {
+        std::fprintf(stderr,
+                     "otsim: scenario needs --file <file.scn> or "
+                     "--demo\n");
+        return 2;
+    }
+    scenario::ScenarioSpec spec;
+    if (opt.demo) {
+        spec = scenario::demoScenario();
+    } else {
+        std::ifstream f(opt.scn_path);
+        if (!f) {
+            std::fprintf(stderr, "otsim: cannot read %s\n",
+                         opt.scn_path.c_str());
+            return 1;
+        }
+        std::ostringstream text;
+        text << f.rdbuf();
+        std::string err;
+        if (!scenario::parseScenario(text.str(), spec, err)) {
+            std::fprintf(stderr, "otsim: %s: %s\n",
+                         opt.scn_path.c_str(), err.c_str());
+            return 2;
+        }
+    }
+    if (std::string bad = scenario::describeInvalid(spec);
+        !bad.empty()) {
+        std::fprintf(stderr, "otsim: %s\n", bad.c_str());
+        return 2;
+    }
+
+    // The schedulers to run: the spec's own directive, a --scheduler
+    // override, or a --compare list producing one report each.
+    std::vector<scenario::SchedulerKind> policies;
+    if (!opt.compare.empty()) {
+        std::string cur;
+        std::string list = opt.compare + ",";
+        for (char c : list) {
+            if (c != ',') {
+                cur += c;
+                continue;
+            }
+            scenario::SchedulerKind kind;
+            if (!scenario::schedulerFromString(cur, kind)) {
+                std::fprintf(stderr,
+                             "otsim: --compare: unknown scheduler "
+                             "'%s' (fifo|sjf|fair|edf)\n",
+                             cur.c_str());
+                return 2;
+            }
+            policies.push_back(kind);
+            cur.clear();
+        }
+    } else if (!opt.scheduler_override.empty()) {
+        scenario::SchedulerKind kind;
+        if (!scenario::schedulerFromString(opt.scheduler_override,
+                                           kind)) {
+            std::fprintf(stderr,
+                         "otsim: --scheduler: unknown scheduler "
+                         "'%s' (fifo|sjf|fair|edf)\n",
+                         opt.scheduler_override.c_str());
+            return 2;
+        }
+        policies.push_back(kind);
+    } else {
+        policies.push_back(spec.scheduler);
+    }
+
+    scenario::ScenarioEngine engine;
+    TraceSession ts(opt);
+    ts.attach(engine);
+    std::vector<scenario::ScenarioReport> reports;
+    for (scenario::SchedulerKind kind : policies) {
+        reports.push_back(engine.run(spec, kind));
+        reports.back().writeText(std::cout);
+    }
+    if (!opt.json_out.empty()) {
+        std::ofstream f(opt.json_out);
+        if (!f) {
+            std::fprintf(stderr, "otsim: cannot write %s\n",
+                         opt.json_out.c_str());
+            return 1;
+        }
+        if (reports.size() == 1)
+            f << reports[0].toJson() << "\n";
+        else
+            f << scenario::compareJson(reports);
+        std::printf("wrote %s\n", opt.json_out.c_str());
+    }
+    if (int rc = ts.finish(engine.stats()))
+        return rc;
+    for (const scenario::ScenarioReport &rep : reports) {
+        if (!rep.verified) {
+            std::fprintf(stderr,
+                         "otsim: SCENARIO VERIFICATION FAILED\n");
+            return 1;
+        }
+    }
+    return 0;
+}
+
+int
 runLayout(const Options &opt)
 {
     auto cost = defaultCostModel(opt.n, opt.model);
@@ -722,6 +839,8 @@ main(int argc, char **argv)
         return runSssp(opt);
     if (opt.command == "batch")
         return runBatch(opt);
+    if (opt.command == "scenario")
+        return runScenario(opt);
     if (opt.command == "layout")
         return runLayout(opt);
     if (opt.command == "tables")
