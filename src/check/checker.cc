@@ -1,6 +1,7 @@
 #include "check/checker.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -132,8 +133,16 @@ diagEqual(const Diagnostic &l, const Diagnostic &r)
 } // namespace
 
 Report
-checkProject(const std::vector<SourceFile> &files)
+checkProject(const std::vector<SourceFile> &files, RunStats *stats)
 {
+    using Clock = std::chrono::steady_clock;
+    auto msSince = [](Clock::time_point t0) {
+        return std::chrono::duration<double, std::milli>(
+                   Clock::now() - t0)
+            .count();
+    };
+    Clock::time_point start = Clock::now();
+
     std::vector<FileContext> ctxs;
     ctxs.reserve(files.size());
     for (const SourceFile &f : files) {
@@ -146,13 +155,29 @@ checkProject(const std::vector<SourceFile> &files)
         ctx.parsed = parseFile(ctx.lexed);
         ctxs.push_back(std::move(ctx));
     }
+    if (stats) {
+        stats->files = ctxs.size();
+        stats->lexParseMs = msSince(start);
+    }
 
     std::map<std::string, std::vector<Diagnostic>> byFile;
+    Clock::time_point t1 = Clock::now();
     for (const FileContext &ctx : ctxs)
         for (Diagnostic &d : runFileRules(ctx))
             byFile[d.file].push_back(std::move(d));
-    for (Diagnostic &d : runProjectRules(ctxs))
+    if (stats)
+        stats->fileRulesMs = msSince(t1);
+
+    Clock::time_point t2 = Clock::now();
+    ProjectRuleStats prs;
+    for (Diagnostic &d : runProjectRules(ctxs, stats ? &prs : nullptr))
         byFile[d.file].push_back(std::move(d));
+    if (stats) {
+        stats->projectRulesMs = msSince(t2);
+        stats->functionsAnalyzed = prs.functionsAnalyzed;
+        stats->summaryEvaluations = prs.summaryEvaluations;
+        stats->taintRounds = prs.taintRounds;
+    }
 
     Report report;
     for (const FileContext &ctx : ctxs) {
@@ -171,6 +196,8 @@ checkProject(const std::vector<SourceFile> &files)
         std::unique(report.diagnostics.begin(),
                     report.diagnostics.end(), diagEqual),
         report.diagnostics.end());
+    if (stats)
+        stats->totalMs = msSince(start);
     return report;
 }
 
@@ -227,14 +254,14 @@ collectFiles(const std::string &root,
 
 Report
 checkTree(const std::string &root,
-          const std::vector<std::string> &files)
+          const std::vector<std::string> &files, RunStats *stats)
 {
     std::vector<SourceFile> sources;
     sources.reserve(files.size());
     for (const std::string &rel : files)
         sources.push_back(
             {rel, readFile((fs::path(root) / rel).string())});
-    return checkProject(sources);
+    return checkProject(sources, stats);
 }
 
 Baseline
@@ -313,6 +340,53 @@ renderJson(const Report &report)
         out << "\"}";
     }
     out << (report.diagnostics.empty() ? "]\n" : "\n]\n");
+    return out.str();
+}
+
+namespace {
+
+std::string
+fmtMs(double ms)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.2f", ms);
+    return buf;
+}
+
+} // namespace
+
+std::string
+renderStatsText(const RunStats &stats)
+{
+    std::ostringstream out;
+    out << "files: " << stats.files << "\n"
+        << "functions-analyzed: " << stats.functionsAnalyzed << "\n"
+        << "summary-evaluations: " << stats.summaryEvaluations << "\n"
+        << "taint-rounds: " << stats.taintRounds << "\n"
+        << "lex-parse-ms: " << fmtMs(stats.lexParseMs) << "\n"
+        << "file-rules-ms: " << fmtMs(stats.fileRulesMs) << "\n"
+        << "project-rules-ms: " << fmtMs(stats.projectRulesMs) << "\n"
+        << "total-ms: " << fmtMs(stats.totalMs) << "\n";
+    return out.str();
+}
+
+std::string
+renderStatsJson(const RunStats &stats)
+{
+    std::ostringstream out;
+    out << "{\n"
+        << " \"files\": " << stats.files << ",\n"
+        << " \"functionsAnalyzed\": " << stats.functionsAnalyzed
+        << ",\n"
+        << " \"summaryEvaluations\": " << stats.summaryEvaluations
+        << ",\n"
+        << " \"taintRounds\": " << stats.taintRounds << ",\n"
+        << " \"lexParseMs\": " << fmtMs(stats.lexParseMs) << ",\n"
+        << " \"fileRulesMs\": " << fmtMs(stats.fileRulesMs) << ",\n"
+        << " \"projectRulesMs\": " << fmtMs(stats.projectRulesMs)
+        << ",\n"
+        << " \"totalMs\": " << fmtMs(stats.totalMs) << "\n"
+        << "}\n";
     return out.str();
 }
 

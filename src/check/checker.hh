@@ -48,12 +48,30 @@ struct Baseline
     std::set<std::pair<std::string, std::string>> entries;
 };
 
+/** Work and wall-time counters for one run (--stats).  Timing uses
+ *  the host clock, which is why the check layer is exempt from the
+ *  determinism scope: stats are diagnostics about the checker, never
+ *  part of a replayed result. */
+struct RunStats
+{
+    std::size_t files = 0;
+    std::size_t functionsAnalyzed = 0;
+    std::size_t summaryEvaluations = 0; ///< accounting fixpoint work
+    std::size_t taintRounds = 0;        ///< taint fixpoint sweeps
+    double lexParseMs = 0.0;  ///< lex + parse, all files
+    double fileRulesMs = 0.0; ///< single-file rule passes
+    double projectRulesMs = 0.0; ///< cross-file passes (summaries,
+                                 ///< taint, lane-safety, graphs)
+    double totalMs = 0.0;
+};
+
 /** Run the full pipeline (lex → parse → file rules → project rules →
  *  allows) over an in-memory file set.  A fixture-path marker in a
  *  source re-classifies that file under the path it names (used by
  *  the fixture corpus).  Diagnostics come back sorted by
  *  (file, line, rule). */
-Report checkProject(const std::vector<SourceFile> &files);
+Report checkProject(const std::vector<SourceFile> &files,
+                    RunStats *stats = nullptr);
 
 /** Single-file convenience over checkProject. */
 std::vector<Diagnostic> checkSource(const std::string &path,
@@ -77,7 +95,8 @@ collectFiles(const std::string &root,
 /** Check every file in `files` (repo-relative, resolved against
  *  `root`) as one project. */
 Report checkTree(const std::string &root,
-                 const std::vector<std::string> &files);
+                 const std::vector<std::string> &files,
+                 RunStats *stats = nullptr);
 
 /** Parse a baseline file; a missing file yields an empty baseline. */
 Baseline loadBaseline(const std::string &path);
@@ -91,5 +110,11 @@ std::string renderText(const Report &report);
 
 /** Machine-readable form: a JSON array of diagnostic objects. */
 std::string renderJson(const Report &report);
+
+/** Human-readable stats block (one `key: value` per line). */
+std::string renderStatsText(const RunStats &stats);
+
+/** Stats as one JSON object (stable key order, trailing newline). */
+std::string renderStatsJson(const RunStats &stats);
 
 } // namespace ot::check

@@ -1,0 +1,1144 @@
+#include "check/dataflow.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+
+namespace ot::check {
+
+namespace {
+
+const std::string &
+at(const std::vector<Token> &toks, std::size_t i)
+{
+    static const std::string empty;
+    return i < toks.size() ? toks[i].text : empty;
+}
+
+bool
+isIdent(const std::vector<Token> &toks, std::size_t i)
+{
+    return i < toks.size() && toks[i].kind == Token::Kind::Ident;
+}
+
+bool
+isPunct(const std::vector<Token> &toks, std::size_t i, const char *s)
+{
+    return i < toks.size() && toks[i].kind == Token::Kind::Punct &&
+           toks[i].text == s;
+}
+
+/** Forward scan: index of the closer matching the opener at `open`. */
+std::size_t
+matchForward(const std::vector<Token> &toks, std::size_t open,
+             const char *opener, const char *closer)
+{
+    int depth = 0;
+    for (std::size_t j = open; j < toks.size(); ++j) {
+        if (isPunct(toks, j, opener))
+            ++depth;
+        else if (isPunct(toks, j, closer) && --depth == 0)
+            return j;
+    }
+    return toks.empty() ? 0 : toks.size() - 1;
+}
+
+/** Identifiers that are language keywords, not names. */
+bool
+isKeywordIdent(const std::string &t)
+{
+    static const std::set<std::string> kw = {
+        "if",       "else",     "for",      "while",    "do",
+        "return",   "switch",   "case",     "default",  "break",
+        "continue", "goto",     "try",      "catch",    "throw",
+        "new",      "delete",   "sizeof",   "alignof",  "decltype",
+        "typeid",   "const",    "constexpr", "static",  "auto",
+        "using",    "typename", "template", "operator", "this",
+        "co_return", "co_await", "co_yield", "static_cast",
+        "const_cast", "reinterpret_cast", "dynamic_cast", "noexcept",
+        "true",     "false",    "nullptr",  "assert",
+    };
+    return kw.count(t) != 0;
+}
+
+// ---------------------------------------------------------------------
+// determinism-taint
+// ---------------------------------------------------------------------
+
+/** Per-file line extents covered by well-formed allow(determinism) /
+ *  allow(determinism-taint) markers — raw-source sanctioning for the
+ *  taint source scan (prng.hh's two sanctioned call sites). */
+std::vector<std::pair<int, int>>
+determinismAllowExtents(const FileContext &ctx)
+{
+    std::vector<std::pair<int, int>> spans;
+    for (const Allow &a : ctx.lexed.allows) {
+        if (a.justification.empty())
+            continue;
+        if (a.rule != "determinism" && a.rule != "determinism-taint")
+            continue;
+        spans.push_back(allowExtent(ctx.lexed.tokens, a.line));
+    }
+    return spans;
+}
+
+bool
+lineSanctioned(const std::vector<std::pair<int, int>> &spans, int line)
+{
+    for (const auto &s : spans)
+        if (line >= s.first && line <= s.second)
+            return true;
+    return false;
+}
+
+struct TaintNode
+{
+    int file = -1;
+    const FuncDef *def = nullptr;
+    bool tainted = false;
+    std::string chain; ///< "raw() → splitmix64 at src/x.cc:5"
+};
+
+struct TaintGraph
+{
+    std::vector<TaintNode> nodes;
+    std::map<std::string, std::vector<int>> byName;
+    /** Per node: names it references without calling (function
+     *  pointers / kernel tables), with the reference line. */
+    std::vector<std::vector<std::pair<std::string, int>>> addrRefs;
+};
+
+/** First banned identifier used raw in the definition's body, outside
+ *  any sanctioned extent; "" when clean. */
+std::string
+taintSource(const FileContext &ctx, const FuncDef &def,
+            const std::vector<std::pair<int, int>> &sanctioned)
+{
+    const auto &toks = ctx.lexed.tokens;
+    for (std::size_t j = def.bodyFirst;
+         j <= def.bodyLast && j < toks.size(); ++j) {
+        if (toks[j].kind != Token::Kind::Ident)
+            continue;
+        for (const DeterminismBan &ban : determinismBans()) {
+            if (toks[j].text != ban.name)
+                continue;
+            if (ban.callOnly &&
+                !(at(toks, j + 1) == "(" && freeCallContext(toks, j)))
+                continue;
+            if (lineSanctioned(sanctioned, toks[j].line))
+                continue;
+            return std::string(ban.name) + " at " + ctx.path + ":" +
+                   std::to_string(toks[j].line);
+        }
+    }
+    return "";
+}
+
+/** Names a body references in non-call position that resolve to
+ *  known definitions: the function-pointer / kernel-table edges. */
+std::vector<std::pair<std::string, int>>
+addressReferences(const FileContext &ctx, const FuncDef &def,
+                  const std::map<std::string, std::vector<int>> &byName)
+{
+    std::vector<std::pair<std::string, int>> refs;
+    const auto &toks = ctx.lexed.tokens;
+    for (std::size_t j = def.bodyFirst;
+         j <= def.bodyLast && j < toks.size(); ++j) {
+        if (toks[j].kind != Token::Kind::Ident)
+            continue;
+        if (byName.find(toks[j].text) == byName.end())
+            continue;
+        if (at(toks, j + 1) == "(")
+            continue; // a call; the call graph covers it
+        const std::string &prev = at(toks, j - 1);
+        if (prev == "." || prev == "->")
+            continue; // member access, someone else's field
+        refs.push_back({toks[j].text, toks[j].line});
+    }
+    return refs;
+}
+
+TaintGraph
+buildTaintGraph(const std::vector<FileContext> &ctxs,
+                std::size_t *rounds)
+{
+    TaintGraph g;
+    for (std::size_t i = 0; i < ctxs.size(); ++i) {
+        if (allowedIncludes(ctxs[i].layer).empty())
+            continue; // src/-layer definitions only
+        for (const FuncDef &f : ctxs[i].parsed.funcs) {
+            if (f.name.empty())
+                continue;
+            TaintNode n;
+            n.file = static_cast<int>(i);
+            n.def = &f;
+            g.byName[f.name].push_back(
+                static_cast<int>(g.nodes.size()));
+            g.nodes.push_back(std::move(n));
+        }
+    }
+
+    std::vector<std::vector<std::pair<int, int>>> sanctioned(
+        ctxs.size());
+    for (std::size_t i = 0; i < ctxs.size(); ++i)
+        sanctioned[i] = determinismAllowExtents(ctxs[i]);
+
+    g.addrRefs.resize(g.nodes.size());
+    for (std::size_t k = 0; k < g.nodes.size(); ++k) {
+        TaintNode &n = g.nodes[k];
+        const FileContext &ctx = ctxs[n.file];
+        n.chain = taintSource(ctx, *n.def, sanctioned[n.file]);
+        n.tainted = !n.chain.empty();
+        g.addrRefs[k] = addressReferences(ctx, *n.def, g.byName);
+    }
+
+    // Monotone propagation: a clean node taints when some call or
+    // address reference resolves to a non-empty, fully tainted
+    // candidate set.
+    std::size_t sweeps = 0;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        ++sweeps;
+        for (std::size_t k = 0; k < g.nodes.size(); ++k) {
+            TaintNode &n = g.nodes[k];
+            if (n.tainted)
+                continue;
+            auto viaName = [&](const std::string &name) -> bool {
+                auto it = g.byName.find(name);
+                if (it == g.byName.end())
+                    return false;
+                const TaintNode *witness = nullptr;
+                for (int c : it->second) {
+                    if (!g.nodes[c].tainted)
+                        return false;
+                    if (!witness)
+                        witness = &g.nodes[c];
+                }
+                if (!witness)
+                    return false;
+                n.tainted = true;
+                n.chain = name + "() → " + witness->chain;
+                return true;
+            };
+            for (const CallSite &c : n.def->calls)
+                if (viaName(c.name)) {
+                    changed = true;
+                    break;
+                }
+            if (n.tainted)
+                continue;
+            for (const auto &r : g.addrRefs[k])
+                if (viaName(r.first)) {
+                    changed = true;
+                    break;
+                }
+        }
+    }
+    if (rounds)
+        *rounds = sweeps;
+    return g;
+}
+
+void
+emitTaint(std::vector<Diagnostic> &out, const FileContext &ctx,
+          int line, const std::string &what, const std::string &name,
+          const std::string &chain)
+{
+    Diagnostic d;
+    d.file = ctx.path;
+    d.line = line;
+    d.rule = "determinism-taint";
+    d.message = what + " '" + name +
+                "' reaches a nondeterminism source outside the "
+                "determinism scope: " +
+                name + "() → " + chain;
+    d.hint = "draw through ot::sim::Rng / ot::scenario::StreamRng, "
+             "or move the wrapper into a lane-reachable layer where "
+             "the flat determinism rule audits it";
+    out.push_back(std::move(d));
+}
+
+} // namespace
+
+void
+runDeterminismTaint(const std::vector<FileContext> &ctxs,
+                    std::vector<Diagnostic> &out, std::size_t *rounds)
+{
+    TaintGraph g = buildTaintGraph(ctxs, rounds);
+
+    /** All candidates tainted AND all defined out of scope? */
+    auto boundary = [&](const std::string &name)
+        -> const TaintNode * {
+        auto it = g.byName.find(name);
+        if (it == g.byName.end())
+            return nullptr;
+        const TaintNode *witness = nullptr;
+        for (int c : it->second) {
+            const TaintNode &n = g.nodes[c];
+            if (!n.tainted)
+                return nullptr;
+            if (inDeterminismScope(ctxs[n.file].layer))
+                return nullptr; // flat rule owns in-scope sources
+            if (!witness)
+                witness = &n;
+        }
+        return witness;
+    };
+
+    for (const FileContext &ctx : ctxs) {
+        if (!inDeterminismScope(ctx.layer))
+            continue;
+        std::set<std::pair<int, std::string>> seen;
+        for (const FuncDef &f : ctx.parsed.funcs) {
+            for (const CallSite &c : f.calls) {
+                const TaintNode *w = boundary(c.name);
+                if (!w || !seen.insert({c.line, c.name}).second)
+                    continue;
+                emitTaint(out, ctx, c.line, "call to", c.name,
+                          w->chain);
+            }
+            const auto &toks = ctx.lexed.tokens;
+            for (std::size_t j = f.bodyFirst;
+                 j <= f.bodyLast && j < toks.size(); ++j) {
+                if (toks[j].kind != Token::Kind::Ident)
+                    continue;
+                if (at(toks, j + 1) == "(")
+                    continue;
+                const std::string &prev = at(toks, j - 1);
+                if (prev == "." || prev == "->")
+                    continue;
+                const TaintNode *w = boundary(toks[j].text);
+                if (!w ||
+                    !seen.insert({toks[j].line, toks[j].text}).second)
+                    continue;
+                emitTaint(out, ctx, toks[j].line, "reference to",
+                          toks[j].text, w->chain);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// lane-safety
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Container methods that mutate the receiver. */
+bool
+isMutatingMethod(const std::string &t)
+{
+    static const std::set<std::string> m = {
+        "push_back",  "emplace_back",  "pop_back", "push_front",
+        "emplace_front", "pop_front",  "insert",   "emplace",
+        "erase",      "clear",         "resize",   "assign",
+        "append",     "reserve",       "swap",
+    };
+    return m.count(t) != 0;
+}
+
+/** One recorded mutation of a by-reference parameter. */
+struct ParamMutation
+{
+    std::set<std::size_t> idxParams; ///< empty ⇒ unconditional write
+    std::string where; ///< " at file:line" (+ " via g()" per hop)
+};
+
+struct MutSummary
+{
+    std::vector<std::string> paramNames;
+    std::vector<bool> byRef; ///< non-const reference or pointer
+    std::map<std::size_t, std::vector<ParamMutation>> mutations;
+};
+
+/** Split the token range (open..close exclusive) at top-level commas;
+ *  returns [begin, end) index pairs. */
+std::vector<std::pair<std::size_t, std::size_t>>
+splitArgs(const std::vector<Token> &toks, std::size_t open,
+          std::size_t close)
+{
+    std::vector<std::pair<std::size_t, std::size_t>> parts;
+    int depth = 0;
+    std::size_t start = open + 1;
+    for (std::size_t j = open + 1; j < close; ++j) {
+        const std::string &t = toks[j].text;
+        if (toks[j].kind == Token::Kind::Punct) {
+            if (t == "(" || t == "[" || t == "{")
+                ++depth;
+            else if (t == ")" || t == "]" || t == "}")
+                --depth;
+            else if (t == "," && depth == 0) {
+                parts.push_back({start, j});
+                start = j + 1;
+            }
+        }
+    }
+    if (start < close || !parts.empty() || close > open + 1)
+        parts.push_back({start, close});
+    return parts;
+}
+
+/** Parse the parameter list at `paramOpen` into names and by-ref
+ *  flags.  Defaulted parameters are truncated at their `=`. */
+void
+parseParams(const std::vector<Token> &toks, std::size_t paramOpen,
+            std::vector<std::string> &names, std::vector<bool> &byRef)
+{
+    names.clear();
+    byRef.clear();
+    if (paramOpen == std::string::npos ||
+        !isPunct(toks, paramOpen, "("))
+        return;
+    std::size_t close = matchForward(toks, paramOpen, "(", ")");
+    for (const auto &part : splitArgs(toks, paramOpen, close)) {
+        std::size_t limit = part.second;
+        bool isConst = false, ref = false;
+        std::string name;
+        for (std::size_t j = part.first; j < limit; ++j) {
+            const std::string &t = toks[j].text;
+            if (t == "=") {
+                break; // default value; the name came before it
+            }
+            if (toks[j].kind == Token::Kind::Ident) {
+                if (t == "const")
+                    isConst = true;
+                else if (!isKeywordIdent(t))
+                    name = t;
+            } else if (t == "&" || t == "*") {
+                ref = true;
+            }
+        }
+        if (name.empty())
+            continue; // unnamed or `void`
+        names.push_back(name);
+        byRef.push_back(ref && !isConst);
+    }
+}
+
+/** A path through fields/subscripts starting at a root identifier. */
+struct PathInfo
+{
+    std::string root;
+    std::size_t end = 0;   ///< first token past the path
+    bool laneIndexed = false; ///< a subscript mentions a safe index
+    bool methodStop = false;  ///< ended at a non-mutating method call
+    std::string mutMethod;    ///< ended at this mutating method
+    int mutLine = 0;
+};
+
+/** Walk `root . field [ expr ] -> field ...` from the identifier at
+ *  `j`; `safeIdx` names identifiers that make a subscript
+ *  lane-indexed. */
+PathInfo
+matchPath(const std::vector<Token> &toks, std::size_t j,
+          const std::set<std::string> &safeIdx)
+{
+    PathInfo p;
+    p.root = toks[j].text;
+    std::size_t k = j + 1;
+    while (k < toks.size()) {
+        const std::string &t = toks[k].text;
+        if ((t == "." || t == "->") && isIdent(toks, k + 1)) {
+            if (at(toks, k + 2) == "(") {
+                if (isMutatingMethod(toks[k + 1].text)) {
+                    p.mutMethod = toks[k + 1].text;
+                    p.mutLine = toks[k + 1].line;
+                } else {
+                    p.methodStop = true;
+                }
+                p.end = k;
+                return p;
+            }
+            k += 2;
+            continue;
+        }
+        if (t == "[") {
+            std::size_t close = matchForward(toks, k, "[", "]");
+            for (std::size_t m = k + 1; m < close; ++m)
+                if (isIdent(toks, m) && safeIdx.count(toks[m].text))
+                    p.laneIndexed = true;
+            k = close + 1;
+            continue;
+        }
+        break;
+    }
+    p.end = k;
+    return p;
+}
+
+/** Does the write-operator test match at `end` (just past a path)?
+ *  The lexer splits compound operators, so `+=` is `+ =`, `<<=` is
+ *  `< < =`, postfix `++` is `+ +`. */
+bool
+writeOpAt(const std::vector<Token> &toks, std::size_t end)
+{
+    const std::string &a = at(toks, end);
+    const std::string &b = at(toks, end + 1);
+    const std::string &c = at(toks, end + 2);
+    if (a == "=")
+        return b != "="; // assignment, not ==
+    if (a == "+" || a == "-") {
+        if (b == "=")
+            return true; // += -=
+        if (b == a)
+            return true; // postfix ++ / --
+        return false;
+    }
+    if (a == "*" || a == "/" || a == "%" || a == "^" || a == "|" ||
+        a == "&")
+        return b == "=" &&
+               c != "="; // *= /= %= ^= |= &= (not |== nonsense)
+    if ((a == "<" && b == "<" && c == "=") ||
+        (a == ">" && b == ">" && c == "="))
+        return true; // <<= >>=
+    return false;
+}
+
+/** Is the identifier at `j` preceded by prefix ++/--? */
+bool
+prefixIncDec(const std::vector<Token> &toks, std::size_t j)
+{
+    if (j < 2)
+        return false;
+    const std::string &a = at(toks, j - 2);
+    const std::string &b = at(toks, j - 1);
+    if (!((a == "+" && b == "+") || (a == "-" && b == "-")))
+        return false;
+    // `x + +y` / postfix of a previous expression both leave an
+    // operand immediately before the pair.
+    const std::string &before = at(toks, j - 3);
+    return !(isIdent(toks, j - 3) || before == "]" || before == ")");
+}
+
+/** Summary builder for by-reference parameter mutations, memoized
+ *  over the named src/-layer definitions. */
+class MutTable
+{
+  public:
+    explicit MutTable(const std::vector<FileContext> &ctxs)
+        : _ctxs(ctxs)
+    {
+        for (std::size_t i = 0; i < ctxs.size(); ++i) {
+            if (allowedIncludes(ctxs[i].layer).empty())
+                continue;
+            for (const FuncDef &f : ctxs[i].parsed.funcs)
+                if (!f.name.empty())
+                    _byName[f.name].push_back(
+                        {static_cast<int>(i), &f});
+        }
+    }
+
+    const std::map<std::string,
+                   std::vector<std::pair<int, const FuncDef *>>> &
+    byName() const
+    {
+        return _byName;
+    }
+
+    const MutSummary &
+    summaryOf(int file, const FuncDef *f)
+    {
+        auto it = _done.find(f);
+        if (it != _done.end())
+            return it->second;
+        if (!_inProgress.insert(f).second) {
+            static const MutSummary empty;
+            return empty; // recursion: no mutations claimed
+        }
+        MutSummary s = compute(file, f);
+        _inProgress.erase(f);
+        return _done[f] = s;
+    }
+
+  private:
+    const std::vector<FileContext> &_ctxs;
+    std::map<std::string,
+             std::vector<std::pair<int, const FuncDef *>>>
+        _byName;
+    std::map<const FuncDef *, MutSummary> _done;
+    std::set<const FuncDef *> _inProgress;
+
+    MutSummary
+    compute(int file, const FuncDef *f)
+    {
+        const FileContext &ctx = _ctxs[file];
+        const auto &toks = ctx.lexed.tokens;
+        MutSummary s;
+        parseParams(toks, f->paramOpen, s.paramNames, s.byRef);
+        if (s.paramNames.empty())
+            return s;
+        std::map<std::string, std::size_t> paramIdx;
+        std::set<std::string> paramSet;
+        for (std::size_t p = 0; p < s.paramNames.size(); ++p) {
+            paramIdx[s.paramNames[p]] = p;
+            paramSet.insert(s.paramNames[p]);
+        }
+        auto record = [&](std::size_t p, const PathInfo &path,
+                          int line) {
+            if (!s.byRef[p])
+                return;
+            ParamMutation m;
+            m.where =
+                " at " + ctx.path + ":" + std::to_string(line);
+            if (path.laneIndexed) {
+                // Which parameters appeared in subscripts?  Re-walk
+                // cheaply: matchPath marked laneIndexed from the
+                // param set, so collect them here.
+                // (Recomputed below in the main walk.)
+            }
+            m.idxParams = _lastSubscriptParams;
+            s.mutations[p].push_back(std::move(m));
+        };
+
+        for (std::size_t j = f->bodyFirst + 1;
+             j < f->bodyLast && j < toks.size(); ++j) {
+            if (toks[j].kind != Token::Kind::Ident)
+                continue;
+            const std::string &name = toks[j].text;
+            auto pit = paramIdx.find(name);
+            if (pit == paramIdx.end())
+                continue;
+            const std::string &prev = at(toks, j - 1);
+            if (prev == "." || prev == "->")
+                continue;
+            std::size_t p = pit->second;
+
+            // Direct write through the parameter?
+            _lastSubscriptParams.clear();
+            PathInfo path = collectPath(toks, j, paramSet, paramIdx);
+            // A non-mutating method call ends the walk entirely: a
+            // prefix ++ then targets the method's return value (a
+            // reference the callee owns), not the parameter.
+            bool write = !path.methodStop &&
+                         (!path.mutMethod.empty() ||
+                          prefixIncDec(toks, j) ||
+                          writeOpAt(toks, path.end));
+            int line = path.mutLine ? path.mutLine : toks[j].line;
+            if (write) {
+                record(p, path, line);
+                continue;
+            }
+            if (path.methodStop)
+                continue;
+
+            // Bare pass-through to another function: inherit its
+            // mutation summary with parameter substitution.
+            inheritCall(s, toks, j, p, paramIdx);
+        }
+        return s;
+    }
+
+    std::set<std::size_t> _lastSubscriptParams;
+
+    /** matchPath specialised to also record which parameters appear
+     *  in subscripts along the way. */
+    PathInfo
+    collectPath(const std::vector<Token> &toks, std::size_t j,
+                const std::set<std::string> &paramSet,
+                const std::map<std::string, std::size_t> &paramIdx)
+    {
+        PathInfo p = matchPath(toks, j, paramSet);
+        // Re-walk the subscripts to collect the parameter indices.
+        std::size_t k = j + 1;
+        while (k < p.end && k < toks.size()) {
+            if (isPunct(toks, k, "[")) {
+                std::size_t close = matchForward(toks, k, "[", "]");
+                for (std::size_t m = k + 1; m < close; ++m) {
+                    auto it = isIdent(toks, m)
+                                  ? paramIdx.find(toks[m].text)
+                                  : paramIdx.end();
+                    if (it != paramIdx.end())
+                        _lastSubscriptParams.insert(it->second);
+                }
+                k = close + 1;
+            } else {
+                ++k;
+            }
+        }
+        return p;
+    }
+
+    /** `g(a, p, b)` with `p` a bare by-ref parameter: fold g's
+     *  mutations of that position into the caller's summary. */
+    void
+    inheritCall(MutSummary &s, const std::vector<Token> &toks,
+                std::size_t j, std::size_t p,
+                const std::map<std::string, std::size_t> &paramIdx)
+    {
+        // Find the innermost enclosing call `callee( ... p ... )`.
+        // Scan backwards for `ident (` at one unclosed paren depth.
+        int depth = 0;
+        std::size_t open = std::string::npos;
+        for (std::size_t k = j; k-- > 0;) {
+            const std::string &t = toks[k].text;
+            if (toks[k].kind != Token::Kind::Punct) {
+                continue;
+            }
+            if (t == ")")
+                ++depth;
+            else if (t == "(") {
+                if (depth == 0) {
+                    open = k;
+                    break;
+                }
+                --depth;
+            } else if (t == ";" || t == "{" || t == "}") {
+                break;
+            }
+        }
+        if (open == std::string::npos || open == 0 ||
+            !isIdent(toks, open - 1))
+            return;
+        const std::string &callee = toks[open - 1].text;
+        if (isKeywordIdent(callee))
+            return;
+        const std::string &cprev = at(toks, open - 2);
+        if (cprev == "." || cprev == "->")
+            return; // member call: receiver unknown
+        auto cit = _byName.find(callee);
+        if (cit == _byName.end())
+            return;
+        std::size_t close = matchForward(toks, open, "(", ")");
+        auto args = splitArgs(toks, open, close);
+        // Which argument position is the bare `p`?
+        std::size_t argPos = std::string::npos;
+        for (std::size_t a = 0; a < args.size(); ++a) {
+            std::size_t b = args[a].first, e = args[a].second;
+            if (e == b + 1 && b == j)
+                argPos = a;
+            else if (e == b + 2 && isPunct(toks, b, "&") &&
+                     b + 1 == j)
+                argPos = a;
+        }
+        if (argPos == std::string::npos)
+            return;
+
+        // All candidates must mutate that position to claim anything.
+        std::vector<ParamMutation> inherited;
+        for (const auto &cand : cit->second) {
+            if (cand.second->isCtor || cand.second->isDtor)
+                return;
+            const MutSummary &cs =
+                summaryOf(cand.first, cand.second);
+            auto mit = cs.mutations.find(argPos);
+            if (mit == cs.mutations.end() || mit->second.empty())
+                return;
+            if (&cand == &cit->second.front()) {
+                for (const ParamMutation &m : mit->second) {
+                    ParamMutation mapped;
+                    mapped.where = m.where + " via " + callee + "()";
+                    for (std::size_t q : m.idxParams) {
+                        // Map the callee's subscript parameter to the
+                        // caller's argument at that position.
+                        if (q >= args.size())
+                            continue;
+                        std::size_t b = args[q].first,
+                                    e = args[q].second;
+                        if (e == b + 1 && isIdent(toks, b)) {
+                            auto it2 = paramIdx.find(toks[b].text);
+                            if (it2 != paramIdx.end())
+                                mapped.idxParams.insert(it2->second);
+                        }
+                        // Unmapped index expressions leave the set
+                        // smaller, i.e. closer to an unconditional
+                        // write — the conservative direction.
+                    }
+                    inherited.push_back(std::move(mapped));
+                }
+            }
+        }
+        for (ParamMutation &m : inherited)
+            s.mutations[p].push_back(std::move(m));
+    }
+};
+
+/** Capture-list classification for one lambda. */
+struct Captures
+{
+    bool defaultRef = false;
+    bool defaultVal = false;
+    bool capturesThis = false;
+    std::set<std::string> byRef;
+    std::set<std::string> byVal;
+};
+
+Captures
+parseCaptures(const std::vector<Token> &toks, std::size_t captureOpen)
+{
+    Captures c;
+    if (captureOpen == std::string::npos ||
+        !isPunct(toks, captureOpen, "["))
+        return c;
+    std::size_t close = matchForward(toks, captureOpen, "[", "]");
+    for (const auto &part : splitArgs(toks, captureOpen, close)) {
+        std::size_t b = part.first, e = part.second;
+        if (b >= e)
+            continue;
+        const std::string &first = toks[b].text;
+        if (e == b + 1 && first == "&") {
+            c.defaultRef = true;
+        } else if (e == b + 1 && first == "=") {
+            c.defaultVal = true;
+        } else if (first == "this") {
+            c.capturesThis = true;
+        } else if (first == "*" && at(toks, b + 1) == "this") {
+            // *this copies the object: member writes are lane-local.
+        } else if (first == "&" && isIdent(toks, b + 1)) {
+            c.byRef.insert(toks[b + 1].text);
+        } else if (isIdent(toks, b)) {
+            // `name` or `name = expr` init-capture: both by value.
+            c.byVal.insert(first);
+        }
+    }
+    return c;
+}
+
+/** Analysis state for one entry lambda. */
+class LaneScan
+{
+  public:
+    LaneScan(const FileContext &ctx, const FuncDef &lam,
+             MutTable &muts,
+             const std::vector<std::pair<std::size_t, std::size_t>>
+                 &otherLambdas,
+             std::vector<Diagnostic> &out)
+        : _ctx(ctx), _toks(ctx.lexed.tokens), _lam(lam), _muts(muts),
+          _out(out)
+    {
+        _caps = parseCaptures(_toks, lam.captureOpen);
+        std::vector<std::string> names;
+        std::vector<bool> refs;
+        parseParams(_toks, lam.paramOpen, names, refs);
+        for (const std::string &n : names)
+            _laneDerived.insert(n); // every lambda param is a lane id
+        (void)otherLambdas;
+    }
+
+    void
+    run()
+    {
+        for (std::size_t j = _lam.bodyFirst + 1;
+             j < _lam.bodyLast && j < _toks.size(); ++j) {
+            if (_toks[j].kind != Token::Kind::Ident)
+                continue;
+            const std::string &name = _toks[j].text;
+            if (isKeywordIdent(name))
+                continue;
+            if (tryDeclaration(j)) {
+                continue; // the declared name is not a write target
+            }
+            const std::string &prev = at(_toks, j - 1);
+            if (prev == "." || prev == "->")
+                continue; // path component, not a root
+            if (isIdent(_toks, j - 1) &&
+                !isKeywordIdent(at(_toks, j - 1)))
+                continue; // `Type name` handled by tryDeclaration
+            if (at(_toks, j + 1) == "(" && freeCallContext(_toks, j)) {
+                checkCallArgs(j);
+                continue;
+            }
+            checkWrite(j);
+        }
+    }
+
+  private:
+    const FileContext &_ctx;
+    const std::vector<Token> &_toks;
+    const FuncDef &_lam;
+    MutTable &_muts;
+    std::vector<Diagnostic> &_out;
+    Captures _caps;
+    std::set<std::string> _locals;      ///< per-iteration storage
+    std::set<std::string> _laneDerived; ///< safe lane-indexed names
+    std::set<std::string> _refAlias; ///< ref locals aliasing shared state
+    std::set<std::pair<int, std::string>> _seen;
+
+    bool
+    safeRoot(const std::string &root) const
+    {
+        if (_refAlias.count(root))
+            return false;
+        if (_locals.count(root) || _laneDerived.count(root))
+            return true;
+        if (_caps.byVal.count(root))
+            return true;
+        if (_caps.byRef.count(root))
+            return false;
+        if (_caps.defaultRef || _caps.capturesThis)
+            return false; // unknown name under [&] / [this]
+        return true; // by-value default or not captured at all
+    }
+
+    /** Handle `Type name = init;`, `Type &name = init;`,
+     *  `for (Type name : range)`, `Type name(init)`, `Type name;`.
+     *  Returns true when `j` is a declared name (caller skips it). */
+    bool
+    tryDeclaration(std::size_t j)
+    {
+        const std::string &prev = at(_toks, j - 1);
+        bool typeish =
+            (isIdent(_toks, j - 1) && !isKeywordIdent(prev) &&
+             prev != "return") ||
+            prev == "&" || prev == "*" || prev == ">";
+        if (prev == "&" || prev == "*") {
+            // require a type-ish token before the &/*: `a & b` is an
+            // expression, `Shard & sh` is a declarator.
+            const std::string &pp = at(_toks, j - 2);
+            if (!(isIdent(_toks, j - 2) && !isKeywordIdent(pp)) &&
+                pp != ">")
+                return false;
+        }
+        if (!typeish)
+            return false;
+        const std::string &next = at(_toks, j + 1);
+        bool decl = next == "=" || next == ";" || next == "{" ||
+                    next == "(" || next == ":" || next == ")" ||
+                    next == ",";
+        if (!decl)
+            return false;
+        if (next == "=" && at(_toks, j + 2) == "=")
+            return false; // `x == y` comparison, not a declaration
+        if (next == ":" && at(_toks, j + 1) == "::")
+            return false;
+
+        bool isRef = prev == "&";
+        bool mentionsLane = false;
+        if (next == "=" || next == ":") {
+            std::size_t end = initEnd(j + 2, next == ":");
+            for (std::size_t m = j + 2; m < end; ++m)
+                if (isIdent(_toks, m) &&
+                    _laneDerived.count(_toks[m].text))
+                    mentionsLane = true;
+        } else if (next == "{" || next == "(") {
+            const char *op = next == "{" ? "{" : "(";
+            const char *cl = next == "{" ? "}" : ")";
+            std::size_t close = matchForward(_toks, j + 1, op, cl);
+            for (std::size_t m = j + 2; m < close; ++m)
+                if (isIdent(_toks, m) &&
+                    _laneDerived.count(_toks[m].text))
+                    mentionsLane = true;
+        }
+
+        const std::string &name = _toks[j].text;
+        if (isRef) {
+            if (mentionsLane)
+                _laneDerived.insert(name);
+            else
+                _refAlias.insert(name);
+        } else {
+            _locals.insert(name);
+            if (mentionsLane)
+                _laneDerived.insert(name);
+        }
+        return true;
+    }
+
+    /** End of an initializer starting at `b`: the `;` at depth 0, or
+     *  for a range-for the `)` that closes the for-head. */
+    std::size_t
+    initEnd(std::size_t b, bool rangeFor) const
+    {
+        int paren = 0, brace = 0, bracket = 0;
+        for (std::size_t m = b; m < _toks.size(); ++m) {
+            const std::string &t = _toks[m].text;
+            if (_toks[m].kind != Token::Kind::Punct)
+                continue;
+            if (t == "(")
+                ++paren;
+            else if (t == ")") {
+                if (rangeFor && paren == 0)
+                    return m;
+                --paren;
+            } else if (t == "{")
+                ++brace;
+            else if (t == "}") {
+                if (brace == 0)
+                    return m;
+                --brace;
+            } else if (t == "[")
+                ++bracket;
+            else if (t == "]")
+                --bracket;
+            else if (t == ";" && paren == 0 && brace == 0 &&
+                     bracket == 0)
+                return m;
+        }
+        return _toks.size();
+    }
+
+    void
+    flag(int line, const std::string &message,
+         const std::string &hint)
+    {
+        if (!_seen.insert({line, message}).second)
+            return;
+        Diagnostic d;
+        d.file = _ctx.path;
+        d.line = line;
+        d.rule = "lane-safety";
+        d.message = message;
+        d.hint = hint;
+        _out.push_back(std::move(d));
+    }
+
+    void
+    checkWrite(std::size_t j)
+    {
+        PathInfo p = matchPath(_toks, j, _laneDerived);
+        // A non-mutating method call ends the walk entirely: a prefix
+        // ++ then targets the method's return value (e.g. the
+        // lane-aware reference counter() hands back), not the capture.
+        bool write = !p.methodStop &&
+                     (!p.mutMethod.empty() || prefixIncDec(_toks, j) ||
+                      writeOpAt(_toks, p.end));
+        if (!write || p.laneIndexed || safeRoot(p.root))
+            return;
+        int line = p.mutLine ? p.mutLine : _toks[j].line;
+        std::string what =
+            !p.mutMethod.empty()
+                ? "mutating call '" + p.mutMethod + "' on"
+                : "write through";
+        flag(line,
+             "parallelFor lane lambda: " + what +
+                 " shared capture '" + p.root +
+                 "' is not indexed by the lane parameter",
+             "give each lane its own slot (index by the lane id and "
+             "merge after the join), capture by value, or "
+             "restructure per the per-lane-buffer discipline "
+             "(sim::ChainEngine::HostLane)");
+    }
+
+    /** `callee(..., captured, ...)`: flag when every candidate
+     *  mutates the corresponding by-reference parameter and no
+     *  lane-derived index protects the write. */
+    void
+    checkCallArgs(std::size_t j)
+    {
+        const std::string &callee = _toks[j].text;
+        auto cit = _muts.byName().find(callee);
+        if (cit == _muts.byName().end())
+            return;
+        std::size_t open = j + 1;
+        std::size_t close = matchForward(_toks, open, "(", ")");
+        auto args = splitArgs(_toks, open, close);
+
+        for (std::size_t a = 0; a < args.size(); ++a) {
+            std::size_t b = args[a].first, e = args[a].second;
+            std::size_t rootAt = b;
+            if (e > b + 1 && isPunct(_toks, b, "&"))
+                rootAt = b + 1;
+            if (rootAt >= e || !isIdent(_toks, rootAt) ||
+                isKeywordIdent(_toks[rootAt].text))
+                continue;
+            PathInfo p = matchPath(_toks, rootAt, _laneDerived);
+            if (p.end != e)
+                continue; // not a bare path argument
+            if (p.methodStop || !p.mutMethod.empty())
+                continue;
+            if (p.laneIndexed || safeRoot(p.root))
+                continue;
+
+            // Every candidate must mutate position `a`.
+            const ParamMutation *witness = nullptr;
+            bool allMutate = true;
+            for (const auto &cand : cit->second) {
+                if (cand.second->isCtor || cand.second->isDtor) {
+                    allMutate = false;
+                    break;
+                }
+                const MutSummary &cs =
+                    _muts.summaryOf(cand.first, cand.second);
+                auto mit = cs.mutations.find(a);
+                if (mit == cs.mutations.end() ||
+                    mit->second.empty()) {
+                    allMutate = false;
+                    break;
+                }
+                // A mutation is excused only when one of its index
+                // parameters receives a lane-derived argument.
+                for (const ParamMutation &m : mit->second) {
+                    bool excused = false;
+                    for (std::size_t q : m.idxParams) {
+                        if (q >= args.size())
+                            continue;
+                        std::size_t qb = args[q].first,
+                                    qe = args[q].second;
+                        if (qe == qb + 1 && isIdent(_toks, qb) &&
+                            _laneDerived.count(_toks[qb].text))
+                            excused = true;
+                    }
+                    if (!excused && !witness)
+                        witness = &m;
+                }
+            }
+            if (!allMutate || !witness)
+                continue;
+            flag(_toks[rootAt].line,
+                 "parallelFor lane lambda: shared capture '" +
+                     p.root + "' is mutated by '" + callee + "'" +
+                     witness->where +
+                     " without a lane-derived index",
+                 "pass a per-lane slot instead, or index the "
+                 "callee's write by a lane-derived argument");
+        }
+    }
+};
+
+} // namespace
+
+void
+runLaneSafety(const std::vector<FileContext> &ctxs,
+              std::vector<Diagnostic> &out)
+{
+    MutTable muts(ctxs);
+    for (const FileContext &ctx : ctxs) {
+        const auto &toks = ctx.lexed.tokens;
+
+        // parallelFor call argument ranges in this file.
+        std::vector<std::pair<std::size_t, std::size_t>> ranges;
+        for (std::size_t j = 0; j + 1 < toks.size(); ++j) {
+            if (toks[j].kind != Token::Kind::Ident ||
+                toks[j].text != "parallelFor" ||
+                !isPunct(toks, j + 1, "("))
+                continue;
+            ranges.push_back(
+                {j + 1, matchForward(toks, j + 1, "(", ")")});
+        }
+        if (ranges.empty())
+            continue;
+
+        // Entry lambdas: lambdas inside some range.  Analyze only the
+        // outermost of nested entry lambdas — the linear scan covers
+        // nested bodies with the outer's lane-derived context.
+        std::vector<const FuncDef *> entries;
+        for (const FuncDef &f : ctx.parsed.funcs) {
+            if (!f.name.empty())
+                continue;
+            std::size_t pos = f.captureOpen != std::string::npos
+                                  ? f.captureOpen
+                                  : f.bodyFirst;
+            for (const auto &r : ranges)
+                if (pos > r.first && pos < r.second) {
+                    entries.push_back(&f);
+                    break;
+                }
+        }
+        std::vector<std::pair<std::size_t, std::size_t>> spans;
+        for (const FuncDef *f : entries)
+            spans.push_back({f->bodyFirst, f->bodyLast});
+        for (const FuncDef *f : entries) {
+            bool nested = false;
+            for (const auto &s : spans)
+                if (f->bodyFirst > s.first && f->bodyLast < s.second)
+                    nested = true;
+            if (nested)
+                continue;
+            LaneScan(ctx, *f, muts, spans, out).run();
+        }
+    }
+}
+
+} // namespace ot::check

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Interprocedural dataflow rules for otcheck: determinism taint and
+ * lane-safety.
+ *
+ * determinism-taint
+ * -----------------
+ * The flat determinism rule bans nondeterminism tokens *inside* the
+ * lane-reachable layers, so a one-line wrapper in an unscoped layer
+ * (`uint64_t jitter() { return splitmix64(s); }` in src/analysis)
+ * laundered the ban: the wrapper's file is not scanned, and the
+ * in-scope caller only mentions the innocent name `jitter`.  This
+ * pass closes the hole: any function whose body uses a banned
+ * identifier outside an allow(determinism) extent is a taint source;
+ * taint propagates over call edges and function-pointer references
+ * (an identifier naming a known definition without a call's `(` —
+ * the KernelTable pattern) with the usual all-candidates convention;
+ * and every call or reference from a determinism-scope file to a
+ * fully-tainted, fully-out-of-scope candidate set is diagnosed with
+ * the complete source→sink chain.
+ *
+ * In-scope sources are NOT re-diagnosed here — the flat rule already
+ * flags the banned token itself; this rule only reports the boundary
+ * crossing, so each defect surfaces exactly once.
+ *
+ * lane-safety
+ * -----------
+ * Lambdas passed to a `parallelFor` entry point execute concurrently
+ * on host lanes.  The engine discipline (DESIGN.md: per-lane buffer,
+ * then deterministic merge) requires every write through a
+ * by-reference capture to be indexed by the lane/shard parameter.
+ * The pass finds the entry lambdas syntactically (a lambda inside a
+ * `parallelFor(` argument range), tracks lane-derived locals
+ * (`const Shard &sh = shards[s]` makes `sh` lane-derived, and
+ * `for (std::size_t idx : sh.members)` extends it to `idx`), and
+ * flags
+ *
+ *   - direct writes (assignment, compound assignment, ++/--, and
+ *     mutating container methods) through a by-reference capture on
+ *     a path with no lane-derived subscript, and
+ *   - captured state passed by reference to a function whose
+ *     parameter summary says it mutates that parameter (computed
+ *     transitively over the call graph), with a cross-file witness.
+ *
+ * Method calls not on the mutating list stop the path walk silently:
+ * the checker cannot see constness, and flagging reads would make
+ * the rule unusable.  Engine accessors (charge, counter, traceSpan)
+ * are lane-aware by design and fall under this conservative stop.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "check/rules.hh"
+
+namespace ot::check {
+
+/** Determinism taint over the whole run.  `rounds` (optional)
+ *  receives the number of propagation sweeps, for --stats. */
+void runDeterminismTaint(const std::vector<FileContext> &ctxs,
+                         std::vector<Diagnostic> &out,
+                         std::size_t *rounds = nullptr);
+
+/** Lane-safety race rule over the whole run. */
+void runLaneSafety(const std::vector<FileContext> &ctxs,
+                   std::vector<Diagnostic> &out);
+
+} // namespace ot::check

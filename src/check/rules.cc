@@ -6,6 +6,8 @@
 #include <set>
 
 #include "check/callgraph.hh"
+#include "check/dataflow.hh"
+#include "check/summaries.hh"
 #include "check/symgraph.hh"
 
 namespace ot::check {
@@ -449,15 +451,23 @@ classifyRaii(const ParsedFile &parsed)
  * The state set and the counts are capped; an overflow abandons the
  * function silently (conservative: no diagnostics from code too
  * tangled to prove).
+ *
+ * Call sites fold in interprocedural summaries: a call whose
+ * candidates agree on a Known net delta applies that delta to the
+ * open counts (after the statement's own events), so a helper that
+ * opens a phase for its caller to close — or vice versa — is proven
+ * instead of flagged.  Top/Inconsistent callees apply 0, which is
+ * exactly the pre-summary behavior.
  */
 class PhaseFlow
 {
   public:
     PhaseFlow(const FileContext &ctx, const FuncDef &func,
               const std::array<bool, kNPairs> &skipLeak,
-              const std::array<bool, kNPairs> &skipUnderflow)
+              const std::array<bool, kNPairs> &skipUnderflow,
+              const SummaryTable &table)
         : _ctx(ctx), _func(func), _skipLeak(skipLeak),
-          _skipUnderflow(skipUnderflow)
+          _skipUnderflow(skipUnderflow), _table(table)
     {
     }
 
@@ -512,6 +522,7 @@ class PhaseFlow
     const FuncDef &_func;
     std::array<bool, kNPairs> _skipLeak;
     std::array<bool, kNPairs> _skipUnderflow;
+    const SummaryTable &_table;
     bool _bailed = false;
     std::array<int, kNPairs> _lastBeginLine{};
     std::set<std::pair<std::size_t, int>> _noted; // (pair, line)
@@ -527,13 +538,36 @@ class PhaseFlow
     }
 
     States
-    apply(const States &in, const std::vector<PairEvent> &events)
+    apply(const States &in, const Stmt &stmt)
     {
-        if (events.empty())
+        // Callee deltas for this statement, resolved once from the
+        // summary table; Top/Inconsistent candidates contribute 0.
+        struct CallDelta
+        {
+            std::array<int, kNPairs> net{};
+            const CallSite *site = nullptr;
+        };
+        std::vector<CallDelta> callDeltas;
+        for (const CallSite &c : stmt.calls) {
+            CallDelta cd;
+            cd.site = &c;
+            bool any = false;
+            for (std::size_t p = 0; p < kNPairs; ++p) {
+                PairDelta d = _table.callDelta(c.name, p);
+                if (d.kind == PairDelta::Kind::Known && d.net != 0) {
+                    cd.net[p] = d.net;
+                    any = true;
+                }
+            }
+            if (any)
+                callDeltas.push_back(cd);
+        }
+        if (stmt.events.empty() && callDeltas.empty())
             return in;
+
         States out;
         for (State s : in) {
-            for (const PairEvent &e : events) {
+            for (const PairEvent &e : stmt.events) {
                 std::size_t p = static_cast<std::size_t>(e.pair);
                 if (e.begin) {
                     if (s[p] < kMaxCount)
@@ -547,6 +581,30 @@ class PhaseFlow
                              " without a matching " + kPairs[p].begin +
                              " in this function",
                          "balance the pair within one function body");
+                }
+            }
+            for (const CallDelta &cd : callDeltas) {
+                for (std::size_t p = 0; p < kNPairs; ++p) {
+                    if (cd.net[p] > 0) {
+                        s[p] = std::min(s[p] + cd.net[p], kMaxCount);
+                        _lastBeginLine[p] = cd.site->line;
+                    } else if (cd.net[p] < 0) {
+                        if (s[p] + cd.net[p] >= 0) {
+                            s[p] += cd.net[p];
+                        } else {
+                            if (!_skipUnderflow[p])
+                                note(p, cd.site->line,
+                                     "call to '" + cd.site->name +
+                                         "' closes " +
+                                         kPairs[p].begin +
+                                         " that is not open on this "
+                                         "path",
+                                     "open the pair before the call, "
+                                     "or balance it inside the "
+                                     "callee");
+                            s[p] = 0;
+                        }
+                    }
                 }
             }
             out.insert(s);
@@ -642,17 +700,17 @@ class PhaseFlow
             return f;
         }
         case Stmt::Kind::Simple:
-            f.normal = apply(in, s.events);
+            f.normal = apply(in, s);
             return f;
         case Stmt::Kind::Return: {
-            States after = apply(in, s.events);
+            States after = apply(in, s);
             checkReturn(after, s.line);
             return f;
         }
         case Stmt::Kind::Exit:
             // throw/abort paths are exempt: the process or the
             // exception machinery owns cleanup there.
-            apply(in, s.events);
+            apply(in, s);
             return f;
         case Stmt::Kind::Break:
             f.brk = in;
@@ -661,7 +719,7 @@ class PhaseFlow
             f.cont = in;
             return f;
         case Stmt::Kind::If: {
-            States head = apply(in, s.events);
+            States head = apply(in, s);
             Flow t = s.children.empty()
                          ? Flow{head, {}, {}}
                          : eval(s.children[0], head);
@@ -675,13 +733,13 @@ class PhaseFlow
         }
         case Stmt::Kind::Loop: {
             States head =
-                s.isDoWhile ? in : apply(in, s.events);
+                s.isDoWhile ? in : apply(in, s);
             Flow b = s.children.empty()
                          ? Flow{head, {}, {}}
                          : eval(s.children[0], head);
             States afterOne = merge(b.normal, b.cont);
             if (s.isDoWhile)
-                afterOne = apply(afterOne, s.events);
+                afterOne = apply(afterOne, s);
             checkLoopCarried(s, head, afterOne);
             // Zero iterations (head), one-plus iterations
             // (afterOne), or a break out of the body.
@@ -691,7 +749,7 @@ class PhaseFlow
             return f;
         }
         case Stmt::Kind::Switch: {
-            States head = apply(in, s.events);
+            States head = apply(in, s);
             States exitNormal = s.hasDefault ? States{} : head;
             States carry; // fallthrough from the previous section
             for (const Stmt &sec : s.children) {
@@ -726,29 +784,70 @@ class PhaseFlow
     }
 };
 
-void
-runAccounting(const FileContext &ctx, std::vector<Diagnostic> &out)
+/** Does any call in `f` carry a nonzero Known delta?  Functions with
+ *  no events of their own still need evaluation when a callee opens
+ *  or closes on their behalf. */
+bool
+hasDeltaCalls(const FuncDef &f, const SummaryTable &table)
 {
-    std::map<std::string, RaiiPairs> raii = classifyRaii(ctx.parsed);
-    for (const FuncDef &f : ctx.parsed.funcs) {
-        if (!hasEvents(f.body))
-            continue;
-        std::array<bool, kNPairs> skipLeak{};
-        std::array<bool, kNPairs> skipUnderflow{};
-        auto it = raii.find(f.className);
-        if (it != raii.end()) {
-            for (std::size_t p = 0; p < kNPairs; ++p) {
-                if (!it->second.raii(p))
-                    continue;
-                // The ctor's +1 / dtor's -1 IS the pairing: the open
-                // phase is the object's invariant, not a leak.
-                if (f.isCtor)
-                    skipLeak[p] = true;
-                if (f.isDtor)
-                    skipUnderflow[p] = true;
-            }
+    for (const CallSite &c : f.calls)
+        for (std::size_t p = 0; p < kNPairs; ++p) {
+            PairDelta d = table.callDelta(c.name, p);
+            if (d.kind == PairDelta::Kind::Known && d.net != 0)
+                return true;
         }
-        PhaseFlow(ctx, f, skipLeak, skipUnderflow).run(out);
+    return false;
+}
+
+void
+runAccounting(const std::vector<FileContext> &ctxs,
+              const SummaryTable &table, std::vector<Diagnostic> &out)
+{
+    for (const FileContext &ctx : ctxs) {
+        std::map<std::string, RaiiPairs> raii =
+            classifyRaii(ctx.parsed);
+        for (const FuncDef &f : ctx.parsed.funcs) {
+            if (!hasEvents(f.body) && !hasDeltaCalls(f, table))
+                continue;
+            std::array<bool, kNPairs> skipLeak{};
+            std::array<bool, kNPairs> skipUnderflow{};
+            auto it = raii.find(f.className);
+            if (it != raii.end()) {
+                for (std::size_t p = 0; p < kNPairs; ++p) {
+                    if (!it->second.raii(p))
+                        continue;
+                    // The ctor's +1 / dtor's -1 IS the pairing: the
+                    // open phase is the object's invariant, not a
+                    // leak.
+                    if (f.isCtor)
+                        skipLeak[p] = true;
+                    if (f.isDtor)
+                        skipUnderflow[p] = true;
+                }
+            }
+            // Opener/closer helpers: a named non-RAII function whose
+            // exit paths agree on a nonzero net, and whose name is
+            // actually called somewhere in the run, balances across
+            // its call edge — the callers' evaluations (which fold in
+            // the summary delta) prove the pairing instead.
+            if (!f.isCtor && !f.isDtor && !f.name.empty() &&
+                table.calledNames.count(f.name)) {
+                auto sit = table.funcs.find(&f);
+                if (sit != table.funcs.end()) {
+                    for (std::size_t p = 0; p < kNPairs; ++p) {
+                        const PairDelta &d = sit->second.pairs[p];
+                        if (d.kind != PairDelta::Kind::Known)
+                            continue;
+                        if (d.net > 0)
+                            skipLeak[p] = true;
+                        else if (d.net < 0)
+                            skipUnderflow[p] = true;
+                    }
+                }
+            }
+            PhaseFlow(ctx, f, skipLeak, skipUnderflow, table)
+                .run(out);
+        }
     }
 }
 
@@ -986,6 +1085,8 @@ runIncludeHygiene(const std::vector<FileContext> &ctxs,
     }
 }
 
+} // namespace
+
 /** Line extent an allow() marker covers: from its own line through
  *  the end of the statement beginning at or after it (`;` at paren/
  *  brace depth zero, or the close of a braced definition), at least
@@ -1031,8 +1132,6 @@ allowExtent(const std::vector<Token> &toks, int line)
     return {line, last};
 }
 
-} // namespace
-
 std::string
 classifyLayer(const std::string &path)
 {
@@ -1055,25 +1154,174 @@ allowedIncludes(const std::string &layer)
 }
 
 bool
+inDeterminismScope(const std::string &layer)
+{
+    return layer == "sim" || layer == "otn" || layer == "otc" ||
+           layer == "workload" || layer == "scenario";
+}
+
+const std::vector<DeterminismBan> &
+determinismBans()
+{
+    static const std::vector<DeterminismBan> bans = [] {
+        std::vector<DeterminismBan> v;
+        for (const BannedName &b : kDeterminismBans)
+            v.push_back({b.name, b.callOnly});
+        return v;
+    }();
+    return bans;
+}
+
+const std::vector<RuleDoc> &
+ruleCatalog()
+{
+    // ruleIndex order — append-only (see rules.hh).
+    static const std::vector<RuleDoc> catalog = {
+        {"determinism",
+         "No nondeterminism sources or iteration-order hazards in "
+         "lane-reachable layers",
+         "Flat token scan over src/sim, src/otn, src/otc, "
+         "src/workload and src/scenario: banned identifiers (wall "
+         "clocks, rand(), thread ids, std::unordered_*) and "
+         "pointer-keyed std::map/std::set template arguments.",
+         "call to rand() is a nondeterminism source",
+         "only for constructs provably outside the replayed state, "
+         "e.g. the sanctioned raw PRNG call sites in "
+         "src/scenario/prng.hh",
+         true},
+        {"layering",
+         "#include edges must follow the layer DAG",
+         "Every project include from a src/ layer is checked against "
+         "the layer DAG in DESIGN.md; umbrella includes "
+         "(orthotree/...) are banned inside src/.",
+         "layer 'sim' may not include 'otn/network.hh'",
+         "never — fix the dependency direction instead", true},
+        {"accounting",
+         "beginPhase/endPhase and spanBegin/spanEnd must balance on "
+         "every control-flow path",
+         "Path-sensitive evaluation of each function's statement "
+         "tree, with RAII wrappers recognized (ctor +1 / dtor -1) "
+         "and interprocedural net-delta summaries folded in at call "
+         "sites, fixpointed over the call graph (conservative Top on "
+         "recursion and opaque bodies).",
+         "beginPhase never closed before the function ends",
+         "for pairing schemes the summary lattice cannot express, "
+         "e.g. deltas routed through function pointers", true},
+        {"hotpath",
+         "Hotpath-marked files may not use std::function, virtual "
+         "or heap allocation",
+         "Flat token scan of files carrying the hotpath marker "
+         "comment.",
+         "heap allocation in a hotpath file",
+         "only for provably cold paths inside a hotpath file "
+         "(error handling, setup)", true},
+        {"hotpath-propagation",
+         "Hotpath functions may not reach banned constructs through "
+         "any call chain in src/",
+         "Dirty-function fixpoint over the project call graph: a "
+         "definition using banned constructs taints every caller "
+         "chain; calls from hotpath files to (all-candidate) dirty "
+         "names are flagged with the witness chain.",
+         "call to 'rebuild' reaches heap allocation via grow()",
+         "only with a measurement showing the callee is cold at "
+         "runtime", true},
+        {"include-hygiene",
+         "Includes must be used, and used symbols included directly",
+         "Symbol graph over declared/exported names: each resolved "
+         "project include must contribute a referenced symbol "
+         "(directly or as a gateway), and a symbol with a unique "
+         "declaring header must be included directly.",
+         "unused include \"otn/mst.hh\": nothing it declares is "
+         "referenced",
+         "for includes kept for documentation or platform-gated "
+         "code the scanner cannot see", true},
+        {"unreachable",
+         "No statements after an unconditional return/throw/abort",
+         "Statement-tree walk: inside each block, any statement "
+         "after an unconditionally terminating one (and not a label "
+         "target) is dead.",
+         "statement is unreachable: every path above has already "
+         "left the block",
+         "never — delete the dead code", true},
+        {"allow-syntax",
+         "allow() markers must name a known rule and carry a "
+         "justification",
+         "Validation of the escape markers themselves; not "
+         "allowable, or escapes could suppress their own audit.",
+         "otcheck:allow names unknown rule 'determinsm'", "never",
+         false},
+        {"unused-allow",
+         "allow() markers that suppress nothing must be removed",
+         "After filtering, any well-formed marker with zero "
+         "suppressions is stale; not allowable, or escapes could "
+         "outlive their reason.",
+         "otcheck:allow(accounting) no longer suppresses anything",
+         "never", false},
+        {"intrinsics",
+         "Raw SIMD intrinsics are confined to the simd layer; "
+         "everything else goes through the KernelTable dispatch",
+         "Flat scan for intrinsic headers, _mm*/__m* and NEON "
+         "identifiers outside src/simd.",
+         "x86 intrinsic '_mm256_add_epi64' outside the simd layer",
+         "only for scalar bit-manipulation builtins misclassified "
+         "as vector intrinsics", true},
+        {"determinism-taint",
+         "Functions reaching a raw nondeterminism source taint "
+         "their callers; calls from the determinism scope into "
+         "tainted out-of-scope code are flagged with the full "
+         "source→sink chain",
+         "Interprocedural taint over the call graph: sources are "
+         "banned identifiers used outside an allow(determinism) "
+         "extent; taint flows through calls and function-pointer "
+         "references (all-candidate resolution); diagnosed at the "
+         "boundary crossing so each defect surfaces once.",
+         "call to 'jitter' reaches a nondeterminism source outside "
+         "the determinism scope: jitter() → splitmix64 at "
+         "src/analysis/noise.cc:12",
+         "only when the tainted callee is provably outside the "
+         "replayed state (logging, diagnostics)", true},
+        {"lane-safety",
+         "parallelFor lane lambdas may not write through shared "
+         "by-reference captures without a lane-derived index",
+         "Entry lambdas are found syntactically inside parallelFor "
+         "argument lists; lane-derived locals are tracked from the "
+         "lane parameter; direct writes (assignment, compound "
+         "assignment, ++/--, mutating container methods) and "
+         "by-reference passes to mutating callees (per-parameter "
+         "mutation summaries, transitive) are flagged unless a "
+         "lane-derived subscript isolates the slot.",
+         "parallelFor lane lambda: write through shared capture "
+         "'total' is not indexed by the lane parameter",
+         "only for state protected by external synchronization the "
+         "checker cannot see — name the lock in the justification",
+         true},
+    };
+    return catalog;
+}
+
+const RuleDoc *
+findRuleDoc(const std::string &rule)
+{
+    for (const RuleDoc &d : ruleCatalog())
+        if (rule == d.id)
+            return &d;
+    return nullptr;
+}
+
+bool
 knownRule(const std::string &rule)
 {
-    return rule == "determinism" || rule == "layering" ||
-           rule == "accounting" || rule == "hotpath" ||
-           rule == "hotpath-propagation" ||
-           rule == "include-hygiene" || rule == "unreachable" ||
-           rule == "intrinsics";
+    const RuleDoc *d = findRuleDoc(rule);
+    return d != nullptr && d->allowable;
 }
 
 std::vector<Diagnostic>
 runFileRules(const FileContext &ctx)
 {
     std::vector<Diagnostic> raw;
-    if (ctx.layer == "sim" || ctx.layer == "otn" ||
-        ctx.layer == "otc" || ctx.layer == "workload" ||
-        ctx.layer == "scenario")
+    if (inDeterminismScope(ctx.layer))
         runDeterminism(ctx, raw);
     runLayering(ctx, raw);
-    runAccounting(ctx, raw);
     runHotpath(ctx, raw);
     if (ctx.layer != "simd")
         runIntrinsics(ctx, raw);
@@ -1082,13 +1330,25 @@ runFileRules(const FileContext &ctx)
 }
 
 std::vector<Diagnostic>
-runProjectRules(const std::vector<FileContext> &ctxs)
+runProjectRules(const std::vector<FileContext> &ctxs,
+                ProjectRuleStats *stats)
 {
     std::vector<Diagnostic> out;
     SymGraph sg = buildSymGraph(ctxs);
     CallGraph cg = buildCallGraph(ctxs);
+    SummaryTable summaries = buildSummaries(ctxs);
+    runAccounting(ctxs, summaries, out);
     runHotpathPropagation(ctxs, cg, out);
     runIncludeHygiene(ctxs, sg, out);
+    std::size_t taintRounds = 0;
+    runDeterminismTaint(ctxs, out, &taintRounds);
+    runLaneSafety(ctxs, out);
+    if (stats) {
+        for (const FileContext &ctx : ctxs)
+            stats->functionsAnalyzed += ctx.parsed.funcs.size();
+        stats->summaryEvaluations = summaries.evaluations;
+        stats->taintRounds = taintRounds;
+    }
     return out;
 }
 
@@ -1134,12 +1394,19 @@ applyAllows(const FileContext &ctx, std::vector<Diagnostic> diags)
     // suppresses nothing is stale and must go.
     for (std::size_t k = 0; k < ctx.lexed.allows.size(); ++k) {
         const Allow &a = ctx.lexed.allows[k];
-        if (a.rule.empty() || !knownRule(a.rule))
+        if (a.rule.empty() || !knownRule(a.rule)) {
+            std::string ruleList;
+            for (const RuleDoc &d : ruleCatalog()) {
+                if (!d.allowable)
+                    continue;
+                if (!ruleList.empty())
+                    ruleList += ", ";
+                ruleList += d.id;
+            }
             emit(out, ctx, a.line, "allow-syntax",
                  "otcheck:allow names unknown rule '" + a.rule + "'",
-                 "rules: determinism, layering, accounting, hotpath, "
-                 "hotpath-propagation, include-hygiene, unreachable, "
-                 "intrinsics");
+                 "rules: " + ruleList);
+        }
         else if (a.justification.empty())
             emit(out, ctx, a.line, "allow-syntax",
                  "otcheck:allow(" + a.rule + ") without justification",

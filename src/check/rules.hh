@@ -2,7 +2,7 @@
  * @file
  * otcheck rule definitions.
  *
- * Seven rule families guard the engine's headline guarantee — charged
+ * The rule families guard the engine's headline guarantee — charged
  * model time and trace streams bit-identical at any OT_HOST_THREADS —
  * plus the architectural layering that keeps them auditable:
  *
@@ -37,6 +37,27 @@
  *                 unrelated transitive path.
  *   unreachable — no statements after an unconditional
  *                 return/throw/abort in a block.
+ *   determinism-taint — interprocedural form of determinism: a
+ *                 function whose body draws from a raw nondeterminism
+ *                 source (outside an allow(determinism) extent) taints
+ *                 every function that reaches it through calls or
+ *                 function-pointer references; a call from the
+ *                 determinism scope into a tainted out-of-scope
+ *                 definition is diagnosed with the full source→sink
+ *                 witness chain, so wrapper laundering cannot escape
+ *                 the flat token scan.
+ *   lane-safety — lambdas passed to parallelFor run concurrently on
+ *                 host lanes; writes through by-reference captures
+ *                 must be indexed by the lane parameter (per-lane
+ *                 buffer, merge after the join), including writes
+ *                 performed by callees through non-const reference
+ *                 parameters.
+ *
+ * Accounting is additionally interprocedural: per-function net
+ * begin/end deltas are fixpointed over the call graph (conservative ⊤
+ * on recursion and on opaque or disagreeing CFGs; see summaries.hh),
+ * so a beginPhase in one function legally paired with the endPhase in
+ * a callee or caller is verified instead of flagged.
  *
  * Any diagnostic can be suppressed with an allow(rule): justification
  * marker comment; the marker covers the full statement that begins on
@@ -51,6 +72,7 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "check/cfg.hh"
@@ -89,19 +111,72 @@ std::string classifyLayer(const std::string &path);
 /** Layers a given layer may include (empty ⇒ unrestricted). */
 const std::vector<std::string> &allowedIncludes(const std::string &layer);
 
+/** True for the lane-reachable layers the determinism rules scope to
+ *  (sim, otn, otc, workload, scenario). */
+bool inDeterminismScope(const std::string &layer);
+
+/** One banned identifier shared by the flat determinism scan and the
+ *  taint source scan. */
+struct DeterminismBan
+{
+    const char *name;
+    bool callOnly; ///< only banned in free-call position `name(`
+};
+
+/** The determinism ban list (names only; messages stay internal). */
+const std::vector<DeterminismBan> &determinismBans();
+
 /** True iff `rule` is one of the rule ids allow() may name. */
 bool knownRule(const std::string &rule);
 
-/** Run the single-file rules (determinism, layering, accounting,
- *  hotpath, unreachable) over one file.  Raw: allow() markers are NOT
- *  applied. */
+/**
+ * Documentation record for one rule id — the single source of truth
+ * rendered by both the SARIF emitter and `otcheck --explain`.
+ */
+struct RuleDoc
+{
+    const char *id;
+    const char *summary; ///< one line; SARIF shortDescription
+    const char *model;   ///< what the rule analyzes and how
+    const char *example; ///< a representative diagnostic message
+    const char *allowPolicy; ///< when an allow() escape is sanctioned
+    bool allowable;          ///< may appear in an allow() marker
+};
+
+/** Every rule id otcheck can emit, in stable SARIF ruleIndex order.
+ *  Append-only: reordering would re-map cached indices downstream. */
+const std::vector<RuleDoc> &ruleCatalog();
+
+/** Lookup by id; nullptr when unknown. */
+const RuleDoc *findRuleDoc(const std::string &rule);
+
+/** Line extent an allow() marker on `line` covers: from its own line
+ *  through the end of the statement beginning at or after it.  Used
+ *  by the allow filter and by source-level scans (determinism taint)
+ *  that must honor markers before diagnostics exist. */
+std::pair<int, int> allowExtent(const std::vector<Token> &toks,
+                                int line);
+
+/** Work counters from the interprocedural passes, for --stats. */
+struct ProjectRuleStats
+{
+    std::size_t functionsAnalyzed = 0;
+    std::size_t summaryEvaluations = 0; ///< accounting fixpoint work
+    std::size_t taintRounds = 0;        ///< taint fixpoint sweeps
+};
+
+/** Run the single-file rules (determinism, layering, hotpath,
+ *  intrinsics, unreachable) over one file.  Raw: allow() markers are
+ *  NOT applied. */
 std::vector<Diagnostic> runFileRules(const FileContext &ctx);
 
-/** Run the cross-file rules (hotpath-propagation, include-hygiene)
- *  over a whole run's file set.  Raw: allow() markers are NOT
- *  applied. */
+/** Run the cross-file rules (accounting with interprocedural
+ *  summaries, hotpath-propagation, include-hygiene, determinism
+ *  taint, lane-safety) over a whole run's file set.  Raw: allow()
+ *  markers are NOT applied. */
 std::vector<Diagnostic>
-runProjectRules(const std::vector<FileContext> &ctxs);
+runProjectRules(const std::vector<FileContext> &ctxs,
+                ProjectRuleStats *stats = nullptr);
 
 /** Apply one file's allow() markers to the diagnostics raised against
  *  it (from both rule passes): filter suppressed findings, validate

@@ -7,47 +7,14 @@ namespace ot::check {
 
 namespace {
 
-struct RuleInfo
-{
-    const char *id;
-    const char *description;
-};
-
-/** Every rule id otcheck can emit, in ruleIndex order.  Appending is
- *  fine; reordering would silently re-map indices in consumers that
- *  cache them, so don't. */
-const RuleInfo kRules[] = {
-    {"determinism",
-     "No nondeterminism sources or iteration-order hazards in "
-     "lane-reachable layers"},
-    {"layering", "#include edges must follow the layer DAG"},
-    {"accounting",
-     "beginPhase/endPhase and spanBegin/spanEnd must balance on "
-     "every control-flow path"},
-    {"hotpath",
-     "Hotpath-marked files may not use std::function, virtual or "
-     "heap allocation"},
-    {"hotpath-propagation",
-     "Hotpath functions may not reach banned constructs through any "
-     "call chain in src/"},
-    {"include-hygiene",
-     "Includes must be used, and used symbols included directly"},
-    {"unreachable",
-     "No statements after an unconditional return/throw/abort"},
-    {"allow-syntax", "allow() markers must name a known rule and "
-                     "carry a justification"},
-    {"unused-allow",
-     "allow() markers that suppress nothing must be removed"},
-    {"intrinsics",
-     "Raw SIMD intrinsics are confined to the simd layer; everything "
-     "else goes through the KernelTable dispatch"},
-};
-
+/** ruleIndex order is the catalog order (see rules.hh: append-only —
+ *  reordering would silently re-map indices in consumers that cache
+ *  them). */
 int
 ruleIndex(const std::string &id)
 {
     int i = 0;
-    for (const RuleInfo &r : kRules) {
+    for (const RuleDoc &r : ruleCatalog()) {
         if (id == r.id)
             return i;
         ++i;
@@ -105,12 +72,12 @@ renderSarif(const Report &report)
         << "          \"rules\": [\n";
     {
         bool first = true;
-        for (const RuleInfo &r : kRules) {
+        for (const RuleDoc &r : ruleCatalog()) {
             out << (first ? "" : ",\n");
             first = false;
             out << "            {\"id\": \"" << r.id
                 << "\", \"shortDescription\": {\"text\": \"";
-            escape(out, r.description);
+            escape(out, r.summary);
             out << "\"}}";
         }
     }

@@ -1,0 +1,362 @@
+#include "check/summaries.hh"
+
+#include <algorithm>
+
+namespace ot::check {
+
+namespace {
+
+/** Is `name` one of the accounting begin/end calls themselves?  Those
+ *  call sites are already counted as events; resolving them as
+ *  project calls would double-count. */
+bool
+isPairName(const std::string &name)
+{
+    for (std::size_t p = 0; p < kNPairs; ++p)
+        if (name == kPairs[p].begin || name == kPairs[p].end)
+            return true;
+    return false;
+}
+
+class Builder;
+
+/**
+ * Path-sensitive net-delta evaluator for one function body.  Like the
+ * diagnostic PhaseFlow, a state is the vector of counts per pair and
+ * branching forks the state set — but counts may go negative (a
+ * closer helper nets -1) and nothing is reported: the output is the
+ * set of exit nets per pair.  Call sites fold in callee deltas
+ * resolved through the Builder (recursively, memoized).
+ */
+class DeltaFlow
+{
+  public:
+    DeltaFlow(Builder &b) : _b(b) {}
+
+    /** Evaluate `f` and derive its summary. */
+    FuncSummary evaluate(const FuncDef &f);
+
+  private:
+    using State = std::array<int, kNPairs>;
+    using States = std::set<State>;
+
+    struct Flow
+    {
+        States normal, brk, cont;
+    };
+
+    static constexpr int kMaxNet = 8;
+    static constexpr std::size_t kMaxStates = 32;
+
+    Builder &_b;
+    bool _bailed = false;
+    std::array<bool, kNPairs> _sawTop{};
+    std::array<std::set<int>, kNPairs> _exitNets;
+
+    void recordExit(const States &in);
+    States apply(const States &in, const Stmt &s);
+    static States merge(const States &a, const States &b);
+    Flow eval(const Stmt &s, const States &in);
+};
+
+/** Memoized-DFS summary construction over the run's definitions. */
+class Builder
+{
+  public:
+    explicit Builder(const std::vector<FileContext> &ctxs)
+    {
+        for (const FileContext &ctx : ctxs) {
+            bool srcLayer = !allowedIncludes(ctx.layer).empty();
+            for (const FuncDef &f : ctx.parsed.funcs) {
+                for (const CallSite &c : f.calls)
+                    _table.calledNames.insert(c.name);
+                if (srcLayer && !f.name.empty())
+                    _table.byName[f.name].push_back(&f);
+            }
+        }
+    }
+
+    SummaryTable
+    build()
+    {
+        for (const auto &entry : _table.byName)
+            for (const FuncDef *f : entry.second)
+                summaryOf(f);
+        return std::move(_table);
+    }
+
+    /** Delta one call to `name` applies for pair `p` — recursing into
+     *  candidate summaries; an in-progress candidate means recursion
+     *  and yields Top. */
+    PairDelta
+    callDelta(const std::string &name, std::size_t p)
+    {
+        if (isPairName(name))
+            return {PairDelta::Kind::Known, 0};
+        auto it = _table.byName.find(name);
+        if (it == _table.byName.end())
+            return {PairDelta::Kind::Known, 0};
+        bool first = true;
+        PairDelta agreed{PairDelta::Kind::Known, 0};
+        for (const FuncDef *cand : it->second) {
+            // RAII ctor/dtor deltas are the object's invariant, never
+            // applied at call sites.
+            if (cand->isCtor || cand->isDtor)
+                return {PairDelta::Kind::Known, 0};
+            if (_state[cand] == kInProgress)
+                return {PairDelta::Kind::Top, 0};
+            const FuncSummary &s = summaryOf(cand);
+            const PairDelta &d = s.pairs[p];
+            if (d.kind == PairDelta::Kind::Top)
+                return {PairDelta::Kind::Top, 0};
+            if (d.kind == PairDelta::Kind::Inconsistent)
+                // The candidate is wrong on some path and the
+                // intraprocedural rule flags it there; for the caller
+                // it contributes nothing (pre-summary behavior).
+                return {PairDelta::Kind::Known, 0};
+            if (first) {
+                agreed = d;
+                first = false;
+            } else if (d.net != agreed.net) {
+                return {PairDelta::Kind::Top, 0};
+            }
+        }
+        return agreed;
+    }
+
+  private:
+    friend class DeltaFlow;
+
+    static constexpr int kInProgress = 1;
+    static constexpr int kDone = 2;
+
+    SummaryTable _table;
+    std::map<const FuncDef *, int> _state;
+
+    const FuncSummary &
+    summaryOf(const FuncDef *f)
+    {
+        auto it = _table.funcs.find(f);
+        if (it != _table.funcs.end() && _state[f] == kDone)
+            return it->second;
+        _state[f] = kInProgress;
+        ++_table.evaluations;
+        FuncSummary s = DeltaFlow(*this).evaluate(*f);
+        _state[f] = kDone;
+        return _table.funcs[f] = s;
+    }
+};
+
+FuncSummary
+DeltaFlow::evaluate(const FuncDef &f)
+{
+    States entry;
+    entry.insert(State{});
+    Flow fl = eval(f.body, entry);
+    States end = merge(merge(fl.normal, fl.brk), fl.cont);
+    recordExit(end);
+
+    FuncSummary out;
+    for (std::size_t p = 0; p < kNPairs; ++p) {
+        if (_bailed || _sawTop[p]) {
+            out.pairs[p] = {PairDelta::Kind::Top, 0};
+        } else if (_exitNets[p].empty()) {
+            // Every path throws/aborts: nothing reaches the caller.
+            out.pairs[p] = {PairDelta::Kind::Known, 0};
+        } else if (_exitNets[p].size() == 1) {
+            out.pairs[p] = {PairDelta::Kind::Known,
+                            *_exitNets[p].begin()};
+        } else {
+            out.pairs[p] = {PairDelta::Kind::Inconsistent, 0};
+        }
+    }
+    return out;
+}
+
+void
+DeltaFlow::recordExit(const States &in)
+{
+    for (const State &s : in)
+        for (std::size_t p = 0; p < kNPairs; ++p)
+            _exitNets[p].insert(s[p]);
+}
+
+DeltaFlow::States
+DeltaFlow::apply(const States &in, const Stmt &s)
+{
+    if (s.events.empty() && s.calls.empty())
+        return in;
+    // Callee deltas for this statement, resolved once.
+    std::array<int, kNPairs> callNet{};
+    for (const CallSite &c : s.calls) {
+        for (std::size_t p = 0; p < kNPairs; ++p) {
+            PairDelta d = _b.callDelta(c.name, p);
+            if (d.kind == PairDelta::Kind::Top)
+                _sawTop[p] = true;
+            else
+                callNet[p] += d.net;
+        }
+    }
+    States out;
+    for (State st : in) {
+        for (const PairEvent &e : s.events) {
+            std::size_t p = static_cast<std::size_t>(e.pair);
+            st[p] += e.begin ? 1 : -1;
+        }
+        for (std::size_t p = 0; p < kNPairs; ++p)
+            st[p] += callNet[p];
+        for (std::size_t p = 0; p < kNPairs; ++p)
+            if (st[p] > kMaxNet || st[p] < -kMaxNet) {
+                _bailed = true;
+                return out;
+            }
+        out.insert(st);
+    }
+    if (out.size() > kMaxStates)
+        _bailed = true;
+    return out;
+}
+
+DeltaFlow::States
+DeltaFlow::merge(const States &a, const States &b)
+{
+    States out = a;
+    out.insert(b.begin(), b.end());
+    return out;
+}
+
+DeltaFlow::Flow
+DeltaFlow::eval(const Stmt &s, const States &in)
+{
+    Flow f;
+    if (_bailed || in.empty())
+        return f;
+    switch (s.kind) {
+    case Stmt::Kind::Seq: {
+        States cur = in;
+        for (const Stmt &c : s.children) {
+            Flow cf = eval(c, cur);
+            cur = cf.normal;
+            f.brk = merge(f.brk, cf.brk);
+            f.cont = merge(f.cont, cf.cont);
+            if (_bailed)
+                return f;
+        }
+        f.normal = cur;
+        return f;
+    }
+    case Stmt::Kind::Simple:
+        f.normal = apply(in, s);
+        return f;
+    case Stmt::Kind::Return:
+        recordExit(apply(in, s));
+        return f;
+    case Stmt::Kind::Exit:
+        // throw/abort: nothing reaches the caller's fall-through.
+        apply(in, s);
+        return f;
+    case Stmt::Kind::Break:
+        f.brk = in;
+        return f;
+    case Stmt::Kind::Continue:
+        f.cont = in;
+        return f;
+    case Stmt::Kind::If: {
+        States head = apply(in, s);
+        Flow t = s.children.empty() ? Flow{head, {}, {}}
+                                    : eval(s.children[0], head);
+        Flow e = (s.hasElse && s.children.size() > 1)
+                     ? eval(s.children[1], head)
+                     : Flow{head, {}, {}};
+        f.normal = merge(t.normal, e.normal);
+        f.brk = merge(t.brk, e.brk);
+        f.cont = merge(t.cont, e.cont);
+        return f;
+    }
+    case Stmt::Kind::Loop: {
+        States head = s.isDoWhile ? in : apply(in, s);
+        Flow b = s.children.empty() ? Flow{head, {}, {}}
+                                    : eval(s.children[0], head);
+        States afterOne = merge(b.normal, b.cont);
+        if (s.isDoWhile)
+            afterOne = apply(afterOne, s);
+        // Zero iterations, one-plus iterations, or a break out.  A
+        // non-neutral iteration makes the exits disagree and the
+        // summary lands on Inconsistent by itself.
+        f.normal = merge(
+            merge(s.isDoWhile ? States{} : head, afterOne), b.brk);
+        return f;
+    }
+    case Stmt::Kind::Switch: {
+        States head = apply(in, s);
+        States exitNormal = s.hasDefault ? States{} : head;
+        States carry;
+        for (const Stmt &sec : s.children) {
+            Flow cf = eval(sec, merge(head, carry));
+            carry = cf.normal;
+            exitNormal = merge(exitNormal, cf.brk);
+            f.cont = merge(f.cont, cf.cont);
+            if (_bailed)
+                return f;
+        }
+        f.normal = merge(exitNormal, carry);
+        return f;
+    }
+    case Stmt::Kind::Try: {
+        for (std::size_t i = 0; i < s.children.size(); ++i) {
+            Flow cf = eval(s.children[i], in);
+            f.normal = merge(f.normal, cf.normal);
+            f.brk = merge(f.brk, cf.brk);
+            f.cont = merge(f.cont, cf.cont);
+            if (_bailed)
+                return f;
+        }
+        if (s.children.empty())
+            f.normal = in;
+        return f;
+    }
+    }
+    f.normal = in;
+    return f;
+}
+
+} // namespace
+
+PairDelta
+SummaryTable::callDelta(const std::string &name, std::size_t p) const
+{
+    if (isPairName(name))
+        return {PairDelta::Kind::Known, 0};
+    auto it = byName.find(name);
+    if (it == byName.end())
+        return {PairDelta::Kind::Known, 0};
+    bool first = true;
+    PairDelta agreed{PairDelta::Kind::Known, 0};
+    for (const FuncDef *cand : it->second) {
+        if (cand->isCtor || cand->isDtor)
+            return {PairDelta::Kind::Known, 0};
+        auto fit = funcs.find(cand);
+        if (fit == funcs.end())
+            return {PairDelta::Kind::Top, 0};
+        const PairDelta &d = fit->second.pairs[p];
+        if (d.kind == PairDelta::Kind::Top)
+            return {PairDelta::Kind::Top, 0};
+        if (d.kind == PairDelta::Kind::Inconsistent)
+            return {PairDelta::Kind::Known, 0};
+        if (first) {
+            agreed = d;
+            first = false;
+        } else if (d.net != agreed.net) {
+            return {PairDelta::Kind::Top, 0};
+        }
+    }
+    return agreed;
+}
+
+SummaryTable
+buildSummaries(const std::vector<FileContext> &ctxs)
+{
+    return Builder(ctxs).build();
+}
+
+} // namespace ot::check

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Interprocedural accounting summaries for otcheck.
+ *
+ * The accounting rule proves the beginPhase/endPhase (and
+ * spanBegin/spanEnd) balance path-sensitively inside each function
+ * body.  On its own that model cannot express the legal split where a
+ * function opens a phase that a callee or a caller closes: the opener
+ * flags a leak and the closer flags an underflow even though the pair
+ * balances across the call edge.
+ *
+ * This pass computes a per-function *summary*: the net begin/end
+ * delta per accounting pair that one call to the function applies to
+ * its caller's open counts, fixpointed over the call graph.  The
+ * lattice per pair is
+ *
+ *     Known(n)      every exit path nets exactly n
+ *     Inconsistent  exit paths disagree — the function is wrong on
+ *                   some path, and the intraprocedural rule will say
+ *                   where
+ *     Top           unanalyzable: recursion, a state-set overflow, or
+ *                   call sites whose same-named candidates disagree
+ *
+ * Call sites apply Known deltas into the caller's path evaluation;
+ * Inconsistent and Top conservatively apply 0, which degrades exactly
+ * to the pre-summary behavior (calls invisible) and can therefore
+ * never introduce new false positives.  Constructor and destructor
+ * summaries are never applied at call sites: an RAII wrapper's +1/-1
+ * is the *object's* invariant, handled by the RAII classification in
+ * the intraprocedural rule.
+ *
+ * Resolution is by name (the checker has no types), with the same
+ * convention as the hotpath call graph: a delta is applied only when
+ * ALL same-named candidates agree on it.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "check/cfg.hh"
+#include "check/rules.hh"
+
+namespace ot::check {
+
+/** Net accounting delta of one function for one pair. */
+struct PairDelta
+{
+    enum class Kind { Known, Inconsistent, Top };
+    Kind kind = Kind::Known;
+    int net = 0; ///< meaningful only when kind == Known
+};
+
+/** All pairs of one function. */
+struct FuncSummary
+{
+    std::array<PairDelta, kNPairs> pairs{};
+};
+
+/** Summary table for one run's file set. */
+struct SummaryTable
+{
+    /** Per-definition summaries (named src/-layer functions only). */
+    std::map<const FuncDef *, FuncSummary> funcs;
+    /** Name → the definitions it may resolve to. */
+    std::map<std::string, std::vector<const FuncDef *>> byName;
+    /** Every name that appears at some call site anywhere in the run
+     *  (all layers, lambdas included) — "does anyone call me". */
+    std::set<std::string> calledNames;
+    /** Number of function-body evaluations the fixpoint performed. */
+    std::size_t evaluations = 0;
+
+    /**
+     * Delta a call to `name` applies to the caller for pair `p`:
+     * Known(n) when all candidates agree on Known(n) and none is a
+     * ctor/dtor; Known(0) when the name resolves to nothing (library
+     * calls); Top otherwise.
+     */
+    PairDelta callDelta(const std::string &name, std::size_t p) const;
+};
+
+/** Build the table: evaluate every named src/-layer definition to a
+ *  fixpoint over the call graph (memoized DFS; recursion ⇒ Top). */
+SummaryTable buildSummaries(const std::vector<FileContext> &ctxs);
+
+} // namespace ot::check

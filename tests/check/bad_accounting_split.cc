@@ -1,0 +1,45 @@
+// otcheck:fixture-path src/otn/fixture_bad_accounting_split.cc
+//
+// Known-bad interprocedural accounting fixture: the helpers below
+// carry consistent nonzero net deltas (one opens, one closes), so
+// they are legal in themselves — the defects are in the callers.
+// leakThroughHelper opens via the helper and never closes;
+// closeWithoutOpen closes via the helper with nothing open.  Both
+// are invisible to a per-function analysis and need the call-graph
+// summaries.
+struct Acct
+{
+    void beginPhase(const char *name);
+    void endPhase();
+};
+
+void
+fixtureOpenPhase(Acct &acct)
+{
+    acct.beginPhase("split");
+}
+
+void
+fixtureClosePhase(Acct &acct)
+{
+    acct.endPhase();
+}
+
+void
+leakThroughHelper(Acct &acct)
+{
+    fixtureOpenPhase(acct); // expect: accounting
+}
+
+void
+closeWithoutOpen(Acct &acct)
+{
+    fixtureClosePhase(acct); // expect: accounting
+}
+
+void
+balancedAcrossCalls(Acct &acct)
+{
+    fixtureOpenPhase(acct);
+    acct.endPhase();
+}

@@ -1,0 +1,23 @@
+// otcheck:fixture-path src/otn/fixture_bad_lane_capture.cc
+//
+// Known-bad lane-safety fixture: the lambda handed to parallelFor
+// runs concurrently on host lanes, so writes through by-reference
+// captures must be isolated by a lane-derived index.  Both writes
+// below race — the accumulation and the container mutation hit the
+// same shared object from every lane.
+#include <cstddef>
+#include <vector>
+
+template <class F> void parallelFor(std::size_t n, F &&fn);
+
+double
+reduceRacy(const std::vector<double> &values, std::size_t lanes)
+{
+    double total = 0.0;
+    std::vector<double> trace;
+    parallelFor(lanes, [&](std::size_t lane) {
+        total += values[lane];       // expect: lane-safety
+        trace.push_back(total);      // expect: lane-safety
+    });
+    return total;
+}

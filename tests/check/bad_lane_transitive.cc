@@ -1,0 +1,22 @@
+// otcheck:fixture-path src/otn/fixture_bad_lane_transitive.cc
+//
+// Known-bad transitive lane-safety fixture: the race is one call
+// away.  The lambda body never writes the capture itself — it hands
+// the shared vector to a helper in another translation unit whose
+// mutation summary says "push_back on parameter 0, no index".  The
+// diagnostic must cite the helper's file and line as the witness.
+#include <cstddef>
+#include <vector>
+
+template <class F> void parallelFor(std::size_t n, F &&fn);
+
+void appendSample(std::vector<double> &sink, double v);
+
+void
+collectRacy(const std::vector<double> &values,
+            std::vector<double> &sink)
+{
+    parallelFor(values.size(), [&](std::size_t lane) {
+        appendSample(sink, values[lane]); // expect: lane-safety
+    });
+}

@@ -1,0 +1,21 @@
+// otcheck:fixture-path src/sim/fixture_bad_taint_table.cc
+//
+// Known-bad determinism-taint fixture: the source escapes through a
+// function-pointer table instead of a direct call.  Taking the
+// address of a tainted function inside the determinism scope is
+// flagged as a "reference to" flow — whoever invokes the table entry
+// inherits the nondeterminism.
+#include <cstdint>
+
+std::uint64_t fixtureRawNoise();
+
+using KernelFn = std::uint64_t (*)();
+
+std::uint64_t
+runFirstKernel()
+{
+    static const KernelFn kNoiseKernels[] = {
+        &fixtureRawNoise, // expect: determinism-taint
+    };
+    return kNoiseKernels[0]();
+}

@@ -1,0 +1,21 @@
+// otcheck:fixture-path src/otn/fixture_lane_helper.cc
+//
+// Helper TU for the transitive lane-safety fixtures: appendSample
+// mutates its by-reference parameter unconditionally (the bad
+// caller's witness); appendSampleAt writes only through the `slot`
+// index, so callers that pass a lane-derived slot are excused by the
+// per-parameter mutation summary.
+#include <cstddef>
+#include <vector>
+
+void
+appendSample(std::vector<double> &sink, double v)
+{
+    sink.push_back(v);
+}
+
+void
+appendSampleAt(std::vector<double> &sink, std::size_t slot, double v)
+{
+    sink[slot] += v;
+}

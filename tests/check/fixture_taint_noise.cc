@@ -1,0 +1,27 @@
+// otcheck:fixture-path src/analysis/fixture_taint_noise.cc
+//
+// Taint-source fixture: host-side analysis helper that calls a
+// banned nondeterminism primitive.  src/analysis is outside the
+// determinism scope, so the flat determinism rule stays silent here —
+// the interprocedural taint rule is what carries this fact to any
+// determinism-scope caller.  fixtureMixHash is the clean sibling the
+// good sink fixture calls.
+#include <cstdint>
+
+std::uint64_t splitmix64(std::uint64_t &state);
+
+std::uint64_t
+fixtureRawNoise()
+{
+    std::uint64_t state = 0x9e3779b97f4a7c15ull;
+    return splitmix64(state);
+}
+
+std::uint64_t
+fixtureMixHash(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 33;
+    return x;
+}

@@ -1,0 +1,48 @@
+// otcheck:fixture-path src/otn/fixture_good_accounting_split.cc
+//
+// Known-good interprocedural accounting fixture:
+//   - a phase opened through one helper and closed through another
+//     balances across the call edges (Known(+1) + Known(-1));
+//   - a self-recursive function gets a Top summary, so its callers
+//     degrade to the old call-invisible behavior instead of guessing
+//     a delta — no diagnostics on either side as long as each body
+//     balances intraprocedurally.
+struct Acct
+{
+    void beginPhase(const char *name);
+    void endPhase();
+};
+
+void
+fixtureOpenSpan(Acct &acct)
+{
+    acct.beginPhase("paired");
+}
+
+void
+fixtureCloseSpan(Acct &acct)
+{
+    acct.endPhase();
+}
+
+void
+pairAcrossHelpers(Acct &acct)
+{
+    fixtureOpenSpan(acct);
+    fixtureCloseSpan(acct);
+}
+
+int
+fixtureRecurse(Acct &acct, int depth)
+{
+    acct.beginPhase("recurse");
+    int below = depth > 0 ? fixtureRecurse(acct, depth - 1) : 0;
+    acct.endPhase();
+    return below + 1;
+}
+
+int
+useRecurse(Acct &acct)
+{
+    return fixtureRecurse(acct, 3);
+}

@@ -1,0 +1,51 @@
+// otcheck:fixture-path src/otn/fixture_good_lane_indexed.cc
+//
+// Known-good lane-safety fixture: every shape here must stay silent.
+//   - writes into a shared buffer indexed by the lane parameter (or
+//     by a local derived from it, including range-for loop variables
+//     over a lane-derived shard);
+//   - a reference local bound to a lane-indexed slot;
+//   - captured state passed to a callee whose mutation is indexed by
+//     a lane-derived argument (per-parameter summary lookup);
+//   - engine accessor calls (counter() hands back a lane-aware
+//     reference, so the prefix ++ targets the accessor's slot).
+#include <cstddef>
+#include <vector>
+
+template <class F> void parallelFor(std::size_t n, F &&fn);
+
+struct Shard
+{
+    std::vector<std::size_t> members;
+};
+
+struct Engine
+{
+    std::size_t &counter(std::size_t lane);
+    void record(std::size_t lane);
+};
+
+void
+accumulateAt(std::vector<double> &acc, std::size_t idx, double v)
+{
+    acc[idx] += v;
+}
+
+void
+scatterSafe(const std::vector<Shard> &shards,
+            std::vector<double> &out, Engine &eng, double scale)
+{
+    parallelFor(shards.size(), [&](std::size_t lane) {
+        const Shard &sh = shards[lane];
+        double local = 0.0;
+        for (std::size_t idx : sh.members) {
+            local += scale;
+            out[idx] = local;
+        }
+        double &slot = out[lane];
+        slot += local;
+        accumulateAt(out, lane, local);
+        ++eng.counter(lane);
+        eng.record(lane);
+    });
+}

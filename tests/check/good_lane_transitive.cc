@@ -1,0 +1,22 @@
+// otcheck:fixture-path src/otn/fixture_good_lane_transitive.cc
+//
+// Known-good transitive lane-safety fixture: the same shared vector
+// crosses the same call boundary, but the callee's only mutation is
+// subscripted by its `slot` parameter and the caller feeds that
+// position the lane id — the summary substitution excuses it.
+#include <cstddef>
+#include <vector>
+
+template <class F> void parallelFor(std::size_t n, F &&fn);
+
+void appendSampleAt(std::vector<double> &sink, std::size_t slot,
+                    double v);
+
+void
+collectSafe(const std::vector<double> &values,
+            std::vector<double> &sink)
+{
+    parallelFor(values.size(), [&](std::size_t lane) {
+        appendSampleAt(sink, lane, values[lane]);
+    });
+}

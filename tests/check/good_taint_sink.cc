@@ -1,0 +1,15 @@
+// otcheck:fixture-path src/workload/fixture_good_taint_sink.cc
+//
+// Known-good determinism-taint fixture: a determinism-scope file
+// calling an out-of-scope helper that is NOT tainted.  Crossing the
+// scope boundary is fine in itself — only reaching a nondeterminism
+// source through the call graph is flagged.
+#include <cstdint>
+
+std::uint64_t fixtureMixHash(std::uint64_t x);
+
+std::uint64_t
+deriveSeed(std::uint64_t seed)
+{
+    return fixtureMixHash(seed ^ 0x2545f4914f6cdd1dull);
+}

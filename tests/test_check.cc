@@ -98,15 +98,17 @@ TEST(CheckFixtures, CorpusMatchesAnnotations)
 {
     const std::string dir = OT_CHECK_FIXTURE_DIR;
     const std::vector<std::string> names = {
-        "bad_accounting.cc",      "bad_accounting_cfg.cc",
-        "bad_allow.cc",           "bad_determinism.cc",
-        "bad_hotpath.cc",         "bad_intrinsics.cc",
-        "bad_layering.cc",        "bad_lexer_resync.cc",
-        "bad_scenario_prng.cc",   "bad_unreachable.cc",
-        "good_accounting.cc",     "good_accounting_cfg.cc",
-        "good_determinism.cc",    "good_hotpath.cc",
-        "good_intrinsics.cc",     "good_layering.cc",
-        "good_lexer.cc",          "good_scenario_prng.cc",
+        "bad_accounting.cc",        "bad_accounting_cfg.cc",
+        "bad_accounting_split.cc",  "bad_allow.cc",
+        "bad_determinism.cc",       "bad_hotpath.cc",
+        "bad_intrinsics.cc",        "bad_lane_capture.cc",
+        "bad_layering.cc",          "bad_lexer_resync.cc",
+        "bad_scenario_prng.cc",     "bad_unreachable.cc",
+        "good_accounting.cc",       "good_accounting_cfg.cc",
+        "good_accounting_split.cc", "good_determinism.cc",
+        "good_hotpath.cc",          "good_intrinsics.cc",
+        "good_lane_indexed.cc",     "good_layering.cc",
+        "good_lexer.cc",            "good_scenario_prng.cc",
         "good_unreachable.cc",
     };
     for (const std::string &name : names) {
@@ -166,6 +168,98 @@ TEST(CheckFixtures, IncludeHygieneProject)
         << "expected:\n" << show(expected) << "actual:\n" << show(actual);
 }
 
+// The transitive lane-safety rule needs the callee's translation
+// unit: the lambda only passes the capture to a helper whose
+// summary says "unconditional by-ref mutation".  The diagnostic must
+// cite the helper's file and line as the cross-file witness; the
+// good twin feeds the callee's index parameter the lane id and the
+// summary substitution excuses it.
+TEST(CheckFixtures, LaneSafetyTransitiveProject)
+{
+    const std::string dir = OT_CHECK_FIXTURE_DIR;
+    Findings expected =
+        expectedFindings(slurp(dir + "/bad_lane_transitive.cc"));
+    ASSERT_FALSE(expected.empty());
+    std::vector<Diagnostic> diags = checkFixtureProject(
+        {"fixture_lane_helper.cc", "bad_lane_transitive.cc",
+         "good_lane_transitive.cc"});
+    Findings actual = findingsOf(diags);
+    EXPECT_EQ(expected, actual)
+        << "expected:\n" << show(expected) << "actual:\n" << show(actual);
+    ASSERT_EQ(1u, diags.size());
+    EXPECT_NE(std::string::npos,
+              diags[0].message.find(
+                  "is mutated by 'appendSample' at "
+                  "src/otn/fixture_lane_helper.cc:"))
+        << diags[0].message;
+}
+
+// The determinism-taint rule fires only at the scope boundary: the
+// workload-layer sink calls a wrapper that is two call-graph hops
+// from the banned primitive, and the diagnostic must spell out the
+// whole source → sink witness chain.  The good sink crosses the same
+// boundary toward a clean helper and must stay silent.
+TEST(CheckFixtures, DeterminismTaintProject)
+{
+    const std::string dir = OT_CHECK_FIXTURE_DIR;
+    Findings expected =
+        expectedFindings(slurp(dir + "/bad_taint_sink.cc"));
+    ASSERT_FALSE(expected.empty());
+    std::vector<Diagnostic> diags = checkFixtureProject(
+        {"fixture_taint_noise.cc", "fixture_taint_wrapper.cc",
+         "bad_taint_sink.cc", "good_taint_sink.cc"});
+    Findings actual = findingsOf(diags);
+    EXPECT_EQ(expected, actual)
+        << "expected:\n" << show(expected) << "actual:\n" << show(actual);
+    ASSERT_EQ(1u, diags.size());
+    EXPECT_EQ("determinism-taint", diags[0].rule);
+    EXPECT_NE(std::string::npos,
+              diags[0].message.find(
+                  "fixtureJitter() → fixtureRawNoise() → splitmix64 "
+                  "at src/analysis/fixture_taint_noise.cc:"))
+        << diags[0].message;
+}
+
+// Taint also flows through non-call references: a kernel table that
+// stores &fixtureRawNoise hands the nondeterminism to whoever invokes
+// the entry, so the reference itself is the boundary diagnostic.
+TEST(CheckFixtures, TaintThroughFunctionPointerTable)
+{
+    const std::string dir = OT_CHECK_FIXTURE_DIR;
+    Findings expected =
+        expectedFindings(slurp(dir + "/bad_taint_table.cc"));
+    ASSERT_FALSE(expected.empty());
+    std::vector<Diagnostic> diags = checkFixtureProject(
+        {"fixture_taint_noise.cc", "bad_taint_table.cc"});
+    Findings actual = findingsOf(diags);
+    EXPECT_EQ(expected, actual)
+        << "expected:\n" << show(expected) << "actual:\n" << show(actual);
+    ASSERT_EQ(1u, diags.size());
+    EXPECT_NE(std::string::npos,
+              diags[0].message.find("reference to"))
+        << diags[0].message;
+}
+
+// The witness chain must survive into SARIF unchanged — code-scanning
+// consumers see the same source → sink story the terminal does.
+TEST(CheckSarif, TaintWitnessChainIsEmitted)
+{
+    ot::check::Report report;
+    report.diagnostics = checkFixtureProject(
+        {"fixture_taint_noise.cc", "fixture_taint_wrapper.cc",
+         "bad_taint_sink.cc", "good_taint_sink.cc"});
+    ASSERT_EQ(1u, report.diagnostics.size());
+    report.files = {report.diagnostics[0].file};
+    std::string sarif = ot::check::renderSarif(report);
+    EXPECT_NE(std::string::npos,
+              sarif.find("\"ruleId\": \"determinism-taint\""));
+    EXPECT_NE(std::string::npos,
+              sarif.find("fixtureJitter() → fixtureRawNoise() → "
+                         "splitmix64 at "
+                         "src/analysis/fixture_taint_noise.cc:"))
+        << sarif;
+}
+
 // ---------------------------------------------------------------
 // The acceptance gate: the shipped tree is clean, and the canonical
 // seeded violations are caught.
@@ -194,16 +288,15 @@ TEST(CheckTree, ShippedTreeIsCleanModuloBaseline)
     EXPECT_GT(files.size(), 80u) << "directory walk found too little";
     ot::check::Report report = ot::check::checkTree(root, files);
 
-    // The baseline may park pre-existing tools/ and bench/ debt, but
-    // never src/: the shipped library must be absolutely clean.
+    // The baseline file exists as a pressure valve but must stay
+    // EMPTY: the shipped tree carries zero parked debt.  Park a
+    // finding only as a last resort, and expect this test to hold
+    // you to un-parking it.
     ot::check::Baseline baseline =
         ot::check::loadBaseline(root + "/.otcheck-baseline");
-    for (const auto &[rule, file] : baseline.entries) {
-        EXPECT_TRUE(ot::check::knownRule(rule))
-            << "baseline names unknown rule " << rule;
-        EXPECT_NE(0, file.compare(0, 4, "src/"))
-            << "baseline must not mute src/: " << rule << " " << file;
-    }
+    EXPECT_TRUE(baseline.entries.empty())
+        << "baseline must stay empty; fix or allow() findings "
+           "instead of parking them";
     ot::check::applyBaseline(baseline, report);
     EXPECT_TRUE(report.diagnostics.empty())
         << ot::check::renderText(report);
@@ -411,7 +504,8 @@ TEST(CheckSarif, EveryRuleIsDeclared)
     for (const char *rule :
          {"determinism", "layering", "accounting", "hotpath",
           "hotpath-propagation", "include-hygiene", "unreachable",
-          "allow-syntax", "unused-allow"}) {
+          "allow-syntax", "unused-allow", "intrinsics",
+          "determinism-taint", "lane-safety"}) {
         EXPECT_NE(std::string::npos,
                   sarif.find("\"id\": \"" + std::string(rule) + "\""))
             << rule;
@@ -420,7 +514,8 @@ TEST(CheckSarif, EveryRuleIsDeclared)
     // (the two allow-meta rules themselves cannot be allowed away).
     for (const char *rule :
          {"determinism", "layering", "accounting", "hotpath",
-          "hotpath-propagation", "include-hygiene", "unreachable"})
+          "hotpath-propagation", "include-hygiene", "unreachable",
+          "intrinsics", "determinism-taint", "lane-safety"})
         EXPECT_TRUE(ot::check::knownRule(rule)) << rule;
     EXPECT_FALSE(ot::check::knownRule("allow-syntax"));
     EXPECT_FALSE(ot::check::knownRule("unused-allow"));

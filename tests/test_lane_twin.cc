@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Runtime twin of the lane-safety fixture corpus (tests/check/
+ * bad_lane_capture.cc and friends): the code shapes otcheck's
+ * lane-safety rule prescribes — lane-indexed slots, per-lane
+ * buffers merged after the join, and helpers whose mutation is
+ * subscripted by a lane-derived argument — actually executed on the
+ * pooled ChainEngine, at several host-thread counts.
+ *
+ * The CI tsan job runs this binary under ThreadSanitizer with
+ * halt_on_error=1: if one of the "safe" shapes the rule waves
+ * through really raced, the job would fail.  The raced originals
+ * (`total += values[lane]` through a by-ref capture, push_back into
+ * a shared vector) are deliberately NOT runnable here — they are
+ * exactly what the static rule rejects; their runtime form is the
+ * rewritten discipline below.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "sim/chain_engine.hh"
+#include "sim/stats.hh"
+#include "sim/time_accountant.hh"
+
+namespace {
+
+using ot::sim::ChainEngine;
+using ot::sim::StatSet;
+using ot::sim::TimeAccountant;
+
+/** The runtime form of fixture_lane_helper.cc's appendSampleAt: the
+ *  only mutation of `sink` goes through the caller-chosen slot. */
+void
+appendSampleAt(std::vector<double> &sink, std::size_t slot, double v)
+{
+    sink[slot] += v;
+}
+
+/** One lane-indexed scatter pass, the rewrite the lane-safety hint
+ *  prescribes for bad_lane_capture.cc's racy reduction. */
+std::vector<double>
+scatterReduce(const std::vector<double> &values, unsigned threads)
+{
+    TimeAccountant acct;
+    StatSet stats;
+    ChainEngine engine(acct, stats, threads);
+    std::vector<double> partials(values.size(), 0.0);
+    engine.parallelFor(values.size(), [&](std::size_t lane) {
+        // Direct lane-indexed write: each lane owns its slot.
+        partials[lane] = values[lane] * 2.0;
+        // Cross-function write, lane-derived index at the callee's
+        // subscript position (the summary-excused shape).
+        appendSampleAt(partials, lane, values[lane]);
+        engine.charge(1);
+    });
+    return partials;
+}
+
+TEST(LaneTwin, LaneIndexedScatterIsRaceFreeAndDeterministic)
+{
+    std::vector<double> values(257);
+    for (std::size_t i = 0; i < values.size(); ++i)
+        values[i] = static_cast<double>(i % 13) + 0.5;
+
+    std::vector<double> seq = scatterReduce(values, 1);
+    for (unsigned threads : {2u, 4u, 8u}) {
+        std::vector<double> par = scatterReduce(values, threads);
+        EXPECT_EQ(seq, par) << "threads=" << threads;
+    }
+    // Spot-check the arithmetic: slot = 2v + v = 3v.
+    EXPECT_DOUBLE_EQ(3.0 * values[7], seq[7]);
+}
+
+TEST(LaneTwin, PerLaneBuffersMergeAfterTheJoin)
+{
+    // The rewrite for the push_back race: every lane appends to its
+    // own buffer; the merge happens after parallelFor returns, on
+    // the caller's thread, in lane order — deterministic by
+    // construction.
+    std::vector<double> values(64);
+    std::iota(values.begin(), values.end(), 1.0);
+
+    auto run = [&](unsigned threads) {
+        TimeAccountant acct;
+        StatSet stats;
+        ChainEngine engine(acct, stats, threads);
+        std::vector<std::vector<double>> perLane(values.size());
+        engine.parallelFor(values.size(), [&](std::size_t lane) {
+            perLane[lane].push_back(values[lane]);
+            if (values[lane] > 32.0)
+                perLane[lane].push_back(-values[lane]);
+        });
+        std::vector<double> merged;
+        for (const std::vector<double> &buf : perLane)
+            merged.insert(merged.end(), buf.begin(), buf.end());
+        return merged;
+    };
+
+    std::vector<double> seq = run(1);
+    EXPECT_EQ(64u + 32u, seq.size());
+    for (unsigned threads : {2u, 4u, 8u})
+        EXPECT_EQ(seq, run(threads)) << "threads=" << threads;
+}
+
+TEST(LaneTwin, ChargesInsideLanesKeepModelTimeBitIdentical)
+{
+    // The engine's own guarantee, exercised through the same twin
+    // shapes: model time and stats must not depend on the host
+    // thread count even when every lane charges and bumps counters.
+    auto run = [](unsigned threads) {
+        TimeAccountant acct;
+        StatSet stats;
+        ChainEngine engine(acct, stats, threads);
+        std::vector<std::uint64_t> slots(96, 0);
+        engine.parallelFor(slots.size(), [&](std::size_t lane) {
+            slots[lane] = lane * lane;
+            engine.charge(static_cast<ot::vlsi::ModelTime>(
+                1 + lane % 3));
+            ++engine.counter("lane_twin.visits");
+        });
+        return std::make_pair(
+            acct.now(), engine.counter("lane_twin.visits").value());
+    };
+
+    auto seq = run(1);
+    for (unsigned threads : {2u, 4u, 8u})
+        EXPECT_EQ(seq, run(threads)) << "threads=" << threads;
+}
+
+} // namespace

@@ -4,24 +4,29 @@
  *
  * Enforces the invariants the engine's bit-identical-at-any-
  * OT_HOST_THREADS guarantee rests on: no nondeterminism sources in
- * lane-reachable code, no layering back-edges, path-sensitive
- * beginPhase/endPhase accounting, allocation-free hotpath files (and
- * call chains), used-and-direct includes, and no unreachable
- * statements.  See src/check/rules.hh for the rule catalogue and
- * DESIGN.md for the layer DAG and analysis pipeline.
+ * lane-reachable code (flat scan plus interprocedural taint), no
+ * layering back-edges, path-sensitive beginPhase/endPhase accounting
+ * with cross-function net-delta summaries, lane-safe parallelFor
+ * lambdas, allocation-free hotpath files (and call chains),
+ * used-and-direct includes, and no unreachable statements.  See
+ * src/check/rules.hh for the rule catalogue and DESIGN.md for the
+ * layer DAG and analysis pipeline.
  *
  * Usage:
  *   otcheck [--root DIR] [--compile-commands FILE] [--json]
  *           [--sarif-out FILE] [--baseline FILE] [--no-baseline]
- *           [--self] [--list-files] [FILE...]
+ *           [--self] [--list-files] [--stats] [--stats-json FILE]
+ *           [--explain RULE] [FILE...]
  *
  * With no FILE arguments, audits every *.cc / *.hh under root/src,
  * root/tools and root/bench (unioned with the translation units named
  * in the compile_commands.json, when given).  `--self` narrows the
  * set to src/check/ — the analyzer analyzing itself.  A baseline file
  * (default: root/.otcheck-baseline when present; disable with
- * --no-baseline) mutes known (rule, file) pairs.  Exit status:
- * 0 clean, 1 diagnostics, 2 usage error.
+ * --no-baseline) mutes known (rule, file) pairs.  `--explain RULE`
+ * prints the rule's documentation (from the same catalog the SARIF
+ * emitter renders) and exits.  Exit status: 0 clean, 1 diagnostics,
+ * 2 usage error.
  */
 
 #include <cstdio>
@@ -32,9 +37,22 @@
 #include <vector>
 
 #include "check/checker.hh"
+#include "check/rules.hh"
 #include "check/sarif.hh"
 
 namespace {
+
+std::string
+ruleList()
+{
+    std::string list;
+    for (const ot::check::RuleDoc &d : ot::check::ruleCatalog()) {
+        if (!list.empty())
+            list += ", ";
+        list += d.id;
+    }
+    return list;
+}
 
 int
 usage(const char *argv0)
@@ -44,13 +62,33 @@ usage(const char *argv0)
         "usage: %s [--root DIR] [--compile-commands FILE] [--json]\n"
         "          [--sarif-out FILE] [--baseline FILE] "
         "[--no-baseline]\n"
-        "          [--self] [--list-files] [FILE...]\n"
-        "rules: determinism, layering, accounting, hotpath,\n"
-        "       hotpath-propagation, include-hygiene, unreachable,\n"
-        "       intrinsics\n"
+        "          [--self] [--list-files] [--stats] "
+        "[--stats-json FILE]\n"
+        "          [--explain RULE] [FILE...]\n"
+        "rules: %s\n"
         "escape: // otcheck:allow(<rule>): <justification>\n",
-        argv0);
+        argv0, ruleList().c_str());
     return 2;
+}
+
+int
+explainRule(const std::string &rule)
+{
+    const ot::check::RuleDoc *doc = ot::check::findRuleDoc(rule);
+    if (!doc) {
+        std::fprintf(stderr,
+                     "otcheck: unknown rule '%s'\nrules: %s\n",
+                     rule.c_str(), ruleList().c_str());
+        return 2;
+    }
+    std::printf("%s\n  %s\n\nmodel\n  %s\n\nexample\n  %s\n\n"
+                "allow() policy\n  %s\n",
+                doc->id, doc->summary, doc->model, doc->example,
+                doc->allowable
+                    ? doc->allowPolicy
+                    : "not allowable; this rule audits the escape "
+                      "mechanism itself");
+    return 0;
 }
 
 } // namespace
@@ -62,10 +100,12 @@ main(int argc, char **argv)
     std::string compileCommands;
     std::string sarifOut;
     std::string baselinePath;
+    std::string statsJsonOut;
     bool noBaseline = false;
     bool selfCheck = false;
     bool json = false;
     bool listFiles = false;
+    bool wantStats = false;
     std::vector<std::string> explicitFiles;
 
     for (int i = 1; i < argc; ++i) {
@@ -89,6 +129,14 @@ main(int argc, char **argv)
             json = true;
         } else if (std::strcmp(arg, "--list-files") == 0) {
             listFiles = true;
+        } else if (std::strcmp(arg, "--stats") == 0) {
+            wantStats = true;
+        } else if (std::strcmp(arg, "--stats-json") == 0 &&
+                   i + 1 < argc) {
+            statsJsonOut = argv[++i];
+        } else if (std::strcmp(arg, "--explain") == 0 &&
+                   i + 1 < argc) {
+            return explainRule(argv[++i]);
         } else if (std::strncmp(arg, "--", 2) == 0) {
             return usage(argv[0]);
         } else {
@@ -127,7 +175,10 @@ main(int argc, char **argv)
         return 0;
     }
 
-    ot::check::Report report = ot::check::checkTree(root, files);
+    const bool collectStats = wantStats || !statsJsonOut.empty();
+    ot::check::RunStats stats;
+    ot::check::Report report = ot::check::checkTree(
+        root, files, collectStats ? &stats : nullptr);
 
     std::size_t muted = 0;
     if (!noBaseline) {
@@ -151,10 +202,21 @@ main(int argc, char **argv)
         }
         out << ot::check::renderSarif(report);
     }
+    if (!statsJsonOut.empty()) {
+        std::ofstream out(statsJsonOut, std::ios::binary);
+        if (!out) {
+            std::fprintf(stderr, "otcheck: cannot write %s\n",
+                         statsJsonOut.c_str());
+            return 2;
+        }
+        out << ot::check::renderStatsJson(stats);
+    }
 
     std::string rendered = json ? ot::check::renderJson(report)
                                 : ot::check::renderText(report);
     std::fputs(rendered.c_str(), stdout);
+    if (wantStats)
+        std::fputs(ot::check::renderStatsText(stats).c_str(), stderr);
     if (muted)
         std::fprintf(stderr,
                      "otcheck: %zu baselined finding%s muted (%s)\n",

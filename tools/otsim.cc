@@ -49,6 +49,8 @@
 #include "trace/analysis.hh"
 #include "trace/export.hh"
 #include "trace/tracer.hh"
+#include "vlsi/bitmath.hh"
+#include "vlsi/delay.hh"
 
 namespace {
 
