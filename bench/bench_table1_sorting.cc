@@ -38,6 +38,8 @@ printTables()
     MeasuredRow ccc{"CCC", {}, {}, 0};
     MeasuredRow otn{"OTN", {}, {}, 0};
     MeasuredRow otc{"OTC", {}, {}, 0};
+    MeasuredRow fattree{"fat-tree", {}, {}, 0};
+    MeasuredRow d2dmot{"D2D-MoT", {}, {}, 0};
 
     for (std::size_t n : kSweep) {
         auto v = randomValues(n, 42 + n);
@@ -85,9 +87,22 @@ printTables()
             otc.area =
                 static_cast<double>(m.chipLayout().metrics().area());
         }
+        // The registry-built challengers ride the same sweep: a
+        // two-layer fat-tree and the MoT NoC with diametrical links.
+        for (auto *row : {&fattree, &d2dmot}) {
+            auto spec = topo::resolveSpec(
+                row == &fattree ? "fattree" : "d2d-mot", topo::Algo::Sort,
+                n, vlsi::DelayModel::Logarithmic, false);
+            auto m = topo::registry().build(spec);
+            auto r = m->runSort(v);
+            row->ns.push_back(dn);
+            row->times.push_back(static_cast<double>(r.time));
+            row->area =
+                static_cast<double>(r.area ? r.area : m->area());
+        }
     }
 
-    printMeasured({mesh, psn, ccc, otn, otc});
+    printMeasured({mesh, psn, ccc, otn, otc, fattree, d2dmot});
 
     // The baselines store O(N) words, so they can sweep much further;
     // the asymptotic exponents separate cleanly out here.
@@ -139,6 +154,12 @@ printTables()
     std::printf("  PSN time / OTN time       = %.2f (paper: "
                 "Theta(log N))\n",
                 psn.times.back() / otn.times.back());
+    std::printf("  fat-tree time / OTN time  = %.2f (cross-block "
+                "spine wires pay wire delay)\n",
+                fattree.times.back() / otn.times.back());
+    std::printf("  D2D-MoT area / OTN area   = %.3f (a NoC skeleton, "
+                "not a sorter chip)\n",
+                d2dmot.area / otn.area);
 }
 
 void
@@ -188,6 +209,37 @@ BM_SortMesh(benchmark::State &state)
     }
 }
 BENCHMARK(BM_SortMesh)->Arg(64)->Arg(256)->Arg(1024);
+
+/** Registry-built sort benchmark shared by the new topologies. */
+void
+sortViaRegistry(benchmark::State &state, const char *net)
+{
+    std::size_t n = static_cast<std::size_t>(state.range(0));
+    auto v = randomValues(n, 7);
+    auto spec = topo::resolveSpec(net, topo::Algo::Sort, n,
+                                  vlsi::DelayModel::Logarithmic, false);
+    auto machine = topo::registry().build(spec);
+    for (auto _ : state) {
+        machine->reset();
+        auto r = machine->runSort(v);
+        benchmark::DoNotOptimize(r.sorted.data());
+        reportModelTime(state, r.time);
+    }
+}
+
+void
+BM_SortFatTree(benchmark::State &state)
+{
+    sortViaRegistry(state, "fattree");
+}
+BENCHMARK(BM_SortFatTree)->Arg(64)->Arg(256)->Arg(1024);
+
+void
+BM_SortD2dMot(benchmark::State &state)
+{
+    sortViaRegistry(state, "d2d-mot");
+}
+BENCHMARK(BM_SortD2dMot)->Arg(64)->Arg(256)->Arg(1024);
 
 } // namespace
 

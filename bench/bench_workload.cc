@@ -86,7 +86,7 @@ BM_BatchWide(benchmark::State &state)
         workload::InstanceSpec inst;
         inst.algo = workload::Algo::Sort;
         // Four shapes, so the farm has four shards to spread.
-        inst.net = i % 2 ? workload::NetKind::Otc : workload::NetKind::Otn;
+        inst.net = i % 2 ? "otc" : "otn";
         inst.n = i % 4 < 2 ? 32 : 64;
         inst.seed = i + 1;
         spec.instances.push_back(inst);

@@ -23,6 +23,7 @@
  *   ot::graph     — graphs, generators, sequential references
  *   ot::otn       — the orthogonal trees network and its algorithms
  *   ot::otc       — the orthogonal tree cycles and its algorithms
+ *   ot::topo      — the topology plugin registry (fat-tree, MoT, ...)
  *   ot::workload  — batched multi-instance serving with network cache
  *   ot::scenario  — traffic scenarios: arrivals, schedulers, SLOs
  *   ot::baselines — mesh / PSN / CCC comparison machines
@@ -78,6 +79,12 @@
 #include "sim/rng.hh"
 #include "sim/stats.hh"
 #include "sim/time_accountant.hh"
+#include "topo/adapters.hh"
+#include "topo/algo.hh"
+#include "topo/fat_tree.hh"
+#include "topo/machine.hh"
+#include "topo/mot_noc.hh"
+#include "topo/registry.hh"
 #include "trace/analysis.hh"
 #include "trace/export.hh"
 #include "trace/tracer.hh"

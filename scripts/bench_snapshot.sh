@@ -28,7 +28,7 @@ if [[ ! -x "$bench" ]]; then
 fi
 
 "$bench" \
-    --benchmark_filter='BM_Sort(Otn|Otc)' \
+    --benchmark_filter='BM_Sort(Otn|Otc|FatTree|D2dMot)' \
     --benchmark_min_time="$min_time" \
     --benchmark_out="$out" \
     --benchmark_out_format=json \

@@ -43,6 +43,7 @@ class CccMachine
     const CostModel &cost() const { return _cost; }
     const layout::CccLayout &chipLayout() const { return _layout; }
     sim::TimeAccountant &acct() { return _acct; }
+    const sim::TimeAccountant &acct() const { return _acct; }
     ModelTime now() const { return _acct.now(); }
 
     /** One machine step using a (long) cube wire. */

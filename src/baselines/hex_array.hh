@@ -42,7 +42,9 @@ class HexArray
     std::size_t n() const { return _n; }
     const CostModel &cost() const { return _cost; }
     sim::TimeAccountant &acct() { return _acct; }
+    const sim::TimeAccountant &acct() const { return _acct; }
     ModelTime now() const { return _acct.now(); }
+    void charge(ModelTime dt) { _acct.advance(dt); }
 
     /** Chip area: N^2 cells of Theta(word) footprint. */
     std::uint64_t chipArea() const;

@@ -47,6 +47,7 @@ class MeshMachine
     const CostModel &cost() const { return _cost; }
     const layout::MeshLayout &chipLayout() const { return _layout; }
     sim::TimeAccountant &acct() { return _acct; }
+    const sim::TimeAccountant &acct() const { return _acct; }
     ModelTime now() const { return _acct.now(); }
 
     /** Cost of moving one word to a 4-neighbour (word-parallel link). */

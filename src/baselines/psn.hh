@@ -44,6 +44,7 @@ class PsnMachine
         return _layout;
     }
     sim::TimeAccountant &acct() { return _acct; }
+    const sim::TimeAccountant &acct() const { return _acct; }
     ModelTime now() const { return _acct.now(); }
 
     /** One shuffle step: word streamed across the shuffle wire. */

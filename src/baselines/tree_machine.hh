@@ -38,7 +38,9 @@ class TreeMachine
     std::size_t leaves() const { return _leaves; }
     const CostModel &cost() const { return _cost; }
     sim::TimeAccountant &acct() { return _acct; }
+    const sim::TimeAccountant &acct() const { return _acct; }
     ModelTime now() const { return _acct.now(); }
+    void charge(ModelTime dt) { _acct.advance(dt); }
 
     /** Leaf data register. */
     std::uint64_t &leaf(std::size_t k) { return _data[k]; }
@@ -47,6 +49,13 @@ class TreeMachine
     /** Chip area: Theta(N log N) (leaves of Theta(log N) area in a
      *  row, tree above). */
     std::uint64_t chipArea() const;
+
+    /** Per-word cost of one root<->leaf traversal (for the topo
+     *  adapter's primitive hooks and the benches). */
+    ModelTime traversalCost() const { return traversal(); }
+
+    /** Per-word cost of one combining (MIN/SUM) traversal. */
+    ModelTime combineCost() const { return reduceCost(); }
 
     /** Broadcast one word from the root to every leaf. */
     ModelTime broadcast(std::uint64_t value);

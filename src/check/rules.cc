@@ -42,12 +42,15 @@ layerTable()
         {"baselines",
          {"baselines", "otn", "graph", "layout", "linalg", "sim",
           "trace", "vlsi"}},
-        {"workload",
-         {"workload", "otc", "otn", "graph", "layout", "linalg", "sim",
-          "trace", "vlsi"}},
-        {"scenario",
-         {"scenario", "workload", "otc", "otn", "graph", "layout",
+        {"topo",
+         {"topo", "baselines", "otc", "otn", "graph", "layout",
           "linalg", "sim", "trace", "vlsi"}},
+        {"workload",
+         {"workload", "topo", "otc", "otn", "graph", "layout", "linalg",
+          "sim", "trace", "vlsi"}},
+        {"scenario",
+         {"scenario", "workload", "topo", "otc", "otn", "graph",
+          "layout", "linalg", "sim", "trace", "vlsi"}},
         // The checker itself: standard library only, so it can never
         // deadlock on the layers it audits.
         {"check", {"check"}},
@@ -1157,7 +1160,8 @@ bool
 inDeterminismScope(const std::string &layer)
 {
     return layer == "sim" || layer == "otn" || layer == "otc" ||
-           layer == "workload" || layer == "scenario";
+           layer == "topo" || layer == "workload" ||
+           layer == "scenario";
 }
 
 const std::vector<DeterminismBan> &

@@ -143,6 +143,7 @@ class OtcNetwork
     const CostModel &cost() const { return _cost; }
     const layout::OtcLayout &chipLayout() const { return _layout; }
     TimeAccountant &acct() { return _acct; }
+    const TimeAccountant &acct() const { return _acct; }
     sim::StatSet &stats() { return _stats; }
     ModelTime now() const { return _acct.now(); }
 

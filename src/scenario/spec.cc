@@ -825,20 +825,19 @@ demoScenario()
     fast.weight = 3;
     fast.slo = 2500;
     fast.sloPct = 95;
-    fast.mix.push_back({workload::Algo::Sort, workload::NetKind::Otn,
-                        16, vlsi::DelayModel::Logarithmic, false, 1});
-    fast.mix.push_back({workload::Algo::Sort, workload::NetKind::Otn,
-                        32, vlsi::DelayModel::Logarithmic, false, 1});
+    fast.mix.push_back({workload::Algo::Sort, "otn", 16,
+                        vlsi::DelayModel::Logarithmic, false, 1});
+    fast.mix.push_back({workload::Algo::Sort, "otn", 32,
+                        vlsi::DelayModel::Logarithmic, false, 1});
     spec.clients.push_back(fast);
 
     ClientConfig bulk;
     bulk.name = "batch";
     bulk.weight = 1;
     bulk.quota = 8;
-    bulk.mix.push_back({workload::Algo::Sort, workload::NetKind::Otn,
-                        64, vlsi::DelayModel::Logarithmic, false, 1});
-    bulk.mix.push_back({workload::Algo::MatMul,
-                        workload::NetKind::Otn, 16,
+    bulk.mix.push_back({workload::Algo::Sort, "otn", 64,
+                        vlsi::DelayModel::Logarithmic, false, 1});
+    bulk.mix.push_back({workload::Algo::MatMul, "otn", 16,
                         vlsi::DelayModel::Logarithmic, false, 1});
     spec.clients.push_back(bulk);
     return spec;

@@ -1,0 +1,59 @@
+#include "topo/algo.hh"
+
+namespace ot::topo {
+
+std::string
+toString(Algo algo)
+{
+    switch (algo) {
+      case Algo::Sort:
+        return "sort";
+      case Algo::MatMul:
+        return "matmul";
+      case Algo::BoolMatMul:
+        return "boolmm";
+      case Algo::ConnectedComponents:
+        return "cc";
+      case Algo::Mst:
+        return "mst";
+      case Algo::ShortestPaths:
+        return "sssp";
+    }
+    return "?";
+}
+
+bool
+algoFromString(const std::string &s, Algo &out)
+{
+    if (s == "sort")
+        out = Algo::Sort;
+    else if (s == "matmul")
+        out = Algo::MatMul;
+    else if (s == "boolmm")
+        out = Algo::BoolMatMul;
+    else if (s == "cc")
+        out = Algo::ConnectedComponents;
+    else if (s == "mst")
+        out = Algo::Mst;
+    else if (s == "sssp")
+        out = Algo::ShortestPaths;
+    else
+        return false;
+    return true;
+}
+
+std::string
+shortName(vlsi::DelayModel model)
+{
+    switch (model) {
+      case vlsi::DelayModel::Constant:
+        return "const";
+      case vlsi::DelayModel::Logarithmic:
+        return "log";
+      case vlsi::DelayModel::Linear:
+        return "linear";
+    }
+    return "?";
+}
+
+} // namespace ot::topo

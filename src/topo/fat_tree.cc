@@ -1,0 +1,85 @@
+#include "topo/fat_tree.hh"
+
+#include <array>
+#include <cassert>
+
+#include "vlsi/bitmath.hh"
+
+namespace ot::topo {
+
+unsigned
+FatTreeMachine::defaultPorts(std::size_t n)
+{
+    unsigned p = 4;
+    while (static_cast<std::size_t>(p) * p / 2 < n)
+        p += 2;
+    return p;
+}
+
+FatTreeMachine::FatTreeMachine(const MachineSpec &spec, unsigned ports)
+    : Machine(spec), _ports(ports ? ports : defaultPorts(spec.n))
+{
+    assert(_ports % 2 == 0 && "fattree: switch port count must be even");
+    assert(_ports >= 4 && "fattree: switch port count must be >= 4");
+    assert(static_cast<std::size_t>(_ports) * _ports / 2 >= spec.n &&
+           "fattree: port count too small for the node count");
+
+    _edgeSwitches = vlsi::ceilDiv(spec.n, _ports / 2);
+
+    // One edge block: the switch above its p/2 nodes, each node a
+    // Theta(word)-wide cell.
+    const vlsi::WireLength cell = 2 * cost().word().bits() + 2;
+    _blockPitch = (_ports / 2) * cell;
+    // Worst-case run to a spine switch: half the chip width across,
+    // one block up.
+    _spineWire = _edgeSwitches * _blockPitch / 2 + _blockPitch;
+}
+
+std::uint64_t
+FatTreeMachine::area() const
+{
+    // Node row + edge-switch row + the spine row and its horizontal
+    // wiring channel (one track per edge switch).
+    const std::uint64_t width = _edgeSwitches * _blockPitch;
+    const std::uint64_t height = 3 * _blockPitch + _edgeSwitches;
+    return width * height;
+}
+
+ModelTime
+FatTreeMachine::exchangeStepCost(std::size_t dist) const
+{
+    assert(dist >= 1 && "fattree: exchange distance must be >= 1");
+    const std::size_t down = _ports / 2;
+    // The sweep pairs (i, i xor dist); it stays inside edge switches
+    // only when blocks are aligned multiples of the pair span.
+    const bool local = dist < down && down % (2 * dist) == 0;
+    if (local) {
+        const std::array<vlsi::WireLength, 2> path = {_blockPitch,
+                                                      _blockPitch};
+        return cost().wordAlongPath(path) + cost().bitSerialOp();
+    }
+    const std::array<vlsi::WireLength, 4> path = {_blockPitch, _spineWire,
+                                                  _spineWire, _blockPitch};
+    return cost().wordAlongPath(path) + cost().bitSerialOp();
+}
+
+ModelTime
+FatTreeMachine::broadcastCost() const
+{
+    // Node -> edge switch -> spine -> every edge switch -> nodes.
+    const std::array<vlsi::WireLength, 4> path = {_blockPitch, _spineWire,
+                                                  _spineWire, _blockPitch};
+    return cost().wordAlongPath(path);
+}
+
+ModelTime
+FatTreeMachine::reduceCost() const
+{
+    // Combining in the switches on the way up, fan-out on the way
+    // down: a reduce traversal over the same worst-case path.
+    const std::array<vlsi::WireLength, 4> path = {_blockPitch, _spineWire,
+                                                  _spineWire, _blockPitch};
+    return cost().reducePath(path);
+}
+
+} // namespace ot::topo

@@ -8,15 +8,8 @@
 
 #include "graph/generators.hh"
 #include "graph/reference_algorithms.hh"
-#include "layout/otc_layout.hh"
 #include "linalg/reference.hh"
-#include "otc/sort.hh"
-#include "otn/connected_components.hh"
-#include "otn/matmul.hh"
-#include "otn/mst.hh"
-#include "otn/sort.hh"
 #include "sim/rng.hh"
-#include "vlsi/bitmath.hh"
 
 namespace ot::workload {
 
@@ -37,28 +30,10 @@ algoSpanName(Algo algo)
         return "cc";
       case Algo::Mst:
         return "mst";
+      case Algo::ShortestPaths:
+        return "sssp";
     }
     return "?";
-}
-
-/** The word format each algorithm's machine is built with (mirrors
- *  the otsim runners, so batch times match single-run times). */
-vlsi::WordFormat
-wordFor(const InstanceSpec &inst)
-{
-    switch (inst.algo) {
-      case Algo::MatMul:
-        // Entries in [0, 9]: row-product sums reach n * 81.
-        return vlsi::WordFormat(
-            vlsi::logCeilAtLeast1(inst.n * 81 + 1) + 2);
-      case Algo::Mst:
-        return otn::mstWordFormat(inst.n, inst.n * inst.n);
-      case Algo::Sort:
-      case Algo::BoolMatMul:
-      case Algo::ConnectedComponents:
-        break;
-    }
-    return vlsi::WordFormat::forProblemSize(inst.n);
 }
 
 /** Input values of a sort instance. */
@@ -107,66 +82,19 @@ boolProductMatches(const linalg::IntMatrix &got,
     return true;
 }
 
-/** Bring a (possibly reused) OTN back to its post-construction state. */
-void
-resetOtn(otn::OrthogonalTreesNetwork &net)
-{
-    for (unsigned r = 0; r < otn::kNumRegs; ++r)
-        net.fillReg(static_cast<otn::Reg>(r), 0);
-    for (std::size_t i = 0; i < net.n(); ++i) {
-        net.rowRoot(i) = otn::kNull;
-        net.colRoot(i) = otn::kNull;
-    }
-    net.resetTime();
-}
-
-/** Bring a (possibly reused) OTC back to its post-construction state. */
-void
-resetOtc(otc::OtcNetwork &net)
-{
-    for (unsigned r = 0; r < otn::kNumRegs; ++r)
-        net.fillReg(static_cast<otn::Reg>(r), 0);
-    for (std::size_t i = 0; i < net.k(); ++i) {
-        net.rowStream(i).assign(net.cycleLen(), otn::kNull);
-        net.colStream(i).assign(net.cycleLen(), otn::kNull);
-    }
-    net.resetTime();
-}
-
 } // namespace
 
 CacheKey
 cacheKeyFor(const InstanceSpec &inst)
 {
-    const unsigned logn = vlsi::logCeilAtLeast1(inst.n);
-    CacheKey key;
-    key.n = inst.n;
-    key.model = inst.model;
-    key.wordBits = wordFor(inst).bits();
-    key.scaled = inst.scaled;
-    if (inst.net == NetKind::Otn) {
-        key.form = MachineForm::Otn;
-        key.cycleLen = 0;
-    } else if (inst.algo == Algo::Sort) {
-        // SORT-OTC runs natively on the streaming machine.
-        key.form = MachineForm::OtcNative;
-        key.cycleLen = logn;
-    } else if (inst.algo == Algo::BoolMatMul) {
-        // The Table II big-OTC: cycles of log^2 N one-bit BPs.
-        key.form = MachineForm::OtcEmulated;
-        key.cycleLen = logn * logn;
-    } else {
-        // Section VI-B: the OTN algorithms on the emulated machine.
-        key.form = MachineForm::OtcEmulated;
-        key.cycleLen = logn;
-    }
-    return key;
+    return topo::resolveSpec(inst.net, inst.algo, inst.n, inst.model,
+                             inst.scaled);
 }
 
 vlsi::CostModel
 costModelFor(const InstanceSpec &inst)
 {
-    return {inst.model, wordFor(inst), inst.scaled};
+    return cacheKeyFor(inst).cost();
 }
 
 bool
@@ -188,7 +116,7 @@ BatchReport::toJson() const
             os << ",";
         os << "\n  {\"index\": " << r.index;
         os << ", \"algo\": \"" << toString(r.spec.algo) << "\"";
-        os << ", \"net\": \"" << toString(r.spec.net) << "\"";
+        os << ", \"net\": \"" << r.spec.net << "\"";
         os << ", \"n\": " << r.spec.n;
         os << ", \"model\": \"" << shortName(r.spec.model) << "\"";
         os << ", \"scaled\": " << (r.spec.scaled ? "true" : "false");
@@ -222,8 +150,8 @@ BatchReport::writeText(std::ostream &os) const
        << "time" << std::setw(14) << "area" << "\n";
     for (const InstanceReport &r : instances) {
         os << std::left << std::setw(4) << r.index << std::setw(8)
-           << toString(r.spec.algo) << std::setw(5)
-           << toString(r.spec.net) << std::right << std::setw(6)
+           << toString(r.spec.algo) << std::setw(5) << r.spec.net
+           << std::right << std::setw(6)
            << r.spec.n << "  " << std::left << std::setw(7)
            << shortName(r.spec.model) << std::setw(6)
            << (r.cacheHit ? "hit" : "miss") << std::setw(4)
@@ -274,18 +202,7 @@ BatchEngine::run(const WorkloadSpec &spec)
         Shard &sh = shards[it->second];
 
         const std::uint64_t before = _cache.hits();
-        switch (key.form) {
-          case MachineForm::Otn:
-            sh.otnNet = &_cache.acquireOtn(key, cost);
-            break;
-          case MachineForm::OtcNative:
-            sh.otcNet = &_cache.acquireOtcNative(key, cost);
-            break;
-          case MachineForm::OtcEmulated:
-            sh.emuNet = &_cache.acquireOtcEmulated(key, cost);
-            sh.otnNet = sh.emuNet;
-            break;
-        }
+        sh.machine = &_cache.acquire(key, cost);
         sh.members.push_back(i);
 
         InstanceReport &r = report.instances[i];
@@ -334,88 +251,72 @@ BatchEngine::runInstance(const InstanceSpec &inst, const Shard &shard,
                          InstanceReport &out)
 {
     sim::Rng rng(inst.seed);
+    topo::Machine &m = *shard.machine;
+    m.reset();
 
-    if (shard.otcNet) {
-        // Native streaming machine: SORT-OTC only.
-        assert(inst.algo == Algo::Sort);
-        otc::OtcNetwork &net = *shard.otcNet;
-        resetOtc(net);
-        auto values = sortValues(inst.n, rng);
-        auto expect = values;
-        std::sort(expect.begin(), expect.end());
-        auto r = otc::sortOtc(net, values);
-        out.verified = r.sorted == expect;
-        out.time = r.time;
-        out.steps = net.acct().steps();
-        out.area = net.chipLayout().metrics().area();
-        return out.time;
-    }
-
-    otn::OrthogonalTreesNetwork &net = *shard.otnNet;
-    resetOtn(net);
+    std::uint64_t areaOverride = 0;
     switch (inst.algo) {
       case Algo::Sort: {
         auto values = sortValues(inst.n, rng);
         auto expect = values;
         std::sort(expect.begin(), expect.end());
-        auto r = otn::sortOtn(net, values);
+        auto r = m.runSort(values);
         out.verified = r.sorted == expect;
         out.time = r.time;
+        areaOverride = r.area;
         break;
       }
       case Algo::MatMul: {
         auto a = randomIntMatrix(inst.n, rng);
         auto b = randomIntMatrix(inst.n, rng);
-        auto r = otn::matMulPipelined(net, a, b);
+        auto r = m.runMatMul(a, b);
         out.verified = r.product == linalg::matMul(a, b);
         out.time = r.time;
+        areaOverride = r.area;
         break;
       }
       case Algo::BoolMatMul: {
         auto a = randomBoolMatrix(inst.n, rng);
         auto b = randomBoolMatrix(inst.n, rng);
         auto expect = linalg::boolMatMul(a, b);
-        // Plain OTN: the Section III pipeline; emulated OTC: the
-        // replicated-block Table II machine (as boolMatMulOtc).
-        auto r = shard.emuNet
-                     ? otn::boolMatMulReplicated(net, a, b)
-                     : otn::boolMatMulPipelined(net, a, b);
+        auto r = m.runBoolMatMul(a, b);
         out.verified = boolProductMatches(r.product, expect);
         out.time = r.time;
+        areaOverride = r.area;
         break;
       }
       case Algo::ConnectedComponents: {
         auto g = graph::randomGnp(inst.n, 0.1, rng);
         auto expect = graph::connectedComponents(g);
-        auto r = otn::connectedComponentsOtn(net, g);
+        auto r = m.runConnectedComponents(g);
         out.verified = r.labels == expect;
         out.time = r.time;
+        areaOverride = r.area;
         break;
       }
       case Algo::Mst: {
         auto g = graph::randomWeightedConnected(inst.n, 2 * inst.n, rng);
         auto expect = graph::kruskalMsf(g);
-        auto r = otn::mstOtn(net, g);
+        auto r = m.runMst(g);
         out.verified = r.edges == expect;
         out.time = r.time;
+        areaOverride = r.area;
+        break;
+      }
+      case Algo::ShortestPaths: {
+        auto g = graph::randomWeightedConnected(inst.n, 2 * inst.n, rng);
+        auto src = static_cast<std::size_t>(
+            rng.uniform(0, inst.n - 1));
+        auto expect = graph::dijkstra(g, src);
+        auto r = m.runShortestPaths(g, src);
+        out.verified = r.dist == expect;
+        out.time = r.time;
+        areaOverride = r.area;
         break;
       }
     }
-    out.steps = net.acct().steps();
-
-    if (shard.emuNet && inst.algo == Algo::BoolMatMul) {
-        // The Table II chip: N^2/log^2 N cycles per side, cycles of
-        // log^2 N one-bit BPs (see otc::boolMatMulOtc).
-        const unsigned logn = vlsi::logCeilAtLeast1(inst.n);
-        layout::OtcLayout chip(vlsi::ceilDiv(inst.n * inst.n, logn * logn),
-                               logn * logn, /*word_bits=*/1,
-                               /*compact_bps=*/true);
-        out.area = chip.metrics().area();
-    } else if (shard.emuNet) {
-        out.area = shard.emuNet->otcLayout().metrics().area();
-    } else {
-        out.area = net.chipLayout().metrics().area();
-    }
+    out.steps = m.steps();
+    out.area = areaOverride ? areaOverride : m.area();
     return out.time;
 }
 

@@ -23,9 +23,13 @@
  * tests/test_workload.cc).
  *
  * Every instance is verified against its sequential reference (sorted
- * order, linalg::matMul, union-find components, Kruskal); a report
- * with verified=false on any instance means a simulator bug, and
- * `otsim batch` exits nonzero on it.
+ * order, linalg::matMul, union-find components, Kruskal, Dijkstra); a
+ * report with verified=false on any instance means a simulator bug,
+ * and `otsim batch` exits nonzero on it.
+ *
+ * Machines come from the topo registry: an instance's `net` names any
+ * registered topology, and the engine runs and verifies it through the
+ * topo::Machine interface without knowing the family.
  */
 
 #pragma once
@@ -35,13 +39,10 @@
 #include <string>
 #include <vector>
 
-#include "layout/geometry.hh"
-#include "otc/emulated_otn.hh"
-#include "otc/network.hh"
-#include "otn/network.hh"
 #include "sim/chain_engine.hh"
 #include "sim/stats.hh"
 #include "sim/time_accountant.hh"
+#include "topo/machine.hh"
 #include "trace/tracer.hh"
 #include "vlsi/delay.hh"
 #include "workload/network_cache.hh"
@@ -154,9 +155,7 @@ class BatchEngine
     struct Shard
     {
         CacheKey key;
-        otn::OrthogonalTreesNetwork *otnNet = nullptr;
-        otc::OtcNetwork *otcNet = nullptr;
-        otc::OtcEmulatedOtn *emuNet = nullptr;
+        topo::Machine *machine = nullptr;
         std::vector<std::size_t> members;
     };
 

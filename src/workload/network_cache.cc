@@ -2,36 +2,7 @@
 
 #include <cassert>
 
-#include "workload/spec.hh"
-
 namespace ot::workload {
-
-std::string
-toString(MachineForm form)
-{
-    switch (form) {
-      case MachineForm::Otn:
-        return "otn";
-      case MachineForm::OtcNative:
-        return "otc";
-      case MachineForm::OtcEmulated:
-        return "otc-emu";
-    }
-    return "?";
-}
-
-std::string
-toString(const CacheKey &key)
-{
-    std::string out = toString(key.form) + ":n=" + std::to_string(key.n);
-    if (key.cycleLen)
-        out += ":l=" + std::to_string(key.cycleLen);
-    out += ":" + shortName(key.model);
-    out += ":w=" + std::to_string(key.wordBits);
-    if (key.scaled)
-        out += ":scaled";
-    return out;
-}
 
 void
 NetworkCache::checkCost(const CacheKey &key, const vlsi::CostModel &cost)
@@ -46,62 +17,19 @@ NetworkCache::checkCost(const CacheKey &key, const vlsi::CostModel &cost)
     (void)cost;
 }
 
-otn::OrthogonalTreesNetwork &
-NetworkCache::acquireOtn(const CacheKey &key, const vlsi::CostModel &cost)
+topo::Machine &
+NetworkCache::acquire(const CacheKey &key, const vlsi::CostModel &cost)
 {
-    assert(key.form == MachineForm::Otn && "acquireOtn: wrong form");
     checkCost(key, cost);
-    auto it = _otn.find(key);
-    if (it != _otn.end()) {
+    auto it = _machines.find(key);
+    if (it != _machines.end()) {
         ++_hits;
         return *it->second;
     }
     ++_misses;
-    auto net = std::make_unique<otn::OrthogonalTreesNetwork>(
-        key.n, cost, layout::LayoutParams{}, /*host_threads=*/1);
-    auto &ref = *net;
-    _otn.emplace(key, std::move(net));
-    return ref;
-}
-
-otc::OtcNetwork &
-NetworkCache::acquireOtcNative(const CacheKey &key,
-                               const vlsi::CostModel &cost)
-{
-    assert(key.form == MachineForm::OtcNative &&
-           "acquireOtcNative: wrong form");
-    assert(key.cycleLen >= 1 && "acquireOtcNative: cycle length not set");
-    checkCost(key, cost);
-    auto it = _otc.find(key);
-    if (it != _otc.end()) {
-        ++_hits;
-        return *it->second;
-    }
-    ++_misses;
-    auto net = std::make_unique<otc::OtcNetwork>(
-        key.n / key.cycleLen, key.cycleLen, cost, /*host_threads=*/1);
-    auto &ref = *net;
-    _otc.emplace(key, std::move(net));
-    return ref;
-}
-
-otc::OtcEmulatedOtn &
-NetworkCache::acquireOtcEmulated(const CacheKey &key,
-                                 const vlsi::CostModel &cost)
-{
-    assert(key.form == MachineForm::OtcEmulated &&
-           "acquireOtcEmulated: wrong form");
-    checkCost(key, cost);
-    auto it = _emulated.find(key);
-    if (it != _emulated.end()) {
-        ++_hits;
-        return *it->second;
-    }
-    ++_misses;
-    auto net = std::make_unique<otc::OtcEmulatedOtn>(
-        key.n, cost, key.cycleLen, /*host_threads=*/1);
-    auto &ref = *net;
-    _emulated.emplace(key, std::move(net));
+    auto machine = topo::registry().build(key);
+    auto &ref = *machine;
+    _machines.emplace(key, std::move(machine));
     return ref;
 }
 

@@ -6,17 +6,17 @@
  * constructor lays out the chip, and the first primitive computes the
  * tree traversal/reduce costs from that geometry (cached per network,
  * see otn::OrthogonalTreesNetwork::treeTraversalCost).  Two instances
- * with the same *shape* — machine form, problem size, cycle length,
+ * with the same *shape* — topology name, problem size, cycle length,
  * delay model, word width, scaling — are served by the same machine
  * object, so repeated shapes in a batch skip construction and reuse
  * the warmed cost caches.  The key deliberately excludes the
  * algorithm: CONNECT and a Boolean product at the same N run on
  * machines with identical geometry and share one entry.
  *
- * The cache key *is* the cost model (plus geometry): every acquire
- * asserts that the caller's CostModel agrees with the key, so a batch
- * can never run an instance under a different delay model than the
- * machine it shares was built for.
+ * The cache key *is* the build spec of the topo registry: every
+ * acquire asserts that the caller's CostModel agrees with the key, so
+ * a batch can never run an instance under a different delay model than
+ * the machine it shares was built for.
  *
  * Cached machines are built with host_threads = 1: the BatchEngine
  * shards whole instances across host lanes, and the machines' inner
@@ -31,49 +31,25 @@
 #include <memory>
 #include <string>
 
-#include "otc/emulated_otn.hh"
-#include "otc/network.hh"
-#include "otn/network.hh"
+#include "topo/machine.hh"
+#include "topo/registry.hh"
 #include "vlsi/cost_model.hh"
-#include "vlsi/delay.hh"
 
 namespace ot::workload {
 
-/** The machine families a cache entry can hold. */
-enum class MachineForm : std::uint8_t {
-    Otn,         ///< plain (N x N)-OTN
-    OtcNative,   ///< (N/L x N/L)-OTC streaming machine (SORT-OTC)
-    OtcEmulated, ///< OTC-emulated OTN (Section V-A)
-};
-
-/** "otn", "otc" or "otc-emu". */
-std::string toString(MachineForm form);
-
-/** Shape of one cached machine: geometry plus cost rules. */
-struct CacheKey
-{
-    MachineForm form = MachineForm::Otn;
-    /** Problem size N (the emulated/base side, or K*L for the OTC). */
-    std::size_t n = 0;
-    /** Cycle length L of the OTC forms; 0 for the plain OTN. */
-    unsigned cycleLen = 0;
-    vlsi::DelayModel model = vlsi::DelayModel::Logarithmic;
-    unsigned wordBits = 0;
-    bool scaled = false;
-
-    auto operator<=>(const CacheKey &other) const = default;
-};
+/** Shape of one cached machine: the topo build spec. */
+using CacheKey = topo::MachineSpec;
 
 /** Human-readable key, e.g. "otn:n=32:log:w=10" (for reports). */
-std::string toString(const CacheKey &key);
+using topo::toString;
 
 /**
- * The network memo.  acquire*() returns the cached machine for a key,
- * constructing it on the first request; hits() / misses() count the
- * lookups.  Machines keep register state between acquisitions — the
- * BatchEngine resets them per instance — and their model-time
- * accountants are per-machine, so callers measure runs with
- * resetTime() + now().
+ * The network memo.  acquire() returns the cached machine for a key,
+ * constructing it through the topo registry on the first request;
+ * hits() / misses() count the lookups.  Machines keep register state
+ * between acquisitions — the BatchEngine resets them per instance —
+ * and their model-time accountants are per-machine, so callers measure
+ * runs with reset() + now().
  */
 class NetworkCache
 {
@@ -83,43 +59,24 @@ class NetworkCache
     NetworkCache(const NetworkCache &) = delete;
     NetworkCache &operator=(const NetworkCache &) = delete;
 
-    /** The plain OTN for `key` (form must be Otn). */
-    otn::OrthogonalTreesNetwork &acquireOtn(const CacheKey &key,
-                                            const vlsi::CostModel &cost);
-
-    /** The native OTC for `key` (form must be OtcNative). */
-    otc::OtcNetwork &acquireOtcNative(const CacheKey &key,
-                                      const vlsi::CostModel &cost);
-
-    /** The OTC-emulated OTN for `key` (form must be OtcEmulated). */
-    otc::OtcEmulatedOtn &acquireOtcEmulated(const CacheKey &key,
-                                            const vlsi::CostModel &cost);
+    /** The machine for `key`, built by the registry on first use. */
+    topo::Machine &acquire(const CacheKey &key,
+                           const vlsi::CostModel &cost);
 
     std::uint64_t hits() const { return _hits; }
     std::uint64_t misses() const { return _misses; }
 
     /** Distinct machines currently cached. */
-    std::size_t size() const
-    {
-        return _otn.size() + _otc.size() + _emulated.size();
-    }
+    std::size_t size() const { return _machines.size(); }
 
     /** Drop every cached machine (counters keep their values). */
-    void
-    clear()
-    {
-        _otn.clear();
-        _otc.clear();
-        _emulated.clear();
-    }
+    void clear() { _machines.clear(); }
 
   private:
-    /** Key/cost agreement contract shared by the acquire methods. */
+    /** Key/cost agreement contract of acquire(). */
     static void checkCost(const CacheKey &key, const vlsi::CostModel &cost);
 
-    std::map<CacheKey, std::unique_ptr<otn::OrthogonalTreesNetwork>> _otn;
-    std::map<CacheKey, std::unique_ptr<otc::OtcNetwork>> _otc;
-    std::map<CacheKey, std::unique_ptr<otc::OtcEmulatedOtn>> _emulated;
+    std::map<CacheKey, std::unique_ptr<topo::Machine>> _machines;
     std::uint64_t _hits = 0;
     std::uint64_t _misses = 0;
 };

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cctype>
 
+#include "topo/machine.hh"
+#include "topo/registry.hh"
 #include "vlsi/bitmath.hh"
 
 namespace ot::workload {
@@ -25,36 +27,6 @@ parseUint(const std::string &s, std::uint64_t &out)
         v = v * 10 + d;
     }
     out = v;
-    return true;
-}
-
-bool
-algoFromString(const std::string &s, Algo &out)
-{
-    if (s == "sort")
-        out = Algo::Sort;
-    else if (s == "matmul")
-        out = Algo::MatMul;
-    else if (s == "boolmm")
-        out = Algo::BoolMatMul;
-    else if (s == "cc")
-        out = Algo::ConnectedComponents;
-    else if (s == "mst")
-        out = Algo::Mst;
-    else
-        return false;
-    return true;
-}
-
-bool
-netFromString(const std::string &s, NetKind &out)
-{
-    if (s == "otn")
-        out = NetKind::Otn;
-    else if (s == "otc")
-        out = NetKind::Otc;
-    else
-        return false;
     return true;
 }
 
@@ -185,14 +157,15 @@ parseInstanceObject(JsonCursor &cur, InstanceSpec &out)
             std::string v;
             if (!cur.parseString(v))
                 return false;
-            if (!algoFromString(v, out.algo))
+            if (!topo::algoFromString(v, out.algo))
                 return cur.fail("unknown algo '" + v + "'");
         } else if (key == "net") {
             std::string v;
             if (!cur.parseString(v))
                 return false;
-            if (!netFromString(v, out.net))
+            if (!topo::isNetName(v))
                 return cur.fail("unknown net '" + v + "'");
+            out.net = v;
         } else if (key == "model") {
             std::string v;
             if (!cur.parseString(v))
@@ -219,44 +192,6 @@ parseInstanceObject(JsonCursor &cur, InstanceSpec &out)
 
 } // namespace
 
-std::string
-toString(Algo algo)
-{
-    switch (algo) {
-      case Algo::Sort:
-        return "sort";
-      case Algo::MatMul:
-        return "matmul";
-      case Algo::BoolMatMul:
-        return "boolmm";
-      case Algo::ConnectedComponents:
-        return "cc";
-      case Algo::Mst:
-        return "mst";
-    }
-    return "?";
-}
-
-std::string
-toString(NetKind net)
-{
-    return net == NetKind::Otn ? "otn" : "otc";
-}
-
-std::string
-shortName(vlsi::DelayModel model)
-{
-    switch (model) {
-      case vlsi::DelayModel::Constant:
-        return "const";
-      case vlsi::DelayModel::Logarithmic:
-        return "log";
-      case vlsi::DelayModel::Linear:
-        return "linear";
-    }
-    return "?";
-}
-
 void
 validate(const WorkloadSpec &spec)
 {
@@ -266,6 +201,8 @@ validate(const WorkloadSpec &spec)
                "workload: instance size out of range [2, 16384]");
         assert(vlsi::isPow2(inst.n) &&
                "workload: instance size must be a power of two");
+        assert(topo::isNetName(inst.net) &&
+               "workload: unknown net name");
         (void)inst;
     }
 }
@@ -283,6 +220,9 @@ describeInvalid(const WorkloadSpec &spec)
         if (!vlsi::isPow2(inst.n))
             return "instance " + std::to_string(i) + ": size " +
                    std::to_string(inst.n) + " is not a power of two";
+        if (!topo::isNetName(inst.net))
+            return "instance " + std::to_string(i) + ": unknown net '" +
+                   inst.net + "'";
     }
     return "";
 }
@@ -308,15 +248,17 @@ parseInstance(const std::string &token, InstanceSpec &out, std::string &err)
         return false;
     }
     InstanceSpec inst;
-    if (!algoFromString(parts[0], inst.algo)) {
+    if (!topo::algoFromString(parts[0], inst.algo)) {
         err = "unknown algo '" + parts[0] +
-              "' (sort|matmul|boolmm|cc|mst)";
+              "' (sort|matmul|boolmm|cc|mst|sssp)";
         return false;
     }
-    if (!netFromString(parts[1], inst.net)) {
-        err = "unknown net '" + parts[1] + "' (otn|otc)";
+    if (!topo::isNetName(parts[1])) {
+        err = "unknown net '" + parts[1] + "' (" +
+              topo::netNamesSummary() + ")";
         return false;
     }
+    inst.net = parts[1];
     std::uint64_t n = 0;
     if (!parseUint(parts[2], n)) {
         err = "bad instance size '" + parts[2] + "'";
@@ -347,8 +289,8 @@ parseInstance(const std::string &token, InstanceSpec &out, std::string &err)
 std::string
 toToken(const InstanceSpec &inst)
 {
-    std::string out = toString(inst.algo) + ":" + toString(inst.net) +
-                      ":" + std::to_string(inst.n) + ":" +
+    std::string out = toString(inst.algo) + ":" + inst.net + ":" +
+                      std::to_string(inst.n) + ":" +
                       shortName(inst.model);
     if (inst.scaled)
         out += ":scaled";
@@ -407,7 +349,7 @@ toJson(const WorkloadSpec &spec)
         if (i)
             out += ",";
         out += "\n  {\"algo\": \"" + toString(inst.algo) + "\"";
-        out += ", \"net\": \"" + toString(inst.net) + "\"";
+        out += ", \"net\": \"" + inst.net + "\"";
         out += ", \"n\": " + std::to_string(inst.n);
         out += ", \"model\": \"" + shortName(inst.model) + "\"";
         out += std::string(", \"scaled\": ") +
@@ -426,22 +368,22 @@ demoWorkload()
     // shapes (same algo/net/n/model, different seed) so the cache hits.
     using M = vlsi::DelayModel;
     WorkloadSpec spec;
-    auto add = [&](Algo a, NetKind k, std::size_t n, M m,
+    auto add = [&](Algo a, const char *net, std::size_t n, M m,
                    std::uint64_t seed) {
-        spec.instances.push_back({a, k, n, m, false, seed});
+        spec.instances.push_back({a, net, n, m, false, seed});
     };
-    add(Algo::Sort, NetKind::Otn, 32, M::Logarithmic, 1);
-    add(Algo::Sort, NetKind::Otn, 32, M::Logarithmic, 2);
-    add(Algo::Sort, NetKind::Otc, 32, M::Logarithmic, 3);
-    add(Algo::Sort, NetKind::Otc, 32, M::Logarithmic, 4);
-    add(Algo::MatMul, NetKind::Otn, 16, M::Logarithmic, 5);
-    add(Algo::MatMul, NetKind::Otc, 16, M::Logarithmic, 6);
-    add(Algo::BoolMatMul, NetKind::Otn, 16, M::Constant, 7);
-    add(Algo::BoolMatMul, NetKind::Otc, 16, M::Constant, 8);
-    add(Algo::ConnectedComponents, NetKind::Otn, 16, M::Logarithmic, 9);
-    add(Algo::ConnectedComponents, NetKind::Otn, 16, M::Logarithmic, 10);
-    add(Algo::Mst, NetKind::Otn, 16, M::Constant, 11);
-    add(Algo::Mst, NetKind::Otc, 16, M::Constant, 12);
+    add(Algo::Sort, "otn", 32, M::Logarithmic, 1);
+    add(Algo::Sort, "otn", 32, M::Logarithmic, 2);
+    add(Algo::Sort, "otc", 32, M::Logarithmic, 3);
+    add(Algo::Sort, "otc", 32, M::Logarithmic, 4);
+    add(Algo::MatMul, "otn", 16, M::Logarithmic, 5);
+    add(Algo::MatMul, "otc", 16, M::Logarithmic, 6);
+    add(Algo::BoolMatMul, "otn", 16, M::Constant, 7);
+    add(Algo::BoolMatMul, "otc", 16, M::Constant, 8);
+    add(Algo::ConnectedComponents, "otn", 16, M::Logarithmic, 9);
+    add(Algo::ConnectedComponents, "otn", 16, M::Logarithmic, 10);
+    add(Algo::Mst, "otn", 16, M::Constant, 11);
+    add(Algo::Mst, "otc", 16, M::Constant, 12);
     return spec;
 }
 

@@ -6,10 +6,11 @@
  * streams of independent problems, not single runs.  A WorkloadSpec is
  * the host-side description of such a stream: each InstanceSpec names
  * an algorithm (sort / matmul / Boolean matmul / connected components
- * / MST), a machine family (OTN or OTC), a problem size, a delay
- * model, and a seed for the deterministic input generator.  The
- * BatchEngine (engine.hh) shards a batch over host threads and the
- * NetworkCache reuses one simulated machine per distinct shape.
+ * / MST / shortest paths), a topology from the topo registry ("otn",
+ * "otc", "mesh", "fattree", ...), a problem size, a delay model, and a
+ * seed for the deterministic input generator.  The BatchEngine
+ * (engine.hh) shards a batch over host threads and the NetworkCache
+ * reuses one simulated machine per distinct shape.
  *
  * Specs are written either as compact CLI tokens
  * (`algo:net:n:model[:scaled][:seed=K]`) or as a small JSON document
@@ -25,39 +26,26 @@
 #include <string>
 #include <vector>
 
+#include "topo/algo.hh"
 #include "vlsi/delay.hh"
 
 namespace ot::workload {
 
 /** The algorithms a batch may mix (the paper's Tables I-III rows). */
-enum class Algo : std::uint8_t {
-    Sort,                ///< SORT-OTN / SORT-OTC
-    MatMul,              ///< pipelined integer matrix product
-    BoolMatMul,          ///< Boolean matrix product (Table II)
-    ConnectedComponents, ///< CONNECT (Table III)
-    Mst,                 ///< minimum spanning tree (Table III)
-};
-
-/** Machine family an instance runs on. */
-enum class NetKind : std::uint8_t {
-    Otn, ///< the (N x N) orthogonal trees network
-    Otc, ///< the orthogonal tree cycles (native or emulated OTN)
-};
+using Algo = topo::Algo;
 
 /** Short spelling used by the CLI/JSON forms ("sort", "cc", ...). */
-std::string toString(Algo algo);
-
-/** "otn" or "otc". */
-std::string toString(NetKind net);
+using topo::toString;
 
 /** Short delay-model spelling: "log", "const" or "linear". */
-std::string shortName(vlsi::DelayModel model);
+using topo::shortName;
 
 /** One problem instance of a batch. */
 struct InstanceSpec
 {
     Algo algo = Algo::Sort;
-    NetKind net = NetKind::Otn;
+    /** Registry name of the topology the instance runs on. */
+    std::string net = "otn";
     /** Problem size N (power of two, >= 2). */
     std::size_t n = 64;
     vlsi::DelayModel model = vlsi::DelayModel::Logarithmic;

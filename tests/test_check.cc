@@ -103,13 +103,14 @@ TEST(CheckFixtures, CorpusMatchesAnnotations)
         "bad_determinism.cc",       "bad_hotpath.cc",
         "bad_intrinsics.cc",        "bad_lane_capture.cc",
         "bad_layering.cc",          "bad_lexer_resync.cc",
-        "bad_scenario_prng.cc",     "bad_unreachable.cc",
+        "bad_scenario_prng.cc",     "bad_topo_layering.cc",
+        "bad_unreachable.cc",
         "good_accounting.cc",       "good_accounting_cfg.cc",
         "good_accounting_split.cc", "good_determinism.cc",
         "good_hotpath.cc",          "good_intrinsics.cc",
         "good_lane_indexed.cc",     "good_layering.cc",
         "good_lexer.cc",            "good_scenario_prng.cc",
-        "good_unreachable.cc",
+        "good_topo_layering.cc",    "good_unreachable.cc",
     };
     for (const std::string &name : names) {
         SCOPED_TRACE(name);

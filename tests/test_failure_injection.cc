@@ -10,6 +10,8 @@
 #include "otc/network.hh"
 #include "otn/network.hh"
 #include "otn/sort.hh"
+#include "topo/fat_tree.hh"
+#include "topo/registry.hh"
 #include "workload/engine.hh"
 
 namespace {
@@ -88,8 +90,7 @@ TEST(WorkloadDeath, NonPowerOfTwoInstanceDies)
 {
     ot::workload::BatchEngine engine;
     ot::workload::WorkloadSpec spec;
-    spec.instances.push_back({ot::workload::Algo::Sort,
-                              ot::workload::NetKind::Otn, 24,
+    spec.instances.push_back({ot::workload::Algo::Sort, "otn", 24,
                               DelayModel::Logarithmic, false, 1});
     EXPECT_DEATH(engine.run(spec), "power of two");
 }
@@ -98,8 +99,7 @@ TEST(WorkloadDeath, OversizedInstanceDies)
 {
     ot::workload::BatchEngine engine;
     ot::workload::WorkloadSpec spec;
-    spec.instances.push_back({ot::workload::Algo::Sort,
-                              ot::workload::NetKind::Otn, 1 << 15,
+    spec.instances.push_back({ot::workload::Algo::Sort, "otn", 1 << 15,
                               DelayModel::Logarithmic, false, 1});
     EXPECT_DEATH(engine.run(spec), "out of range");
 }
@@ -109,14 +109,45 @@ TEST(WorkloadDeath, MismatchedDelayModelWithinCacheKeyDies)
     // A cache key identifies one machine; acquiring it with a cost
     // model that disagrees with the key is a bug, not a miss.
     ot::workload::NetworkCache cache;
-    ot::workload::InstanceSpec log_inst{ot::workload::Algo::Sort,
-                                        ot::workload::NetKind::Otn, 16,
-                                        DelayModel::Logarithmic, false, 1};
+    ot::workload::InstanceSpec log_inst{ot::workload::Algo::Sort, "otn",
+                                        16, DelayModel::Logarithmic,
+                                        false, 1};
     auto key = ot::workload::cacheKeyFor(log_inst);
     CostModel wrong{DelayModel::Constant,
                     WordFormat::forProblemSize(16)};
-    EXPECT_DEATH(cache.acquireOtn(key, wrong),
+    EXPECT_DEATH(cache.acquire(key, wrong),
                  "delay model mismatched within a cache key");
+}
+
+TEST(WorkloadDeath, UnknownNetInstanceDies)
+{
+    ot::workload::BatchEngine engine;
+    ot::workload::WorkloadSpec spec;
+    spec.instances.push_back({ot::workload::Algo::Sort, "hypercube", 16,
+                              DelayModel::Logarithmic, false, 1});
+    EXPECT_DEATH(engine.run(spec), "unknown net name");
+}
+
+TEST(TopoDeath, FatTreeBadPortCountsDie)
+{
+    ot::topo::MachineSpec spec;
+    spec.topo = "fattree";
+    spec.n = 64;
+    spec.wordBits = 12;
+    EXPECT_DEATH(ot::topo::FatTreeMachine(spec, 5), "must be even");
+    EXPECT_DEATH(ot::topo::FatTreeMachine(spec, 2), "must be >= 4");
+    EXPECT_DEATH(ot::topo::FatTreeMachine(spec, 4),
+                 "port count too small");
+}
+
+TEST(TopoDeath, UnknownRegistryBuildDies)
+{
+    ot::topo::MachineSpec spec;
+    spec.topo = "hypercube";
+    spec.n = 16;
+    spec.wordBits = 8;
+    EXPECT_DEATH(ot::topo::registry().build(spec),
+                 "unknown topology name");
 }
 
 // Sanity: the guards do NOT fire on legal inputs (the death tests

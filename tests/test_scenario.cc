@@ -31,7 +31,6 @@ using ot::vlsi::DelayModel;
 using ot::vlsi::ModelTime;
 using ot::workload::Algo;
 using ot::workload::InstanceSpec;
-using ot::workload::NetKind;
 
 // ---------------------------------------------------------------- PRNG
 
@@ -145,8 +144,7 @@ oneClientSpec(ArrivalKind kind, ModelTime mean, ModelTime duration)
     ClientConfig c;
     c.name = "only";
     c.mix.push_back(
-        {Algo::Sort, NetKind::Otn, 16, DelayModel::Logarithmic, false,
-         1});
+        {Algo::Sort, "otn", 16, DelayModel::Logarithmic, false, 1});
     spec.clients.push_back(c);
     return spec;
 }

@@ -16,7 +16,6 @@ namespace {
 
 using namespace ot::scenario;
 using ot::workload::Algo;
-using ot::workload::NetKind;
 
 ScenarioSpec
 parsed(const std::string &text)
@@ -181,7 +180,8 @@ TEST(ScnParseTest, RejectsEveryClientDirectiveError)
               "algo:net:n:model[:scaled][:seed=K], got 'bogus'");
     EXPECT_EQ(rejected("client a mix=sort:xpu:16:log\n"),
               "line 1: bad mix instance 'sort:xpu:16:log': "
-              "unknown net 'xpu' (otn|otc)");
+              "unknown net 'xpu' "
+              "(ccc|d2d-mot|fattree|hex|mesh|mot|otc|otc-emu|otn|psn|tree)");
 }
 
 // ---------------------------------------------------- describeInvalid

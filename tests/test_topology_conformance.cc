@@ -1,0 +1,208 @@
+/**
+ * @file
+ * The cross-topology differential conformance suite.
+ *
+ * Every registered algorithm runs on every registered topology across
+ * a sweep of problem sizes and seeds, and every result must equal the
+ * sequential reference — the contract that makes a registry entry a
+ * *machine* rather than a cost table.  On top of the differential
+ * sweep: the batch reports must stay byte-identical at host-thread
+ * counts 1 and 8, the AT^2 rows for the new fat-tree and D2D-MoT
+ * machines must be well-formed, and the D2D-MoT's diametrical links
+ * must strictly reduce root bandwidth against the plain MoT on the
+ * same traffic (the arXiv:1212.2874 property, read off the tracer).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "topo/algo.hh"
+#include "topo/machine.hh"
+#include "topo/mot_noc.hh"
+#include "topo/registry.hh"
+#include "trace/analysis.hh"
+#include "trace/tracer.hh"
+#include "workload/engine.hh"
+
+namespace {
+
+using namespace ot;
+using workload::Algo;
+using workload::BatchEngine;
+using workload::InstanceSpec;
+using workload::WorkloadSpec;
+
+/** One instance per (algo, topology, size): the full conformance grid. */
+WorkloadSpec
+conformanceGrid(const std::vector<std::size_t> &sizes)
+{
+    WorkloadSpec spec;
+    std::uint64_t seed = 1;
+    for (const std::string &net : topo::registry().names())
+        for (topo::Algo algo : topo::allAlgos())
+            for (std::size_t n : sizes)
+                spec.instances.push_back(
+                    {algo, net, n, vlsi::DelayModel::Logarithmic, false,
+                     seed++});
+    return spec;
+}
+
+TEST(TopologyConformance, RegistryServesAtLeastSevenTopologies)
+{
+    auto names = topo::registry().names();
+    EXPECT_GE(names.size(), 7u);
+    EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+    for (const char *required :
+         {"otn", "otc", "mesh", "psn", "ccc", "fattree", "mot",
+          "d2d-mot"})
+        EXPECT_TRUE(topo::isNetName(required)) << required;
+}
+
+TEST(TopologyConformance, EveryAlgoOnEveryTopologyMatchesReference)
+{
+    BatchEngine engine;
+    auto report = engine.run(conformanceGrid({16, 32}));
+    for (const auto &r : report.instances)
+        EXPECT_TRUE(r.verified)
+            << toString(r.spec.algo) << " on " << r.spec.net
+            << " n=" << r.spec.n << " seed=" << r.spec.seed;
+    EXPECT_TRUE(report.allVerified());
+    // The grid really was cross-topology: one farm shard per machine
+    // shape, at least one per registered topology.
+    EXPECT_GE(report.shards, topo::registry().names().size());
+}
+
+TEST(TopologyConformance, SweepIsDeterministicAcrossRepeats)
+{
+    auto spec = conformanceGrid({16});
+    BatchEngine a;
+    BatchEngine b;
+    EXPECT_EQ(a.run(spec).toJson(), b.run(spec).toJson());
+}
+
+TEST(TopologyConformance, ReportsByteIdenticalAtOneVsEightThreads)
+{
+    auto spec = conformanceGrid({16, 32});
+    std::vector<std::string> jsons;
+    std::vector<std::string> texts;
+    for (unsigned threads : {1u, 8u}) {
+        BatchEngine engine(threads);
+        auto report = engine.run(spec);
+        EXPECT_TRUE(report.allVerified()) << "threads=" << threads;
+        jsons.push_back(report.toJson());
+        std::ostringstream os;
+        report.writeText(os);
+        texts.push_back(os.str());
+    }
+    EXPECT_EQ(jsons[0], jsons[1]);
+    EXPECT_EQ(texts[0], texts[1]);
+}
+
+/** The sort AT^2 row of one topology at n (time from a real run). */
+std::pair<std::uint64_t, vlsi::ModelTime>
+sortRow(const std::string &net, std::size_t n)
+{
+    auto spec = topo::resolveSpec(net, topo::Algo::Sort, n,
+                                  vlsi::DelayModel::Logarithmic, false);
+    auto machine = topo::registry().build(spec);
+    std::vector<std::uint64_t> values(n);
+    for (std::size_t i = 0; i < n; ++i)
+        values[i] = (n - i) * 7 % n;
+    auto run = machine->runSort(values);
+    std::uint64_t area = run.area ? run.area : machine->area();
+    return {area, run.time};
+}
+
+TEST(TopologyConformance, AtSquaredRowsCoverFatTreeAndD2dMot)
+{
+    for (const std::string &net :
+         {std::string("fattree"), std::string("mot"),
+          std::string("d2d-mot")}) {
+        auto [area, time] = sortRow(net, 64);
+        EXPECT_GT(area, 0u) << net;
+        EXPECT_GT(time, 0u) << net;
+    }
+    // The diametrical links change routing, not the node grid: same
+    // area, strictly faster on root-heavy workloads (checked below),
+    // and never slower on the bitonic sweep.
+    auto [motArea, motTime] = sortRow("mot", 64);
+    auto [d2dArea, d2dTime] = sortRow("d2d-mot", 64);
+    EXPECT_GT(d2dArea, motArea); // the 2N extra diametrical wires
+    EXPECT_LE(d2dTime, motTime);
+}
+
+/** Reversal permutation plus row-local traffic, as (src, dst) pairs. */
+std::vector<std::pair<std::size_t, std::size_t>>
+rootHeavyTraffic(std::size_t n)
+{
+    std::vector<std::pair<std::size_t, std::size_t>> pairs;
+    // i -> n-1-i is diametrical in the node grid: both the row and the
+    // column flip halves, so the plain MoT crosses two tree roots per
+    // packet and the D2D variant zero.
+    for (std::size_t i = 0; i < n; ++i)
+        pairs.emplace_back(i, n - 1 - i);
+    // Mixed-in local traffic keeps the comparison honest: these pairs
+    // cost the same on both variants.
+    for (std::size_t i = 0; i + 1 < n; i += 2)
+        pairs.emplace_back(i, i + 1);
+    return pairs;
+}
+
+TEST(TopologyConformance, D2dMotRootBandwidthStrictlyBelowPlainMot)
+{
+    const std::size_t n = 64;
+    auto spec = topo::resolveSpec("mot", topo::Algo::Sort, n,
+                                  vlsi::DelayModel::Logarithmic, false);
+    auto pairs = rootHeavyTraffic(n);
+
+    auto drive = [&](bool diametrical) {
+        auto s = spec;
+        s.topo = diametrical ? "d2d-mot" : "mot";
+        topo::MotNocMachine machine(s, diametrical);
+        trace::Tracer tracer;
+        tracer.setEnabled(true);
+        machine.setTracer(&tracer);
+        vlsi::ModelTime time = machine.runTraffic(pairs);
+        machine.setTracer(nullptr);
+        auto summary = trace::analyze(tracer);
+        // The traced route spans carry root crossings in `words`, so
+        // the analyzer's root-bandwidth figure matches the machine's
+        // own accumulator.
+        EXPECT_EQ(summary.rootWords, machine.rootWords());
+        return std::pair<std::uint64_t, vlsi::ModelTime>(
+            machine.rootWords(), time);
+    };
+
+    auto [motRoot, motTime] = drive(false);
+    auto [d2dRoot, d2dTime] = drive(true);
+
+    EXPECT_GT(motRoot, 0u);
+    EXPECT_LT(d2dRoot, motRoot);
+    EXPECT_LT(d2dTime, motTime);
+}
+
+TEST(TopologyConformance, ResetRestartsEveryTopologyClock)
+{
+    for (const std::string &net : topo::registry().names()) {
+        auto spec = topo::resolveSpec(net, topo::Algo::Sort, 16,
+                                      vlsi::DelayModel::Logarithmic,
+                                      false);
+        auto machine = topo::registry().build(spec);
+        std::vector<std::uint64_t> values{3, 1, 4, 1, 5, 9, 2, 6,
+                                          5, 3, 5, 8, 9, 7, 9, 3};
+        auto first = machine->runSort(values);
+        machine->reset();
+        EXPECT_EQ(machine->now(), 0u) << net;
+        auto second = machine->runSort(values);
+        EXPECT_EQ(first.time, second.time) << net;
+        EXPECT_EQ(first.sorted, second.sorted) << net;
+    }
+}
+
+} // namespace

@@ -22,7 +22,7 @@ using namespace ot::workload;
 using ot::vlsi::DelayModel;
 
 InstanceSpec
-inst(Algo algo, NetKind net, std::size_t n,
+inst(Algo algo, const char *net, std::size_t n,
      DelayModel model = DelayModel::Logarithmic, std::uint64_t seed = 1)
 {
     return {algo, net, n, model, false, seed};
@@ -30,16 +30,16 @@ inst(Algo algo, NetKind net, std::size_t n,
 
 TEST(CacheKeyTest, DistinguishesMachineShapes)
 {
-    auto otn_sort = cacheKeyFor(inst(Algo::Sort, NetKind::Otn, 32));
-    auto otc_sort = cacheKeyFor(inst(Algo::Sort, NetKind::Otc, 32));
+    auto otn_sort = cacheKeyFor(inst(Algo::Sort, "otn", 32));
+    auto otc_sort = cacheKeyFor(inst(Algo::Sort, "otc", 32));
     auto otc_cc =
-        cacheKeyFor(inst(Algo::ConnectedComponents, NetKind::Otc, 32));
-    auto otc_bool = cacheKeyFor(inst(Algo::BoolMatMul, NetKind::Otc, 32));
+        cacheKeyFor(inst(Algo::ConnectedComponents, "otc", 32));
+    auto otc_bool = cacheKeyFor(inst(Algo::BoolMatMul, "otc", 32));
 
-    EXPECT_EQ(otn_sort.form, MachineForm::Otn);
-    EXPECT_EQ(otc_sort.form, MachineForm::OtcNative);
-    EXPECT_EQ(otc_cc.form, MachineForm::OtcEmulated);
-    EXPECT_EQ(otc_bool.form, MachineForm::OtcEmulated);
+    EXPECT_EQ(otn_sort.topo, "otn");
+    EXPECT_EQ(otc_sort.topo, "otc");
+    EXPECT_EQ(otc_cc.topo, "otc-emu");
+    EXPECT_EQ(otc_bool.topo, "otc-emu");
     // SORT-OTC streams cycles of log N; the Table II Boolean machine
     // uses cycles of log^2 N.
     EXPECT_EQ(otc_sort.cycleLen, 5u);
@@ -49,28 +49,28 @@ TEST(CacheKeyTest, DistinguishesMachineShapes)
 
 TEST(CacheKeyTest, SameShapeSameKeyDifferentSeed)
 {
-    auto a = cacheKeyFor(inst(Algo::Sort, NetKind::Otn, 32,
+    auto a = cacheKeyFor(inst(Algo::Sort, "otn", 32,
                               DelayModel::Logarithmic, 1));
-    auto b = cacheKeyFor(inst(Algo::Sort, NetKind::Otn, 32,
+    auto b = cacheKeyFor(inst(Algo::Sort, "otn", 32,
                               DelayModel::Logarithmic, 99));
     EXPECT_EQ(a, b);
     auto c = cacheKeyFor(
-        inst(Algo::Sort, NetKind::Otn, 32, DelayModel::Constant, 1));
+        inst(Algo::Sort, "otn", 32, DelayModel::Constant, 1));
     EXPECT_NE(a, c);
 }
 
 TEST(NetworkCacheTest, SecondAcquireIsAHitOnTheSameMachine)
 {
     NetworkCache cache;
-    auto spec = inst(Algo::Sort, NetKind::Otn, 16);
+    auto spec = inst(Algo::Sort, "otn", 16);
     auto key = cacheKeyFor(spec);
     auto cost = costModelFor(spec);
 
-    auto &first = cache.acquireOtn(key, cost);
+    auto &first = cache.acquire(key, cost);
     EXPECT_EQ(cache.hits(), 0u);
     EXPECT_EQ(cache.misses(), 1u);
 
-    auto &second = cache.acquireOtn(key, cost);
+    auto &second = cache.acquire(key, cost);
     EXPECT_EQ(&first, &second);
     EXPECT_EQ(cache.hits(), 1u);
     EXPECT_EQ(cache.misses(), 1u);
@@ -120,7 +120,7 @@ TEST(BatchEngineTest, MakespanIsMaxOverShardsOfSummedTimes)
 TEST(BatchEngineTest, SingleInstanceBatchMakespanEqualsItsTime)
 {
     WorkloadSpec spec;
-    spec.instances.push_back(inst(Algo::Sort, NetKind::Otn, 16));
+    spec.instances.push_back(inst(Algo::Sort, "otn", 16));
     BatchEngine engine;
     auto report = engine.run(spec);
     ASSERT_EQ(report.instances.size(), 1u);
@@ -222,7 +222,7 @@ TEST(SpecTest, ParseInstanceTokens)
     ASSERT_TRUE(parseInstance("boolmm:otc:64:const:seed=7", out, err))
         << err;
     EXPECT_EQ(out.algo, Algo::BoolMatMul);
-    EXPECT_EQ(out.net, NetKind::Otc);
+    EXPECT_EQ(out.net, "otc");
     EXPECT_EQ(out.n, 64u);
     EXPECT_EQ(out.model, DelayModel::Constant);
     EXPECT_EQ(out.seed, 7u);
@@ -233,16 +233,24 @@ TEST(SpecTest, ParseInstanceTokens)
 
     EXPECT_FALSE(parseInstance("sort:otn:32", out, err));
     EXPECT_FALSE(parseInstance("quicksort:otn:32:log", out, err));
-    EXPECT_FALSE(parseInstance("sort:mesh:32:log", out, err));
+
+    // Any registry topology is a valid net token now.
+    ASSERT_TRUE(parseInstance("sort:mesh:32:log", out, err)) << err;
+    EXPECT_EQ(out.net, "mesh");
+    ASSERT_TRUE(parseInstance("sssp:fattree:16:log", out, err)) << err;
+    EXPECT_EQ(out.algo, Algo::ShortestPaths);
+    EXPECT_EQ(out.net, "fattree");
+    EXPECT_FALSE(parseInstance("sort:hypercube:32:log", out, err));
+    EXPECT_NE(err.find("unknown net 'hypercube'"), std::string::npos);
 }
 
 TEST(SpecTest, DescribeInvalidFlagsBadSizes)
 {
     WorkloadSpec spec;
     EXPECT_NE(describeInvalid(spec), "");
-    spec.instances.push_back(inst(Algo::Sort, NetKind::Otn, 16));
+    spec.instances.push_back(inst(Algo::Sort, "otn", 16));
     EXPECT_EQ(describeInvalid(spec), "");
-    spec.instances.push_back(inst(Algo::Sort, NetKind::Otn, 24));
+    spec.instances.push_back(inst(Algo::Sort, "otn", 24));
     EXPECT_NE(describeInvalid(spec), "");
 }
 

@@ -3,14 +3,15 @@
  * otsim — command-line driver for the orthotree simulators.
  *
  * Usage:
- *   otsim sort    --net otn|otc|mesh|psn|ccc|tree [--n N] [--seed S]
+ *   otsim sort    --net otn|otc|mesh|psn|ccc|tree|... [--n N] [--seed S]
  *                 [--model log|const|linear] [--scaled]
- *   otsim cc      --net otn|otc|mesh [--n N] [--p PROB] [--seed S]
- *   otsim mst     --net otn|otc [--n N] [--seed S]
- *   otsim matmul  --net otn|otc|mesh|hex|mot3d [--n N] [--seed S]
- *   otsim sssp    [--n N] [--seed S]
+ *   otsim cc      --net otn|otc|mesh|... [--n N] [--p PROB] [--seed S]
+ *   otsim mst     --net otn|otc|... [--n N] [--seed S]
+ *   otsim matmul  --net otn|otc|mesh|hex|mot3d|... [--n N] [--seed S]
+ *   otsim sssp    [--net otn|...] [--n N] [--seed S]
  *   otsim layout  --net otn|otc [--n N] [--art]
  *   otsim tables  [--n N]
+ *   otsim topo    --list
  *   otsim trace   [sort|cc|mst|matmul|sssp] [--net otn|otc] [--n N]
  *                 [--trace-out FILE] [--trace-summary FILE]
  *   otsim batch   [--demo] [--spec FILE.json]
@@ -27,6 +28,10 @@
  * aggregate model-time throughput.  The report is deterministic:
  * byte-identical at every OT_HOST_THREADS setting.
  *
+ * `--net` accepts any topology of the topo registry (`otsim topo
+ * --list`): names with a native runner use it, everything else runs
+ * the generic primitive-based algorithms of topo::Machine.
+ *
  * Tracing: `--trace-out FILE` on sort/cc/mst/matmul/sssp records every
  * primitive and clock tick in model time and writes a Chrome
  * trace-event JSON loadable in ui.perfetto.dev; `--trace-summary FILE`
@@ -35,6 +40,7 @@
  * breakdown as text.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -76,6 +82,7 @@ struct Options
     vlsi::DelayModel model = vlsi::DelayModel::Logarithmic;
     bool scaled = false;
     bool art = false;
+    bool list = false;       // the `topo` subcommand: --list
     bool trace_text = false; // the `trace` subcommand: print the summary
 
     bool
@@ -91,8 +98,9 @@ usage(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s <sort|cc|mst|matmul|sssp|layout|tables|trace|batch"
-        "|scenario|simd> [options]\n"
-        "  --net <otn|otc|mesh|psn|ccc|tree|hex|mot3d>\n"
+        "|scenario|topo|simd> [options]\n"
+        "  --net <name>   any registered topology (otsim topo --list),\n"
+        "                 plus mot3d for the 3-D mesh-of-trees matmul\n"
         "  --n <size>   --seed <seed>   --p <edge prob>\n"
         "  --model <log|const|linear>   --scaled   --art   --svg <file>\n"
         "  --trace-out <file>      write a Perfetto (Chrome trace) JSON\n"
@@ -102,6 +110,7 @@ usage(const char *argv0)
         "        --inst algo:net:n:model[:scaled][:seed=K] (repeatable)\n"
         "        [--json <file>]  run a workload batch on the machine "
         "farm\n"
+        "  topo --list      list the registered topologies\n"
         "  scenario --file <file.scn> [--scheduler fifo|sjf|fair|edf]\n"
         "        [--compare fifo,sjf,...] [--json <file>]  run a "
         "traffic\n"
@@ -171,6 +180,8 @@ parse(int argc, char **argv)
             opt.scaled = true;
         } else if (arg == "--art") {
             opt.art = true;
+        } else if (arg == "--list") {
+            opt.list = true;
         } else if (arg == "--svg") {
             opt.svg_path = next();
         } else {
@@ -335,9 +346,17 @@ runSort(const Options &opt)
         got = net.extractMinSort(v);
         time = net.now();
         area = static_cast<double>(net.chipArea());
+    } else if (topo::isNetName(opt.net)) {
+        auto spec = topo::resolveSpec(opt.net, topo::Algo::Sort, opt.n,
+                                      opt.model, opt.scaled);
+        auto m = topo::registry().build(spec);
+        auto r = m->runSort(v);
+        got = r.sorted;
+        time = r.time;
+        area = static_cast<double>(r.area ? r.area : m->area());
     } else {
-        std::fprintf(stderr, "otsim: unknown sorter '%s'\n",
-                     opt.net.c_str());
+        std::fprintf(stderr, "otsim: unknown sorter '%s' (%s)\n",
+                     opt.net.c_str(), topo::netNamesSummary().c_str());
         return 2;
     }
 
@@ -391,9 +410,20 @@ runCc(const Options &opt)
         count = r.componentCount;
         time = r.time;
         area = static_cast<double>(net.chipLayout().metrics().area());
+    } else if (topo::isNetName(opt.net)) {
+        auto spec = topo::resolveSpec(opt.net,
+                                      topo::Algo::ConnectedComponents,
+                                      opt.n, opt.model, opt.scaled);
+        auto m = topo::registry().build(spec);
+        auto r = m->runConnectedComponents(g);
+        got = r.labels;
+        for (std::size_t v = 0; v < got.size(); ++v)
+            count += got[v] == v ? 1 : 0;
+        time = r.time;
+        area = static_cast<double>(r.area ? r.area : m->area());
     } else {
-        std::fprintf(stderr, "otsim: unknown cc engine '%s'\n",
-                     opt.net.c_str());
+        std::fprintf(stderr, "otsim: unknown cc engine '%s' (%s)\n",
+                     opt.net.c_str(), topo::netNamesSummary().c_str());
         return 2;
     }
 
@@ -435,9 +465,19 @@ runMst(const Options &opt)
         auto rr = otc::mstOtc(g, cost);
         r = rr.result;
         area = static_cast<double>(rr.chip.area());
+    } else if (topo::isNetName(opt.net)) {
+        auto spec = topo::resolveSpec(opt.net, topo::Algo::Mst, opt.n,
+                                      opt.model, opt.scaled);
+        auto m = topo::registry().build(spec);
+        auto rr = m->runMst(g);
+        r.edges = rr.edges;
+        r.time = rr.time;
+        for (const auto &e : r.edges)
+            r.totalWeight += e.w;
+        area = static_cast<double>(rr.area ? rr.area : m->area());
     } else {
-        std::fprintf(stderr, "otsim: unknown mst engine '%s'\n",
-                     opt.net.c_str());
+        std::fprintf(stderr, "otsim: unknown mst engine '%s' (%s)\n",
+                     opt.net.c_str(), topo::netNamesSummary().c_str());
         return 2;
     }
 
@@ -507,9 +547,17 @@ runMatMul(const Options &opt)
         got = r.product;
         time = r.time;
         area = static_cast<double>(mot.chipArea());
+    } else if (topo::isNetName(opt.net)) {
+        auto spec = topo::resolveSpec(opt.net, topo::Algo::MatMul, opt.n,
+                                      opt.model, opt.scaled);
+        auto m = topo::registry().build(spec);
+        auto r = m->runMatMul(a, b);
+        got = r.product;
+        time = r.time;
+        area = static_cast<double>(r.area ? r.area : m->area());
     } else {
-        std::fprintf(stderr, "otsim: unknown matmul engine '%s'\n",
-                     opt.net.c_str());
+        std::fprintf(stderr, "otsim: unknown matmul engine '%s' (%s)\n",
+                     opt.net.c_str(), topo::netNamesSummary().c_str());
         return 2;
     }
 
@@ -532,21 +580,45 @@ runSssp(const Options &opt)
                          otn::pathWordFormat(opt.n, opt.n * opt.n),
                          opt.scaled);
     TraceSession ts(opt);
-    otn::OrthogonalTreesNetwork net(opt.n, cost);
-    ts.attach(net);
+    if (ts.active() && opt.net != "otn")
+        return TraceSession::unsupported(opt.net);
     std::size_t src = rng.uniform(0, opt.n - 1);
-    auto r = otn::ssspOtn(net, g, src);
-    if (int rc = ts.finish(net.stats()))
-        return rc;
+
+    if (opt.net == "otn") {
+        otn::OrthogonalTreesNetwork net(opt.n, cost);
+        ts.attach(net);
+        auto r = otn::ssspOtn(net, g, src);
+        if (int rc = ts.finish(net.stats()))
+            return rc;
+        if (r.dist != graph::dijkstra(g, src)) {
+            std::fprintf(stderr, "otsim: SSSP MISMATCH\n");
+            return 1;
+        }
+        std::printf("SSSP from %zu over %zu vertices in %u rounds — "
+                    "matches Dijkstra\n",
+                    src, opt.n, r.rounds);
+        printCost("sssp", r.time,
+                  static_cast<double>(net.chipLayout().metrics().area()));
+        return 0;
+    }
+    if (!topo::isNetName(opt.net)) {
+        std::fprintf(stderr, "otsim: unknown sssp engine '%s' (%s)\n",
+                     opt.net.c_str(), topo::netNamesSummary().c_str());
+        return 2;
+    }
+    auto spec = topo::resolveSpec(opt.net, topo::Algo::ShortestPaths,
+                                  opt.n, opt.model, opt.scaled);
+    auto m = topo::registry().build(spec);
+    auto r = m->runShortestPaths(g, src);
     if (r.dist != graph::dijkstra(g, src)) {
         std::fprintf(stderr, "otsim: SSSP MISMATCH\n");
         return 1;
     }
-    std::printf("SSSP from %zu over %zu vertices in %u rounds — matches "
+    std::printf("SSSP from %zu over %zu vertices on %s — matches "
                 "Dijkstra\n",
-                src, opt.n, r.rounds);
+                src, opt.n, opt.net.c_str());
     printCost("sssp", r.time,
-              static_cast<double>(net.chipLayout().metrics().area()));
+              static_cast<double>(r.area ? r.area : m->area()));
     return 0;
 }
 
@@ -807,6 +879,27 @@ runTables(const Options &opt)
 }
 
 /**
+ * `otsim topo --list`: the registered topologies, one line each.  The
+ * names are exactly what `--net` and the `algo:net:n` instance tokens
+ * accept.
+ */
+int
+runTopo(const Options &opt)
+{
+    if (!opt.list) {
+        std::fprintf(stderr, "otsim: topo needs --list\n");
+        return 2;
+    }
+    std::size_t width = 0;
+    for (const auto &[name, info] : topo::registry().table())
+        width = std::max(width, name.size());
+    for (const auto &[name, info] : topo::registry().table())
+        std::printf("%-*s  %s\n", static_cast<int>(width), name.c_str(),
+                    info.summary.c_str());
+    return 0;
+}
+
+/**
  * `otsim simd`: which kernel backend this process dispatches to
  * (resolving the OT_SIMD override, so a bad value aborts here rather
  * than mid-benchmark), plus the per-backend build/CPU status.
@@ -847,6 +940,8 @@ main(int argc, char **argv)
         return runLayout(opt);
     if (opt.command == "tables")
         return runTables(opt);
+    if (opt.command == "topo")
+        return runTopo(opt);
     if (opt.command == "simd")
         return runSimd(opt);
     usage(argv[0]);
