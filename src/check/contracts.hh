@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Class-contract analysis for otcheck: the class graph, the
+ * shared(post-build) marker, and the topology plugin contracts.
+ *
+ * The fifth analysis stage.  The lexer (stage 1) records structural
+ * markers, the parser (stage 2) splits out function bodies, the
+ * symbol/call graphs (stage 3) and the dataflow summaries (stage 4)
+ * resolve names and mutations; this stage adds the *class* dimension:
+ * which classes exist, how they inherit, which member functions are
+ * part of a class's virtual API, and which classes carry the
+ * shared(post-build) marker (inherited through the hierarchy, so
+ * marking a plugin base covers every plugin).
+ *
+ * Two rule families live here:
+ *
+ *   topo-contract — registration hygiene for the topology plugin
+ *                 registry: registry names must be unique, and every
+ *                 concrete machine in the plugin hierarchy must be
+ *                 registered (an unregistered machine silently drops
+ *                 out of the cross-topology conformance sweep).
+ *   topo-fallback — a registered machine must override the three
+ *                 per-primitive accounting hooks (exchangeStepCost,
+ *                 broadcastCost, reduceCost): the hooks ARE the
+ *                 topology's microarchitecture description, and a
+ *                 machine that inherits another machine's costs is
+ *                 describing the wrong network unless the fallback is
+ *                 deliberate and justified with an allow escape.
+ *
+ * The shared-state immutability rule itself (rule id `shared`)
+ * consumes the class graph but lives in dataflow.cc, next to the
+ * mutation summaries it reuses for cross-TU witnesses.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "check/rules.hh"
+
+namespace ot::check {
+
+/** One class/struct definition found in the run. */
+struct ClassInfo
+{
+    std::string name;
+    int file = -1; ///< ctx index of the defining file
+    int line = 1;
+    std::size_t bodyFirst = 0; ///< token index of the class `{`
+    std::size_t bodyLast = 0;  ///< matching `}`
+    /** Base-class names (unqualified), in declaration order. */
+    std::vector<std::string> bases;
+    /** Body contains a pure-virtual (`= 0`) declaration. */
+    bool isAbstract = false;
+    /** Carries the shared(post-build) marker directly. */
+    bool sharedMarked = false;
+    /** Marked, or derived (transitively) from a marked class. */
+    bool shared = false;
+    /** Member functions declared `virtual` in this body. */
+    std::set<std::string> virtualNames;
+    /** Virtual API: virtualNames unioned over all ancestors — the
+     *  sanctioned post-build mutation surface of a shared class. */
+    std::set<std::string> apiNames;
+};
+
+/** The run's class graph. */
+struct ClassGraph
+{
+    std::vector<ClassInfo> classes;
+    /** Name → index into classes (first definition wins). */
+    std::map<std::string, int> byName;
+};
+
+/** Build the class graph over the run's src-layer files: class
+ *  definitions, bases, virtual APIs, and shared(post-build) marker
+ *  propagation through the hierarchy. */
+ClassGraph buildClassGraph(const std::vector<FileContext> &ctxs);
+
+/** Topology plugin contract rules (topo-contract, topo-fallback)
+ *  over the whole run.  Raw: allow() markers are NOT applied. */
+void runTopoContracts(const std::vector<FileContext> &ctxs,
+                      const ClassGraph &cg,
+                      std::vector<Diagnostic> &out);
+
+} // namespace ot::check

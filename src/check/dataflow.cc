@@ -6,6 +6,8 @@
 #include <string>
 #include <utility>
 
+#include "check/contracts.hh"
+
 namespace ot::check {
 
 namespace {
@@ -345,6 +347,7 @@ struct ParamMutation
 {
     std::set<std::size_t> idxParams; ///< empty ⇒ unconditional write
     std::string where; ///< " at file:line" (+ " via g()" per hop)
+    int line = 0; ///< line in the summarized function's own file
 };
 
 struct MutSummary
@@ -583,6 +586,7 @@ class MutTable
             ParamMutation m;
             m.where =
                 " at " + ctx.path + ":" + std::to_string(line);
+            m.line = line;
             if (path.laneIndexed) {
                 // Which parameters appeared in subscripts?  Re-walk
                 // cheaply: matchPath marked laneIndexed from the
@@ -730,6 +734,7 @@ class MutTable
                 for (const ParamMutation &m : mit->second) {
                     ParamMutation mapped;
                     mapped.where = m.where + " via " + callee + "()";
+                    mapped.line = toks[j].line;
                     for (std::size_t q : m.idxParams) {
                         // Map the callee's subscript parameter to the
                         // caller's argument at that position.
@@ -1137,6 +1142,349 @@ runLaneSafety(const std::vector<FileContext> &ctxs,
             if (nested)
                 continue;
             LaneScan(ctx, *f, muts, spans, out).run();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// shared(post-build) immutability / escape
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Member-variable root at token `j` inside a member function body:
+ *  `_name` (the codebase's member naming convention) or
+ *  `this->name`.  "" when the token is not a member root. */
+std::string
+memberRootAt(const std::vector<Token> &toks, std::size_t j)
+{
+    if (!isIdent(toks, j))
+        return "";
+    const std::string &prev = at(toks, j - 1);
+    if (prev == "->" && at(toks, j - 2) == "this")
+        return toks[j].text;
+    if (prev == "." || prev == "->" || prev == "::")
+        return ""; // someone else's field / qualified name
+    const std::string &t = toks[j].text;
+    if (t.size() > 1 && t[0] == '_')
+        return t;
+    return "";
+}
+
+/** Does the definition return a non-const reference?  Walks back
+ *  from the name at `paramOpen - 1`, skipping `Class ::` qualifiers,
+ *  and checks for `&` with no `const` in the preceding return-type
+ *  tokens. */
+bool
+returnsNonConstRef(const std::vector<Token> &toks, const FuncDef &f)
+{
+    if (f.paramOpen == std::string::npos || f.paramOpen < 2)
+        return false;
+    std::size_t k = f.paramOpen - 1; // the declared name
+    while (k >= 2 && at(toks, k - 1) == "::" && isIdent(toks, k - 2))
+        k -= 2;
+    if (k == 0 || !isPunct(toks, k - 1, "&"))
+        return false;
+    for (std::size_t m = k - 1; m-- > 0;) {
+        const std::string &t = toks[m].text;
+        if (t == ";" || t == "}" || t == "{" || t == ")")
+            break;
+        if (t == "const")
+            return false;
+        if (f.paramOpen - m > 10)
+            break; // return types are short; stop rather than walk
+    }
+    return true;
+}
+
+/** Scan one non-API member function of a shared class. */
+void
+scanSharedMember(const FileContext &ctx, const FuncDef &f,
+                 const ClassInfo &cls, MutTable &muts,
+                 std::vector<Diagnostic> &out)
+{
+    const auto &toks = ctx.lexed.tokens;
+    const std::set<std::string> noIdx;
+    std::set<std::pair<int, std::string>> seen;
+    auto flag = [&](int line, const std::string &msg,
+                    const std::string &hint) {
+        if (!seen.insert({line, msg}).second)
+            return;
+        Diagnostic d;
+        d.file = ctx.path;
+        d.line = line;
+        d.rule = "shared";
+        d.message = msg;
+        d.hint = hint;
+        out.push_back(std::move(d));
+    };
+    const std::string head =
+        "shared(post-build) class '" + cls.name + "': ";
+    const char *kHint =
+        "post-build mutation must flow through the virtual plugin "
+        "API the engine serializes; rebuild the state in the "
+        "constructor or reset(), or justify the synchronization "
+        "with an allow(shared) escape";
+
+    for (std::size_t j = f.bodyFirst + 1;
+         j < f.bodyLast && j < toks.size(); ++j) {
+        if (!isIdent(toks, j))
+            continue;
+
+        // Member handed by reference to a free function whose every
+        // candidate mutates that position — the cross-TU escape.
+        if (isPunct(toks, j + 1, "(") && freeCallContext(toks, j) &&
+            !isKeywordIdent(toks[j].text)) {
+            const std::string &callee = toks[j].text;
+            auto cit = muts.byName().find(callee);
+            if (cit == muts.byName().end())
+                continue;
+            std::size_t close = matchForward(toks, j + 1, "(", ")");
+            auto args = splitArgs(toks, j + 1, close);
+            for (std::size_t a = 0; a < args.size(); ++a) {
+                std::size_t b = args[a].first, e = args[a].second;
+                std::size_t rootAt = b;
+                if (e > b + 1 && isPunct(toks, b, "&"))
+                    rootAt = b + 1;
+                std::string m = memberRootAt(toks, rootAt);
+                if (m.empty())
+                    continue;
+                PathInfo p = matchPath(toks, rootAt, noIdx);
+                if (p.end != e || p.methodStop ||
+                    !p.mutMethod.empty())
+                    continue;
+                const ParamMutation *witness = nullptr;
+                bool all = true;
+                for (const auto &cand : cit->second) {
+                    if (cand.second->isCtor || cand.second->isDtor) {
+                        all = false;
+                        break;
+                    }
+                    const MutSummary &cs =
+                        muts.summaryOf(cand.first, cand.second);
+                    auto mit = cs.mutations.find(a);
+                    if (mit == cs.mutations.end() ||
+                        mit->second.empty()) {
+                        all = false;
+                        break;
+                    }
+                    if (!witness)
+                        witness = &mit->second.front();
+                }
+                if (!all || !witness)
+                    continue;
+                flag(toks[rootAt].line,
+                     head + "member '" + m + "' is mutated by '" +
+                         callee + "'" + witness->where,
+                     kHint);
+            }
+            continue;
+        }
+
+        // Direct write / mutating container call through a member.
+        std::string m = memberRootAt(toks, j);
+        if (m.empty())
+            continue;
+        PathInfo p = matchPath(toks, j, noIdx);
+        bool write = !p.methodStop &&
+                     (!p.mutMethod.empty() || prefixIncDec(toks, j) ||
+                      writeOpAt(toks, p.end));
+        if (!write)
+            continue;
+        int line = p.mutLine ? p.mutLine : toks[j].line;
+        std::string what =
+            !p.mutMethod.empty()
+                ? "mutating call '" + p.mutMethod + "' on member '" +
+                      m + "'"
+                : "member '" + m + "' is written";
+        flag(line,
+             head + what + " in '" + f.name +
+                 "' outside the virtual plugin API",
+             kHint);
+    }
+
+    // Escaping non-const reference to a member: the caller can then
+    // mutate the shared object with no rule in sight.
+    if (returnsNonConstRef(toks, f)) {
+        for (std::size_t j = f.bodyFirst + 1;
+             j < f.bodyLast && j < toks.size(); ++j) {
+            if (!isIdent(toks, j) || toks[j].text != "return")
+                continue;
+            std::size_t r = j + 1;
+            if (isPunct(toks, r, "*") || isPunct(toks, r, "&"))
+                ++r;
+            std::string m = memberRootAt(toks, r);
+            if (m.empty() || !isPunct(toks, r + 1, ";"))
+                continue;
+            flag(toks[j].line,
+                 head + "'" + f.name +
+                     "' returns a non-const reference to member '" +
+                     m + "'",
+                 "hand out a const reference — the engine shares "
+                 "this object across shards — or justify the "
+                 "escape with an allow(shared) escape");
+        }
+    }
+}
+
+} // namespace
+
+void
+runSharedImmutability(const std::vector<FileContext> &ctxs,
+                      const ClassGraph &cg,
+                      std::vector<Diagnostic> &out)
+{
+    bool anyShared = false;
+    for (const ClassInfo &c : cg.classes)
+        if (c.shared)
+            anyShared = true;
+    if (!anyShared)
+        return;
+    MutTable muts(ctxs);
+    for (std::size_t i = 0; i < ctxs.size(); ++i) {
+        if (allowedIncludes(ctxs[i].layer).empty())
+            continue;
+        for (const FuncDef &f : ctxs[i].parsed.funcs) {
+            if (f.name.empty() || f.className.empty() || f.isCtor ||
+                f.isDtor)
+                continue;
+            auto it = cg.byName.find(f.className);
+            if (it == cg.byName.end())
+                continue;
+            const ClassInfo &cls = cg.classes[it->second];
+            if (!cls.shared || cls.apiNames.count(f.name))
+                continue;
+            scanSharedMember(ctxs[i], f, cls, muts, out);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// sched-purity
+// ---------------------------------------------------------------------
+
+void
+runSchedPurity(const std::vector<FileContext> &ctxs,
+               std::vector<Diagnostic> &out)
+{
+    struct Target
+    {
+        int file = -1;
+        const FuncDef *def = nullptr;
+    };
+    std::vector<Target> targets;
+    for (std::size_t i = 0; i < ctxs.size(); ++i) {
+        if (allowedIncludes(ctxs[i].layer).empty())
+            continue;
+        for (const Marker &mk : ctxs[i].lexed.pureMarkers) {
+            const FuncDef *best = nullptr;
+            for (const FuncDef &f : ctxs[i].parsed.funcs) {
+                if (f.name.empty() || f.line < mk.line)
+                    continue;
+                if (!best || f.line < best->line)
+                    best = &f;
+            }
+            if (best)
+                targets.push_back({static_cast<int>(i), best});
+        }
+    }
+    if (targets.empty())
+        return;
+
+    MutTable muts(ctxs);
+    TaintGraph tg = buildTaintGraph(ctxs, nullptr);
+
+    for (const Target &t : targets) {
+        const FileContext &ctx = ctxs[t.file];
+        const auto &toks = ctx.lexed.tokens;
+        const FuncDef &f = *t.def;
+
+        // The target plus any lambdas nested in its body (the parser
+        // splits lambdas into their own definitions).
+        std::vector<const FuncDef *> defs{&f};
+        for (const FuncDef &g : ctx.parsed.funcs)
+            if (g.name.empty() && g.bodyFirst > f.bodyFirst &&
+                g.bodyLast < f.bodyLast)
+                defs.push_back(&g);
+
+        std::set<std::pair<int, std::string>> seen;
+        auto flag = [&](int line, const std::string &msg,
+                        const std::string &hint) {
+            if (!seen.insert({line, msg}).second)
+                return;
+            Diagnostic d;
+            d.file = ctx.path;
+            d.line = line;
+            d.rule = "sched-purity";
+            d.message = msg;
+            d.hint = hint;
+            out.push_back(std::move(d));
+        };
+        const std::string head =
+            "pure ranking function '" + f.name + "': ";
+
+        // (a) By-reference argument mutation, with the summary's
+        // cross-TU witness when the write happens in a callee.
+        for (const FuncDef *d : defs) {
+            const MutSummary &s = muts.summaryOf(t.file, d);
+            for (const auto &entry : s.mutations) {
+                std::size_t p = entry.first;
+                if (p >= s.byRef.size() || !s.byRef[p])
+                    continue; // by-value: mutating the copy is pure
+                for (const ParamMutation &m : entry.second)
+                    flag(m.line ? m.line : d->line,
+                         head + "by-reference parameter '" +
+                             s.paramNames[p] + "' is mutated" +
+                             m.where,
+                         "a ranking function must order, not "
+                         "update — return the choice and let the "
+                         "scenario engine apply it");
+            }
+        }
+
+        // (b) Static local state (constants excepted) survives
+        // across calls and makes the ranking order-dependent.
+        for (std::size_t j = f.bodyFirst + 1;
+             j < f.bodyLast && j < toks.size(); ++j) {
+            if (!isIdent(toks, j) || toks[j].text != "static")
+                continue;
+            const std::string &nx = at(toks, j + 1);
+            if (nx == "const" || nx == "constexpr")
+                continue;
+            flag(toks[j].line,
+                 head + "static local state survives across calls",
+                 "rank from the arguments alone; persistent state "
+                 "makes the schedule depend on evaluation history");
+        }
+
+        // (c) Calls into the determinism-taint graph: a ranking
+        // function drawing entropy breaks replay even when the flat
+        // determinism rule cannot see the wrapper.
+        for (const FuncDef *d : defs) {
+            for (const CallSite &cs : d->calls) {
+                auto it = tg.byName.find(cs.name);
+                if (it == tg.byName.end())
+                    continue;
+                const TaintNode *witness = nullptr;
+                bool all = true;
+                for (int c : it->second) {
+                    if (!tg.nodes[c].tainted) {
+                        all = false;
+                        break;
+                    }
+                    if (!witness)
+                        witness = &tg.nodes[c];
+                }
+                if (!all || !witness)
+                    continue;
+                flag(cs.line,
+                     head + "call to determinism-tainted '" +
+                         cs.name + "': " + cs.name + "() → " +
+                         witness->chain,
+                     "rank deterministically; draw randomness from "
+                     "the scenario StreamRng outside the ranking "
+                     "function");
+            }
         }
     }
 }

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "check/callgraph.hh"
+#include "check/contracts.hh"
 #include "check/dataflow.hh"
 #include "check/summaries.hh"
 #include "check/symgraph.hh"
@@ -1299,6 +1300,63 @@ ruleCatalog()
          "only for state protected by external synchronization the "
          "checker cannot see — name the lock in the justification",
          true},
+        {"shared",
+         "Classes marked shared(post-build) may not be mutated "
+         "outside their virtual plugin API after construction",
+         "Class graph with marker inheritance (marking the plugin "
+         "base covers every subclass) plus the per-parameter "
+         "mutation summaries: every non-API member function is "
+         "audited for direct member writes, mutating container "
+         "calls, members passed by reference to (all-candidate) "
+         "mutating callees with a cross-TU witness, and escaping "
+         "non-const references to members.",
+         "shared(post-build) class 'MeshTopoMachine': member "
+         "'_lanes' is mutated by 'resizeLanes' at "
+         "src/topo/lanes.cc:41",
+         "only for state the engine's per-machine serialization "
+         "provably covers — name the synchronization in the "
+         "justification",
+         true},
+        {"topo-contract",
+         "Topology registry names must be unique and every concrete "
+         "machine in a registered hierarchy must be registered",
+         "Registration sites (`reg.add({\"name\", ...})` in the "
+         "topo layer) are tied to their machine classes through the "
+         "argument list or the factory's make_unique<...> body; "
+         "duplicate names and concrete plugin-hierarchy classes no "
+         "registration resolves to are diagnosed.",
+         "concrete machine 'TorusMachine' is never registered in "
+         "the topology registry",
+         "never — register the machine or make it abstract", true},
+        {"topo-fallback",
+         "A registered machine must override the three accounting "
+         "hooks (exchangeStepCost, broadcastCost, reduceCost)",
+         "The hooks are the topology's microarchitecture "
+         "description; a registered class that does not declare all "
+         "three in its own body is costing itself with an "
+         "ancestor's network and is flagged with the providing "
+         "base named.",
+         "registered machine 'OtcEmulatedTopoMachine' does not "
+         "override accounting hook(s) exchangeStepCost, "
+         "broadcastCost, reduceCost; it inherits the costs of "
+         "'OtnTopoMachine'",
+         "only when the inherited cost model is the topology's own "
+         "by construction (emulation layers) — say why in the "
+         "justification",
+         true},
+        {"sched-purity",
+         "Functions marked pure (the scenario ranking functions) "
+         "must be side-effect-free and determinism-clean",
+         "For each marked definition (nested lambdas included): "
+         "by-reference parameter mutations via the summary table "
+         "(cross-TU witness), non-const static locals, and calls "
+         "whose every candidate is determinism-tainted via the "
+         "taint graph.",
+         "pure ranking function 'pickNext': static local state "
+         "survives across calls",
+         "never — a ranking function that needs state is a "
+         "scheduler redesign, not an escape",
+         true},
     };
     return catalog;
 }
@@ -1347,6 +1405,10 @@ runProjectRules(const std::vector<FileContext> &ctxs,
     std::size_t taintRounds = 0;
     runDeterminismTaint(ctxs, out, &taintRounds);
     runLaneSafety(ctxs, out);
+    ClassGraph classes = buildClassGraph(ctxs);
+    runTopoContracts(ctxs, classes, out);
+    runSharedImmutability(ctxs, classes, out);
+    runSchedPurity(ctxs, out);
     if (stats) {
         for (const FileContext &ctx : ctxs)
             stats->functionsAnalyzed += ctx.parsed.funcs.size();

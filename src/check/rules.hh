@@ -52,6 +52,24 @@
  *                 buffer, merge after the join), including writes
  *                 performed by callees through non-const reference
  *                 parameters.
+ *   shared      — classes carrying the shared(post-build) marker
+ *                 (inherited through the hierarchy) are cached and
+ *                 shared across engine shards; after construction
+ *                 they may only change through their virtual plugin
+ *                 API.  Non-API member writes, mutating calls on
+ *                 members (direct or through a callee's summary,
+ *                 with a cross-TU witness) and escaping non-const
+ *                 member references are diagnosed.
+ *   topo-contract — topology registry hygiene: duplicate registry
+ *                 names, and concrete machines in a registered
+ *                 hierarchy that no registration resolves to.
+ *   topo-fallback — a registered machine must override the three
+ *                 accounting hooks; inheriting an ancestor's costs
+ *                 is flagged with the providing base named.
+ *   sched-purity — functions carrying the pure marker (scenario
+ *                 ranking functions) must be side-effect-free: no
+ *                 by-reference argument mutation, no non-const
+ *                 static locals, no determinism-tainted calls.
  *
  * Accounting is additionally interprocedural: per-function net
  * begin/end deltas are fixpointed over the call graph (conservative ⊤
@@ -172,8 +190,9 @@ std::vector<Diagnostic> runFileRules(const FileContext &ctx);
 
 /** Run the cross-file rules (accounting with interprocedural
  *  summaries, hotpath-propagation, include-hygiene, determinism
- *  taint, lane-safety) over a whole run's file set.  Raw: allow()
- *  markers are NOT applied. */
+ *  taint, lane-safety, the class-contract family: shared /
+ *  topo-contract / topo-fallback / sched-purity) over a whole run's
+ *  file set.  Raw: allow() markers are NOT applied. */
 std::vector<Diagnostic>
 runProjectRules(const std::vector<FileContext> &ctxs,
                 ProjectRuleStats *stats = nullptr);

@@ -4,6 +4,9 @@
 
 namespace ot::scenario {
 
+// The deterministic-replay story assumes ranking is a pure function
+// of (kind, queue, served); otcheck proves it (rule `sched-purity`).
+// otcheck:pure
 std::size_t
 pickNext(SchedulerKind kind, const std::vector<QueueJob> &queue,
          const std::vector<vlsi::ModelTime> &served)

@@ -258,6 +258,10 @@ MeshTopoMachine::setTracer(trace::Tracer *tracer)
         _grid->acct().setTracer(tracer);
 }
 
+// otcheck:allow(shared): lazy build of the Cannon grid on first use;
+// the engine serializes all calls on one machine, reset() leaves the
+// grid rebuilt-on-demand, and the reference only feeds the run*
+// entry points above, so the cache never races across shards.
 baselines::MeshMachine &
 MeshTopoMachine::grid()
 {

@@ -122,7 +122,14 @@ struct SsspRun
     std::uint64_t area = 0;
 };
 
-/** One pluggable network topology under the VLSI cost model. */
+/** One pluggable network topology under the VLSI cost model.
+ *
+ *  Machines are cached by workload::NetworkCache and handed out to
+ *  BatchEngine shards; once construction completes they may only
+ *  change through the virtual API below, which the engine serializes
+ *  per machine.  otcheck enforces this (rule `shared`; the marker is
+ *  inherited, so every registered plugin is covered). */
+// otcheck:shared(post-build)
 class Machine
 {
   public:

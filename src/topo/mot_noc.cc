@@ -125,6 +125,9 @@ MotNocMachine::runTraffic(
         args.words = ro.rootCrossings;
         _engine.traceSpan("mot", "route", ro.time, args);
         _engine.charge(ro.time);
+        // otcheck:allow(shared): per-run traffic accumulator — the
+        // driver owns its machine exclusively and reset() clears it,
+        // so the post-build write never crosses a shard boundary.
         _rootWords += ro.rootCrossings;
         total += ro.time;
     }

@@ -50,6 +50,11 @@ using topo::toString;
  * between acquisitions — the BatchEngine resets them per instance —
  * and their model-time accountants are per-machine, so callers measure
  * runs with reset() + now().
+ *
+ * The handed-out machines are shared(post-build): topo::Machine
+ * carries the otcheck marker, so any post-construction mutation
+ * outside the virtual API the engine serializes is a static analysis
+ * error (rule `shared`), not just a TSan finding.
  */
 class NetworkCache
 {

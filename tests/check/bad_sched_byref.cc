@@ -1,0 +1,17 @@
+// otcheck:fixture-path src/scenario/fixture_bad_sched_byref.cc
+//
+// Known-bad scheduler-purity fixture: a ranking function marked
+// otcheck:pure that edits the queue it was asked to order.  Ranking
+// must return the choice and let the scenario engine apply it — a
+// ranking that updates state turns every comparison into a side
+// effect.  This file is checker input, never compiled.
+#include <cstddef>
+#include <vector>
+
+// otcheck:pure
+std::size_t
+fixtureRankAndDrop(std::vector<int> &queue, std::size_t served)
+{
+    queue.push_back(0); // expect: sched-purity
+    return served % (queue.size() + 1);
+}

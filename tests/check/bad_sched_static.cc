@@ -1,0 +1,18 @@
+// otcheck:fixture-path src/scenario/fixture_bad_sched_static.cc
+//
+// Known-bad scheduler-purity fixture: a ranking function marked
+// otcheck:pure that keeps a static cursor.  The pick then depends on
+// evaluation history, so two replays of the same scenario disagree
+// the moment the engine evaluates candidates in a different order.
+// This file is checker input, never compiled.
+#include <cstddef>
+#include <vector>
+
+// otcheck:pure
+std::size_t
+fixturePickRoundRobin(const std::vector<int> &queue)
+{
+    static std::size_t cursor = 0; // expect: sched-purity
+    cursor = (cursor + 1) % (queue.size() + 1);
+    return cursor;
+}

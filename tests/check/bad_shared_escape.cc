@@ -1,0 +1,38 @@
+// otcheck:fixture-path src/topo/fixture_bad_shared_escape.cc
+//
+// Known-bad cross-TU shared-immutability fixture: the non-API member
+// never touches the field itself — it hands the member by reference
+// to a helper in another translation unit whose mutation summary
+// says "push_back on parameter 0, unconditionally".  The diagnostic
+// must cite the helper's file and line as the witness.  This file is
+// checker input, never compiled.
+#include <cstddef>
+#include <vector>
+
+void appendSample(std::vector<double> &sink, double v);
+
+// otcheck:shared(post-build)
+class FixtureSharedEscapeMachine
+{
+  public:
+    virtual ~FixtureSharedEscapeMachine() = default;
+
+    virtual double broadcastCost(std::size_t words);
+
+    void recordSample(double v); // not part of the virtual API
+
+  private:
+    std::vector<double> _samples;
+};
+
+double
+FixtureSharedEscapeMachine::broadcastCost(std::size_t words)
+{
+    return static_cast<double>(words + _samples.size());
+}
+
+void
+FixtureSharedEscapeMachine::recordSample(double v)
+{
+    appendSample(_samples, v); // expect: shared
+}

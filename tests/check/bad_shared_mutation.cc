@@ -1,0 +1,48 @@
+// otcheck:fixture-path src/topo/fixture_bad_shared_mutation.cc
+//
+// Known-bad shared-immutability fixture: a machine carrying the
+// shared(post-build) marker whose non-API members mutate state and
+// leak a mutable reference.  The engine serializes only the virtual
+// plugin API, so the write in exchangeStepCost is fine while the
+// same write in warmCache is a cross-shard race waiting to happen —
+// and cellsForDebug hands callers a pen to race with.  This file is
+// checker input, never compiled.
+#include <cstddef>
+#include <vector>
+
+// otcheck:shared(post-build)
+class FixtureSharedMachine
+{
+  public:
+    explicit FixtureSharedMachine(std::size_t n) : _cells(n, 0.0) {}
+    virtual ~FixtureSharedMachine() = default;
+
+    virtual double exchangeStepCost(std::size_t words);
+
+    void warmCache(double bias);          // not part of the virtual API
+    std::vector<double> &cellsForDebug(); // escapes a mutable handle
+
+  private:
+    std::vector<double> _cells;
+    std::size_t _touches = 0;
+};
+
+double
+FixtureSharedMachine::exchangeStepCost(std::size_t words)
+{
+    _touches += 1; // virtual API: the engine serializes this
+    return static_cast<double>(words * _cells.size());
+}
+
+void
+FixtureSharedMachine::warmCache(double bias)
+{
+    _touches += 1;          // expect: shared
+    _cells.push_back(bias); // expect: shared
+}
+
+std::vector<double> &
+FixtureSharedMachine::cellsForDebug()
+{
+    return _cells; // expect: shared
+}

@@ -1,0 +1,66 @@
+// otcheck:fixture-path src/topo/fixture_bad_topo_dupname.cc
+//
+// Known-bad registry-collision fixture: two machines registered
+// under the same name.  The name keys the network cache and the
+// spec grammar, so the second entry silently shadows the first.
+// The diagnostic lands on the second add() and cites the first.
+// This file is checker input, never compiled.
+#include <cstddef>
+#include <memory>
+
+struct FixtureDupSpec
+{
+    std::size_t n = 0;
+};
+
+class FixtureDupBaseMachine
+{
+  public:
+    virtual ~FixtureDupBaseMachine() = default;
+    virtual double exchangeStepCost(std::size_t words) = 0;
+    virtual double broadcastCost(std::size_t words) = 0;
+    virtual double reduceCost(std::size_t words) = 0;
+};
+
+class FixtureDupMeshMachine : public FixtureDupBaseMachine
+{
+  public:
+    double exchangeStepCost(std::size_t words) override;
+    double broadcastCost(std::size_t words) override;
+    double reduceCost(std::size_t words) override;
+};
+
+class FixtureDupTorusMachine : public FixtureDupBaseMachine
+{
+  public:
+    double exchangeStepCost(std::size_t words) override;
+    double broadcastCost(std::size_t words) override;
+    double reduceCost(std::size_t words) override;
+};
+
+struct FixtureDupInfo
+{
+    const char *name;
+    std::unique_ptr<FixtureDupBaseMachine> (*build)(
+        const FixtureDupSpec &);
+};
+
+class FixtureDupRegistry
+{
+  public:
+    void add(FixtureDupInfo info);
+};
+
+template <class M>
+std::unique_ptr<FixtureDupBaseMachine>
+buildFixtureDup(const FixtureDupSpec &)
+{
+    return std::make_unique<M>();
+}
+
+void
+fixtureRegisterDup(FixtureDupRegistry &reg)
+{
+    reg.add({"fixture-mesh", buildFixtureDup<FixtureDupMeshMachine>});
+    reg.add({"fixture-mesh", buildFixtureDup<FixtureDupTorusMachine>}); // expect: topo-contract
+}

@@ -1,0 +1,56 @@
+// otcheck:fixture-path src/topo/fixture_bad_topo_fallback.cc
+//
+// Known-bad plugin-contract fixture: a registered machine that
+// overrides none of the three accounting hooks.  Every cost it
+// reports is really its base's microarchitecture description — legal
+// C++, but almost always a forgotten cost model.  The diagnostic
+// must name the ancestor whose costs it inherits.  This file is
+// checker input, never compiled.
+#include <cstddef>
+#include <memory>
+
+struct FixtureFallbackSpec
+{
+    std::size_t n = 0;
+};
+
+class FixtureCostedMachine
+{
+  public:
+    virtual ~FixtureCostedMachine() = default;
+    virtual double exchangeStepCost(std::size_t words);
+    virtual double broadcastCost(std::size_t words);
+    virtual double reduceCost(std::size_t words);
+};
+
+class FixtureLazyMachine : public FixtureCostedMachine // expect: topo-fallback
+{
+  public:
+    void configure(std::size_t depth);
+};
+
+struct FixtureFallbackInfo
+{
+    const char *name;
+    std::unique_ptr<FixtureCostedMachine> (*build)(
+        const FixtureFallbackSpec &);
+};
+
+class FixtureFallbackRegistry
+{
+  public:
+    void add(FixtureFallbackInfo info);
+};
+
+template <class M>
+std::unique_ptr<FixtureCostedMachine>
+buildFixtureFallback(const FixtureFallbackSpec &)
+{
+    return std::make_unique<M>();
+}
+
+void
+fixtureRegisterFallback(FixtureFallbackRegistry &reg)
+{
+    reg.add({"fixture-lazy", buildFixtureFallback<FixtureLazyMachine>});
+}

@@ -1,0 +1,65 @@
+// otcheck:fixture-path src/topo/fixture_bad_topo_unregistered.cc
+//
+// Known-bad conformance-coverage fixture: a concrete machine rooted
+// in a registered plugin hierarchy that no add() ever mentions.  It
+// silently drops out of the conformance sweep and the spec grammar —
+// dead weight at best, a forgotten registration at worst.  This file
+// is checker input, never compiled.
+#include <cstddef>
+#include <memory>
+
+struct FixtureOrphanSpec
+{
+    std::size_t n = 0;
+};
+
+class FixtureOrphanBaseMachine
+{
+  public:
+    virtual ~FixtureOrphanBaseMachine() = default;
+    virtual double exchangeStepCost(std::size_t words) = 0;
+    virtual double broadcastCost(std::size_t words) = 0;
+    virtual double reduceCost(std::size_t words) = 0;
+};
+
+class FixtureGridMachine : public FixtureOrphanBaseMachine
+{
+  public:
+    double exchangeStepCost(std::size_t words) override;
+    double broadcastCost(std::size_t words) override;
+    double reduceCost(std::size_t words) override;
+};
+
+class FixtureOrphanMachine : public FixtureOrphanBaseMachine // expect: topo-contract
+{
+  public:
+    double exchangeStepCost(std::size_t words) override;
+    double broadcastCost(std::size_t words) override;
+    double reduceCost(std::size_t words) override;
+};
+
+struct FixtureOrphanInfo
+{
+    const char *name;
+    std::unique_ptr<FixtureOrphanBaseMachine> (*build)(
+        const FixtureOrphanSpec &);
+};
+
+class FixtureOrphanRegistry
+{
+  public:
+    void add(FixtureOrphanInfo info);
+};
+
+template <class M>
+std::unique_ptr<FixtureOrphanBaseMachine>
+buildFixtureOrphan(const FixtureOrphanSpec &)
+{
+    return std::make_unique<M>();
+}
+
+void
+fixtureRegisterOrphan(FixtureOrphanRegistry &reg)
+{
+    reg.add({"fixture-grid", buildFixtureOrphan<FixtureGridMachine>});
+}

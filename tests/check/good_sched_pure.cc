@@ -1,0 +1,31 @@
+// otcheck:fixture-path src/scenario/fixture_good_sched_pure.cc
+//
+// Good twin of the bad_sched_* fixtures: the marked ranking function
+// orders from its arguments alone — locals, a static constexpr
+// constant (exempt: it cannot change between calls), and a clean
+// by-value helper.  The sched-purity rule must stay silent.  This
+// file is checker input, never compiled.
+#include <cstddef>
+#include <vector>
+
+namespace {
+
+std::size_t
+fixtureTieBreak(std::size_t a, std::size_t b)
+{
+    return a < b ? a : b;
+}
+
+} // namespace
+
+// otcheck:pure
+std::size_t
+fixturePickShortest(const std::vector<int> &queue, std::size_t served)
+{
+    static constexpr std::size_t kBias = 3;
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < queue.size(); ++i)
+        if (queue[i] < queue[best])
+            best = i;
+    return fixtureTieBreak(best + kBias, served + queue.size());
+}

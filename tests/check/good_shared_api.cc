@@ -1,0 +1,40 @@
+// otcheck:fixture-path src/topo/fixture_good_shared_api.cc
+//
+// Good twin of bad_shared_mutation.cc: every post-build mutation of
+// the shared machine flows through the virtual plugin API (which the
+// engine serializes per machine), and the accessor hands out a const
+// reference.  The shared rule must stay silent.  This file is
+// checker input, never compiled.
+#include <cstddef>
+#include <vector>
+
+// otcheck:shared(post-build)
+class FixtureSharedGoodMachine
+{
+  public:
+    explicit FixtureSharedGoodMachine(std::size_t n) : _cells(n, 0.0) {}
+    virtual ~FixtureSharedGoodMachine() = default;
+
+    virtual double exchangeStepCost(std::size_t words);
+    virtual void reset();
+
+    const std::vector<double> &cells() const { return _cells; }
+
+  private:
+    std::vector<double> _cells;
+    std::size_t _touches = 0;
+};
+
+double
+FixtureSharedGoodMachine::exchangeStepCost(std::size_t words)
+{
+    _touches += 1; // virtual API: the engine serializes this
+    return static_cast<double>(words * _cells.size());
+}
+
+void
+FixtureSharedGoodMachine::reset()
+{
+    _touches = 0;
+    _cells.assign(_cells.size(), 0.0);
+}

@@ -1,0 +1,58 @@
+// otcheck:fixture-path src/topo/fixture_good_topo_fallback_allow.cc
+//
+// Good twin of bad_topo_fallback.cc: the same hook-less registered
+// machine, but with a justified allow — the inherited costs are the
+// point (an emulation shares its host's cost model by construction).
+// The allow must be consumed (no unused-allow) and the fallback
+// finding suppressed.  This file is checker input, never compiled.
+#include <cstddef>
+#include <memory>
+
+struct FixtureAllowSpec
+{
+    std::size_t n = 0;
+};
+
+class FixtureAllowCostedMachine
+{
+  public:
+    virtual ~FixtureAllowCostedMachine() = default;
+    virtual double exchangeStepCost(std::size_t words);
+    virtual double broadcastCost(std::size_t words);
+    virtual double reduceCost(std::size_t words);
+};
+
+// otcheck:allow(topo-fallback): the emulation charges its host's
+// per-hook costs by construction; overriding them would fork the
+// cost model the two machines are defined to share.
+class FixtureEmulatedMachine : public FixtureAllowCostedMachine
+{
+  public:
+    void configure(std::size_t depth);
+};
+
+struct FixtureAllowInfo
+{
+    const char *name;
+    std::unique_ptr<FixtureAllowCostedMachine> (*build)(
+        const FixtureAllowSpec &);
+};
+
+class FixtureAllowRegistry
+{
+  public:
+    void add(FixtureAllowInfo info);
+};
+
+template <class M>
+std::unique_ptr<FixtureAllowCostedMachine>
+buildFixtureAllow(const FixtureAllowSpec &)
+{
+    return std::make_unique<M>();
+}
+
+void
+fixtureRegisterAllow(FixtureAllowRegistry &reg)
+{
+    reg.add({"fixture-emu", buildFixtureAllow<FixtureEmulatedMachine>});
+}

@@ -103,14 +103,19 @@ TEST(CheckFixtures, CorpusMatchesAnnotations)
         "bad_determinism.cc",       "bad_hotpath.cc",
         "bad_intrinsics.cc",        "bad_lane_capture.cc",
         "bad_layering.cc",          "bad_lexer_resync.cc",
-        "bad_scenario_prng.cc",     "bad_topo_layering.cc",
+        "bad_scenario_prng.cc",     "bad_sched_byref.cc",
+        "bad_sched_static.cc",      "bad_shared_mutation.cc",
+        "bad_topo_dupname.cc",      "bad_topo_fallback.cc",
+        "bad_topo_layering.cc",     "bad_topo_unregistered.cc",
         "bad_unreachable.cc",
         "good_accounting.cc",       "good_accounting_cfg.cc",
         "good_accounting_split.cc", "good_determinism.cc",
         "good_hotpath.cc",          "good_intrinsics.cc",
         "good_lane_indexed.cc",     "good_layering.cc",
         "good_lexer.cc",            "good_scenario_prng.cc",
-        "good_topo_layering.cc",    "good_unreachable.cc",
+        "good_sched_pure.cc",       "good_shared_api.cc",
+        "good_topo_fallback_allow.cc", "good_topo_layering.cc",
+        "good_unreachable.cc",
     };
     for (const std::string &name : names) {
         SCOPED_TRACE(name);
@@ -238,6 +243,103 @@ TEST(CheckFixtures, TaintThroughFunctionPointerTable)
     ASSERT_EQ(1u, diags.size());
     EXPECT_NE(std::string::npos,
               diags[0].message.find("reference to"))
+        << diags[0].message;
+}
+
+// The shared rule's cross-TU arm: the flagged member never appears
+// in a write expression in its own translation unit — it is handed
+// by reference to a helper whose mutation summary says
+// "unconditional push_back on parameter 0".  The diagnostic must
+// cite the helper's file and line; the good twin (all mutation
+// inside the serialized virtual API) must stay silent.
+TEST(CheckFixtures, SharedEscapeProject)
+{
+    const std::string dir = OT_CHECK_FIXTURE_DIR;
+    Findings expected =
+        expectedFindings(slurp(dir + "/bad_shared_escape.cc"));
+    ASSERT_FALSE(expected.empty());
+    std::vector<Diagnostic> diags = checkFixtureProject(
+        {"fixture_lane_helper.cc", "bad_shared_escape.cc",
+         "good_shared_api.cc"});
+    Findings actual = findingsOf(diags);
+    EXPECT_EQ(expected, actual)
+        << "expected:\n" << show(expected) << "actual:\n" << show(actual);
+    ASSERT_EQ(1u, diags.size());
+    EXPECT_EQ("shared", diags[0].rule);
+    EXPECT_NE(
+        std::string::npos,
+        diags[0].message.find(
+            "shared(post-build) class 'FixtureSharedEscapeMachine': "
+            "member '_samples' is mutated by 'appendSample' at "
+            "src/otn/fixture_lane_helper.cc:"))
+        << diags[0].message;
+}
+
+// A pure-marked ranking function that draws entropy through a
+// wrapper: both the taint boundary rule and the purity rule fire on
+// the call line, and the purity diagnostic spells out the full
+// source → sink chain.  The good twin ranks from its arguments
+// alone (its static constexpr constant is exempt).
+TEST(CheckFixtures, SchedPurityTaintProject)
+{
+    const std::string dir = OT_CHECK_FIXTURE_DIR;
+    Findings expected =
+        expectedFindings(slurp(dir + "/bad_sched_taint.cc"));
+    ASSERT_FALSE(expected.empty());
+    std::vector<Diagnostic> diags = checkFixtureProject(
+        {"fixture_taint_noise.cc", "fixture_taint_wrapper.cc",
+         "bad_sched_taint.cc", "good_sched_pure.cc"});
+    Findings actual = findingsOf(diags);
+    EXPECT_EQ(expected, actual)
+        << "expected:\n" << show(expected) << "actual:\n" << show(actual);
+    ASSERT_EQ(2u, diags.size());
+    EXPECT_EQ("determinism-taint", diags[0].rule);
+    EXPECT_EQ("sched-purity", diags[1].rule);
+    EXPECT_NE(
+        std::string::npos,
+        diags[1].message.find(
+            "pure ranking function 'fixtureRankJittered': call to "
+            "determinism-tainted 'fixtureJitter': fixtureJitter() → "
+            "fixtureRawNoise() → splitmix64 at "
+            "src/analysis/fixture_taint_noise.cc:"))
+        << diags[1].message;
+}
+
+// The fallback diagnostic must name the ancestor whose costs the
+// hook-less machine silently inherits — that name is what makes the
+// finding actionable.
+TEST(CheckFixtures, TopoFallbackNamesTheCostProvider)
+{
+    const std::string dir = OT_CHECK_FIXTURE_DIR;
+    std::vector<Diagnostic> diags = ot::check::checkSource(
+        "tests/check/bad_topo_fallback.cc",
+        slurp(dir + "/bad_topo_fallback.cc"));
+    ASSERT_EQ(1u, diags.size());
+    EXPECT_EQ("topo-fallback", diags[0].rule);
+    EXPECT_NE(std::string::npos,
+              diags[0].message.find(
+                  "registered machine 'FixtureLazyMachine' does not "
+                  "override accounting hook(s) exchangeStepCost, "
+                  "broadcastCost, reduceCost; it inherits the costs "
+                  "of 'FixtureCostedMachine'"))
+        << diags[0].message;
+}
+
+// A registry-name collision lands on the second add() and cites the
+// first registration's location.
+TEST(CheckFixtures, DuplicateRegistryNameCitesTheFirst)
+{
+    const std::string dir = OT_CHECK_FIXTURE_DIR;
+    std::vector<Diagnostic> diags = ot::check::checkSource(
+        "tests/check/bad_topo_dupname.cc",
+        slurp(dir + "/bad_topo_dupname.cc"));
+    ASSERT_EQ(1u, diags.size());
+    EXPECT_EQ("topo-contract", diags[0].rule);
+    EXPECT_NE(std::string::npos,
+              diags[0].message.find(
+                  "registry name 'fixture-mesh' is registered more "
+                  "than once (first at "
+                  "src/topo/fixture_bad_topo_dupname.cc:"))
         << diags[0].message;
 }
 
@@ -506,7 +608,8 @@ TEST(CheckSarif, EveryRuleIsDeclared)
          {"determinism", "layering", "accounting", "hotpath",
           "hotpath-propagation", "include-hygiene", "unreachable",
           "allow-syntax", "unused-allow", "intrinsics",
-          "determinism-taint", "lane-safety"}) {
+          "determinism-taint", "lane-safety", "shared",
+          "topo-contract", "topo-fallback", "sched-purity"}) {
         EXPECT_NE(std::string::npos,
                   sarif.find("\"id\": \"" + std::string(rule) + "\""))
             << rule;
@@ -516,10 +619,108 @@ TEST(CheckSarif, EveryRuleIsDeclared)
     for (const char *rule :
          {"determinism", "layering", "accounting", "hotpath",
           "hotpath-propagation", "include-hygiene", "unreachable",
-          "intrinsics", "determinism-taint", "lane-safety"})
+          "intrinsics", "determinism-taint", "lane-safety", "shared",
+          "topo-contract", "topo-fallback", "sched-purity"})
         EXPECT_TRUE(ot::check::knownRule(rule)) << rule;
     EXPECT_FALSE(ot::check::knownRule("allow-syntax"));
     EXPECT_FALSE(ot::check::knownRule("unused-allow"));
+}
+
+// ---------------------------------------------------------------
+// The incremental per-TU cache.
+
+TEST(CheckCache, ContentHashIsStableAndSensitive)
+{
+    const std::string a = "int f() { return 1; }\n";
+    EXPECT_EQ(ot::check::contentHash(a), ot::check::contentHash(a));
+    EXPECT_NE(ot::check::contentHash(a),
+              ot::check::contentHash(a + " "));
+    // FNV-1a of the empty string is the offset basis, never zero.
+    EXPECT_NE(0u, ot::check::contentHash(""));
+}
+
+TEST(CheckCache, SaveLoadRoundTrip)
+{
+    ot::check::AnalysisCache cache;
+    ot::check::CacheEntry e;
+    e.hash = 0xdeadbeefcafef00dull;
+    ot::check::Diagnostic d;
+    d.file = "src/otn/a.cc";
+    d.line = 7;
+    d.rule = "determinism";
+    d.message = "rand() draws from global state";
+    d.hint = "use ot::sim::Rng";
+    e.diags.push_back(d);
+    cache.entries["src/otn/a.cc"] = e;
+    cache.entries["src/otn/empty.cc"] = {0x1234u, {}};
+
+    std::string path = ::testing::TempDir() + "otcheck_cache_rt";
+    ASSERT_TRUE(ot::check::saveAnalysisCache(path, cache));
+    ot::check::AnalysisCache back = ot::check::loadAnalysisCache(path);
+    ASSERT_EQ(2u, back.entries.size());
+    EXPECT_EQ(e.hash, back.entries["src/otn/a.cc"].hash);
+    EXPECT_TRUE(back.entries["src/otn/empty.cc"].diags.empty());
+    ASSERT_EQ(1u, back.entries["src/otn/a.cc"].diags.size());
+    const ot::check::Diagnostic &rd =
+        back.entries["src/otn/a.cc"].diags[0];
+    EXPECT_EQ(d.file, rd.file);
+    EXPECT_EQ(d.line, rd.line);
+    EXPECT_EQ(d.rule, rd.rule);
+    EXPECT_EQ(d.message, rd.message);
+    EXPECT_EQ(d.hint, rd.hint);
+}
+
+TEST(CheckCache, StampMismatchYieldsColdCache)
+{
+    std::string path = ::testing::TempDir() + "otcheck_cache_stamp";
+    {
+        std::ofstream out(path);
+        out << "otcheck-cache 999 0\n"
+            << "f 00000000000000aa src/otn/a.cc\n";
+    }
+    EXPECT_TRUE(ot::check::loadAnalysisCache(path).entries.empty());
+    // Missing files are a cold cache too, not an error.
+    EXPECT_TRUE(ot::check::loadAnalysisCache(
+                    ::testing::TempDir() + "otcheck_no_such_cache")
+                    .entries.empty());
+}
+
+TEST(CheckCache, SecondRunHitsAndReplaysDiagnostics)
+{
+    std::vector<ot::check::SourceFile> files = {
+        {"src/otn/a.cc", "int f() { return rand(); }\n"},
+        {"src/otn/b.cc", "int g() { return 2; }\n"},
+    };
+    ot::check::AnalysisCache cache;
+    ot::check::RunStats s1;
+    ot::check::Report r1 =
+        ot::check::checkProject(files, &s1, &cache);
+    EXPECT_EQ(0u, s1.cacheHits);
+    EXPECT_EQ(2u, s1.cacheMisses);
+
+    ot::check::RunStats s2;
+    ot::check::Report r2 =
+        ot::check::checkProject(files, &s2, &cache);
+    EXPECT_EQ(2u, s2.cacheHits);
+    EXPECT_EQ(0u, s2.cacheMisses);
+    ASSERT_EQ(1u, r2.diagnostics.size());
+    EXPECT_EQ("determinism", r2.diagnostics[0].rule);
+    EXPECT_EQ(r1.diagnostics.size(), r2.diagnostics.size());
+    EXPECT_EQ(r1.diagnostics[0].message, r2.diagnostics[0].message);
+
+    // An edit invalidates exactly the touched TU.
+    files[1].source = "int g() { return 3; }\n";
+    ot::check::RunStats s3;
+    ot::check::checkProject(files, &s3, &cache);
+    EXPECT_EQ(1u, s3.cacheHits);
+    EXPECT_EQ(1u, s3.cacheMisses);
+
+    // Entries for files no longer in the run are pruned.
+    files.pop_back();
+    ot::check::RunStats s4;
+    ot::check::checkProject(files, &s4, &cache);
+    EXPECT_EQ(1u, cache.entries.size());
+    EXPECT_EQ(1u, cache.entries.count("src/otn/a.cc"));
 }
 
 TEST(CheckBaseline, LoadParsesRuleFilePairs)

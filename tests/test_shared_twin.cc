@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Runtime twin of the shared(post-build) fixture corpus (tests/check/
+ * bad_shared_mutation.cc and friends): the discipline otcheck's
+ * shared rule prescribes — machines built once, handed out by the
+ * NetworkCache, and mutated after construction only through the
+ * virtual plugin API, serialized per machine (one farm shard, or one
+ * lane, per machine) — actually executed in parallel at several
+ * host-thread counts.
+ *
+ * The CI tsan job runs this binary under ThreadSanitizer with
+ * halt_on_error=1: if the "serialized" API shapes really raced
+ * across shards, the job would fail.  The raced originals (a
+ * warmCache-style write from a foreign lane, a mutable reference
+ * escaping to whoever asks) are deliberately NOT runnable here —
+ * they are exactly what the static rule rejects; their runtime form
+ * is the per-machine ownership below.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/chain_engine.hh"
+#include "sim/stats.hh"
+#include "sim/time_accountant.hh"
+#include "topo/machine.hh"
+#include "workload/engine.hh"
+
+namespace {
+
+using namespace ot::workload;
+using ot::vlsi::DelayModel;
+
+InstanceSpec
+inst(Algo algo, const char *net, std::size_t n, std::uint64_t seed)
+{
+    return {algo, net, n, DelayModel::Logarithmic, false, seed};
+}
+
+/** A mixed batch with repeated shapes: instances share a machine
+ *  within a shard, and distinct machines run on parallel shards. */
+WorkloadSpec
+farmBatch()
+{
+    WorkloadSpec spec;
+    spec.instances.push_back(inst(Algo::Sort, "otn", 32, 3));
+    spec.instances.push_back(inst(Algo::Sort, "otc", 32, 5));
+    spec.instances.push_back(inst(Algo::Sort, "fattree", 32, 7));
+    spec.instances.push_back(inst(Algo::Sort, "tree", 32, 11));
+    spec.instances.push_back(inst(Algo::Sort, "otn", 32, 13));
+    spec.instances.push_back(inst(Algo::Sort, "otc", 32, 17));
+    return spec;
+}
+
+TEST(SharedTwin, FarmShardsShareMachinesRaceFreeAndDeterministic)
+{
+    std::vector<std::string> jsons;
+    for (unsigned threads : {1u, 2u, 4u, 8u}) {
+        BatchEngine engine(threads);
+        BatchReport report = engine.run(farmBatch());
+        EXPECT_TRUE(report.allVerified()) << "threads=" << threads;
+        // The two repeated shapes are served by shared machines.
+        EXPECT_EQ(2u, report.cacheHits) << "threads=" << threads;
+        EXPECT_EQ(4u, report.shards) << "threads=" << threads;
+        jsons.push_back(report.toJson());
+    }
+    for (std::size_t i = 1; i < jsons.size(); ++i)
+        EXPECT_EQ(jsons[0], jsons[i]) << "thread sweep " << i;
+}
+
+// The runtime form of good_shared_api.cc: after the build, each lane
+// drives its OWN cached machine and mutates it only through the
+// virtual API (reset, the run* entry points).  No machine is touched
+// from two lanes — the serialization the shared marker documents.
+TEST(SharedTwin, PostBuildMutationStaysInsideTheSerializedApi)
+{
+    NetworkCache cache;
+    const std::vector<InstanceSpec> shapes = {
+        inst(Algo::Sort, "otn", 16, 3),
+        inst(Algo::Sort, "otc", 16, 5),
+        inst(Algo::Sort, "tree", 16, 7),
+        inst(Algo::Sort, "fattree", 16, 9),
+    };
+    std::vector<ot::topo::Machine *> machines;
+    for (const InstanceSpec &s : shapes)
+        machines.push_back(
+            &cache.acquire(cacheKeyFor(s), costModelFor(s)));
+    EXPECT_EQ(4u, cache.misses());
+
+    // Deterministic per-machine inputs.
+    std::vector<std::vector<std::uint64_t>> inputs;
+    for (std::size_t i = 0; i < machines.size(); ++i) {
+        std::vector<std::uint64_t> v(16);
+        for (std::size_t k = 0; k < v.size(); ++k)
+            // Keep values inside the n=16 machines' word format
+            // (w = 8 bits).
+            v[k] = (k * 31ull + i * 97ull) % 199ull;
+        inputs.push_back(v);
+    }
+
+    // Sequential reference pass: model times per machine.
+    std::vector<ot::vlsi::ModelTime> seqTimes(machines.size(), 0);
+    for (std::size_t i = 0; i < machines.size(); ++i) {
+        machines[i]->reset();
+        seqTimes[i] = machines[i]->runSort(inputs[i]).time;
+    }
+
+    // Parallel passes: one lane per machine, every post-build
+    // mutation through the owned machine's virtual API.
+    for (unsigned threads : {2u, 4u}) {
+        ot::sim::TimeAccountant acct;
+        ot::sim::StatSet stats;
+        ot::sim::ChainEngine engine(acct, stats, threads);
+        std::vector<ot::vlsi::ModelTime> parTimes(machines.size(), 0);
+        engine.parallelFor(machines.size(), [&](std::size_t lane) {
+            machines[lane]->reset();
+            parTimes[lane] =
+                machines[lane]->runSort(inputs[lane]).time;
+            engine.charge(1);
+        });
+        EXPECT_EQ(seqTimes, parTimes) << "threads=" << threads;
+    }
+}
+
+} // namespace
